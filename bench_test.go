@@ -1,0 +1,541 @@
+// Benchmarks: one testing.B family per table/figure of the paper's
+// evaluation (§6). Each benchmark measures the figure's central cell(s) at
+// reduced dataset scale with the simulated NVMM latency model enabled, and
+// reports auxiliary metrics (transient share, NVMM line writes per txn)
+// that drive the figure's shape. `go run ./cmd/nvbench` produces the full
+// figure series; these benches make the same comparisons available to
+// `go test -bench`.
+package nvcaracal_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"nvcaracal"
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/workload/smallbank"
+	"nvcaracal/internal/workload/tpcc"
+	"nvcaracal/internal/workload/ycsb"
+	"nvcaracal/internal/zen"
+)
+
+const (
+	benchYCSBRows  = 8_000
+	benchSBCust    = 9_000
+	benchEpochSize = 500
+	benchReadLat   = 60 * time.Nanosecond
+	benchWriteLat  = 250 * time.Nanosecond
+)
+
+// --- setup helpers ---
+
+func ycsbDB(b *testing.B, hotOps int, smallrow bool, mode nvcaracal.StorageMode, mut func(*nvcaracal.Config)) (*ycsb.Workload, *nvcaracal.DB, *nvcaracal.Device) {
+	b.Helper()
+	cfg := ycsb.DefaultConfig(benchYCSBRows)
+	if smallrow {
+		cfg = ycsb.SmallRowConfig(benchYCSBRows)
+	}
+	cfg.HotOps = hotOps
+	w, err := ycsb.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := nvcaracal.NewRegistry()
+	w.Register(reg)
+	fc := nvcaracal.Config{
+		Mode:             mode,
+		Registry:         reg,
+		RowsPerCore:      benchYCSBRows*2 + 8192,
+		ValuesPerCore:    benchYCSBRows*3 + 8192,
+		NVMMReadLatency:  benchReadLat,
+		NVMMWriteLatency: benchWriteLat,
+	}
+	if mode == nvcaracal.ModeAllDRAM {
+		fc.NVMMReadLatency, fc.NVMMWriteLatency = 0, 0
+	}
+	if mut != nil {
+		mut(&fc)
+	}
+	db, dev, err := nvcaracal.OpenWithDevice(fc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range w.LoadBatches(4000) {
+		if _, err := db.RunEpoch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return w, db, dev
+}
+
+func smallbankDB(b *testing.B, hotspot int, mode nvcaracal.StorageMode, mut func(*nvcaracal.Config)) (*smallbank.Workload, *nvcaracal.DB, *nvcaracal.Device) {
+	b.Helper()
+	w, err := smallbank.New(smallbank.DefaultConfig(benchSBCust, hotspot))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := nvcaracal.NewRegistry()
+	w.Register(reg)
+	fc := nvcaracal.Config{
+		Mode:             mode,
+		Registry:         reg,
+		RowSize:          128,
+		ValueSize:        64,
+		RowsPerCore:      benchSBCust*6 + 8192,
+		ValuesPerCore:    8192,
+		NVMMReadLatency:  benchReadLat,
+		NVMMWriteLatency: benchWriteLat,
+	}
+	if mode == nvcaracal.ModeAllDRAM {
+		fc.NVMMReadLatency, fc.NVMMWriteLatency = 0, 0
+	}
+	if mut != nil {
+		mut(&fc)
+	}
+	db, dev, err := nvcaracal.OpenWithDevice(fc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range w.LoadBatches(4000) {
+		if _, err := db.RunEpoch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return w, db, dev
+}
+
+func tpccDB(b *testing.B, warehouses int, epochsHint int) (*tpcc.Workload, *nvcaracal.DB) {
+	b.Helper()
+	cfg := tpcc.DefaultConfig(warehouses)
+	cfg.CustomersPerDistrict = 60
+	cfg.Items = 400
+	w, err := tpcc.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := nvcaracal.NewRegistry()
+	w.Register(reg)
+	base := cfg.Items + warehouses*(1+cfg.Items) + warehouses*cfg.Districts*(2+2*cfg.CustomersPerDistrict)
+	fc := nvcaracal.Config{
+		Mode:             nvcaracal.ModeNVCaracal,
+		Registry:         reg,
+		Counters:         cfg.RequiredCounters(),
+		RevertOnRecovery: true,
+		RowsPerCore:      int64(base) + int64(epochsHint)*benchEpochSize*8 + 8192,
+		ValuesPerCore:    8192,
+		NVMMReadLatency:  benchReadLat,
+		NVMMWriteLatency: benchWriteLat,
+	}
+	db, err := nvcaracal.Open(fc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range w.LoadBatches(4000) {
+		if _, err := db.RunEpoch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return w, db
+}
+
+// driveNVC runs b.N transactions in epochs and reports per-txn NVMM
+// metrics.
+func driveNVC(b *testing.B, db *nvcaracal.DB, dev *nvcaracal.Device, gen func(n int) []*nvcaracal.Txn) {
+	b.Helper()
+	metBase := db.Metrics()
+	var devBase nvm.Stats
+	if dev != nil {
+		devBase = dev.Stats()
+	}
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := min(b.N-done, benchEpochSize)
+		batch := gen(n)
+		b.StopTimer() // generation is client-side
+		b.StartTimer()
+		if _, err := db.RunEpoch(batch); err != nil {
+			b.Fatal(err)
+		}
+		done += n
+	}
+	b.StopTimer()
+	m := db.Metrics().Sub(metBase)
+	b.ReportMetric(m.TransientShare(), "transient-share")
+	if dev != nil {
+		d := dev.Stats().Sub(devBase)
+		b.ReportMetric(float64(d.LineWrites)/float64(b.N), "nvmm-writes/txn")
+	}
+}
+
+func driveZen(b *testing.B, zdb *zen.DB, run func(rng *rand.Rand) error) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Tables 1-4: configuration construction (cheap sanity bench) ---
+
+func BenchmarkConfigTables(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ycsb.New(ycsb.DefaultConfig(benchYCSBRows)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := smallbank.New(smallbank.DefaultConfig(benchSBCust, 100)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tpcc.New(tpcc.DefaultConfig(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5: YCSB, NVCaracal vs Zen ---
+
+func benchFig5NVC(b *testing.B, hotOps int) {
+	w, db, dev := ycsbDB(b, hotOps, false, nvcaracal.ModeNVCaracal, nil)
+	rng := rand.New(rand.NewSource(1))
+	driveNVC(b, db, dev, func(n int) []*nvcaracal.Txn { return w.GenBatch(rng, n) })
+}
+
+func benchFig5Zen(b *testing.B, hotOps int) {
+	cfg := ycsb.DefaultConfig(benchYCSBRows)
+	cfg.HotOps = hotOps
+	w, err := ycsb.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	zcfg := zen.Config{TupleSize: 1032, Capacity: benchYCSBRows * 2, CacheEntries: benchYCSBRows}
+	dev := nvm.New(zcfg.DeviceSize(), nvm.WithLatency(benchReadLat, benchWriteLat))
+	zdb, err := zen.Open(dev, zcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.LoadZen(zdb); err != nil {
+		b.Fatal(err)
+	}
+	driveZen(b, zdb, func(rng *rand.Rand) error { return w.RunZen(zdb, rng) })
+}
+
+func BenchmarkFig5YCSB(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		hot  int
+	}{{"low", 0}, {"med", 4}, {"high", 7}} {
+		b.Run(c.name+"/nvcaracal", func(b *testing.B) { benchFig5NVC(b, c.hot) })
+		b.Run(c.name+"/zen", func(b *testing.B) { benchFig5Zen(b, c.hot) })
+	}
+}
+
+// --- Figure 6: SmallBank, NVCaracal vs Zen ---
+
+func BenchmarkFig6SmallBank(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		hotspot int
+	}{{"low", benchSBCust / 18}, {"high", 60}} {
+		b.Run(c.name+"/nvcaracal", func(b *testing.B) {
+			w, db, dev := smallbankDB(b, c.hotspot, nvcaracal.ModeNVCaracal, nil)
+			rng := rand.New(rand.NewSource(2))
+			driveNVC(b, db, dev, func(n int) []*nvcaracal.Txn { return w.GenBatch(rng, n) })
+		})
+		b.Run(c.name+"/zen", func(b *testing.B) {
+			w, err := smallbank.New(smallbank.DefaultConfig(benchSBCust, c.hotspot))
+			if err != nil {
+				b.Fatal(err)
+			}
+			zcfg := zen.Config{TupleSize: 64, Capacity: benchSBCust * 4, CacheEntries: benchSBCust}
+			dev := nvm.New(zcfg.DeviceSize(), nvm.WithLatency(benchReadLat, benchWriteLat))
+			zdb, err := zen.Open(dev, zcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.LoadZen(zdb); err != nil {
+				b.Fatal(err)
+			}
+			driveZen(b, zdb, func(rng *rand.Rand) error { return w.RunZen(zdb, rng) })
+		})
+	}
+}
+
+// --- Figure 7: NVCaracal vs all-NVMM vs hybrid (default 256 B rows) ---
+
+func BenchmarkFig7Designs(b *testing.B) {
+	modes := []nvcaracal.StorageMode{
+		nvcaracal.ModeNVCaracal, nvcaracal.ModeHybrid, nvcaracal.ModeAllNVMM,
+	}
+	for _, workload := range []string{"ycsb", "ycsb-smallrow", "smallbank"} {
+		for _, mode := range modes {
+			b.Run(workload+"/high/"+mode.String(), func(b *testing.B) {
+				switch workload {
+				case "ycsb", "ycsb-smallrow":
+					w, db, dev := ycsbDB(b, 7, workload == "ycsb-smallrow", mode,
+						func(c *nvcaracal.Config) { c.RowSize = 256 })
+					rng := rand.New(rand.NewSource(3))
+					driveNVC(b, db, dev, func(n int) []*nvcaracal.Txn { return w.GenBatch(rng, n) })
+				case "smallbank":
+					w, db, dev := smallbankDB(b, 60, mode,
+						func(c *nvcaracal.Config) { c.RowSize = 256 })
+					rng := rand.New(rand.NewSource(3))
+					driveNVC(b, db, dev, func(n int) []*nvcaracal.Txn { return w.GenBatch(rng, n) })
+				}
+			})
+		}
+	}
+	for _, mode := range modes {
+		b.Run("tpcc/high/"+mode.String(), func(b *testing.B) {
+			w, db := tpccDB(b, 1, b.N/benchEpochSize+2)
+			rng := rand.New(rand.NewSource(3))
+			driveNVC(b, db, nil, func(n int) []*nvcaracal.Txn { return w.GenBatch(rng, db, n) })
+		})
+	}
+}
+
+// --- Figure 8: memory accounting cost ---
+
+func BenchmarkFig8MemoryBreakdown(b *testing.B) {
+	w, db, dev := ycsbDB(b, 4, false, nvcaracal.ModeNVCaracal, nil)
+	rng := rand.New(rand.NewSource(4))
+	if _, err := db.RunEpoch(w.GenBatch(rng, benchEpochSize)); err != nil {
+		b.Fatal(err)
+	}
+	_ = dev
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		m := db.Memory()
+		total += m.DRAMTotal() + m.NVMMTotal()
+	}
+	b.ReportMetric(float64(db.Memory().NVMMTotal())/(1<<20), "nvmm-MiB")
+	b.ReportMetric(float64(db.Memory().DRAMTotal())/(1<<20), "dram-MiB")
+	_ = total
+}
+
+// --- Figure 9: optimization ablations ---
+
+func BenchmarkFig9Optimizations(b *testing.B) {
+	variants := []struct {
+		name string
+		mut  func(*nvcaracal.Config)
+	}{
+		{"full", nil},
+		{"no-minor-gc", func(c *nvcaracal.Config) { c.DisableMinorGC = true }},
+		{"no-cache", func(c *nvcaracal.Config) { c.DisableCache = true }},
+	}
+	for _, v := range variants {
+		b.Run("ycsb-smallrow/high/"+v.name, func(b *testing.B) {
+			w, db, dev := ycsbDB(b, 7, true, nvcaracal.ModeNVCaracal, v.mut)
+			rng := rand.New(rand.NewSource(5))
+			driveNVC(b, db, dev, func(n int) []*nvcaracal.Txn { return w.GenBatch(rng, n) })
+		})
+		b.Run("smallbank/high/"+v.name, func(b *testing.B) {
+			w, db, dev := smallbankDB(b, 60, nvcaracal.ModeNVCaracal, v.mut)
+			rng := rand.New(rand.NewSource(5))
+			driveNVC(b, db, dev, func(n int) []*nvcaracal.Txn { return w.GenBatch(rng, n) })
+		})
+	}
+}
+
+// --- Figure 10: cost of failure-recovery support ---
+
+func BenchmarkFig10RecoverySupport(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		mode nvcaracal.StorageMode
+	}{
+		{"nvcaracal", nvcaracal.ModeNVCaracal},
+		{"no-logging", nvcaracal.ModeNoLogging},
+		{"all-dram", nvcaracal.ModeAllDRAM},
+	} {
+		b.Run("smallbank/high/"+v.name, func(b *testing.B) {
+			w, db, dev := smallbankDB(b, 60, v.mode, nil)
+			rng := rand.New(rand.NewSource(6))
+			driveNVC(b, db, dev, func(n int) []*nvcaracal.Txn { return w.GenBatch(rng, n) })
+		})
+	}
+}
+
+// --- Figure 11: recovery ---
+
+func BenchmarkFig11Recovery(b *testing.B) {
+	// Each iteration: crash a prepared database mid-epoch and recover.
+	w, err := smallbank.New(smallbank.DefaultConfig(benchSBCust, 60))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := nvcaracal.NewRegistry()
+	w.Register(reg)
+	cfg := nvcaracal.Config{
+		Registry: reg, RowSize: 128, ValueSize: 64,
+		RowsPerCore: benchSBCust*6 + 8192, ValuesPerCore: 8192,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db, dev, err := nvcaracal.OpenWithDevice(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range w.LoadBatches(4000) {
+			if _, err := db.RunEpoch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := db.RunEpoch(w.GenBatch(rng, benchEpochSize)); err != nil {
+			b.Fatal(err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != nvcaracal.ErrInjectedCrash {
+					panic(r)
+				}
+			}()
+			dev.SetFailAfter(300)
+			db.RunEpoch(w.GenBatch(rng, benchEpochSize))
+		}()
+		dev.Crash(nvcaracal.CrashStrict, int64(i))
+		b.StartTimer()
+		if _, _, err := nvcaracal.Recover(dev, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 12: epoch size sweep ---
+
+func BenchmarkFig12EpochSize(b *testing.B) {
+	for _, size := range []int{125, 500, 2000} {
+		b.Run(itoa(size), func(b *testing.B) {
+			w, db, dev := smallbankDB(b, 60, nvcaracal.ModeNVCaracal, nil)
+			rng := rand.New(rand.NewSource(7))
+			metBase := db.Metrics()
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				n := min(b.N-done, size)
+				if _, err := db.RunEpoch(w.GenBatch(rng, n)); err != nil {
+					b.Fatal(err)
+				}
+				done += n
+			}
+			b.StopTimer()
+			b.ReportMetric(db.Metrics().Sub(metBase).TransientShare(), "transient-share")
+			_ = dev
+		})
+	}
+}
+
+// --- §7 extension: Aria-style CC on the same NVMM substrate ---
+
+// BenchmarkAriaVsCaracal contrasts the two deterministic CC schemes under
+// a contended RMW workload: Caracal-style epochs commit every transaction
+// (DRAM absorbs intermediate versions); Aria must defer conflict losers to
+// later epochs, so its goodput falls as contention rises.
+func BenchmarkAriaVsCaracal(b *testing.B) {
+	const hotKeys = 64
+	mkRMWTxn := func(key uint64, tag byte) *nvcaracal.Txn {
+		return &nvcaracal.Txn{
+			TypeID: 1,
+			Ops:    []nvcaracal.Op{{Table: 1, Key: key, Kind: nvcaracal.OpUpdate}},
+			Exec: func(ctx *nvcaracal.Ctx) {
+				old, _ := ctx.Read(1, key)
+				buf := make([]byte, len(old))
+				copy(buf, old)
+				buf[0] = tag
+				ctx.Write(1, key, buf)
+			},
+		}
+	}
+	mkAriaRMW := func(key uint64, tag byte) *nvcaracal.AriaTxn {
+		return &nvcaracal.AriaTxn{
+			TypeID: 1,
+			Exec: func(ctx *nvcaracal.AriaCtx) {
+				old, _ := ctx.Read(1, key)
+				buf := make([]byte, len(old))
+				copy(buf, old)
+				buf[0] = tag
+				ctx.Write(1, key, buf)
+			},
+		}
+	}
+	open := func(b *testing.B) (*nvcaracal.DB, *nvcaracal.Device) {
+		db, dev, err := nvcaracal.OpenWithDevice(nvcaracal.Config{
+			Registry:         nvcaracal.NewRegistry(),
+			NVMMReadLatency:  benchReadLat,
+			NVMMWriteLatency: benchWriteLat,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var load []*nvcaracal.Txn
+		for k := uint64(0); k < hotKeys; k++ {
+			key := k
+			load = append(load, &nvcaracal.Txn{
+				TypeID: 2,
+				Ops:    []nvcaracal.Op{{Table: 1, Key: key, Kind: nvcaracal.OpInsert}},
+				Exec: func(ctx *nvcaracal.Ctx) {
+					ctx.Insert(1, key, make([]byte, 64))
+				},
+			})
+		}
+		if _, err := db.RunEpoch(load); err != nil {
+			b.Fatal(err)
+		}
+		return db, dev
+	}
+	b.Run("caracal", func(b *testing.B) {
+		db, _ := open(b)
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			n := min(b.N-done, benchEpochSize)
+			batch := make([]*nvcaracal.Txn, n)
+			for i := range batch {
+				batch[i] = mkRMWTxn(uint64(rng.Intn(hotKeys)), byte(i))
+			}
+			if _, err := db.RunEpoch(batch); err != nil {
+				b.Fatal(err)
+			}
+			done += n
+		}
+	})
+	b.Run("aria", func(b *testing.B) {
+		db, _ := open(b)
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		committed := 0
+		var pending []*nvcaracal.AriaTxn
+		for committed < b.N {
+			for len(pending) < benchEpochSize && committed+len(pending) < b.N {
+				pending = append(pending, mkAriaRMW(uint64(rng.Intn(hotKeys)), byte(committed)))
+			}
+			res, err := db.RunEpochAria(pending)
+			if err != nil {
+				b.Fatal(err)
+			}
+			committed += res.Committed
+			pending = res.Deferred
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(db.Epoch()), "epochs-needed")
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,133 @@
+// Command nvbench regenerates the tables and figures of the paper's
+// evaluation (§6) on the simulated NVMM substrate.
+//
+// Usage:
+//
+//	nvbench -exp fig5                # one experiment at quick scale
+//	nvbench -exp all -scale paper    # everything, closer to paper scale
+//	nvbench -list                    # enumerate experiments
+//
+// Each experiment prints one row per data point with the same labels the
+// paper's figure uses, followed by the headline ratios (e.g. NVCaracal vs
+// Zen per contention level). See EXPERIMENTS.md for paper-vs-measured
+// comparisons.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"nvcaracal/internal/bench"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment to run ("+strings.Join(bench.Names(), ", ")+", or all)")
+		scaleName = flag.String("scale", "quick", "scale: quick or paper")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		seed      = flag.Int64("seed", 42, "workload RNG seed")
+		cores     = flag.Int("cores", 0, "worker cores (0 = GOMAXPROCS)")
+		epochTxns = flag.Int("epoch-txns", 0, "override transactions per epoch")
+		epochs    = flag.Int("epochs", 0, "override measured epochs")
+		readLat   = flag.Duration("read-lat", 0, "override NVMM read latency per line")
+		writeLat  = flag.Duration("write-lat", 0, "override NVMM write latency per line")
+		csvPath   = flag.String("csv", "", "also write results as CSV to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "quick":
+		scale = bench.QuickScale()
+	case "paper":
+		scale = bench.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "nvbench: unknown scale %q (quick or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+	scale.Cores = *cores
+	if *epochTxns > 0 {
+		scale.EpochTxns = *epochTxns
+	}
+	if *epochs > 0 {
+		scale.Epochs = *epochs
+	}
+	if *readLat > 0 {
+		scale.ReadLatency = *readLat
+	}
+	if *writeLat > 0 {
+		scale.WriteLatency = *writeLat
+	}
+
+	opts := bench.Options{Scale: scale, Out: os.Stdout, Seed: *seed}
+	fmt.Printf("nvbench: scale=%s cores=%d epoch=%d txns x %d epochs, NVMM latency r/w=%v/%v\n\n",
+		scale.Name, runtime.GOMAXPROCS(0), scale.EpochTxns, scale.Epochs,
+		scale.ReadLatency, scale.WriteLatency)
+
+	var all []bench.Result
+	run := func(e bench.Experiment) {
+		fmt.Printf("=== %s: %s ===\n", e.Name, e.Title)
+		start := time.Now()
+		all = append(all, e.Run(opts)...)
+		fmt.Printf("=== %s done in %v ===\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+	} else {
+		e, ok := bench.ByName(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nvbench: unknown experiment %q; -list shows options\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+	}
+
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, all); err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d result rows to %s\n", len(all), *csvPath)
+	}
+}
+
+// writeCSV flattens results to exp,label1,value1,...,value,unit rows.
+func writeCSV(path string, rs []bench.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"exp", "labels", "value", "unit"}); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		var labels []string
+		for _, l := range r.Labels {
+			labels = append(labels, l.Key+"="+l.Val)
+		}
+		rec := []string{r.Exp, strings.Join(labels, ";"), strconv.FormatFloat(r.Value, 'f', 3, 64), r.Unit}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Error()
+}

@@ -1,0 +1,196 @@
+// Command nvload loads one of the built-in workloads into an NVCaracal
+// instance, drives it for a number of epochs, and prints throughput,
+// engine metrics, and the memory breakdown — a generic driver for
+// exploring configurations outside the fixed paper experiments.
+//
+// Usage:
+//
+//	nvload -workload ycsb -rows 50000 -contention high -epochs 10
+//	nvload -workload smallbank -mode hybrid
+//	nvload -workload tpcc -warehouses 4 -epoch-txns 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"nvcaracal"
+	"nvcaracal/internal/workload/smallbank"
+	"nvcaracal/internal/workload/tpcc"
+	"nvcaracal/internal/workload/ycsb"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "ycsb", "ycsb, ycsb-smallrow, smallbank, or tpcc")
+		rows       = flag.Int("rows", 20_000, "YCSB rows / SmallBank customers")
+		warehouses = flag.Int("warehouses", 2, "TPC-C warehouses")
+		contention = flag.String("contention", "low", "low, med (YCSB only), or high")
+		mode       = flag.String("mode", "nvcaracal", "nvcaracal, no-logging, hybrid, all-nvmm, all-dram")
+		epochTxns  = flag.Int("epoch-txns", 1000, "transactions per epoch")
+		epochs     = flag.Int("epochs", 5, "measured epochs")
+		cores      = flag.Int("cores", 0, "worker cores (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1, "workload RNG seed")
+		readLat    = flag.Duration("nvmm-read-latency", 60*time.Nanosecond, "simulated NVMM read latency per line")
+		writeLat   = flag.Duration("nvmm-write-latency", 250*time.Nanosecond, "simulated NVMM write latency per line")
+	)
+	flag.Parse()
+
+	storageMode, err := parseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := nvcaracal.Config{
+		Cores:            *cores,
+		Mode:             storageMode,
+		NVMMReadLatency:  *readLat,
+		NVMMWriteLatency: *writeLat,
+		Registry:         nvcaracal.NewRegistry(),
+	}
+	if storageMode == nvcaracal.ModeAllDRAM {
+		cfg.NVMMReadLatency, cfg.NVMMWriteLatency = 0, 0
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var gen func(db *nvcaracal.DB) []*nvcaracal.Txn
+	var loadBatches [][]*nvcaracal.Txn
+
+	switch *workload {
+	case "ycsb", "ycsb-smallrow":
+		wcfg := ycsb.DefaultConfig(*rows)
+		if *workload == "ycsb-smallrow" {
+			wcfg = ycsb.SmallRowConfig(*rows)
+		}
+		switch *contention {
+		case "low":
+			wcfg.HotOps = 0
+		case "med":
+			wcfg.HotOps = 4
+		case "high":
+			wcfg.HotOps = 7
+		default:
+			fatal(fmt.Errorf("unknown contention %q", *contention))
+		}
+		w, err := ycsb.New(wcfg)
+		if err != nil {
+			fatal(err)
+		}
+		w.Register(cfg.Registry)
+		cfg.RowsPerCore = int64(*rows)*2 + 8192
+		cfg.ValuesPerCore = int64(*rows)*3 + 8192
+		loadBatches = w.LoadBatches(*epochTxns * 4)
+		gen = func(*nvcaracal.DB) []*nvcaracal.Txn { return w.GenBatch(rng, *epochTxns) }
+	case "smallbank":
+		hot := *rows / 18
+		if *contention == "high" {
+			hot = max(1, *rows/1000)
+		}
+		w, err := smallbank.New(smallbank.DefaultConfig(*rows, hot))
+		if err != nil {
+			fatal(err)
+		}
+		w.Register(cfg.Registry)
+		cfg.RowSize = 128
+		cfg.ValueSize = 64
+		cfg.RowsPerCore = int64(*rows)*6 + 8192
+		cfg.ValuesPerCore = 8192
+		loadBatches = w.LoadBatches(*epochTxns * 4)
+		gen = func(*nvcaracal.DB) []*nvcaracal.Txn { return w.GenBatch(rng, *epochTxns) }
+	case "tpcc":
+		wh := *warehouses
+		if *contention == "high" {
+			wh = 1
+		}
+		wcfg := tpcc.DefaultConfig(wh)
+		w, err := tpcc.New(wcfg)
+		if err != nil {
+			fatal(err)
+		}
+		w.Register(cfg.Registry)
+		cfg.Counters = wcfg.RequiredCounters()
+		cfg.RevertOnRecovery = true
+		base := wcfg.Items + wh*(1+wcfg.Items) + wh*wcfg.Districts*(2+2*wcfg.CustomersPerDistrict)
+		cfg.RowsPerCore = int64(base) + int64(*epochs+2)*int64(*epochTxns)*8 + 8192
+		cfg.ValuesPerCore = 8192
+		loadBatches = w.LoadBatches(*epochTxns * 4)
+		gen = func(db *nvcaracal.DB) []*nvcaracal.Txn { return w.GenBatch(rng, db, *epochTxns) }
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	db, err := nvcaracal.Open(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loading %s (%d batches)...\n", *workload, len(loadBatches))
+	loadStart := time.Now()
+	for _, b := range loadBatches {
+		if _, err := db.RunEpoch(b); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d rows in %v\n", db.RowCount(), time.Since(loadStart).Round(time.Millisecond))
+
+	var committed, aborted int
+	var total time.Duration
+	for e := 0; e < *epochs; e++ {
+		batch := gen(db)
+		start := time.Now()
+		res, err := db.RunEpoch(batch)
+		if err != nil {
+			fatal(err)
+		}
+		d := time.Since(start)
+		total += d
+		committed += res.Committed
+		aborted += res.Aborted
+		fmt.Printf("epoch %d: %d committed, %d aborted, %v (log %v, init %v, exec %v, sync %v)\n",
+			res.Epoch, res.Committed, res.Aborted, d.Round(time.Microsecond),
+			res.LogTime.Round(time.Microsecond), res.InitTime.Round(time.Microsecond),
+			res.ExecTime.Round(time.Microsecond), res.SyncTime.Round(time.Microsecond))
+	}
+
+	fmt.Printf("\nthroughput: %.0f txns/s (%d committed, %d aborted in %v)\n",
+		float64(committed+aborted)/total.Seconds(), committed, aborted, total.Round(time.Millisecond))
+
+	m := db.Metrics()
+	fmt.Printf("versions: %d transient (DRAM), %d persistent (NVMM) — %.1f%% absorbed by DRAM\n",
+		m.TransientVersions, m.PersistentVersions, 100*m.TransientShare())
+	fmt.Printf("cache: %d hits, %d misses, %d entries; GC: %d minor, %d major\n",
+		m.CacheHits, m.CacheMisses, m.CacheEntries, m.MinorGCs, m.MajorGCs)
+
+	mem := db.Memory()
+	fmt.Printf("memory: DRAM %.1f MiB (index %.1f, transient %.1f, cache %.1f) | NVMM %.1f MiB (rows %.1f, values %.1f, log %.1f)\n",
+		mib(mem.DRAMTotal()), mib(mem.IndexBytes), mib(mem.TransientPeak), mib(mem.CacheBytes),
+		mib(mem.NVMMTotal()), mib(mem.RowBytes), mib(mem.ValueBytes), mib(mem.LogBytes))
+
+	st := db.Device().Stats()
+	fmt.Printf("device: %s\n", st)
+}
+
+func parseMode(s string) (nvcaracal.StorageMode, error) {
+	switch s {
+	case "nvcaracal":
+		return nvcaracal.ModeNVCaracal, nil
+	case "no-logging":
+		return nvcaracal.ModeNoLogging, nil
+	case "hybrid":
+		return nvcaracal.ModeHybrid, nil
+	case "all-nvmm":
+		return nvcaracal.ModeAllNVMM, nil
+	case "all-dram":
+		return nvcaracal.ModeAllDRAM, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvload:", err)
+	os.Exit(1)
+}

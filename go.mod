@@ -1,0 +1,3 @@
+module nvcaracal
+
+go 1.22

@@ -1,0 +1,158 @@
+// Package arena implements per-core DRAM bump allocators backing the
+// transient pool of the deterministic database.
+//
+// All intermediate row versions produced within an epoch live in the
+// transient pool and are discarded wholesale at the end of the epoch, so
+// allocation is a pointer bump and deallocation is a single offset reset —
+// no per-object free, no garbage-collector pressure proportional to the
+// number of versions.
+package arena
+
+import "fmt"
+
+// chunkSize is the size of each slab a core arena grows by. Allocations
+// larger than this get a dedicated slab.
+const chunkSize = 1 << 20 // 1 MiB
+
+// Arena is a single-owner bump allocator. It is NOT safe for concurrent
+// use: the engine gives each worker core its own Arena, which is the whole
+// point of the per-core design.
+type Arena struct {
+	chunks [][]byte // fixed-size slabs, reused across Resets
+	big    [][]byte // oversized dedicated slabs, dropped on Reset
+	cur    int      // index of the chunk being bumped
+	off    int      // bump offset within chunks[cur]
+	peak   int      // high-water mark of total allocated bytes, across resets
+	used   int      // bytes handed out since the last Reset
+}
+
+// New returns an empty arena.
+func New() *Arena {
+	return &Arena{cur: -1}
+}
+
+// Alloc returns a zeroed byte slice of length n carved from the arena.
+// The slice is valid until the next Reset.
+func (a *Arena) Alloc(n int) []byte {
+	if n < 0 {
+		panic(fmt.Sprintf("arena: negative allocation %d", n))
+	}
+	if n > chunkSize {
+		s := make([]byte, n)
+		a.big = append(a.big, s)
+		a.used += n
+		if a.used > a.peak {
+			a.peak = a.used
+		}
+		return s
+	}
+	if a.cur < 0 || a.off+n > len(a.chunks[a.cur]) {
+		a.grow()
+	}
+	s := a.chunks[a.cur][a.off : a.off+n : a.off+n]
+	a.off += n
+	a.used += n
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	// Chunks are reused across epochs; zero the handed-out region so stale
+	// epoch data can never leak into a new version.
+	clear(s)
+	return s
+}
+
+func (a *Arena) grow() {
+	// Reuse an already-grown chunk if Reset left one available.
+	if a.cur+1 < len(a.chunks) {
+		a.cur++
+		a.off = 0
+		return
+	}
+	a.chunks = append(a.chunks, make([]byte, chunkSize))
+	a.cur = len(a.chunks) - 1
+	a.off = 0
+}
+
+// Reset discards every allocation in O(1), retaining chunk memory for reuse
+// by later epochs. Dedicated oversized slabs are dropped so they can be
+// garbage collected.
+func (a *Arena) Reset() {
+	a.big = nil
+	if len(a.chunks) > 0 {
+		a.cur = 0
+	} else {
+		a.cur = -1
+	}
+	a.off = 0
+	a.used = 0
+}
+
+// Used returns the bytes handed out since the last Reset.
+func (a *Arena) Used() int { return a.used }
+
+// Peak returns the high-water mark of bytes handed out within any epoch.
+func (a *Arena) Peak() int { return a.peak }
+
+// Footprint returns the total bytes of retained chunk memory plus any live
+// oversized slabs.
+func (a *Arena) Footprint() int {
+	var n int
+	for _, c := range a.chunks {
+		n += len(c)
+	}
+	for _, c := range a.big {
+		n += len(c)
+	}
+	return n
+}
+
+// Group is a set of per-core arenas plus aggregate accounting.
+type Group struct {
+	arenas []*Arena
+}
+
+// NewGroup creates n per-core arenas.
+func NewGroup(n int) *Group {
+	g := &Group{arenas: make([]*Arena, n)}
+	for i := range g.arenas {
+		g.arenas[i] = New()
+	}
+	return g
+}
+
+// Core returns core i's arena.
+func (g *Group) Core(i int) *Arena { return g.arenas[i] }
+
+// ResetAll resets every arena.
+func (g *Group) ResetAll() {
+	for _, a := range g.arenas {
+		a.Reset()
+	}
+}
+
+// Used sums Used across cores.
+func (g *Group) Used() int {
+	var n int
+	for _, a := range g.arenas {
+		n += a.Used()
+	}
+	return n
+}
+
+// Peak sums Peak across cores.
+func (g *Group) Peak() int {
+	var n int
+	for _, a := range g.arenas {
+		n += a.Peak()
+	}
+	return n
+}
+
+// Footprint sums retained memory across cores.
+func (g *Group) Footprint() int {
+	var n int
+	for _, a := range g.arenas {
+		n += a.Footprint()
+	}
+	return n
+}

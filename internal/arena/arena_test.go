@@ -1,0 +1,149 @@
+package arena
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocReturnsZeroedRequestedSize(t *testing.T) {
+	a := New()
+	s := a.Alloc(100)
+	if len(s) != 100 {
+		t.Fatalf("len = %d, want 100", len(s))
+	}
+	for i, b := range s {
+		if b != 0 {
+			t.Fatalf("byte %d not zero", i)
+		}
+	}
+}
+
+func TestAllocationsAreDisjoint(t *testing.T) {
+	a := New()
+	s1 := a.Alloc(64)
+	s2 := a.Alloc(64)
+	for i := range s1 {
+		s1[i] = 0xAA
+	}
+	for _, b := range s2 {
+		if b != 0 {
+			t.Fatal("allocations overlap")
+		}
+	}
+}
+
+func TestAllocGrowsAcrossChunks(t *testing.T) {
+	a := New()
+	// Allocate more than one chunk's worth.
+	total := 0
+	for total < chunkSize*2+100 {
+		s := a.Alloc(1000)
+		total += len(s)
+	}
+	if a.Used() != total {
+		t.Fatalf("Used = %d, want %d", a.Used(), total)
+	}
+}
+
+func TestOversizedAllocation(t *testing.T) {
+	a := New()
+	s := a.Alloc(chunkSize + 1)
+	if len(s) != chunkSize+1 {
+		t.Fatalf("len = %d", len(s))
+	}
+	a.Reset()
+	if a.Used() != 0 {
+		t.Fatal("Used after reset != 0")
+	}
+}
+
+func TestResetReusesChunksAndZeroesNewAllocs(t *testing.T) {
+	a := New()
+	s := a.Alloc(128)
+	for i := range s {
+		s[i] = 0xFF
+	}
+	foot := a.Footprint()
+	a.Reset()
+	if a.Footprint() != foot {
+		t.Fatalf("footprint changed across reset: %d -> %d", foot, a.Footprint())
+	}
+	s2 := a.Alloc(128)
+	for i, b := range s2 {
+		if b != 0 {
+			t.Fatalf("stale data leaked at byte %d", i)
+		}
+	}
+}
+
+func TestPeakAcrossResets(t *testing.T) {
+	a := New()
+	a.Alloc(500)
+	a.Reset()
+	a.Alloc(100)
+	if a.Peak() != 500 {
+		t.Fatalf("Peak = %d, want 500", a.Peak())
+	}
+	a.Alloc(900)
+	if a.Peak() != 1000 {
+		t.Fatalf("Peak = %d, want 1000", a.Peak())
+	}
+}
+
+func TestNegativeAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Alloc(-1)
+}
+
+func TestZeroAlloc(t *testing.T) {
+	a := New()
+	s := a.Alloc(0)
+	if len(s) != 0 {
+		t.Fatalf("len = %d, want 0", len(s))
+	}
+}
+
+func TestGroup(t *testing.T) {
+	g := NewGroup(4)
+	for i := 0; i < 4; i++ {
+		g.Core(i).Alloc(100)
+	}
+	if g.Used() != 400 {
+		t.Fatalf("group Used = %d, want 400", g.Used())
+	}
+	g.ResetAll()
+	if g.Used() != 0 {
+		t.Fatalf("group Used after reset = %d", g.Used())
+	}
+	if g.Peak() != 400 {
+		t.Fatalf("group Peak = %d, want 400", g.Peak())
+	}
+	if g.Footprint() == 0 {
+		t.Fatal("group Footprint = 0 after allocations")
+	}
+}
+
+// Property: sizes requested always equal sizes returned and Used tracks the
+// running sum, regardless of the allocation pattern.
+func TestQuickAllocSizes(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := New()
+		sum := 0
+		for _, raw := range sizes {
+			n := int(raw)
+			s := a.Alloc(n)
+			if len(s) != n {
+				return false
+			}
+			sum += n
+		}
+		return a.Used() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§6), each printing the same rows/series the
+// paper reports. Absolute numbers differ from the paper (the substrate is
+// a simulator, not an 8-core Optane testbed), but the shapes — who wins,
+// by roughly what factor, where the crossovers fall — are the reproduction
+// target (see EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Scale groups every knob that trades fidelity for runtime. PaperScale
+// approaches the paper's configuration; QuickScale runs each experiment in
+// seconds for CI and development.
+type Scale struct {
+	Name string
+
+	// YCSB (paper: 16M rows default, 64M large; 100K txns/epoch, 49 epochs).
+	YCSBRows      int
+	YCSBLargeRows int
+
+	// SmallBank (paper: 18M customers, 180M large; hotspots 1M / 10K).
+	SBCustomers      int
+	SBLargeCustomers int
+	SBHotLowDiv      int // low-contention hotspot = customers / SBHotLowDiv
+	SBHotHigh        int // high-contention hotspot size
+
+	// TPC-C (paper: 256 warehouses low contention, 1 high).
+	TPCCWarehousesLow  int
+	TPCCWarehousesHigh int
+
+	// Epoch shape.
+	EpochTxns int
+	Epochs    int
+
+	// NVMM latency model (zero = DRAM speed).
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	FenceLatency time.Duration
+
+	// Cores for the engines (0 = GOMAXPROCS).
+	Cores int
+}
+
+// QuickScale returns a scale that runs every experiment in seconds while
+// preserving the paper's contention structure.
+func QuickScale() Scale {
+	return Scale{
+		Name:               "quick",
+		YCSBRows:           20_000,
+		YCSBLargeRows:      80_000,
+		SBCustomers:        30_000,
+		SBLargeCustomers:   120_000,
+		SBHotLowDiv:        18,
+		SBHotHigh:          64,
+		TPCCWarehousesLow:  8,
+		TPCCWarehousesHigh: 1,
+		EpochTxns:          1_000,
+		Epochs:             5,
+		ReadLatency:        60 * time.Nanosecond,
+		WriteLatency:       250 * time.Nanosecond,
+		FenceLatency:       300 * time.Nanosecond,
+	}
+}
+
+// PaperScale returns a scale closer to the paper's configuration. Running
+// all experiments at this scale takes tens of minutes and several GiB.
+func PaperScale() Scale {
+	return Scale{
+		Name:               "paper",
+		YCSBRows:           1_000_000,
+		YCSBLargeRows:      4_000_000,
+		SBCustomers:        1_800_000,
+		SBLargeCustomers:   7_200_000,
+		SBHotLowDiv:        18,
+		SBHotHigh:          1_000,
+		TPCCWarehousesLow:  64,
+		TPCCWarehousesHigh: 1,
+		EpochTxns:          20_000,
+		Epochs:             10,
+		ReadLatency:        300 * time.Nanosecond,
+		WriteLatency:       1200 * time.Nanosecond,
+		FenceLatency:       700 * time.Nanosecond,
+	}
+}
+
+// Result is one data point of an experiment: an ordered set of labels and
+// a primary metric.
+type Result struct {
+	Exp    string
+	Labels []Label
+	Value  float64
+	Unit   string
+}
+
+// Label is one ordered key/value annotation on a Result.
+type Label struct {
+	Key, Val string
+}
+
+// L builds a label.
+func L(k, v string) Label { return Label{Key: k, Val: v} }
+
+func (r Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s", r.Exp)
+	for _, l := range r.Labels {
+		fmt.Fprintf(&sb, " %s=%-14s", l.Key, l.Val)
+	}
+	fmt.Fprintf(&sb, " %14.1f %s", r.Value, r.Unit)
+	return sb.String()
+}
+
+// Get returns the value of a label key, or "".
+func (r Result) Get(key string) string {
+	for _, l := range r.Labels {
+		if l.Key == key {
+			return l.Val
+		}
+	}
+	return ""
+}
+
+// Options configures an experiment run.
+type Options struct {
+	Scale   Scale
+	Out     io.Writer // progress and result rows; nil silences output
+	Seed    int64
+	Verbose bool
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format+"\n", args...)
+	}
+}
+
+func (o Options) emit(rs []Result) {
+	if o.Out == nil {
+		return
+	}
+	for _, r := range rs {
+		fmt.Fprintln(o.Out, r.String())
+	}
+}
+
+// Experiment is a named, runnable reproduction of one table or figure.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(Options) []Result
+}
+
+// Experiments returns every experiment in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"tables", "Tables 1-4: benchmark and engine configurations", RunTables},
+		{"fig5", "Figure 5: YCSB throughput, NVCaracal vs Zen", RunFig5},
+		{"fig6", "Figure 6: SmallBank throughput, NVCaracal vs Zen", RunFig6},
+		{"fig7", "Figure 7: throughput vs alternative NVMM designs", RunFig7},
+		{"fig8", "Figure 8: DRAM and NVMM consumption", RunFig8},
+		{"fig9", "Figure 9: impact of optimizations", RunFig9},
+		{"fig10", "Figure 10: failure-recovery support overhead", RunFig10},
+		{"fig11", "Figure 11: recovery time breakdown", RunFig11},
+		{"fig12", "Figure 12: effect of epoch size", RunFig12},
+	}
+}
+
+// ByName returns the experiment with the given name.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names lists experiment names in order.
+func Names() []string {
+	var ns []string
+	for _, e := range Experiments() {
+		ns = append(ns, e.Name)
+	}
+	return ns
+}
+
+// Ratio computes a/b guarding division by zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// summarizePairs prints "A vs B" ratios grouped by shared labels, used by
+// the figure runners to surface the paper's headline comparisons.
+func summarizePairs(o Options, rs []Result, sysKey, sysA, sysB string) {
+	if o.Out == nil {
+		return
+	}
+	type key string
+	group := map[key][2]float64{}
+	var keys []key
+	for _, r := range rs {
+		var parts []string
+		for _, l := range r.Labels {
+			if l.Key == sysKey {
+				continue
+			}
+			parts = append(parts, l.Key+"="+l.Val)
+		}
+		k := key(strings.Join(parts, " "))
+		pair := group[k]
+		switch r.Get(sysKey) {
+		case sysA:
+			pair[0] = r.Value
+		case sysB:
+			pair[1] = r.Value
+		default:
+			continue
+		}
+		if _, seen := group[k]; !seen {
+			keys = append(keys, k)
+		}
+		group[k] = pair
+	}
+	if len(keys) == 0 {
+		for k := range group {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		p := group[k]
+		if p[0] == 0 || p[1] == 0 {
+			continue
+		}
+		o.logf("  %s: %s/%s = %.2fx", k, sysA, sysB, p[0]/p[1])
+	}
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyScale completes each experiment in roughly a second.
+func tinyScale() Scale {
+	return Scale{
+		Name:               "tiny",
+		YCSBRows:           2_000,
+		YCSBLargeRows:      4_000,
+		SBCustomers:        2_000,
+		SBLargeCustomers:   4_000,
+		SBHotLowDiv:        18,
+		SBHotHigh:          16,
+		TPCCWarehousesLow:  2,
+		TPCCWarehousesHigh: 1,
+		EpochTxns:          150,
+		Epochs:             2,
+		ReadLatency:        20 * time.Nanosecond,
+		WriteLatency:       80 * time.Nanosecond,
+		Cores:              2,
+	}
+}
+
+func tinyOpts() Options {
+	return Options{Scale: tinyScale(), Seed: 1}
+}
+
+func findResult(t *testing.T, rs []Result, want map[string]string) Result {
+	t.Helper()
+outer:
+	for _, r := range rs {
+		for k, v := range want {
+			if r.Get(k) != v {
+				continue outer
+			}
+		}
+		return r
+	}
+	t.Fatalf("no result matching %v in %d results", want, len(rs))
+	return Result{}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("expected 9 experiments, got %d", len(names))
+	}
+	for _, n := range names {
+		if _, ok := ByName(n); !ok {
+			t.Fatalf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("nonsense"); ok {
+		t.Fatal("ByName accepted junk")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Exp: "figX", Labels: []Label{L("a", "b")}, Value: 1.5, Unit: "ktps"}
+	s := r.String()
+	if !strings.Contains(s, "figX") || !strings.Contains(s, "a=b") || !strings.Contains(s, "ktps") {
+		t.Fatalf("String() = %q", s)
+	}
+	if r.Get("a") != "b" || r.Get("zzz") != "" {
+		t.Fatal("Get broken")
+	}
+}
+
+func TestScalesAreValid(t *testing.T) {
+	for _, s := range []Scale{QuickScale(), PaperScale(), tinyScale()} {
+		if s.YCSBRows <= 256+10 {
+			t.Errorf("%s: YCSB rows too small for hot set", s.Name)
+		}
+		if s.EpochTxns <= 0 || s.Epochs <= 0 {
+			t.Errorf("%s: bad epoch shape", s.Name)
+		}
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	rs := RunTables(tinyOpts())
+	if len(rs) < 10 {
+		t.Fatalf("tables emitted %d rows", len(rs))
+	}
+	r := findResult(t, rs, map[string]string{"param": "ycsb-rows"})
+	if r.Value != 2000 {
+		t.Fatalf("ycsb-rows = %v", r.Value)
+	}
+}
+
+func TestRunFig5Shape(t *testing.T) {
+	rs := RunFig5(tinyOpts())
+	// 2 datasets x 3 contentions x 2 systems.
+	if len(rs) != 12 {
+		t.Fatalf("fig5 emitted %d rows, want 12", len(rs))
+	}
+	// The paper's headline: NVCaracal beats Zen under high contention.
+	nvc := findResult(t, rs, map[string]string{"dataset": "default", "contention": "high", "system": "nvcaracal"})
+	zen := findResult(t, rs, map[string]string{"dataset": "default", "contention": "high", "system": "zen"})
+	if nvc.Value <= zen.Value {
+		t.Errorf("high contention: nvcaracal %.1f <= zen %.1f (paper: nvcaracal wins)", nvc.Value, zen.Value)
+	}
+	for _, r := range rs {
+		if r.Value <= 0 {
+			t.Errorf("non-positive throughput: %s", r)
+		}
+	}
+}
+
+func TestRunFig6Shape(t *testing.T) {
+	rs := RunFig6(tinyOpts())
+	if len(rs) != 8 {
+		t.Fatalf("fig6 emitted %d rows, want 8", len(rs))
+	}
+	for _, r := range rs {
+		if r.Value <= 0 {
+			t.Errorf("non-positive throughput: %s", r)
+		}
+	}
+}
+
+func TestRunFig7Shape(t *testing.T) {
+	rs := RunFig7(tinyOpts())
+	if len(rs) != 24 { // 4 workloads x 2 contentions x 3 systems
+		t.Fatalf("fig7 emitted %d rows, want 24", len(rs))
+	}
+	// all-NVMM must be the worst design under high contention for YCSB
+	// (large values): the paper's strongest separation.
+	nvc := findResult(t, rs, map[string]string{"workload": "ycsb", "contention": "high", "system": "nvcaracal"})
+	all := findResult(t, rs, map[string]string{"workload": "ycsb", "contention": "high", "system": "all-nvmm"})
+	if nvc.Value <= all.Value {
+		t.Errorf("ycsb high: nvcaracal %.1f <= all-nvmm %.1f", nvc.Value, all.Value)
+	}
+}
+
+func TestRunFig8Shape(t *testing.T) {
+	rs := RunFig8(tinyOpts())
+	if len(rs) != 24 { // 4 workloads x 6 structures
+		t.Fatalf("fig8 emitted %d rows, want 24", len(rs))
+	}
+	rows := findResult(t, rs, map[string]string{"workload": "ycsb", "structure": "persistent-rows"})
+	if rows.Value <= 0 {
+		t.Error("ycsb persistent rows = 0 MiB")
+	}
+}
+
+func TestRunFig9Shape(t *testing.T) {
+	rs := RunFig9(tinyOpts())
+	if len(rs) != 32 { // 4 workloads x 2 contentions x 4 variants
+		t.Fatalf("fig9 emitted %d rows, want 32", len(rs))
+	}
+}
+
+func TestRunFig10Shape(t *testing.T) {
+	rs := RunFig10(tinyOpts())
+	if len(rs) != 24 {
+		t.Fatalf("fig10 emitted %d rows, want 24", len(rs))
+	}
+	// all-DRAM must beat NVCaracal (it pays no NVMM latency and no log).
+	dram := findResult(t, rs, map[string]string{"workload": "ycsb", "contention": "low", "system": "all-dram"})
+	nvc := findResult(t, rs, map[string]string{"workload": "ycsb", "contention": "low", "system": "nvcaracal"})
+	if dram.Value < nvc.Value {
+		t.Errorf("all-dram %.1f < nvcaracal %.1f at low contention", dram.Value, nvc.Value)
+	}
+}
+
+func TestRunFig11Shape(t *testing.T) {
+	rs := RunFig11(tinyOpts())
+	if len(rs) != 20 { // 5 workloads x 4 stages
+		t.Fatalf("fig11 emitted %d rows, want 20", len(rs))
+	}
+	// The persistent index journal must beat the scan for the same
+	// workload.
+	scan := findResult(t, rs, map[string]string{"workload": "smallbank", "stage": "scan-rebuild"})
+	jrn := findResult(t, rs, map[string]string{"workload": "smallbank+pidx", "stage": "scan-rebuild"})
+	if jrn.Value >= scan.Value {
+		t.Errorf("journal rebuild %.2fms >= scan %.2fms", jrn.Value, scan.Value)
+	}
+	if scan.Value <= 0 {
+		t.Error("scan time = 0")
+	}
+}
+
+func TestRunFig12Shape(t *testing.T) {
+	rs := RunFig12(tinyOpts())
+	if len(rs) != 40 { // 4 cells x 5 sizes x 2 metrics
+		t.Fatalf("fig12 emitted %d rows, want 40", len(rs))
+	}
+	for _, r := range rs {
+		if r.Get("metric") == "throughput" && r.Value <= 0 {
+			t.Errorf("non-positive throughput: %s", r)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nvcaracal"
+)
+
+// RunTables echoes the benchmark and engine configurations in the shape of
+// the paper's Tables 1-4, instantiated at the selected scale.
+func RunTables(o Options) []Result {
+	s := o.Scale
+	rows := []Result{
+		{Exp: "table1", Labels: []Label{L("param", "ycsb-rows")}, Value: float64(s.YCSBRows), Unit: "rows"},
+		{Exp: "table1", Labels: []Label{L("param", "ycsb-large-rows")}, Value: float64(s.YCSBLargeRows), Unit: "rows"},
+		{Exp: "table1", Labels: []Label{L("param", "ycsb-value-size")}, Value: 1000, Unit: "B"},
+		{Exp: "table1", Labels: []Label{L("param", "ycsb-smallrow-value")}, Value: 64, Unit: "B"},
+		{Exp: "table1", Labels: []Label{L("param", "ycsb-hot-rows")}, Value: 256, Unit: "rows"},
+		{Exp: "table2", Labels: []Label{L("param", "smallbank-customers")}, Value: float64(s.SBCustomers), Unit: "accts"},
+		{Exp: "table2", Labels: []Label{L("param", "smallbank-large")}, Value: float64(s.SBLargeCustomers), Unit: "accts"},
+		{Exp: "table2", Labels: []Label{L("param", "smallbank-hot-low")}, Value: float64(s.SBCustomers / s.SBHotLowDiv), Unit: "accts"},
+		{Exp: "table2", Labels: []Label{L("param", "smallbank-hot-high")}, Value: float64(s.SBHotHigh), Unit: "accts"},
+		{Exp: "table3", Labels: []Label{L("param", "tpcc-warehouses-low")}, Value: float64(s.TPCCWarehousesLow), Unit: "wh"},
+		{Exp: "table3", Labels: []Label{L("param", "tpcc-warehouses-high")}, Value: float64(s.TPCCWarehousesHigh), Unit: "wh"},
+		{Exp: "table4", Labels: []Label{L("param", "nvc-ycsb-row-size")}, Value: float64(inlineRowSize(1000)), Unit: "B"},
+		{Exp: "table4", Labels: []Label{L("param", "zen-ycsb-row-size")}, Value: 1032, Unit: "B"},
+		{Exp: "table4", Labels: []Label{L("param", "nvc-smallbank-row-size")}, Value: 128, Unit: "B"},
+		{Exp: "table4", Labels: []Label{L("param", "zen-smallbank-row-size")}, Value: 64, Unit: "B"},
+		{Exp: "table4", Labels: []Label{L("param", "epoch-txns")}, Value: float64(s.EpochTxns), Unit: "txns"},
+		{Exp: "table4", Labels: []Label{L("param", "epochs")}, Value: float64(s.Epochs), Unit: ""},
+	}
+	o.emit(rows)
+	return rows
+}
+
+// RunFig5 reproduces Figure 5: YCSB throughput of NVCaracal vs Zen at the
+// default and larger-than-DRAM dataset sizes across contention levels.
+// Paper shape: Zen wins under low contention (NVCaracal pays input logging
+// plus the final write); NVCaracal overtakes Zen by ~45-56% under high
+// contention because 70% of its version writes stay in DRAM.
+func RunFig5(o Options) []Result {
+	var rs []Result
+	s := o.Scale
+	for _, variant := range []struct {
+		name string
+		rows int
+	}{{"default", s.YCSBRows}, {"large", s.YCSBLargeRows}} {
+		for _, hot := range []int{0, 4, 7} {
+			cont := contentionName(hot)
+			setup, err := s.setupYCSBNVC(variant.rows, hot, false, true, sizing{mode: nvcaracal.ModeNVCaracal})
+			must(err)
+			m, err := s.runYCSBNVC(setup, o.Seed+1)
+			must(err)
+			rs = append(rs, Result{Exp: "fig5", Labels: []Label{
+				L("dataset", variant.name), L("contention", cont), L("system", "nvcaracal"),
+			}, Value: kTPS(m), Unit: "ktps"})
+			o.logf("fig5 %s/%s nvcaracal: %.1f ktps (transient share %.2f)",
+				variant.name, cont, kTPS(m), setup.db.Metrics().TransientShare())
+			freeMem()
+
+			w, zdb, err := s.setupYCSBZen(variant.rows, hot, false)
+			must(err)
+			mz, err := runZen(zdb, func(rng *rand.Rand) error { return w.RunZen(zdb, rng) },
+				s.cores(), s.EpochTxns*s.Epochs, o.Seed+2)
+			must(err)
+			rs = append(rs, Result{Exp: "fig5", Labels: []Label{
+				L("dataset", variant.name), L("contention", cont), L("system", "zen"),
+			}, Value: kTPS(mz), Unit: "ktps"})
+			o.logf("fig5 %s/%s zen: %.1f ktps", variant.name, cont, kTPS(mz))
+			freeMem()
+		}
+	}
+	o.emit(rs)
+	summarizePairs(o, rs, "system", "nvcaracal", "zen")
+	return rs
+}
+
+// RunFig6 reproduces Figure 6: SmallBank throughput of NVCaracal vs Zen.
+// Paper shape: NVCaracal wins at both contention levels (small inputs make
+// logging cheap), by a wider margin under high contention.
+func RunFig6(o Options) []Result {
+	var rs []Result
+	s := o.Scale
+	for _, variant := range []struct {
+		name      string
+		customers int
+	}{{"default", s.SBCustomers}, {"large", s.SBLargeCustomers}} {
+		for _, cont := range []string{"low", "high"} {
+			hot := variant.customers / s.SBHotLowDiv
+			if cont == "high" {
+				hot = s.SBHotHigh
+			}
+			sb, err := s.setupSmallBankNVC(variant.customers, hot, sizing{mode: nvcaracal.ModeNVCaracal})
+			must(err)
+			m, err := s.runSmallBankNVC(sb, o.Seed+3)
+			must(err)
+			rs = append(rs, Result{Exp: "fig6", Labels: []Label{
+				L("dataset", variant.name), L("contention", cont), L("system", "nvcaracal"),
+			}, Value: kTPS(m), Unit: "ktps"})
+			o.logf("fig6 %s/%s nvcaracal: %.1f ktps", variant.name, cont, kTPS(m))
+			freeMem()
+
+			wz, zdb, err := s.setupSmallBankZen(variant.customers, hot)
+			must(err)
+			mz, err := runZen(zdb, func(rng *rand.Rand) error { return wz.RunZen(zdb, rng) },
+				s.cores(), s.EpochTxns*s.Epochs, o.Seed+4)
+			must(err)
+			rs = append(rs, Result{Exp: "fig6", Labels: []Label{
+				L("dataset", variant.name), L("contention", cont), L("system", "zen"),
+			}, Value: kTPS(mz), Unit: "ktps"})
+			o.logf("fig6 %s/%s zen: %.1f ktps", variant.name, cont, kTPS(mz))
+			freeMem()
+		}
+	}
+	o.emit(rs)
+	summarizePairs(o, rs, "system", "nvcaracal", "zen")
+	return rs
+}
+
+// fig7Cell runs one (workload, contention, mode) cell for Figures 7, 9 and
+// 10, which share workloads and the default 256-byte row size.
+func (s Scale) fig7Cell(o Options, workload, cont string, z sizing, seed int64) measured {
+	switch workload {
+	case "tpcc":
+		wh := s.TPCCWarehousesLow
+		if cont == "high" {
+			wh = s.TPCCWarehousesHigh
+		}
+		setup, err := s.setupTPCC(wh, z)
+		must(err)
+		m, err := s.runTPCC(setup, seed)
+		must(err)
+		return m
+	case "ycsb", "ycsb-smallrow":
+		hot := 0
+		if cont == "high" {
+			hot = 7
+		}
+		setup, err := s.setupYCSBNVC(s.YCSBRows, hot, workload == "ycsb-smallrow", false, z)
+		must(err)
+		m, err := s.runYCSBNVC(setup, seed)
+		must(err)
+		return m
+	case "smallbank":
+		hot := s.SBCustomers / s.SBHotLowDiv
+		if cont == "high" {
+			hot = s.SBHotHigh
+		}
+		z2 := z
+		z2.rowSize = 256 // Figure 7 uses the default row size everywhere
+		setup, err := s.setupSmallBankNVC(s.SBCustomers, hot, z2)
+		must(err)
+		m, err := s.runSmallBankNVC(setup, seed)
+		must(err)
+		return m
+	}
+	panic("bench: unknown workload " + workload)
+}
+
+var fig7Workloads = []string{"tpcc", "ycsb", "ycsb-smallrow", "smallbank"}
+
+// RunFig7 reproduces Figure 7: NVCaracal vs the all-NVMM and hybrid Caracal
+// baselines with the default 256-byte persistent rows. Paper shape:
+// all-NVMM is always worst; NVCaracal ~= hybrid at low contention and wins
+// at high contention; the gap vs all-NVMM is largest for large values
+// (YCSB, ~2.9x) and smallest for small values (SmallBank, ~1.38x).
+func RunFig7(o Options) []Result {
+	var rs []Result
+	s := o.Scale
+	for _, workload := range fig7Workloads {
+		for _, cont := range []string{"low", "high"} {
+			for _, mode := range []nvcaracal.StorageMode{
+				nvcaracal.ModeNVCaracal, nvcaracal.ModeHybrid, nvcaracal.ModeAllNVMM,
+			} {
+				m := s.fig7Cell(o, workload, cont, sizing{mode: mode}, o.Seed+5)
+				rs = append(rs, Result{Exp: "fig7", Labels: []Label{
+					L("workload", workload), L("contention", cont), L("system", mode.String()),
+				}, Value: kTPS(m), Unit: "ktps"})
+				o.logf("fig7 %s/%s %s: %.1f ktps", workload, cont, mode, kTPS(m))
+				freeMem()
+			}
+		}
+	}
+	o.emit(rs)
+	summarizePairs(o, rs, "system", "nvcaracal", "all-nvmm")
+	summarizePairs(o, rs, "system", "nvcaracal", "hybrid")
+	return rs
+}
+
+// RunFig8 reproduces Figure 8: the DRAM and NVMM consumption breakdown per
+// benchmark under NVCaracal. Paper shape: most storage is NVMM; index +
+// transient pool average ~12% of total; YCSB's cache is large but optional.
+func RunFig8(o Options) []Result {
+	var rs []Result
+	s := o.Scale
+	add := func(workload string, m nvcaracal.MemoryBreakdown) {
+		cells := []struct {
+			name string
+			tier string
+			v    int64
+		}{
+			{"index", "dram", m.IndexBytes},
+			{"transient-pool", "dram", m.TransientPeak},
+			{"cached-versions", "dram", m.CacheBytes},
+			{"persistent-rows", "nvmm", m.RowBytes},
+			{"persistent-values", "nvmm", m.ValueBytes},
+			{"input-log", "nvmm", m.LogBytes},
+		}
+		for _, c := range cells {
+			rs = append(rs, Result{Exp: "fig8", Labels: []Label{
+				L("workload", workload), L("tier", c.tier), L("structure", c.name),
+			}, Value: float64(c.v) / (1 << 20), Unit: "MiB"})
+		}
+		dramPct := 100 * Ratio(float64(m.IndexBytes+m.TransientPeak), float64(m.DRAMTotal()+m.NVMMTotal()))
+		o.logf("fig8 %s: required DRAM (index+transient) = %.1f%% of total", workload, dramPct)
+	}
+	for _, workload := range fig7Workloads {
+		var mem nvcaracal.MemoryBreakdown
+		switch workload {
+		case "tpcc":
+			setup, err := s.setupTPCC(s.TPCCWarehousesLow, sizing{mode: nvcaracal.ModeNVCaracal})
+			must(err)
+			_, err = s.runTPCC(setup, o.Seed+6)
+			must(err)
+			mem = setup.db.Memory()
+		case "ycsb", "ycsb-smallrow":
+			setup, err := s.setupYCSBNVC(s.YCSBRows, 4, workload == "ycsb-smallrow", false, sizing{mode: nvcaracal.ModeNVCaracal})
+			must(err)
+			_, err = s.runYCSBNVC(setup, o.Seed+6)
+			must(err)
+			mem = setup.db.Memory()
+		case "smallbank":
+			setup, err := s.setupSmallBankNVC(s.SBCustomers, s.SBHotHigh, sizing{mode: nvcaracal.ModeNVCaracal})
+			must(err)
+			_, err = s.runSmallBankNVC(setup, o.Seed+6)
+			must(err)
+			mem = setup.db.Memory()
+		}
+		add(workload, mem)
+		freeMem()
+	}
+	o.emit(rs)
+	return rs
+}
+
+// RunFig9 reproduces Figure 9: the impact of the minor-GC and
+// cached-version optimizations. Paper shape: minor GC is the larger win
+// where it applies (inline values; not plain YCSB); cached versions help
+// most for YCSB reads and can slightly hurt small-row workloads.
+func RunFig9(o Options) []Result {
+	var rs []Result
+	s := o.Scale
+	variants := []struct {
+		name string
+		z    sizing
+	}{
+		{"full", sizing{mode: nvcaracal.ModeNVCaracal}},
+		{"no-minor-gc", sizing{mode: nvcaracal.ModeNVCaracal, noMinorGC: true}},
+		{"no-cache", sizing{mode: nvcaracal.ModeNVCaracal, noCache: true}},
+		// §7 extension: selective caching of hot rows only.
+		{"hot-only-cache", sizing{mode: nvcaracal.ModeNVCaracal, hotOnly: true}},
+	}
+	for _, workload := range fig7Workloads {
+		for _, cont := range []string{"low", "high"} {
+			for _, v := range variants {
+				m := s.fig7Cell(o, workload, cont, v.z, o.Seed+7)
+				rs = append(rs, Result{Exp: "fig9", Labels: []Label{
+					L("workload", workload), L("contention", cont), L("variant", v.name),
+				}, Value: kTPS(m), Unit: "ktps"})
+				o.logf("fig9 %s/%s %s: %.1f ktps", workload, cont, v.name, kTPS(m))
+				freeMem()
+			}
+		}
+	}
+	o.emit(rs)
+	summarizePairs(o, rs, "variant", "full", "no-minor-gc")
+	summarizePairs(o, rs, "variant", "full", "no-cache")
+	return rs
+}
+
+// RunFig10 reproduces Figure 10: the cost of supporting failure recovery.
+// Paper shape: logging costs ~2% for TPC-C (small inputs) and 4-17% for
+// YCSB/SmallBank; NVCaracal stays within 2x of all-DRAM, and within 1.26x
+// for contended SmallBank.
+func RunFig10(o Options) []Result {
+	var rs []Result
+	s := o.Scale
+	variants := []struct {
+		name string
+		z    sizing
+	}{
+		{"nvcaracal", sizing{mode: nvcaracal.ModeNVCaracal}},
+		{"no-logging", sizing{mode: nvcaracal.ModeNoLogging}},
+		{"all-dram", sizing{mode: nvcaracal.ModeAllDRAM, dram: true}},
+	}
+	for _, workload := range fig7Workloads {
+		for _, cont := range []string{"low", "high"} {
+			for _, v := range variants {
+				m := s.fig7Cell(o, workload, cont, v.z, o.Seed+8)
+				rs = append(rs, Result{Exp: "fig10", Labels: []Label{
+					L("workload", workload), L("contention", cont), L("system", v.name),
+				}, Value: kTPS(m), Unit: "ktps"})
+				o.logf("fig10 %s/%s %s: %.1f ktps", workload, cont, v.name, kTPS(m))
+				freeMem()
+			}
+		}
+	}
+	o.emit(rs)
+	summarizePairs(o, rs, "system", "no-logging", "nvcaracal")
+	summarizePairs(o, rs, "system", "all-dram", "nvcaracal")
+	return rs
+}
+
+// RunFig12 reproduces Figure 12: throughput and epoch latency across epoch
+// sizes. Paper shape: larger epochs raise throughput (less epoch
+// synchronization, more transient absorption) at the cost of epoch latency.
+func RunFig12(o Options) []Result {
+	var rs []Result
+	s := o.Scale
+	base := s.EpochTxns
+	sizes := []int{base / 4, base / 2, base, base * 2, base * 4}
+	cells := []struct {
+		workload string
+		cont     string
+	}{
+		{"ycsb", "low"}, {"ycsb", "high"},
+		{"smallbank", "low"}, {"smallbank", "high"},
+	}
+	for _, cell := range cells {
+		for _, epochTxns := range sizes {
+			s2 := s
+			s2.EpochTxns = epochTxns
+			// Keep total transactions constant across sizes.
+			s2.Epochs = maxInt(1, base*s.Epochs/epochTxns)
+			var m measured
+			switch cell.workload {
+			case "ycsb":
+				hot := 0
+				if cell.cont == "high" {
+					hot = 7
+				}
+				setup, err := s2.setupYCSBNVC(s.YCSBRows, hot, false, true, sizing{mode: nvcaracal.ModeNVCaracal})
+				must(err)
+				m, err = s2.runYCSBNVC(setup, o.Seed+9)
+				must(err)
+			case "smallbank":
+				hot := s.SBCustomers / s.SBHotLowDiv
+				if cell.cont == "high" {
+					hot = s.SBHotHigh
+				}
+				setup, err := s2.setupSmallBankNVC(s.SBCustomers, hot, sizing{mode: nvcaracal.ModeNVCaracal})
+				must(err)
+				m, err = s2.runSmallBankNVC(setup, o.Seed+9)
+				must(err)
+			}
+			rs = append(rs,
+				Result{Exp: "fig12", Labels: []Label{
+					L("workload", cell.workload), L("contention", cell.cont),
+					L("epoch-txns", fmt.Sprint(epochTxns)), L("metric", "throughput"),
+				}, Value: kTPS(m), Unit: "ktps"},
+				Result{Exp: "fig12", Labels: []Label{
+					L("workload", cell.workload), L("contention", cell.cont),
+					L("epoch-txns", fmt.Sprint(epochTxns)), L("metric", "epoch-latency"),
+				}, Value: float64(m.EpochLat.Microseconds()) / 1000, Unit: "ms"},
+			)
+			o.logf("fig12 %s/%s epoch=%d: %.1f ktps, %.2f ms/epoch",
+				cell.workload, cell.cont, epochTxns, kTPS(m), float64(m.EpochLat.Microseconds())/1000)
+			freeMem()
+		}
+	}
+	o.emit(rs)
+	return rs
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nvcaracal"
+	"nvcaracal/internal/nvm"
+)
+
+// RunFig11 reproduces Figure 11: the recovery-time breakdown. For each
+// workload the harness loads the dataset, runs committed epochs, crashes
+// the device partway through one more epoch's persists, recovers, and
+// reports the load / scan+rebuild / revert / replay split. Paper shape:
+// scanning the persistent rows dominates and scales with dataset size;
+// replay is bounded by the epoch size; the TPC-C revert pass costs extra
+// under low contention and almost nothing under high contention.
+func RunFig11(o Options) []Result {
+	var rs []Result
+	s := o.Scale
+	add := func(workload string, rep *nvcaracal.RecoveryReport) {
+		cells := []struct {
+			stage string
+			ms    float64
+		}{
+			{"load-txns", float64(rep.LoadTime.Microseconds()) / 1000},
+			{"scan-rebuild", float64(rep.ScanTime.Microseconds()) / 1000},
+			{"revert", float64(rep.RevertTime.Microseconds()) / 1000},
+			{"replay", float64(rep.ReplayTime.Microseconds()) / 1000},
+		}
+		for _, c := range cells {
+			rs = append(rs, Result{Exp: "fig11", Labels: []Label{
+				L("workload", workload), L("stage", c.stage),
+			}, Value: c.ms, Unit: "ms"})
+		}
+		how := fmt.Sprintf("scanned %d rows", rep.RowsScanned)
+		if rep.UsedIndexJournal {
+			how = fmt.Sprintf("journal: %d entries", rep.JournalEntries)
+		}
+		o.logf("fig11 %s: total %.1f ms (%s, repaired %d, reverted %d, replayed %d txns)",
+			workload, float64(rep.Total().Microseconds())/1000,
+			how, rep.RowsRepaired, rep.RowsReverted, rep.TxnsReplayed)
+	}
+
+	// The +pidx variants run the same crash with the persistent index
+	// journal (§7 extension): recovery replays journaled index deltas
+	// instead of scanning every persistent row.
+	for _, workload := range []string{"ycsb", "smallbank", "smallbank+pidx", "tpcc-low", "tpcc-high"} {
+		rng := rand.New(rand.NewSource(o.Seed + 11))
+		var db *nvcaracal.DB
+		var cfg nvcaracal.Config
+		var gen func() []*nvcaracal.Txn
+
+		switch workload {
+		case "ycsb":
+			setup, err := s.setupYCSBNVC(s.YCSBRows, 4, false, true, sizing{mode: nvcaracal.ModeNVCaracal})
+			must(err)
+			db, cfg = setup.db, setup.cfg
+			gen = func() []*nvcaracal.Txn { return setup.w.GenBatch(rng, s.EpochTxns) }
+		case "smallbank", "smallbank+pidx":
+			setup, err := s.setupSmallBankNVC(s.SBCustomers, s.SBHotHigh,
+				sizing{mode: nvcaracal.ModeNVCaracal, pidx: workload == "smallbank+pidx"})
+			must(err)
+			db, cfg = setup.db, setup.cfg
+			gen = func() []*nvcaracal.Txn { return setup.w.GenBatch(rng, s.EpochTxns) }
+		case "tpcc-low", "tpcc-high":
+			wh := s.TPCCWarehousesLow
+			if workload == "tpcc-high" {
+				wh = s.TPCCWarehousesHigh
+			}
+			setup, err := s.setupTPCC(wh, sizing{mode: nvcaracal.ModeNVCaracal})
+			must(err)
+			db, cfg = setup.db, setup.cfg
+			gen = func() []*nvcaracal.Txn { return setup.w.GenBatch(rng, setup.db, s.EpochTxns) }
+		}
+		dev := db.Device()
+
+		// Probe: run committed epochs and measure how many line flushes one
+		// epoch issues, so the fail-point can be placed reliably inside the
+		// doomed epoch's execution phase — after the input log is durable
+		// (exercising replay) but before the checkpoint.
+		before := dev.Stats()
+		for e := 0; e < 2; e++ {
+			_, err := db.RunEpoch(gen())
+			must(err)
+		}
+		perEpoch := dev.Stats().Sub(before).Flushes / 2
+
+		fired := false
+		after := perEpoch * 3 / 4
+		for attempt := 0; attempt < 8 && !fired; attempt++ {
+			fired = crashMidEpoch(db, dev, gen(), maxInt64(1, after))
+			after = after * 3 / 4
+		}
+		// CrashRandom models ADR hardware: cache evictions may have made any
+		// un-fenced line durable, so some of the crashed epoch's version
+		// writes survive — the state the repair and TPC-C revert passes
+		// exist for.
+		dev.Crash(nvm.CrashRandom, o.Seed)
+
+		_, rep, err := nvcaracal.Recover(dev, cfg)
+		must(err)
+		add(workload, rep)
+		freeMem()
+	}
+	o.emit(rs)
+	return rs
+}
+
+// crashMidEpoch runs one epoch with a fail-point armed, reporting whether
+// the injected crash fired before the epoch committed.
+func crashMidEpoch(db *nvcaracal.DB, dev *nvcaracal.Device, batch []*nvcaracal.Txn, after int64) (fired bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != nvm.ErrInjectedCrash {
+				panic(r)
+			}
+			fired = true
+		}
+	}()
+	dev.SetFailAfter(after)
+	if _, err := db.RunEpoch(batch); err != nil {
+		must(err)
+	}
+	dev.SetFailAfter(0)
+	return false
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

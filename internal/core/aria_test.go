@@ -1,0 +1,427 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/wal"
+)
+
+// Aria test transaction types.
+const (
+	atSet uint16 = 0xA100 + iota
+	atRMW
+	atTransfer
+	atDelete
+	atAbort
+)
+
+func amkSet(key uint64, val []byte) *AriaTxn {
+	in := binary.LittleEndian.AppendUint64(nil, key)
+	in = append(in, val...)
+	return &AriaTxn{
+		TypeID: atSet, Input: in,
+		Exec: func(ctx *AriaCtx) {
+			ctx.Write(tblKV, key, val)
+		},
+	}
+}
+
+func amkRMW(key uint64, suffix byte) *AriaTxn {
+	in := append(binary.LittleEndian.AppendUint64(nil, key), suffix)
+	return &AriaTxn{
+		TypeID: atRMW, Input: in,
+		Exec: func(ctx *AriaCtx) {
+			old, _ := ctx.Read(tblKV, key)
+			ctx.Write(tblKV, key, append(append([]byte(nil), old...), suffix))
+		},
+	}
+}
+
+func amkTransfer(from, to uint64) *AriaTxn {
+	in := binary.LittleEndian.AppendUint64(nil, from)
+	in = binary.LittleEndian.AppendUint64(in, to)
+	return &AriaTxn{
+		TypeID: atTransfer, Input: in,
+		Exec: func(ctx *AriaCtx) {
+			f, _ := ctx.Read(tblKV, from)
+			tv, _ := ctx.Read(tblKV, to)
+			if len(f) == 0 {
+				ctx.Abort()
+				return
+			}
+			ctx.Write(tblKV, from, f[:len(f)-1])
+			ctx.Write(tblKV, to, append(append([]byte(nil), tv...), f[len(f)-1]))
+		},
+	}
+}
+
+func amkDelete(key uint64) *AriaTxn {
+	return &AriaTxn{
+		TypeID: atDelete, Input: binary.LittleEndian.AppendUint64(nil, key),
+		Exec: func(ctx *AriaCtx) {
+			ctx.Delete(tblKV, key)
+		},
+	}
+}
+
+func ariaRegistry() *AriaRegistry {
+	r := NewAriaRegistry()
+	r.Register(atSet, func(d []byte, _ *DB) (*AriaTxn, error) {
+		return amkSet(binary.LittleEndian.Uint64(d), d[8:]), nil
+	})
+	r.Register(atRMW, func(d []byte, _ *DB) (*AriaTxn, error) {
+		return amkRMW(binary.LittleEndian.Uint64(d), d[8]), nil
+	})
+	r.Register(atTransfer, func(d []byte, _ *DB) (*AriaTxn, error) {
+		return amkTransfer(binary.LittleEndian.Uint64(d), binary.LittleEndian.Uint64(d[8:])), nil
+	})
+	r.Register(atDelete, func(d []byte, _ *DB) (*AriaTxn, error) {
+		return amkDelete(binary.LittleEndian.Uint64(d)), nil
+	})
+	return r
+}
+
+func openAriaDB(t *testing.T, cores int) (*DB, *nvm.Device, Options) {
+	t.Helper()
+	opts := testOpts(cores)
+	opts.AriaRegistry = ariaRegistry()
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, dev, opts
+}
+
+func mustAria(t *testing.T, db *DB, batch []*AriaTxn) AriaResult {
+	t.Helper()
+	res, err := db.RunEpochAria(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAriaInsertAndRead(t *testing.T) {
+	db, _, _ := openAriaDB(t, 2)
+	res := mustAria(t, db, []*AriaTxn{amkSet(1, []byte("one")), amkSet(2, []byte("two"))})
+	if res.Committed != 2 || res.ConflictAborted != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	wantGet(t, db, 1, []byte("one"))
+	wantGet(t, db, 2, []byte("two"))
+}
+
+func TestAriaWAWConflict(t *testing.T) {
+	db, _, _ := openAriaDB(t, 2)
+	// Two blind writes to the same key: the smaller serial id wins; the
+	// other is deferred.
+	res := mustAria(t, db, []*AriaTxn{amkSet(1, []byte("first")), amkSet(1, []byte("second"))})
+	if res.Committed != 1 || res.ConflictAborted != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	wantGet(t, db, 1, []byte("first"))
+	if len(res.Deferred) != 1 {
+		t.Fatalf("deferred = %d", len(res.Deferred))
+	}
+	// Resubmitting the loser commits it.
+	res2 := mustAria(t, db, res.Deferred)
+	if res2.Committed != 1 {
+		t.Fatalf("res2 = %+v", res2)
+	}
+	wantGet(t, db, 1, []byte("second"))
+}
+
+func TestAriaRAWConflict(t *testing.T) {
+	db, _, _ := openAriaDB(t, 2)
+	mustAria(t, db, []*AriaTxn{amkSet(1, []byte("a"))})
+	// T1 writes key 1; T2 reads key 1 (snapshot!) and writes key 2: T2
+	// read a key written by a smaller sid, so T2 must abort.
+	t2 := &AriaTxn{
+		TypeID: atSet, Input: binary.LittleEndian.AppendUint64(nil, 2),
+		Exec: func(ctx *AriaCtx) {
+			v, _ := ctx.Read(tblKV, 1)
+			ctx.Write(tblKV, 2, v)
+		},
+	}
+	res := mustAria(t, db, []*AriaTxn{amkSet(1, []byte("new")), t2})
+	if res.Committed != 1 || res.ConflictAborted != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	wantGet(t, db, 1, []byte("new"))
+	wantGet(t, db, 2, nil) // T2's write did not apply
+}
+
+func TestAriaSnapshotReads(t *testing.T) {
+	db, _, _ := openAriaDB(t, 2)
+	mustAria(t, db, []*AriaTxn{amkSet(1, []byte("old"))})
+	var saw []byte
+	reader := &AriaTxn{
+		TypeID: atSet, Input: nil,
+		Exec: func(ctx *AriaCtx) {
+			v, _ := ctx.Read(tblKV, 1)
+			saw = append([]byte(nil), v...)
+		},
+	}
+	// Reader has a LARGER sid than the writer but still sees the snapshot.
+	res := mustAria(t, db, []*AriaTxn{amkSet(1, []byte("new")), reader})
+	if !bytes.Equal(saw, []byte("old")) {
+		t.Fatalf("reader saw %q, want snapshot %q", saw, "old")
+	}
+	// The read-only reader has no writes: it commits despite the RAW-free
+	// rule only applying to writers... it read a written key, so it aborts
+	// under plain Aria.
+	if res.ConflictAborted != 1 {
+		t.Fatalf("res = %+v (reader should RAW-abort)", res)
+	}
+}
+
+func TestAriaReadYourOwnWrites(t *testing.T) {
+	db, _, _ := openAriaDB(t, 1)
+	var saw []byte
+	rw := &AriaTxn{
+		TypeID: atSet, Input: nil,
+		Exec: func(ctx *AriaCtx) {
+			ctx.Write(tblKV, 5, []byte("mine"))
+			v, _ := ctx.Read(tblKV, 5)
+			saw = append([]byte(nil), v...)
+			ctx.Delete(tblKV, 5)
+			if _, ok := ctx.Read(tblKV, 5); ok {
+				t.Error("read-own-delete returned a value")
+			}
+			ctx.Write(tblKV, 5, []byte("final"))
+		},
+	}
+	mustAria(t, db, []*AriaTxn{rw})
+	if !bytes.Equal(saw, []byte("mine")) {
+		t.Fatalf("read-own-write = %q", saw)
+	}
+	wantGet(t, db, 5, []byte("final"))
+}
+
+func TestAriaUserAbort(t *testing.T) {
+	db, _, _ := openAriaDB(t, 1)
+	ab := &AriaTxn{
+		TypeID: atAbort, Input: nil,
+		Exec: func(ctx *AriaCtx) {
+			ctx.Write(tblKV, 9, []byte("never"))
+			ctx.Abort() // aria allows abort after writes: buffer is dropped
+		},
+	}
+	res := mustAria(t, db, []*AriaTxn{ab})
+	if res.UserAborted != 1 || res.Committed != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	wantGet(t, db, 9, nil)
+}
+
+func TestAriaDeleteAndConvergence(t *testing.T) {
+	db, _, _ := openAriaDB(t, 2)
+	mustAria(t, db, []*AriaTxn{amkSet(1, []byte("x")), amkSet(2, []byte("y"))})
+	res := mustAria(t, db, []*AriaTxn{amkDelete(1)})
+	if res.Committed != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	wantGet(t, db, 1, nil)
+	wantGet(t, db, 2, []byte("y"))
+}
+
+func TestAriaDeferredConvergence(t *testing.T) {
+	// Heavy contention: 16 RMWs on one key. Each round commits at least
+	// one; resubmission must drain the rest in bounded rounds.
+	db, _, _ := openAriaDB(t, 4)
+	mustAria(t, db, []*AriaTxn{amkSet(1, nil)})
+	batch := make([]*AriaTxn, 16)
+	for i := range batch {
+		batch[i] = amkRMW(1, byte('a'+i))
+	}
+	total := 0
+	for round := 0; len(batch) > 0; round++ {
+		if round > 20 {
+			t.Fatal("aria did not converge")
+		}
+		res := mustAria(t, db, batch)
+		total += res.Committed
+		batch = res.Deferred
+	}
+	if total != 16 {
+		t.Fatalf("committed %d of 16", total)
+	}
+	v, _ := db.Get(tblKV, 1)
+	if len(v) != 16 {
+		t.Fatalf("final value has %d bytes, want 16", len(v))
+	}
+}
+
+func TestAriaInterleavedWithCaracalEpochs(t *testing.T) {
+	db, _, _ := openAriaDB(t, 2)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("c1"))})    // Caracal epoch
+	mustAria(t, db, []*AriaTxn{amkSet(1, []byte("a1"))}) // Aria epoch
+	mustRun(t, db, []*Txn{mkSet(1, []byte("c2"))})       // Caracal epoch
+	res := mustAria(t, db, []*AriaTxn{amkRMW(1, '!')})   // Aria epoch
+	if res.Committed != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	wantGet(t, db, 1, []byte("c2!"))
+	if db.Epoch() != 4 {
+		t.Fatalf("epoch = %d", db.Epoch())
+	}
+}
+
+func TestAriaCrashReplay(t *testing.T) {
+	db, dev, opts := openAriaDB(t, 2)
+	mustAria(t, db, []*AriaTxn{amkSet(1, []byte("ab")), amkSet(2, []byte("cd"))})
+
+	// Log an aria epoch by hand (as RunEpochAria would) and crash before
+	// execution.
+	batch := []*AriaTxn{amkRMW(1, 'z'), amkTransfer(2, 1), amkDelete(3)}
+	logAriaTxns(t, db, 2, batch)
+	dev.Crash(nvm.CrashStrict, 5)
+
+	db2, rep, err := Recover(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReplayedEpoch != 2 || rep.TxnsReplayed != 3 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	// Serial semantics: RMW(1,'z') -> "abz"; transfer moves 'd' from key 2
+	// to key 1... but transfer reads the SNAPSHOT (key 1 = "ab", key 2 =
+	// "cd") and writes key 1, conflicting with the RMW (smaller sid wins).
+	// Transfer is deferred, delete(3) is a no-op commit.
+	wantGet(t, db2, 1, []byte("abz"))
+	wantGet(t, db2, 2, []byte("cd"))
+}
+
+// TestAriaCrashMidEpochReplayExact sweeps the fail-point across every
+// persist boundary of an Aria epoch until it commits; each crash must
+// recover to an exact epoch boundary.
+func TestAriaCrashMidEpochReplayExact(t *testing.T) {
+	committed := false
+	for failAfter := int64(1); !committed; failAfter++ {
+		if failAfter > 5000 {
+			t.Fatal("aria epoch never commits")
+		}
+		db, dev, opts := openAriaDB(t, 2)
+		var load []*AriaTxn
+		for i := uint64(0); i < 12; i++ {
+			load = append(load, amkSet(i, []byte{byte(i)}))
+		}
+		mustAria(t, db, load)
+
+		batch := []*AriaTxn{amkRMW(1, 'p'), amkRMW(2, 'q'), amkRMW(1, 'r'), amkDelete(4)}
+		fired := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != nvm.ErrInjectedCrash {
+						panic(r)
+					}
+					fired = true
+				}
+			}()
+			dev.SetFailAfter(failAfter)
+			db.RunEpochAria(batch)
+			dev.SetFailAfter(0)
+		}()
+		if !fired {
+			committed = true
+		}
+		dev.Crash(nvm.CrashStrict, failAfter)
+		db2, rep, err := Recover(dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied := !fired || rep.ReplayedEpoch == 2
+		if applied {
+			wantGet(t, db2, 1, []byte{1, 'p'}) // rmw(1,'r') loses WAW to rmw(1,'p')
+			wantGet(t, db2, 2, []byte{2, 'q'})
+			wantGet(t, db2, 4, nil)
+		} else {
+			wantGet(t, db2, 1, []byte{1})
+			wantGet(t, db2, 2, []byte{2})
+			wantGet(t, db2, 4, []byte{4})
+		}
+	}
+}
+
+// logAriaTxns writes an aria epoch's log as RunEpochAria would.
+func logAriaTxns(t *testing.T, db *DB, epoch uint64, batch []*AriaTxn) {
+	t.Helper()
+	recs := []wal.Record{{Type: ariaMarkerType}}
+	for _, txn := range batch {
+		recs = append(recs, wal.Record{Type: txn.TypeID, Data: txn.Input})
+	}
+	if err := db.log.WriteEpoch(epoch, recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAriaRecoveryWithoutRegistryFails(t *testing.T) {
+	db, dev, opts := openAriaDB(t, 1)
+	mustAria(t, db, []*AriaTxn{amkSet(1, []byte("x"))})
+	logAriaTxns(t, db, 2, []*AriaTxn{amkRMW(1, 'z')})
+	dev.Crash(nvm.CrashStrict, 1)
+	bad := opts
+	bad.AriaRegistry = nil
+	if _, _, err := Recover(dev, bad); err == nil {
+		t.Fatal("aria epoch recovered without AriaRegistry")
+	}
+}
+
+// TestAriaMatchesSerialModel: committed transactions must be equivalent to
+// executing the commit-order subset serially against the snapshot.
+func TestAriaMatchesSerialModel(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db, _, _ := openAriaDB(t, 4)
+		model := map[uint64][]byte{}
+		var load []*AriaTxn
+		for i := uint64(0); i < 10; i++ {
+			v := []byte{byte(i)}
+			load = append(load, amkSet(i, v))
+			model[i] = v
+		}
+		mustAria(t, db, load)
+
+		for e := 0; e < 5; e++ {
+			type op struct {
+				key    uint64
+				suffix byte
+			}
+			var batch []*AriaTxn
+			var ops []op
+			for i := 0; i < 12; i++ {
+				o := op{key: uint64(rng.Intn(10)), suffix: byte('a' + rng.Intn(26))}
+				ops = append(ops, o)
+				batch = append(batch, amkRMW(o.key, o.suffix))
+			}
+			res := mustAria(t, db, batch)
+			// Model: the FIRST writer of each key commits against the
+			// snapshot; later writers of the same key conflict-abort.
+			firstWriter := map[uint64]int{}
+			for i, o := range ops {
+				if _, ok := firstWriter[o.key]; !ok {
+					firstWriter[o.key] = i
+				}
+			}
+			if res.Committed != len(firstWriter) {
+				t.Fatalf("seed %d epoch %d: committed %d, model %d",
+					seed, e, res.Committed, len(firstWriter))
+			}
+			for k, i := range firstWriter {
+				model[k] = append(model[k], ops[i].suffix)
+			}
+			for k := uint64(0); k < 10; k++ {
+				got, _ := db.Get(tblKV, k)
+				if !bytes.Equal(got, model[k]) {
+					t.Fatalf("seed %d epoch %d key %d: %q != %q", seed, e, k, got, model[k])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package core implements the paper's primary contribution: a deterministic,
+// epoch-based, multi-versioned database engine with NVMM-backed dual-version
+// checkpointing (NVCaracal).
+//
+// Transactions are batched into epochs. Each epoch runs an initialization
+// phase (insert step, major GC, cache eviction, append step) that performs
+// all concurrency control, followed by an execution phase that runs the
+// transactions against pre-created version arrays. Only the final write to
+// each row in an epoch is persisted to NVMM; every intermediate version
+// lives in a DRAM transient pool that is discarded wholesale at the epoch
+// boundary. Failure recovery replays the crashed epoch's logged inputs on
+// top of the previous epoch's checkpoint, which the dual-version persistent
+// rows provide in place.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"nvcaracal/internal/pmem"
+)
+
+// StorageMode selects where versions live and what is persisted, matching
+// the designs compared in the paper's evaluation (Figures 7 and 10).
+type StorageMode int
+
+const (
+	// ModeNVCaracal is the paper's design: input logging, transient
+	// intermediate versions in DRAM, final write per row per epoch to NVMM,
+	// dual-version checkpointing.
+	ModeNVCaracal StorageMode = iota
+	// ModeNoLogging is NVCaracal without input logging. It cannot recover
+	// from failures; it isolates the logging overhead (Figure 10).
+	ModeNoLogging
+	// ModeHybrid keeps version arrays in DRAM but writes every update —
+	// intermediate or final — to NVMM immediately, like Zen or WBL, and
+	// omits the input log (Figure 7's "hybrid").
+	ModeHybrid
+	// ModeAllNVMM stores version arrays and all version values in NVMM and
+	// disables the DRAM cache: the naive baseline (Figure 7's "all-NVMM").
+	ModeAllNVMM
+	// ModeAllDRAM is the NVCaracal code path without logging, intended to
+	// be run against a zero-latency device: the all-DRAM upper bound
+	// (Figure 10). It cannot recover from failures.
+	ModeAllDRAM
+)
+
+func (m StorageMode) String() string {
+	switch m {
+	case ModeNVCaracal:
+		return "nvcaracal"
+	case ModeNoLogging:
+		return "no-logging"
+	case ModeHybrid:
+		return "hybrid"
+	case ModeAllNVMM:
+		return "all-nvmm"
+	case ModeAllDRAM:
+		return "all-dram"
+	default:
+		return fmt.Sprintf("StorageMode(%d)", int(m))
+	}
+}
+
+// logs reports whether the mode persists an input log each epoch.
+func (m StorageMode) logs() bool { return m == ModeNVCaracal }
+
+// persistsIntermediates reports whether every version write goes to NVMM.
+func (m StorageMode) persistsIntermediates() bool {
+	return m == ModeHybrid || m == ModeAllNVMM
+}
+
+// caches reports whether the DRAM cached-version optimization applies.
+func (m StorageMode) caches() bool { return m != ModeAllNVMM }
+
+// Options configures a DB.
+type Options struct {
+	// Cores is the number of worker cores (and per-core pools). Defaults to
+	// GOMAXPROCS.
+	Cores int
+	// Mode selects the storage design. Default ModeNVCaracal.
+	Mode StorageMode
+	// Layout describes the NVMM region. Zero value selects a default layout
+	// sized by pmem.DefaultLayout for 1<<16 rows and values per core.
+	Layout pmem.Layout
+	// CacheEnabled turns on DRAM cached versions (paper §4.2). ModeAllNVMM
+	// forces it off.
+	CacheEnabled bool
+	// CacheK is the eviction horizon: cached versions not accessed in the
+	// last K epochs are evicted. Paper default 20.
+	CacheK int
+	// CacheOnRead creates a cached version when a read misses the cache and
+	// falls through to NVMM, keeping hot read-only rows in DRAM.
+	CacheOnRead bool
+	// CacheHotOnly implements the paper's §7 caching extension: final
+	// writes create a cached version only for rows identified as hot from
+	// the epoch's write-set information — rows written more than once this
+	// epoch, or rows that were already cached. Cold single-write rows skip
+	// the cached-version cost that Figure 9 shows can be a net loss.
+	CacheHotOnly bool
+	// MinorGCEnabled enables the minor collector for rows whose stale
+	// version is inline (paper §4.4/§5.3). When off, every collected row
+	// goes through the major collector, as in the Figure 9 ablation.
+	MinorGCEnabled bool
+	// RevertOnRecovery enables the TPC-C recovery variant (paper §6.2.3):
+	// persistent versions written by the crashed epoch are reverted during
+	// the recovery scan because replay may write them under different keys.
+	RevertOnRecovery bool
+	// PersistIndex enables the persistent index journal (paper §7 future
+	// work): index deltas are batched to NVMM at every epoch checkpoint so
+	// recovery replays the journal instead of scanning every persistent
+	// row. Requires Layout.IndexLogBytes > 0 and a logging mode. The
+	// journal is strictly an accelerator: any validation failure falls
+	// back to the scan.
+	PersistIndex bool
+	// Registry maps logged transaction type ids to decoders, required for
+	// recovery replay when Mode logs.
+	Registry *Registry
+	// AriaRegistry maps Aria transaction type ids to decoders; required to
+	// recover a crash during an Aria-flavoured epoch (RunEpochAria).
+	AriaRegistry *AriaRegistry
+}
+
+func (o *Options) applyDefaults() {
+	if o.Cores <= 0 {
+		o.Cores = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheK <= 0 {
+		o.CacheK = 20
+	}
+	if o.Layout.Cores == 0 {
+		o.Layout = pmem.DefaultLayout(o.Cores, 1<<16, 1<<16)
+	}
+	if o.Mode == ModeAllNVMM {
+		o.CacheEnabled = false
+	}
+}
+
+func (o *Options) validate() error {
+	if o.Layout.Cores != o.Cores {
+		return fmt.Errorf("core: layout is for %d cores, options say %d", o.Layout.Cores, o.Cores)
+	}
+	if o.Mode.logs() && o.Registry == nil {
+		return errors.New("core: logging mode requires a transaction Registry for replay")
+	}
+	if o.PersistIndex {
+		if o.Layout.IndexLogBytes == 0 {
+			return errors.New("core: PersistIndex requires Layout.IndexLogBytes > 0")
+		}
+		if !o.Mode.logs() {
+			return errors.New("core: PersistIndex requires a logging mode")
+		}
+	}
+	return nil
+}
+
+// epochBits is the shift separating the epoch from the intra-epoch serial
+// number within a SID. Epochs are strictly ordered; serial numbers order
+// transactions within an epoch.
+const epochBits = 24
+
+// MakeSID composes a serial id from an epoch and a 1-based serial number.
+func MakeSID(epoch uint64, serial uint64) uint64 { return epoch<<epochBits | serial }
+
+// SIDEpoch extracts the epoch from a serial id.
+func SIDEpoch(sid uint64) uint64 { return sid >> epochBits }
+
+// MaxTxnsPerEpoch is the largest batch RunEpoch accepts.
+const MaxTxnsPerEpoch = 1<<epochBits - 1

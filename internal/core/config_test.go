@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/pmem"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.applyDefaults()
+	if o.Cores <= 0 {
+		t.Fatal("cores not defaulted")
+	}
+	if o.CacheK != 20 {
+		t.Fatalf("CacheK = %d, want paper default 20", o.CacheK)
+	}
+	if o.Layout.Cores != o.Cores {
+		t.Fatal("layout not defaulted to core count")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	// Core/layout mismatch.
+	o := testOpts(2)
+	o.Cores = 4
+	if err := o.validate(); err == nil {
+		t.Error("core/layout mismatch accepted")
+	}
+	// Logging mode without registry.
+	o2 := testOpts(1)
+	o2.Registry = nil
+	if err := o2.validate(); err == nil {
+		t.Error("logging mode without registry accepted")
+	}
+	// Non-logging modes do not need a registry.
+	o3 := testOpts(1)
+	o3.Registry = nil
+	o3.Mode = ModeNoLogging
+	if err := o3.validate(); err != nil {
+		t.Errorf("no-logging rejected: %v", err)
+	}
+}
+
+func TestAllNVMMForcesCacheOff(t *testing.T) {
+	o := testOpts(1)
+	o.Mode = ModeAllNVMM
+	o.CacheEnabled = true
+	o.applyDefaults()
+	if o.CacheEnabled {
+		t.Fatal("ModeAllNVMM did not force cache off")
+	}
+}
+
+func TestModePredicates(t *testing.T) {
+	if !ModeNVCaracal.logs() || ModeNoLogging.logs() || ModeHybrid.logs() {
+		t.Error("logs() wrong")
+	}
+	if !ModeHybrid.persistsIntermediates() || !ModeAllNVMM.persistsIntermediates() {
+		t.Error("persistsIntermediates() wrong")
+	}
+	if ModeNVCaracal.persistsIntermediates() {
+		t.Error("nvcaracal persists intermediates?")
+	}
+	if ModeAllNVMM.caches() || !ModeNVCaracal.caches() {
+		t.Error("caches() wrong")
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpUpdate.String() != "update" || OpInsert.String() != "insert" || OpDelete.String() != "delete" {
+		t.Error("op kind strings")
+	}
+	if OpKind(9).String() == "" {
+		t.Error("unknown op kind prints empty")
+	}
+}
+
+func TestRegistryUnknownType(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Decode(42, nil, nil); err == nil {
+		t.Fatal("unknown type decoded")
+	}
+}
+
+func TestOpenDeviceTooSmall(t *testing.T) {
+	opts := testOpts(1)
+	dev := nvm.New(1024)
+	if _, err := Open(dev, opts); err == nil {
+		t.Fatal("tiny device accepted")
+	}
+}
+
+func TestReadOnlyTxnWithEmptyWriteSet(t *testing.T) {
+	db, _ := openTestDB(t, 2)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("v"))})
+	var saw []byte
+	ro := &Txn{
+		TypeID: ttSet, Input: nil,
+		Exec: func(ctx *Ctx) {
+			v, _ := ctx.Read(tblKV, 1)
+			saw = append([]byte(nil), v...)
+		},
+	}
+	res := mustRun(t, db, []*Txn{ro})
+	if res.Committed != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if string(saw) != "v" {
+		t.Fatalf("read-only txn saw %q", saw)
+	}
+}
+
+func TestReadMissingTable(t *testing.T) {
+	db, _ := openTestDB(t, 1)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("v"))})
+	var found bool
+	probe := &Txn{
+		TypeID: ttSet,
+		Exec: func(ctx *Ctx) {
+			_, found = ctx.Read(999, 1)
+		},
+	}
+	mustRun(t, db, []*Txn{probe})
+	if found {
+		t.Fatal("read from nonexistent table found a row")
+	}
+}
+
+func TestDeleteNotDeclaredPanics(t *testing.T) {
+	db, _ := openTestDB(t, 1)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("v"))})
+	bad := &Txn{
+		TypeID: ttSet,
+		Ops:    []Op{{Table: tblKV, Key: 1, Kind: OpUpdate}},
+		Exec: func(ctx *Ctx) {
+			ctx.Delete(tblKV, 1) // declared as update, not delete
+		},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	db.RunEpoch([]*Txn{bad})
+}
+
+func TestMultiTableTxn(t *testing.T) {
+	db, _ := openTestDB(t, 2)
+	multi := &Txn{
+		TypeID: ttSet,
+		Ops: []Op{
+			{Table: 1, Key: 5, Kind: OpInsert},
+			{Table: 2, Key: 5, Kind: OpInsert}, // same key, different table
+		},
+		Exec: func(ctx *Ctx) {
+			ctx.Insert(1, 5, []byte("t1"))
+			ctx.Insert(2, 5, []byte("t2"))
+		},
+	}
+	mustRun(t, db, []*Txn{multi})
+	if v, _ := db.Get(1, 5); string(v) != "t1" {
+		t.Fatalf("table 1 = %q", v)
+	}
+	if v, _ := db.Get(2, 5); string(v) != "t2" {
+		t.Fatalf("table 2 = %q", v)
+	}
+}
+
+func TestLayoutRoundTripThroughDefault(t *testing.T) {
+	l := pmem.DefaultLayout(2, 1024, 1024)
+	if l.TotalBytes() <= 0 {
+		t.Fatal("empty layout")
+	}
+	dev := nvm.New(l.TotalBytes())
+	if err := pmem.Format(dev, l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pmem.Attach(dev, l); err != nil {
+		t.Fatal(err)
+	}
+}

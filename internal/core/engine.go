@@ -1,0 +1,619 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvcaracal/internal/arena"
+	"nvcaracal/internal/index"
+	"nvcaracal/internal/metrics"
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/pmem"
+	"nvcaracal/internal/wal"
+)
+
+// DB is a deterministic database instance bound to one NVMM device.
+//
+// All epoch processing goes through RunEpoch, which is not safe for
+// concurrent calls: the engine parallelizes internally across its worker
+// cores. Out-of-band reads (Get) are safe only between epochs.
+type DB struct {
+	dev    *nvm.Device
+	opts   Options
+	layout pmem.Layout
+
+	rowPools []*pmem.Pool
+	// valPools is indexed [size class][core] (§5.5's multi-pool extension;
+	// a single class by default).
+	valPools [][]*pmem.Pool
+	log      *wal.Log
+	epochRec *pmem.EpochRecord
+	idx      *index.Map[*rowState]
+	arenas   *arena.Group
+
+	epoch uint64 // last completed (checkpointed) epoch
+
+	// counters mirrors the persistent counter slots in DRAM; flushed at
+	// every checkpoint (TPC-C order ids, §6.2.3).
+	counters []atomic.Uint64
+
+	// scratch bump offsets per core for NVMM-resident transient values
+	// (ModeHybrid / ModeAllNVMM), reset every epoch.
+	scratch []int64
+
+	// gcPending collects rows whose stale first version needs the major
+	// collector, appended per worker during execution, drained at the next
+	// epoch's initialization.
+	gcPending [][]*rowState
+
+	// evictRing and evictBuf implement the epoch-based LRU (§5.2):
+	// per-worker buffers collect rows whose cached version was created this
+	// epoch; at the epoch boundary they merge into the ring slot for the
+	// epoch, and the init phase processes the slot of epoch-K-1.
+	evictRing [][]*rowState
+	evictBuf  [][]*rowState
+
+	// deferredIndexDeletes holds rows deleted this epoch, per worker;
+	// removing them from the index is deferred to the epoch boundary so
+	// concurrent readers with smaller serial ids still resolve the row.
+	deferredIndexDeletes [][]index.Key
+
+	// idxLog is the optional persistent index journal (§7 extension);
+	// idxPuts collects the rows created this epoch, per owner core, for
+	// the journal's delta block.
+	idxLog  *pmem.IndexLog
+	idxPuts [][]pmem.IndexEntry
+
+	// replay state: set while recovering the crashed epoch.
+	replaying bool
+	skipEpoch uint64 // persistent versions of this epoch are ignored by reads
+	gcDupSet  map[int64]struct{}
+	scanMu    sync.Mutex // guards RecoveryReport aggregation during the scan
+
+	met metrics.Counters
+
+	// abortFlag, when set by a panicking worker, breaks other workers out
+	// of version-array spin waits so the epoch unwinds instead of hanging.
+	abortFlag atomic.Bool
+
+	logBytesTotal int64 // cumulative input-log bytes for accounting
+}
+
+// errEpochUnwound is the secondary panic raised by workers that were
+// spinning when a sibling worker panicked; parallel() reports the sibling's
+// original panic, not this one.
+var errEpochUnwound = fmt.Errorf("core: epoch unwound after sibling worker panic")
+
+// initWork is one declared write-set op routed to its owner core.
+type initWork struct {
+	key  index.Key
+	sid  uint64
+	kind OpKind
+}
+
+// Open formats a fresh device and returns a DB. Use Recover to attach to a
+// device that already holds data.
+func Open(dev *nvm.Device, opts Options) (*DB, error) {
+	opts.applyDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := pmem.Format(dev, opts.Layout); err != nil {
+		return nil, err
+	}
+	return newDB(dev, opts), nil
+}
+
+func newDB(dev *nvm.Device, opts Options) *DB {
+	c := opts.Cores
+	db := &DB{
+		dev:       dev,
+		opts:      opts,
+		layout:    opts.Layout,
+		rowPools:  make([]*pmem.Pool, c),
+		idx:       index.New[*rowState](c * 16),
+		arenas:    arena.NewGroup(c),
+		counters:  make([]atomic.Uint64, opts.Layout.Counters),
+		scratch:   make([]int64, c),
+		gcPending: make([][]*rowState, c),
+		evictRing: make([][]*rowState, opts.CacheK+2),
+		evictBuf:  make([][]*rowState, c),
+
+		deferredIndexDeletes: make([][]index.Key, c),
+	}
+	for i := 0; i < c; i++ {
+		db.rowPools[i] = pmem.RowPool(dev, opts.Layout, i)
+	}
+	classes := opts.Layout.ValueClasses()
+	db.valPools = make([][]*pmem.Pool, len(classes))
+	for k := range classes {
+		db.valPools[k] = make([]*pmem.Pool, c)
+		for i := 0; i < c; i++ {
+			db.valPools[k][i] = pmem.ValuePool(dev, opts.Layout, k, i)
+		}
+	}
+	db.log = wal.New(dev, opts.Layout.LogOff(), opts.Layout.LogCap())
+	db.epochRec = pmem.NewEpochRecord(dev, opts.Layout)
+	if opts.PersistIndex {
+		db.idxLog = pmem.NewIndexLog(dev, opts.Layout)
+		db.idxPuts = make([][]pmem.IndexEntry, c)
+	}
+	return db
+}
+
+// Cores returns the configured worker-core count.
+func (db *DB) Cores() int { return db.opts.Cores }
+
+// Epoch returns the last checkpointed epoch number.
+func (db *DB) Epoch() uint64 { return db.epoch }
+
+// Mode returns the storage mode.
+func (db *DB) Mode() StorageMode { return db.opts.Mode }
+
+// Device returns the underlying NVMM device (for stats and crash tests).
+func (db *DB) Device() *nvm.Device { return db.dev }
+
+// Metrics returns a snapshot of the engine counters.
+func (db *DB) Metrics() metrics.Snapshot { return db.met.Snapshot() }
+
+// RowCount returns the number of live rows in the index.
+func (db *DB) RowCount() int { return db.idx.Len() }
+
+// CounterAdd atomically adds delta to persistent counter slot i and returns
+// the previous value. Counters are persisted at every epoch checkpoint and
+// recovered after a crash.
+func (db *DB) CounterAdd(i int, delta uint64) uint64 {
+	return db.counters[i].Add(delta) - delta
+}
+
+// CounterGet returns the current value of persistent counter slot i.
+func (db *DB) CounterGet(i int) uint64 { return db.counters[i].Load() }
+
+// EpochResult summarizes one completed epoch.
+type EpochResult struct {
+	Epoch     uint64
+	Committed int
+	Aborted   int
+	// Durations of the epoch's stages.
+	LogTime  time.Duration
+	InitTime time.Duration
+	ExecTime time.Duration
+	SyncTime time.Duration
+}
+
+// Total returns the wall-clock total of the epoch stages.
+func (r EpochResult) Total() time.Duration {
+	return r.LogTime + r.InitTime + r.ExecTime + r.SyncTime
+}
+
+// RunEpoch processes one batch of transactions as an epoch: logs the
+// inputs, runs the initialization phase (insert step, major GC, cache
+// eviction, append step), executes the transactions, and checkpoints
+// (Algorithm 1 of the paper). On return the epoch is durable (in logging
+// mode) and all its writes are visible to subsequent epochs.
+func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
+	if len(batch) > MaxTxnsPerEpoch {
+		return EpochResult{}, fmt.Errorf("core: batch of %d exceeds max %d", len(batch), MaxTxnsPerEpoch)
+	}
+	epoch := db.epoch + 1
+	res := EpochResult{Epoch: epoch}
+	db.abortFlag.Store(false)
+
+	// Assign serial ids in batch order: the predetermined serial order.
+	for i, t := range batch {
+		t.sid = MakeSID(epoch, uint64(i+1))
+		t.aborted = false
+	}
+
+	// Log transaction inputs and persist them before anything else, so
+	// execution-phase writes may become visible immediately (§4.3).
+	t0 := time.Now()
+	if db.opts.Mode.logs() && !db.replaying {
+		recs := make([]wal.Record, len(batch))
+		for i, t := range batch {
+			recs[i] = wal.Record{Type: t.TypeID, Data: t.Input}
+		}
+		if err := db.log.WriteEpoch(epoch, recs); err != nil {
+			return res, err
+		}
+		db.logBytesTotal += db.log.LastPayloadBytes()
+	}
+	res.LogTime = time.Since(t0)
+
+	// Initialization phase.
+	t1 := time.Now()
+	work := db.gatherWork(batch)
+	if err := db.insertStep(epoch, work); err != nil {
+		return res, err
+	}
+	db.majorGC(epoch)
+	db.evictCache(epoch)
+	db.appendStep(epoch, work)
+	res.InitTime = time.Since(t1)
+
+	// Execution phase.
+	t2 := time.Now()
+	db.executePhase(epoch, batch)
+	res.ExecTime = time.Since(t2)
+
+	// Checkpoint: fence all epoch writes, persist the epoch number, fence
+	// again (inside Store), then release transient state.
+	t3 := time.Now()
+	db.checkpointEpoch(epoch)
+	db.finishEpoch(epoch, batch, &res)
+	res.SyncTime = time.Since(t3)
+
+	db.epoch = epoch
+	db.met.AddEpoch()
+	return res, nil
+}
+
+// checkpointEpoch persists the epoch: counters, allocator control offsets,
+// index-journal block, one fence covering everything, then the epoch
+// record (which carries its own trailing fence).
+func (db *DB) checkpointEpoch(epoch uint64) {
+	for i := range db.counters {
+		v := db.counters[i].Load()
+		c := pmem.NewCounter(db.dev, db.layout, int64(i))
+		c.Store(v)
+		c.Flush()
+	}
+	for c := 0; c < db.opts.Cores; c++ {
+		db.rowPools[c].Checkpoint(epoch)
+		for k := range db.valPools {
+			db.valPools[k][c].Checkpoint(epoch)
+		}
+	}
+	db.appendIndexJournal(epoch)
+	db.dev.Fence()
+	db.epochRec.Store(epoch)
+	for c := 0; c < db.opts.Cores; c++ {
+		db.rowPools[c].Checkpointed()
+		for k := range db.valPools {
+			db.valPools[k][c].Checkpointed()
+		}
+	}
+}
+
+// appendIndexJournal writes the epoch's index-delta block — row creations,
+// deletions, and the rows queued for the next epoch's major collection —
+// and checkpoints the journal's write offset. When the delta would not fit
+// it compacts: the journal is rewound and a full index snapshot written in
+// its place. A failed snapshot sets the sticky overflow flag and recovery
+// falls back to the row scan.
+func (db *DB) appendIndexJournal(epoch uint64) {
+	if db.idxLog == nil {
+		return
+	}
+	var entries []pmem.IndexEntry
+	for c := range db.idxPuts {
+		entries = append(entries, db.idxPuts[c]...)
+		db.idxPuts[c] = db.idxPuts[c][:0]
+	}
+	for _, keys := range db.deferredIndexDeletes {
+		for _, k := range keys {
+			entries = append(entries, pmem.IndexEntry{Kind: pmem.IdxDel, Table: k.Table, Key: k.ID})
+		}
+	}
+	for _, pend := range db.gcPending {
+		for _, rs := range pend {
+			entries = append(entries, pmem.IndexEntry{Kind: pmem.IdxGC, RowOff: rs.nvOff})
+		}
+	}
+	if !db.idxLog.AppendEpoch(epoch, entries) {
+		// Compact: replace the journal's history with a snapshot of the
+		// live index plus this epoch's pending GC rows. The deltas above
+		// are already reflected in the index (and deferred deletions are
+		// excluded below), so the snapshot subsumes them.
+		db.compactIndexJournal(epoch)
+	}
+	db.idxLog.Checkpoint(epoch)
+}
+
+func (db *DB) compactIndexJournal(epoch uint64) {
+	deleted := make(map[index.Key]struct{})
+	for _, keys := range db.deferredIndexDeletes {
+		for _, k := range keys {
+			deleted[k] = struct{}{}
+		}
+	}
+	snap := make([]pmem.IndexEntry, 0, db.idx.Len())
+	db.idx.Range(func(k index.Key, rs *rowState) bool {
+		if _, gone := deleted[k]; gone {
+			return true
+		}
+		snap = append(snap, pmem.IndexEntry{Kind: pmem.IdxPut, Table: k.Table, Key: k.ID, RowOff: rs.nvOff})
+		return true
+	})
+	for _, pend := range db.gcPending {
+		for _, rs := range pend {
+			snap = append(snap, pmem.IndexEntry{Kind: pmem.IdxGC, RowOff: rs.nvOff})
+		}
+	}
+	db.idxLog.ResetForSnapshot()
+	db.idxLog.AppendEpoch(epoch, snap) // overflow stays sticky on failure
+}
+
+// finishEpoch releases transient state and merges per-worker buffers.
+func (db *DB) finishEpoch(epoch uint64, batch []*Txn, res *EpochResult) {
+	db.releaseEpochState(epoch)
+	for _, t := range batch {
+		if t.aborted {
+			res.Aborted++
+		} else {
+			res.Committed++
+		}
+	}
+	db.met.AddCommitted(int64(res.Committed))
+	db.met.AddAborted(int64(res.Aborted))
+}
+
+// releaseEpochState resets the transient pools, applies deferred index
+// deletions, and merges the per-worker eviction buffers.
+func (db *DB) releaseEpochState(epoch uint64) {
+	db.arenas.ResetAll()
+	for c := range db.scratch {
+		db.scratch[c] = 0
+	}
+	// Deferred index deletions are now safe: no readers remain.
+	for c, keys := range db.deferredIndexDeletes {
+		for _, k := range keys {
+			db.idx.Delete(k)
+		}
+		db.deferredIndexDeletes[c] = db.deferredIndexDeletes[c][:0]
+	}
+	// Merge cache-fill buffers into the eviction ring slot for this epoch.
+	slot := int(epoch % uint64(len(db.evictRing)))
+	for c := range db.evictBuf {
+		db.evictRing[slot] = append(db.evictRing[slot], db.evictBuf[c]...)
+		db.evictBuf[c] = db.evictBuf[c][:0]
+	}
+}
+
+// gatherWork routes every declared write-set op to its owner core. Workers
+// scan their share of the batch into per-(worker, owner) buckets; owners
+// then consume all buckets destined for them without locking.
+func (db *DB) gatherWork(batch []*Txn) [][][]initWork {
+	c := db.opts.Cores
+	buckets := make([][][]initWork, c) // [worker][owner][]
+	db.parallel(func(w int) {
+		local := make([][]initWork, c)
+		for i := w; i < len(batch); i += c {
+			t := batch[i]
+			for _, op := range t.Ops {
+				k := index.Key{Table: op.Table, ID: op.Key}
+				owner := db.ownerOf(k)
+				local[owner] = append(local[owner], initWork{key: k, sid: t.sid, kind: op.Kind})
+			}
+		}
+		buckets[w] = local
+	})
+	return buckets
+}
+
+// ownerOf maps a key to the core that owns its init-phase processing and
+// persistent row allocation.
+func (db *DB) ownerOf(k index.Key) int {
+	return int(index.Hash(k) % uint64(db.opts.Cores))
+}
+
+// insertStep creates persistent rows for this epoch's inserts (§4.1): rows
+// are allocated in NVMM directly, with no transient data or cached version
+// until they are accessed, so only hot rows occupy DRAM.
+func (db *DB) insertStep(epoch uint64, work [][][]initWork) error {
+	var firstErr atomic.Pointer[error]
+	db.parallel(func(owner int) {
+		pool := db.rowPools[owner]
+		for w := 0; w < db.opts.Cores; w++ {
+			for _, it := range work[w][owner] {
+				if it.kind != OpInsert {
+					continue
+				}
+				if _, ok := db.idx.Get(it.key); ok {
+					continue // insert onto an existing row: behaves as update
+				}
+				off, err := pool.Alloc()
+				if err != nil {
+					e := fmt.Errorf("core: insert step: %w", err)
+					firstErr.CompareAndSwap(nil, &e)
+					return
+				}
+				r := db.rowRef(off)
+				r.writeHeader(it.key.Table, it.key.ID)
+				rs := &rowState{nvOff: off, owner: int32(owner)}
+				db.idx.Put(it.key, rs)
+				if db.idxLog != nil {
+					db.idxPuts[owner] = append(db.idxPuts[owner], pmem.IndexEntry{
+						Kind: pmem.IdxPut, Table: it.key.Table, Key: it.key.ID, RowOff: off,
+					})
+				}
+			}
+		}
+	})
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+// appendStep builds the per-row version arrays for the epoch (§3.1.2): for
+// every row written this epoch, a sorted array of pending versions plus an
+// initial version holding the row's state entering the epoch. The first
+// thread to append to a row copies the existing data from the cached
+// version (deleting it, since it will be updated) or from the persistent
+// row.
+func (db *DB) appendStep(epoch uint64, work [][][]initWork) {
+	db.parallel(func(owner int) {
+		// Merge and sort this owner's ops by (table, key, sid).
+		var ops []initWork
+		for w := 0; w < db.opts.Cores; w++ {
+			ops = append(ops, work[w][owner]...)
+		}
+		sort.Slice(ops, func(i, j int) bool {
+			a, b := ops[i], ops[j]
+			if a.key.Table != b.key.Table {
+				return a.key.Table < b.key.Table
+			}
+			if a.key.ID != b.key.ID {
+				return a.key.ID < b.key.ID
+			}
+			return a.sid < b.sid
+		})
+		for i := 0; i < len(ops); {
+			j := i
+			for j < len(ops) && ops[j].key == ops[i].key {
+				j++
+			}
+			db.buildVersionArray(epoch, owner, ops[i].key, ops[i:j])
+			i = j
+		}
+	})
+}
+
+// buildVersionArray constructs one row's version array from its sorted ops.
+func (db *DB) buildVersionArray(epoch uint64, owner int, key index.Key, ops []initWork) {
+	rs, ok := db.idx.Get(key)
+	if !ok {
+		// Update/delete of a nonexistent row: deterministic databases know
+		// write sets up front, so this is a workload bug. Creating no array
+		// would hang readers, so fail loudly.
+		panic(fmt.Sprintf("core: write set references missing row table=%d key=%d", key.Table, key.ID))
+	}
+	sids := make([]uint64, 0, len(ops)+1)
+	sids = append(sids, 0)
+	for _, op := range ops {
+		if len(sids) > 1 && sids[len(sids)-1] == op.sid {
+			continue // duplicate op on same key in one txn
+		}
+		sids = append(sids, op.sid)
+	}
+	va := newVersionArray(epoch, sids, &db.abortFlag)
+
+	// Materialize the initial version (slot 0).
+	r := db.rowRef(rs.nvOff)
+	latest := db.rowLatest(r)
+	switch {
+	case latest.isNull():
+		// Row created this epoch (or never written): no prior state.
+		va.vals[0].Store(notFoundVal)
+	default:
+		var init *versionVal
+		if cv := rs.cached.Load(); cv != nil && db.cacheOn() {
+			// Copy from the cached version, then delete it: it will be
+			// rewritten by this epoch's final write (§4.1).
+			data := db.arenas.Core(owner).Alloc(len(cv.data))
+			copy(data, cv.data)
+			init = &versionVal{kind: vkData, data: data, nvOff: -1}
+			rs.cached.Store(nil)
+			va.wasCached = true
+			db.met.CacheDrop(int64(len(cv.data)))
+			db.met.AddCacheHit()
+		} else {
+			// One NVMM read per written row per epoch.
+			data := db.arenas.Core(owner).Alloc(int(latest.size))
+			r.readValueInto(latest, data)
+			init = db.placeTransient(owner, data)
+			db.met.AddRowRead()
+			db.met.AddCacheMiss()
+		}
+		va.vals[0].Store(init)
+	}
+	rs.va.Store(va)
+}
+
+// placeTransient wraps data as a transient version value. In ModeAllNVMM
+// the bytes are copied into the core's NVMM scratch arena and re-read from
+// the device on every access; otherwise they stay in DRAM.
+func (db *DB) placeTransient(core int, data []byte) *versionVal {
+	if db.opts.Mode == ModeAllNVMM {
+		off := db.scratchAlloc(core, len(data))
+		db.dev.WriteAt(data, off)
+		db.dev.Flush(off, int64(len(data)))
+		return &versionVal{kind: vkData, nvOff: off, nvLen: len(data)}
+	}
+	return &versionVal{kind: vkData, data: data, nvOff: -1}
+}
+
+// scratchAlloc bumps the core's NVMM scratch arena.
+func (db *DB) scratchAlloc(core int, n int) int64 {
+	if db.layout.ScratchPerCore == 0 {
+		panic("core: mode requires NVMM scratch but layout has none")
+	}
+	off := db.scratch[core]
+	if off+int64(n) > db.layout.ScratchPerCore {
+		// Wrap: transient data is epoch-local and the oldest entries are
+		// long consumed; wrapping models a ring of NVMM scratch.
+		off = 0
+	}
+	db.scratch[core] = off + int64(n)
+	return db.layout.ScratchOff(core) + off
+}
+
+// executePhase runs the batch on the worker cores. Worker w executes
+// transactions w, w+C, w+2C, … in ascending serial order, which guarantees
+// progress: the globally smallest unfinished transaction is always at the
+// head of its worker's remaining queue, and waits only on finished
+// transactions.
+func (db *DB) executePhase(epoch uint64, batch []*Txn) {
+	db.parallel(func(w int) {
+		c := db.opts.Cores
+		for i := w; i < len(batch); i += c {
+			db.executeTxn(epoch, w, batch[i])
+		}
+	})
+}
+
+// executeTxn runs one transaction and publishes IGNORE markers for any
+// declared-but-unperformed writes (covering user aborts and over-declared
+// reconnaissance write sets).
+func (db *DB) executeTxn(epoch uint64, w int, t *Txn) {
+	ctx := &Ctx{db: db, txn: t, core: w, wrote: make([]bool, len(t.Ops))}
+	if t.Exec != nil {
+		t.Exec(ctx)
+	}
+	for i, op := range t.Ops {
+		if ctx.wrote[i] {
+			continue
+		}
+		db.writeIgnore(ctx, index.Key{Table: op.Table, ID: op.Key})
+	}
+}
+
+// parallel runs f(core) on every core and waits. A panic on any worker —
+// including an injected crash from the device's fail-points — is re-raised
+// on the calling goroutine once all workers have stopped.
+func (db *DB) parallel(f func(core int)) {
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[any]
+	for c := 0; c < db.opts.Cores; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					db.abortFlag.Store(true)
+					if r != errEpochUnwound {
+						v := r
+						panicked.CompareAndSwap(nil, &v)
+					}
+				}
+			}()
+			f(c)
+		}(c)
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(*p)
+	}
+}
+
+func (db *DB) rowRef(off int64) rowRef {
+	return rowRef{dev: db.dev, off: off, rowSize: db.layout.RowSize}
+}
+
+func (db *DB) cacheOn() bool {
+	return db.opts.CacheEnabled && db.opts.Mode.caches()
+}

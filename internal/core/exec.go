@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+
+	"nvcaracal/internal/index"
+)
+
+// read resolves a read at the transaction's serial id (§4.1):
+//
+//  1. If the row has a version array this epoch, binary-search the latest
+//     version below the reader's sid, waiting out PENDING slots and
+//     skipping IGNORE markers.
+//  2. Otherwise serve from the cached version if present.
+//  3. Otherwise read the persistent row from NVMM (at most one NVMM read
+//     per row per epoch in the NVCaracal design, since the result is
+//     cached).
+func (db *DB) read(c *Ctx, key index.Key) ([]byte, bool) {
+	rs, ok := db.idx.Get(key)
+	if !ok {
+		return nil, false
+	}
+	epoch := SIDEpoch(c.txn.sid)
+	if va := rs.currentVA(epoch); va != nil {
+		vv := va.resolveRead(c.txn.sid)
+		return db.materialize(vv)
+	}
+	// No writes to this row in the epoch: serve from the committed state
+	// (cached version or persistent row).
+	return db.readCommittedRow(c.core, epoch, rs)
+}
+
+// materialize converts a transient version value into user-visible bytes.
+func (db *DB) materialize(vv *versionVal) ([]byte, bool) {
+	switch vv.kind {
+	case vkData:
+		if vv.nvOff >= 0 {
+			// ModeAllNVMM: the value lives in NVMM scratch; every access is
+			// a charged device read.
+			return db.dev.Slice(vv.nvOff, int64(vv.nvLen)), true
+		}
+		return vv.data, true
+	case vkDeleted, vkNotFound:
+		return nil, false
+	default:
+		panic("core: materialize on ignore version")
+	}
+}
+
+// write publishes the transaction's version of a row and, if this is the
+// row's final write of the epoch, persists it to NVMM.
+func (db *DB) write(c *Ctx, key index.Key, val []byte) {
+	rs, va := db.lookupVA(c, key)
+	slot := va.slotOf(c.txn.sid)
+
+	// Copy the payload into the worker's transient arena: intermediate
+	// versions live (and die) with the epoch.
+	data := db.arenas.Core(c.core).Alloc(len(val))
+	copy(data, val)
+	vv := db.placeTransient(c.core, data)
+	isFinal := c.txn.sid == va.maxSID
+	if db.opts.Mode == ModeHybrid && !isFinal {
+		// Hybrid baseline: every intermediate update is written to NVMM
+		// immediately (the final write goes to the persistent row below),
+		// though reads are served from DRAM — one NVMM write per update,
+		// like Zen or WBL.
+		off := db.scratchAlloc(c.core, len(val))
+		db.dev.WriteAt(val, off)
+		db.dev.Flush(off, int64(len(val)))
+	}
+	va.vals[slot].Store(vv)
+
+	if isFinal {
+		db.finalize(c.core, rs, va, slot)
+	} else {
+		db.met.AddTransient()
+	}
+}
+
+// writeDelete publishes a deletion version.
+func (db *DB) writeDelete(c *Ctx, key index.Key) {
+	rs, va := db.lookupVA(c, key)
+	slot := va.slotOf(c.txn.sid)
+	va.vals[slot].Store(deletedVal)
+	if c.txn.sid == va.maxSID {
+		db.finalize(c.core, rs, va, slot)
+	} else {
+		db.met.AddTransient()
+	}
+}
+
+// writeIgnore publishes an IGNORE marker for a declared write the
+// transaction did not perform (user abort, §4.6, or an over-declared write
+// set). If the ignored write was the row's final write, the latest
+// non-ignored version of the epoch is persisted in its stead.
+func (db *DB) writeIgnore(c *Ctx, key index.Key) {
+	rs, va := db.lookupVA(c, key)
+	slot := va.slotOf(c.txn.sid)
+	va.vals[slot].Store(ignoreVal)
+	if c.txn.sid == va.maxSID {
+		db.finalize(c.core, rs, va, slot)
+	}
+}
+
+func (db *DB) lookupVA(c *Ctx, key index.Key) (*rowState, *versionArray) {
+	rs, ok := db.idx.Get(key)
+	if !ok {
+		panic(fmt.Sprintf("core: write to unindexed row table=%d key=%d", key.Table, key.ID))
+	}
+	va := rs.currentVA(SIDEpoch(c.txn.sid))
+	if va == nil {
+		panic("core: write without version array (append step missed the op)")
+	}
+	return rs, va
+}
+
+// finalize handles the epoch's final write to a row: it resolves which
+// version is actually final (skipping trailing IGNOREs), updates the DRAM
+// cached version, and writes the persistent row in NVMM with the
+// dual-version protocol.
+func (db *DB) finalize(core int, rs *rowState, va *versionArray, slot int) {
+	idx, vv := va.latestCommitted(slot)
+	if idx == 0 {
+		// Everything after the initial version was ignored: the persistent
+		// row keeps its previous state (§4.6). Restore the cached version
+		// that the append step deleted.
+		switch vv.kind {
+		case vkData:
+			if db.cacheOn() && db.shouldCache(va) {
+				data, _ := db.materialize(vv)
+				db.installCached(core, rs, data, va.epoch)
+			}
+		case vkNotFound:
+			// The row was inserted this epoch and every write (including
+			// the insert) aborted: the row must not exist.
+			db.dropRow(core, rs)
+		}
+		return
+	}
+	sid := va.sids[idx]
+	switch vv.kind {
+	case vkDeleted:
+		db.met.AddPersistent()
+		db.dropRow(core, rs)
+	case vkData:
+		db.met.AddPersistent()
+		data, _ := db.materialize(vv)
+		if db.cacheOn() && db.shouldCache(va) {
+			// Create the cached version before the persistent write so the
+			// value is available from DRAM first (§4.1).
+			db.installCached(core, rs, data, va.epoch)
+		}
+		db.persistFinal(core, rs, sid, data)
+	default:
+		panic("core: latestCommitted returned ignore")
+	}
+}
+
+// shouldCache decides whether a final write creates a cached version. With
+// CacheHotOnly (§7 extension), only rows the initialization phase could
+// identify as hot qualify: multiple writers this epoch (version array
+// longer than initial + one), or a row that was already cached.
+func (db *DB) shouldCache(va *versionArray) bool {
+	if !db.opts.CacheHotOnly {
+		return true
+	}
+	return va.wasCached || len(va.sids) > 2
+}
+
+// installCached publishes a DRAM cached version for the row and queues it
+// for epoch-based eviction. data is copied: cached versions outlive the
+// transient pool.
+func (db *DB) installCached(core int, rs *rowState, data []byte, epoch uint64) {
+	cv := &cachedVersion{data: append([]byte(nil), data...)}
+	cv.stamp.Store(epoch)
+	// Swap keeps the byte accounting exact even when two readers race to
+	// install a cached version for the same row.
+	if old := rs.cached.Swap(cv); old != nil {
+		db.met.CacheDrop(int64(len(old.data)))
+	}
+	db.met.CacheAdd(int64(len(cv.data)))
+	if rs.onEvictList.CompareAndSwap(false, true) {
+		db.evictBuf[core] = append(db.evictBuf[core], rs)
+	}
+}
+
+// dropRow deletes a row: its persistent slot and any non-inline values are
+// freed into the executing core's pools (revertible: a crash before the
+// checkpoint replays the epoch and repeats the deletion), and the index
+// entry is removed at the epoch boundary so in-flight readers still
+// resolve.
+func (db *DB) dropRow(core int, rs *rowState) {
+	r := db.rowRef(rs.nvOff)
+	for _, which := range [2]int{1, 2} {
+		v := r.readVersion(which)
+		if !v.isNull() && !v.isInline() && v.ptr != ptrNone {
+			db.freeValue(core, int64(v.ptr))
+		}
+	}
+	db.rowPools[core].Free(rs.nvOff)
+	if cv := rs.cached.Load(); cv != nil {
+		rs.cached.Store(nil)
+		db.met.CacheDrop(int64(len(cv.data)))
+	}
+	db.deferredIndexDeletes[core] = append(db.deferredIndexDeletes[core],
+		index.Key{Table: r.table(), ID: r.key()})
+}
+
+// persistFinal writes the final version of a row into its persistent slot
+// using the dual-version protocol (§4.4–4.5):
+//
+//   - If v2 is empty, the new version goes there; v1 keeps the checkpoint.
+//   - If v2 holds this sid already, we are replaying a crashed epoch whose
+//     final write was (partially) persisted: overwrite it (repair case 3).
+//   - Otherwise v2 holds the previous checkpoint. If v1 is empty, v2 is
+//     copied down to v1 (preserving the checkpoint); if v1 holds an older
+//     stale version, the minor collector reclaims it in place (inline
+//     values swap slots; non-inline staleness is impossible here because
+//     the major collector cleaned it during initialization).
+//   - Finally the new version is placed: inline if it fits in the row's
+//     inline heap, otherwise in a slot from the core's value pool.
+func (db *DB) persistFinal(core int, rs *rowState, sid uint64, data []byte) {
+	r := db.rowRef(rs.nvOff)
+	v1 := r.readVersion(1)
+	v2 := r.readVersion(2)
+
+	replayOverwrite := v2.sid == sid
+	if !replayOverwrite && !v2.isNull() {
+		// v2 is the most recent checkpointed version; move it to v1.
+		if !v1.isNull() {
+			// Minor GC: v1 is the stale version. It must be inline — the
+			// major collector handles non-inline staleness during init.
+			if !v1.isInline() && v1.ptr != ptrNone {
+				panic("core: non-inline stale version reached the execution phase")
+			}
+			db.met.AddMinorGC()
+		}
+		r.writeVersion(1, v2)
+		v1 = v2
+	}
+
+	// Place the new value: inline slot not used by v1, or a value slot.
+	var ptr uint64
+	if int64(len(data)) <= r.inlineHalf() {
+		ptr = freeInlineSlot(v1)
+	} else {
+		k := db.layout.ValueClassFor(int64(len(data)))
+		if k < 0 {
+			panic(fmt.Sprintf("core: value of %d bytes exceeds the largest value class %d", len(data), db.layout.MaxValueSize()))
+		}
+		off, err := db.valPools[k][core].Alloc()
+		if err != nil {
+			panic(fmt.Sprintf("core: value pool exhausted: %v", err))
+		}
+		ptr = uint64(off)
+	}
+	r.writeValue(ptr, data)
+	r.writeVersion(2, version{sid: sid, ptr: ptr, size: uint32(len(data))})
+
+	// If the stale first version is non-inline, queue the row for the
+	// major collector; if the minor collector is disabled, all stale rows
+	// go to the major list (Figure 9's ablation).
+	v1 = r.readVersion(1)
+	if !v1.isNull() && v2ReplacedNeedsGC(v1, db.opts.MinorGCEnabled) {
+		db.gcPending[core] = append(db.gcPending[core], rs)
+	}
+}
+
+// freeValue returns a persistent value slot to the freeing core's pool of
+// the slot's size class.
+func (db *DB) freeValue(core int, off int64) {
+	k := db.layout.ValueClassOfOffset(off)
+	if k < 0 {
+		panic(fmt.Sprintf("core: freeing offset %d outside any value region", off))
+	}
+	db.valPools[k][core].Free(off)
+}
+
+// v2ReplacedNeedsGC reports whether the stale first version requires the
+// major collector next epoch.
+func v2ReplacedNeedsGC(v1 version, minorEnabled bool) bool {
+	if !minorEnabled {
+		return true
+	}
+	return !v1.isInline() && v1.ptr != ptrNone
+}

@@ -1,0 +1,97 @@
+package core
+
+// majorGC runs the major collector during the initialization phase of an
+// epoch (§4.4, §5.5): every row queued last epoch with a non-inline stale
+// first version has that version's value freed and the checkpointed second
+// version copied down.
+//
+// The collection is crash-safe in two phases:
+//
+//	Phase 1 appends all value frees to the per-core free-list rings and
+//	persists the non-revertible current-tail offset with one fence. A crash
+//	before the fence reverts everything (full redo); a crash after it keeps
+//	every free durable.
+//	Phase 2 rewrites the rows (copy v2→v1, reset v2) with the
+//	SID-before-pointer ordering; a crash mid-phase leaves rows that the
+//	recovery scan re-queues, and the duplicate-suppression set (built from
+//	the ring entries beyond the checkpointed tail) prevents double frees.
+func (db *DB) majorGC(epoch uint64) {
+	// Shard the pending rows to their owner cores so each core frees into
+	// its own value pool.
+	byOwner := make([][]*rowState, db.opts.Cores)
+	for w := range db.gcPending {
+		for _, rs := range db.gcPending[w] {
+			byOwner[rs.owner] = append(byOwner[rs.owner], rs)
+		}
+		db.gcPending[w] = db.gcPending[w][:0]
+	}
+
+	// Phase 1: append frees.
+	db.parallel(func(owner int) {
+		for _, rs := range byOwner[owner] {
+			r := db.rowRef(rs.nvOff)
+			v1 := r.readVersion(1)
+			if v1.isNull() || v1.isInline() || v1.ptr == ptrNone {
+				continue // inline staleness frees nothing
+			}
+			if db.replaying {
+				if _, dup := db.gcDupSet[int64(v1.ptr)]; dup {
+					continue // already durably freed by the crashed epoch
+				}
+			}
+			db.freeValue(owner, int64(v1.ptr))
+		}
+		for k := range db.valPools {
+			db.valPools[k][owner].StageCurrentTail(epoch)
+		}
+	})
+	db.dev.Fence()
+
+	// Phase 2: rewrite rows.
+	db.parallel(func(owner int) {
+		for _, rs := range byOwner[owner] {
+			r := db.rowRef(rs.nvOff)
+			v2 := r.readVersion(2)
+			if v2.isNull() {
+				// Already collected (replay of a crashed collection that
+				// completed this row).
+				continue
+			}
+			r.writeVersion(1, v2)
+			r.resetVersion(2)
+			db.met.AddMajorGC()
+		}
+	})
+}
+
+// evictCache drops cached versions that have not been created or accessed
+// in the last K epochs (§4.2, §5.2). It runs during initialization, when no
+// transactions execute, so no synchronization with row accesses is needed.
+// Entries touched more recently than the target epoch are forwarded to the
+// ring slot of their last-access epoch instead of being evicted.
+func (db *DB) evictCache(epoch uint64) {
+	k := uint64(db.opts.CacheK)
+	if epoch <= k+1 {
+		return
+	}
+	target := epoch - k - 1
+	ringLen := uint64(len(db.evictRing))
+	slot := int(target % ringLen)
+	list := db.evictRing[slot]
+	db.evictRing[slot] = nil
+	for _, rs := range list {
+		cv := rs.cached.Load()
+		if cv == nil {
+			rs.onEvictList.Store(false)
+			continue
+		}
+		stamp := cv.stamp.Load()
+		if stamp <= target {
+			rs.cached.Store(nil)
+			rs.onEvictList.Store(false)
+			db.met.CacheDrop(int64(len(cv.data)))
+			continue
+		}
+		db.evictRing[stamp%ringLen] = append(db.evictRing[stamp%ringLen], rs)
+	}
+}

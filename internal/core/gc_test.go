@@ -1,0 +1,395 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nvcaracal/internal/nvm"
+)
+
+// bigVal returns a value too large to inline (inline half is 96 bytes for
+// 256-byte rows).
+func bigVal(b byte) []byte { return bytes.Repeat([]byte{b}, 200) }
+
+// smallVal returns a value that inlines.
+func smallVal(b byte) []byte { return bytes.Repeat([]byte{b}, 32) }
+
+func TestMinorGCInlineRows(t *testing.T) {
+	db, _ := openTestDB(t, 1)
+	mustRun(t, db, []*Txn{mkInsert(1, smallVal('a'))})
+	before := db.Metrics()
+	// Two more updates: the second finds two inline versions and collects
+	// the stale one in place.
+	mustRun(t, db, []*Txn{mkSet(1, smallVal('b'))})
+	mustRun(t, db, []*Txn{mkSet(1, smallVal('c'))})
+	d := db.Metrics().Sub(before)
+	if d.MinorGCs == 0 {
+		t.Fatalf("MinorGCs = 0, want > 0")
+	}
+	if d.MajorGCs != 0 {
+		t.Fatalf("MajorGCs = %d, want 0 for inline rows", d.MajorGCs)
+	}
+	wantGet(t, db, 1, smallVal('c'))
+}
+
+func TestMajorGCNonInlineRows(t *testing.T) {
+	db, _ := openTestDB(t, 1)
+	mustRun(t, db, []*Txn{mkInsert(1, bigVal('a'))})
+	mustRun(t, db, []*Txn{mkSet(1, bigVal('b'))}) // queues row for major GC
+	before := db.Metrics()
+	mustRun(t, db, []*Txn{mkSet(1, bigVal('c'))}) // major GC runs at init
+	d := db.Metrics().Sub(before)
+	if d.MajorGCs != 1 {
+		t.Fatalf("MajorGCs = %d, want 1", d.MajorGCs)
+	}
+	wantGet(t, db, 1, bigVal('c'))
+}
+
+func TestMajorGCRecyclesValueSlots(t *testing.T) {
+	// Updating one non-inline row for many epochs must not leak value
+	// slots: the pool's bump should stabilize once the free list cycles.
+	db, _ := openTestDB(t, 1)
+	mustRun(t, db, []*Txn{mkInsert(1, bigVal('a'))})
+	for i := 0; i < 30; i++ {
+		mustRun(t, db, []*Txn{mkSet(1, bigVal(byte('a'+i%26)))})
+	}
+	bump := db.valPools[0][0].Bump()
+	for i := 0; i < 30; i++ {
+		mustRun(t, db, []*Txn{mkSet(1, bigVal(byte('A'+i%26)))})
+	}
+	if got := db.valPools[0][0].Bump(); got != bump {
+		t.Fatalf("value pool bump grew %d -> %d: slots leak", bump, got)
+	}
+}
+
+func TestRowSlotsRecycledAfterDelete(t *testing.T) {
+	db, _ := openTestDB(t, 1)
+	for round := 0; round < 5; round++ {
+		mustRun(t, db, []*Txn{mkInsert(uint64(round), smallVal('x'))})
+		mustRun(t, db, []*Txn{mkDelete(uint64(round))})
+		// Let the free list checkpoint so slots become allocatable.
+		mustRun(t, db, nil)
+	}
+	if bump := db.rowPools[0].Bump(); bump > 3 {
+		t.Fatalf("row pool bump = %d after churn; slots not recycled", bump)
+	}
+}
+
+func TestMinorGCDisabledRoutesToMajor(t *testing.T) {
+	opts := testOpts(1)
+	opts.MinorGCEnabled = false
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(txns ...*Txn) {
+		if _, err := db.RunEpoch(txns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(mkInsert(1, smallVal('a')))
+	run(mkSet(1, smallVal('b')))
+	run(mkSet(1, smallVal('c')))
+	m := db.Metrics()
+	if m.MinorGCs != 0 {
+		t.Fatalf("MinorGCs = %d with minor GC disabled", m.MinorGCs)
+	}
+	if m.MajorGCs == 0 {
+		t.Fatal("MajorGCs = 0: stale versions never collected")
+	}
+	got, _ := db.Get(tblKV, 1)
+	if !bytes.Equal(got, smallVal('c')) {
+		t.Fatalf("value = %q", got)
+	}
+}
+
+func TestCacheHitAvoidsNVMMRead(t *testing.T) {
+	db, _ := openTestDB(t, 1)
+	mustRun(t, db, []*Txn{mkInsert(1, smallVal('a'))})
+	// Update creates a cached version.
+	mustRun(t, db, []*Txn{mkSet(1, smallVal('b'))})
+	before := db.Metrics()
+	// A read-only epoch: the read must hit the cache, not NVMM.
+	readTxn := &Txn{
+		TypeID: ttInsert, Input: encSet(99, nil),
+		Ops: []Op{{Table: tblKV, Key: 99, Kind: OpInsert}},
+		Exec: func(ctx *Ctx) {
+			if v, ok := ctx.Read(tblKV, 1); !ok || !bytes.Equal(v, smallVal('b')) {
+				t.Errorf("read through cache got %q", v)
+			}
+			ctx.Insert(tblKV, 99, nil)
+		},
+	}
+	mustRun(t, db, []*Txn{readTxn})
+	d := db.Metrics().Sub(before)
+	if d.CacheHits == 0 {
+		t.Fatal("no cache hit recorded")
+	}
+	if d.RowReads != 0 {
+		t.Fatalf("RowReads = %d, want 0 (cache should serve)", d.RowReads)
+	}
+}
+
+func TestCacheEvictionAfterKEpochs(t *testing.T) {
+	db, _ := openTestDB(t, 1) // CacheK = 4 in testOpts
+	mustRun(t, db, []*Txn{mkInsert(1, smallVal('a'))})
+	mustRun(t, db, []*Txn{mkSet(1, smallVal('b'))}) // cached at epoch 2
+	if db.Metrics().CacheEntries != 1 {
+		t.Fatalf("CacheEntries = %d, want 1", db.Metrics().CacheEntries)
+	}
+	// Run K+2 idle epochs: the cached version must be evicted.
+	for i := 0; i < 7; i++ {
+		mustRun(t, db, nil)
+	}
+	if got := db.Metrics().CacheEntries; got != 0 {
+		t.Fatalf("CacheEntries = %d after idle epochs, want 0", got)
+	}
+	// The data must still be readable from NVMM.
+	wantGet(t, db, 1, smallVal('b'))
+}
+
+func TestCacheKeptWhileAccessed(t *testing.T) {
+	db, _ := openTestDB(t, 1)
+	mustRun(t, db, []*Txn{mkInsert(1, smallVal('a')), mkInsert(2, nil)})
+	mustRun(t, db, []*Txn{mkSet(1, smallVal('b'))})
+	// Touch the row every epoch for 10 epochs: it must stay cached.
+	for i := 0; i < 10; i++ {
+		touch := &Txn{
+			TypeID: ttSet, Input: encSet(2, nil),
+			Ops: []Op{{Table: tblKV, Key: 2, Kind: OpUpdate}},
+			Exec: func(ctx *Ctx) {
+				ctx.Read(tblKV, 1)
+				ctx.Write(tblKV, 2, nil)
+			},
+		}
+		mustRun(t, db, []*Txn{touch})
+	}
+	if got := db.Metrics().CacheEntries; got < 1 {
+		t.Fatalf("hot row evicted: CacheEntries = %d", got)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	opts := testOpts(1)
+	opts.CacheEnabled = false
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.RunEpoch([]*Txn{mkInsert(1, smallVal('a'))})
+	db.RunEpoch([]*Txn{mkSet(1, smallVal('b'))})
+	if db.Metrics().CacheEntries != 0 {
+		t.Fatalf("CacheEntries = %d with cache disabled", db.Metrics().CacheEntries)
+	}
+	got, _ := db.Get(tblKV, 1)
+	if !bytes.Equal(got, smallVal('b')) {
+		t.Fatalf("value = %q", got)
+	}
+}
+
+// runModeEpochs exercises a workload in a given storage mode and returns
+// the db for verification.
+func runModeEpochs(t *testing.T, mode StorageMode) *DB {
+	t.Helper()
+	opts := testOpts(2)
+	opts.Mode = mode
+	if mode == ModeAllNVMM {
+		opts.CacheEnabled = false
+	}
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var load []*Txn
+	for i := uint64(0); i < 20; i++ {
+		load = append(load, mkInsert(i, smallVal(byte(i))))
+	}
+	if _, err := db.RunEpoch(load); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		var batch []*Txn
+		for i := uint64(0); i < 20; i++ {
+			batch = append(batch, mkRMW(i%4, byte('a'+i)))
+		}
+		if _, err := db.RunEpoch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestAllStorageModesProduceSameState(t *testing.T) {
+	var want map[uint64][]byte
+	for _, mode := range []StorageMode{ModeNVCaracal, ModeNoLogging, ModeHybrid, ModeAllNVMM, ModeAllDRAM} {
+		t.Run(mode.String(), func(t *testing.T) {
+			db := runModeEpochs(t, mode)
+			got := map[uint64][]byte{}
+			for i := uint64(0); i < 20; i++ {
+				v, ok := db.Get(tblKV, i)
+				if !ok {
+					t.Fatalf("key %d missing", i)
+				}
+				got[i] = append([]byte(nil), v...)
+			}
+			if want == nil {
+				want = got
+				return
+			}
+			for k, v := range want {
+				if !bytes.Equal(got[k], v) {
+					t.Fatalf("mode %v key %d: %q != %q", mode, k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestHybridWritesMoreNVMMThanNVCaracal(t *testing.T) {
+	// Under contention, hybrid persists every intermediate update while
+	// NVCaracal persists only finals: hybrid must write more NVMM bytes
+	// during execution (NVCaracal's log bytes are separate).
+	measure := func(mode StorageMode) int64 {
+		opts := testOpts(2)
+		opts.Mode = mode
+		dev := nvm.New(opts.Layout.TotalBytes())
+		db, err := Open(dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var load []*Txn
+		for i := uint64(0); i < 4; i++ {
+			load = append(load, mkInsert(i, smallVal(byte(i))))
+		}
+		db.RunEpoch(load)
+		dev.ResetStats()
+		var batch []*Txn
+		for i := 0; i < 64; i++ {
+			batch = append(batch, mkRMW(uint64(i%4), byte(i)))
+		}
+		db.RunEpoch(batch)
+		return dev.Stats().BytesWritten
+	}
+	hybrid := measure(ModeHybrid)
+	nvc := measure(ModeNoLogging) // exclude log bytes for a fair comparison
+	if hybrid <= nvc {
+		t.Fatalf("hybrid wrote %d bytes <= nvcaracal %d under contention", hybrid, nvc)
+	}
+}
+
+func TestMemoryBreakdown(t *testing.T) {
+	db, _ := openTestDB(t, 2)
+	var load []*Txn
+	for i := uint64(0); i < 50; i++ {
+		load = append(load, mkInsert(i, bigVal(byte(i))))
+	}
+	mustRun(t, db, load)
+	var upd []*Txn
+	for i := uint64(0); i < 50; i++ {
+		upd = append(upd, mkSet(i, bigVal(byte(i+1))))
+	}
+	mustRun(t, db, upd)
+	m := db.Memory()
+	if m.IndexBytes == 0 {
+		t.Error("IndexBytes = 0")
+	}
+	if m.RowBytes < 50*256 {
+		t.Errorf("RowBytes = %d, want >= %d", m.RowBytes, 50*256)
+	}
+	if m.ValueBytes == 0 {
+		t.Error("ValueBytes = 0 for non-inline values")
+	}
+	if m.TransientPeak == 0 {
+		t.Error("TransientPeak = 0")
+	}
+	if m.CacheBytes == 0 {
+		t.Error("CacheBytes = 0 with caching on")
+	}
+	if m.DRAMTotal() <= 0 || m.NVMMTotal() <= 0 {
+		t.Error("totals not positive")
+	}
+}
+
+func TestTransientShareGrowsWithContention(t *testing.T) {
+	// The paper's central claim: higher contention → more intermediate
+	// writes absorbed by DRAM.
+	share := func(hot int) float64 {
+		opts := testOpts(2)
+		dev := nvm.New(opts.Layout.TotalBytes())
+		db, err := Open(dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var load []*Txn
+		for i := uint64(0); i < 100; i++ {
+			load = append(load, mkInsert(i, smallVal(byte(i))))
+		}
+		db.RunEpoch(load)
+		before := db.Metrics()
+		var batch []*Txn
+		for i := 0; i < 200; i++ {
+			var k uint64
+			if i%10 < hot {
+				k = uint64(i % 2) // hot set of 2 rows
+			} else {
+				k = uint64(10 + i%90)
+			}
+			batch = append(batch, mkRMW(k, byte(i)))
+		}
+		db.RunEpoch(batch)
+		return db.Metrics().Sub(before).TransientShare()
+	}
+	low := share(0)
+	high := share(7)
+	if high <= low {
+		t.Fatalf("transient share did not grow with contention: low=%.2f high=%.2f", low, high)
+	}
+	if high < 0.3 {
+		t.Fatalf("high-contention transient share %.2f implausibly low", high)
+	}
+}
+
+func TestEpochResultTimings(t *testing.T) {
+	db, _ := openTestDB(t, 2)
+	res := mustRun(t, db, []*Txn{mkInsert(1, smallVal('a'))})
+	if res.Total() <= 0 {
+		t.Fatalf("Total = %v", res.Total())
+	}
+	if res.Epoch != 1 {
+		t.Fatalf("Epoch = %d", res.Epoch)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[StorageMode]string{
+		ModeNVCaracal: "nvcaracal",
+		ModeNoLogging: "no-logging",
+		ModeHybrid:    "hybrid",
+		ModeAllNVMM:   "all-nvmm",
+		ModeAllDRAM:   "all-dram",
+	} {
+		if m.String() != want {
+			t.Errorf("%v", m)
+		}
+	}
+	if fmt.Sprint(StorageMode(99)) == "" {
+		t.Error("unknown mode prints empty")
+	}
+}
+
+func TestSIDHelpers(t *testing.T) {
+	sid := MakeSID(7, 42)
+	if SIDEpoch(sid) != 7 {
+		t.Fatalf("SIDEpoch = %d", SIDEpoch(sid))
+	}
+	if MakeSID(1, 1) >= MakeSID(2, 1) {
+		t.Fatal("epoch ordering broken")
+	}
+	if MakeSID(1, 1) >= MakeSID(1, 2) {
+		t.Fatal("serial ordering broken")
+	}
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nvcaracal/internal/index"
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/pmem"
+)
+
+// RecoveryReport breaks down a recovery the way Figure 11 of the paper
+// does: loading logged transactions, scanning persistent rows and
+// rebuilding the index, reverting crashed-epoch changes (TPC-C variant),
+// and replaying the failed epoch.
+type RecoveryReport struct {
+	CheckpointEpoch uint64
+	ReplayedEpoch   uint64 // 0 when there was nothing to replay
+	TxnsReplayed    int
+	RowsScanned     int
+	RowsRepaired    int // torn dual-version descriptors fixed (§4.5)
+	RowsReverted    int // crashed-epoch versions reset (TPC-C, §6.2.3)
+	GCListRebuilt   int // rows re-queued for the major collector
+
+	// UsedIndexJournal reports that the index was rebuilt from the
+	// persistent index journal (§7 extension) instead of the row scan;
+	// JournalEntries counts the replayed journal records.
+	UsedIndexJournal bool
+	JournalEntries   int
+
+	LoadTime   time.Duration
+	ScanTime   time.Duration
+	RevertTime time.Duration
+	ReplayTime time.Duration
+}
+
+// Total returns the end-to-end recovery time.
+func (r RecoveryReport) Total() time.Duration {
+	return r.LoadTime + r.ScanTime + r.RevertTime + r.ReplayTime
+}
+
+// Recover attaches to a device that holds a formatted database, restores
+// the allocator and counter state of the last checkpointed epoch, rebuilds
+// the DRAM row index by scanning the persistent rows, repairs torn
+// dual-version descriptors, and — if the crashed epoch's inputs are in the
+// log — deterministically replays that epoch. On return the database is
+// consistent with having executed every epoch up to and including the
+// replayed one.
+func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
+	opts.applyDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	if _, err := pmem.Attach(dev, opts.Layout); err != nil {
+		return nil, nil, err
+	}
+	db := newDB(dev, opts)
+	rep := &RecoveryReport{}
+
+	ckpt := db.epochRec.Load()
+	rep.CheckpointEpoch = ckpt
+	db.epoch = ckpt
+	crashed := ckpt + 1
+
+	// Restore allocator state; collect the crashed epoch's durable GC
+	// frees for duplicate suppression when the collection is redone.
+	db.gcDupSet = make(map[int64]struct{})
+	for c := 0; c < opts.Cores; c++ {
+		db.rowPools[c].Recover(ckpt)
+		for k := range db.valPools {
+			for _, off := range db.valPools[k][c].Recover(ckpt) {
+				db.gcDupSet[off] = struct{}{}
+			}
+		}
+	}
+	// Restore persistent counters.
+	for i := range db.counters {
+		db.counters[i].Store(pmem.NewCounter(dev, db.layout, int64(i)).Load())
+	}
+
+	// Load the crashed epoch's logged inputs, if they were fully persisted.
+	// An Aria marker as the first record selects the Aria replay algorithm.
+	t0 := time.Now()
+	var batch []*Txn
+	var ariaBatch []*AriaTxn
+	ariaEpoch := false
+	if opts.Mode.logs() {
+		if recs, ok := db.log.ReadEpoch(crashed); ok {
+			if len(recs) > 0 && recs[0].Type == ariaMarkerType {
+				ariaEpoch = true
+				if opts.AriaRegistry == nil {
+					return nil, nil, fmt.Errorf("core: crashed epoch %d is Aria-flavoured but no AriaRegistry configured", crashed)
+				}
+				ariaBatch = make([]*AriaTxn, len(recs)-1)
+				for i, rec := range recs[1:] {
+					t, err := opts.AriaRegistry.Decode(rec.Type, rec.Data, db)
+					if err != nil {
+						return nil, nil, fmt.Errorf("core: aria recovery decode: %w", err)
+					}
+					ariaBatch[i] = t
+				}
+			} else {
+				batch = make([]*Txn, len(recs))
+				for i, rec := range recs {
+					t, err := opts.Registry.Decode(rec.Type, rec.Data, db)
+					if err != nil {
+						return nil, nil, fmt.Errorf("core: recovery decode: %w", err)
+					}
+					batch[i] = t
+				}
+			}
+		}
+	}
+	rep.LoadTime = time.Since(t0)
+
+	// Fast path: rebuild the index from the persistent index journal (§7
+	// extension) when it is enabled and validates; otherwise scan. An Aria
+	// crashed epoch always scans: without declared write sets there is no
+	// bound on which rows need torn-descriptor repair before replay reads.
+	t1 := time.Now()
+	var revertCandidates []*rowState
+	if !ariaEpoch {
+		if reverts, ok := db.recoverIndexFromJournal(crashed, batch, rep); ok {
+			rep.ScanTime = time.Since(t1)
+			return db.finishRecovery(batch, ariaBatch, crashed, rep, reverts, t1)
+		}
+	}
+
+	// Scan the persistent rows, rebuild the index, repair torn versions,
+	// and rebuild the major-GC list (§4.3, §5.5).
+	// Deletions free a row slot into the *executing* core's pool, which
+	// need not be the pool whose data region holds the slot, so the scan
+	// must skip the union of all pools' free lists.
+	free := make(map[int64]struct{})
+	for c := 0; c < opts.Cores; c++ {
+		for off := range db.rowPools[c].FreeSet() {
+			free[off] = struct{}{}
+		}
+	}
+	db.parallel(func(c int) {
+		pool := db.rowPools[c]
+		base := db.layout.RowDataOff(c)
+		var scanned, repaired, gcRebuilt int
+		var cands []*rowState
+		for i := int64(0); i < pool.Bump(); i++ {
+			off := base + i*db.layout.RowSize
+			if _, isFree := free[off]; isFree {
+				continue
+			}
+			r := db.rowRef(off)
+			scanned++
+			if r.repair(crashed) {
+				repaired++
+			}
+			key := index.Key{Table: r.table(), ID: r.key()}
+			rs := &rowState{nvOff: off, owner: int32(db.ownerOf(key))}
+			db.idx.Put(key, rs)
+
+			v1 := r.readVersion(1)
+			v2 := r.readVersion(2)
+			if opts.RevertOnRecovery && !v2.isNull() && SIDEpoch(v2.sid) == crashed {
+				cands = append(cands, rs)
+				continue
+			}
+			// Re-queue rows whose pending major collection did not finish.
+			// Rows whose v2 belongs to the crashed epoch are excluded: that
+			// version is replayed, and collecting it now would overwrite
+			// the checkpoint with un-fenced data.
+			if !v2.isNull() && SIDEpoch(v2.sid) != crashed && !v1.isNull() &&
+				v2ReplacedNeedsGC(v1, opts.MinorGCEnabled) {
+				db.gcPending[c] = append(db.gcPending[c], rs)
+				gcRebuilt++
+			}
+		}
+		db.scanMu.Lock()
+		rep.RowsScanned += scanned
+		rep.RowsRepaired += repaired
+		rep.GCListRebuilt += gcRebuilt
+		revertCandidates = append(revertCandidates, cands...)
+		db.scanMu.Unlock()
+	})
+	rep.ScanTime = time.Since(t1)
+	return db.finishRecovery(batch, ariaBatch, crashed, rep, revertCandidates, t1)
+}
+
+// finishRecovery runs the revert pass and deterministic replay shared by
+// the scan and journal recovery paths.
+func (db *DB) finishRecovery(batch []*Txn, ariaBatch []*AriaTxn, crashed uint64, rep *RecoveryReport,
+	revertCandidates []*rowState, _ time.Time) (*DB, *RecoveryReport, error) {
+	// TPC-C variant: reset versions written by the crashed epoch, since the
+	// replay may assign them different keys (§6.2.3).
+	t2 := time.Now()
+	for _, rs := range revertCandidates {
+		r := db.rowRef(rs.nvOff)
+		if r.revertCrashedVersion(crashed) {
+			rep.RowsReverted++
+		}
+	}
+	rep.RevertTime = time.Since(t2)
+
+	// Replay the crashed epoch deterministically.
+	t3 := time.Now()
+	if batch != nil || ariaBatch != nil {
+		db.replaying = true
+		db.skipEpoch = crashed
+		var err error
+		if ariaBatch != nil {
+			_, err = db.RunEpochAria(ariaBatch)
+			rep.TxnsReplayed = len(ariaBatch)
+		} else {
+			_, err = db.RunEpoch(batch)
+			rep.TxnsReplayed = len(batch)
+		}
+		db.replaying = false
+		db.skipEpoch = 0
+		db.gcDupSet = nil
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: replay: %w", err)
+		}
+		rep.ReplayedEpoch = crashed
+	}
+	rep.ReplayTime = time.Since(t3)
+	return db, rep, nil
+}
+
+// recoverIndexFromJournal attempts the journal fast path: rebuild the index
+// and major-GC list from the persistent index journal, repair the rows the
+// crashed epoch could have touched (the journaled GC list and the replay
+// batch's write sets), and collect the TPC-C revert candidates from the
+// batch's write sets. Returns false — with the index left empty — when the
+// journal is absent or does not validate, in which case the caller scans.
+func (db *DB) recoverIndexFromJournal(crashed uint64, batch []*Txn, rep *RecoveryReport) ([]*rowState, bool) {
+	if db.idxLog == nil {
+		return nil, false
+	}
+	ckpt := crashed - 1
+	var entries []pmem.IndexEntry
+	var epochs []uint64
+	if !db.idxLog.Recover(ckpt, func(ep uint64, e pmem.IndexEntry) {
+		entries = append(entries, e)
+		epochs = append(epochs, ep)
+	}) {
+		return nil, false
+	}
+	// Apply in order. revMap resolves GC entries (which carry only a row
+	// offset) to the rowState that currently owns the slot.
+	revMap := make(map[int64]*rowState)
+	var gcRows []*rowState
+	for i, e := range entries {
+		switch e.Kind {
+		case pmem.IdxPut:
+			key := index.Key{Table: e.Table, ID: e.Key}
+			rs := &rowState{nvOff: e.RowOff, owner: int32(db.ownerOf(key))}
+			db.idx.Put(key, rs)
+			revMap[e.RowOff] = rs
+		case pmem.IdxDel:
+			key := index.Key{Table: e.Table, ID: e.Key}
+			if rs, ok := db.idx.Get(key); ok {
+				delete(revMap, rs.nvOff)
+			}
+			db.idx.Delete(key)
+		case pmem.IdxGC:
+			// Only the final checkpointed epoch's GC list is pending; lists
+			// from earlier epochs were consumed by their successor.
+			if epochs[i] == ckpt {
+				if rs, ok := revMap[e.RowOff]; ok {
+					gcRows = append(gcRows, rs)
+				}
+			}
+		}
+	}
+	rep.UsedIndexJournal = true
+	rep.JournalEntries = len(entries)
+
+	// Repair torn descriptors on every row the crashed epoch could have
+	// modified: the pending GC list (major-GC copies, §4.5 cases 1-2) and
+	// the replay batch's declared write sets (final writes and minor-GC
+	// copies). Execution cannot have touched anything else, and nothing
+	// executes before the input log is durable.
+	for _, rs := range gcRows {
+		if db.rowRef(rs.nvOff).repair(crashed) {
+			rep.RowsRepaired++
+		}
+		db.gcPending[rs.owner] = append(db.gcPending[rs.owner], rs)
+		rep.GCListRebuilt++
+	}
+	var reverts []*rowState
+	seen := make(map[index.Key]struct{})
+	for _, t := range batch {
+		for _, op := range t.Ops {
+			key := index.Key{Table: op.Table, ID: op.Key}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			rs, ok := db.idx.Get(key)
+			if !ok {
+				continue // row created by the crashed epoch: reverted by the allocators
+			}
+			r := db.rowRef(rs.nvOff)
+			if r.repair(crashed) {
+				rep.RowsRepaired++
+			}
+			if db.opts.RevertOnRecovery {
+				v2 := r.readVersion(2)
+				if !v2.isNull() && SIDEpoch(v2.sid) == crashed {
+					reverts = append(reverts, rs)
+				}
+			}
+		}
+	}
+	return reverts, true
+}
+
+// rowLatest resolves the latest committed persistent version of a row,
+// skipping versions written by the epoch currently being replayed: those
+// are un-fenced crashed-epoch data that the replay itself will overwrite,
+// and replayed reads must observe the checkpoint instead.
+func (db *DB) rowLatest(r rowRef) version {
+	v2 := r.readVersion(2)
+	if !v2.isNull() && SIDEpoch(v2.sid) != db.skipEpoch {
+		return v2
+	}
+	return r.readVersion(1)
+}

@@ -1,0 +1,448 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nvcaracal/internal/index"
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/wal"
+)
+
+// recoverTestDB reattaches to a crashed device.
+func recoverTestDB(t *testing.T, dev *nvm.Device, cores int) (*DB, *RecoveryReport) {
+	t.Helper()
+	db, rep, err := Recover(dev, testOpts(cores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, rep
+}
+
+func TestRecoverCleanShutdown(t *testing.T) {
+	db, dev := openTestDB(t, 2)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("one")), mkInsert(2, []byte("two"))})
+	mustRun(t, db, []*Txn{mkSet(1, []byte("uno"))})
+	dev.Crash(nvm.CrashStrict, 1)
+
+	db2, rep := recoverTestDB(t, dev, 2)
+	if rep.CheckpointEpoch != 2 {
+		t.Fatalf("checkpoint epoch = %d, want 2", rep.CheckpointEpoch)
+	}
+	if rep.ReplayedEpoch != 0 {
+		t.Fatalf("unexpected replay of epoch %d", rep.ReplayedEpoch)
+	}
+	wantGet(t, db2, 1, []byte("uno"))
+	wantGet(t, db2, 2, []byte("two"))
+	if rep.RowsScanned != 2 {
+		t.Fatalf("RowsScanned = %d", rep.RowsScanned)
+	}
+}
+
+func TestRecoverReplaysCrashedEpoch(t *testing.T) {
+	db, dev := openTestDB(t, 2)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("a")), mkInsert(2, []byte("b"))})
+
+	// Epoch 2: log the inputs, then crash before any execution effects are
+	// fenced by simulating the crash right after the log write. Run the
+	// epoch fully, then crash WITHOUT the checkpoint... RunEpoch
+	// checkpoints internally, so instead we drive the crash through a
+	// fail-point below. Here: crash after a completed epoch but mimic an
+	// interrupted follow-up by writing the log manually is fragile, so use
+	// the simplest real sequence: run epoch 2, crash strictly — epoch 2 is
+	// checkpointed; then hand-roll epoch 3's log only.
+	mustRun(t, db, []*Txn{mkSet(1, []byte("a2"))})
+
+	// Hand-roll epoch 3: log inputs as RunEpoch would, then "crash" before
+	// execution (no data writes at all).
+	batch := []*Txn{mkSet(1, []byte("a3")), mkRMW(2, 'x')}
+	recs := make([]struct{}, 0)
+	_ = recs
+	logTxns(t, db, 3, batch)
+	dev.Crash(nvm.CrashStrict, 7)
+
+	db2, rep := recoverTestDB(t, dev, 2)
+	if rep.CheckpointEpoch != 2 || rep.ReplayedEpoch != 3 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if rep.TxnsReplayed != 2 {
+		t.Fatalf("TxnsReplayed = %d", rep.TxnsReplayed)
+	}
+	wantGet(t, db2, 1, []byte("a3"))
+	wantGet(t, db2, 2, []byte("bx"))
+	if db2.Epoch() != 3 {
+		t.Fatalf("Epoch = %d", db2.Epoch())
+	}
+}
+
+// logTxns writes an epoch's inputs to the log exactly as RunEpoch would,
+// without executing anything — simulating a crash after logging.
+func logTxns(t *testing.T, db *DB, epoch uint64, batch []*Txn) {
+	t.Helper()
+	recs := make([]wal.Record, len(batch))
+	for i, txn := range batch {
+		recs[i] = wal.Record{Type: txn.TypeID, Data: txn.Input}
+	}
+	if err := db.log.WriteEpoch(epoch, recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// kvKey builds the index key for the test table.
+func kvKey(k uint64) index.Key { return index.Key{Table: tblKV, ID: k} }
+
+func TestCrashMidExecutionViaFailpoint(t *testing.T) {
+	// Inject a device crash partway through epoch 2's persists, then
+	// recover and verify the replay reproduces the exact committed state.
+	for _, failAfter := range []int64{1, 3, 7, 15, 40} {
+		t.Run(fmt.Sprintf("failAfter=%d", failAfter), func(t *testing.T) {
+			db, dev := openTestDB(t, 2)
+			var load []*Txn
+			for i := uint64(0); i < 20; i++ {
+				load = append(load, mkInsert(i, []byte{byte(i)}))
+			}
+			mustRun(t, db, load)
+
+			var batch []*Txn
+			for i := uint64(0); i < 20; i++ {
+				batch = append(batch, mkRMW(i%5, byte('A'+i)))
+			}
+			fired := false
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if r != nvm.ErrInjectedCrash {
+							panic(r)
+						}
+						fired = true
+					}
+				}()
+				dev.SetFailAfter(failAfter)
+				if _, err := db.RunEpoch(batch); err != nil {
+					t.Fatal(err)
+				}
+			}()
+			dev.Crash(nvm.CrashStrict, failAfter)
+
+			db2, rep := recoverTestDB(t, dev, 2)
+			// Epoch-2 state, applied all-or-nothing.
+			want := map[uint64][]byte{}
+			for i := uint64(0); i < 20; i++ {
+				want[i] = []byte{byte(i)}
+			}
+			epochApplied := !fired || rep.ReplayedEpoch == 2
+			if !fired && rep.CheckpointEpoch != 2 {
+				t.Fatalf("no crash but checkpoint = %d", rep.CheckpointEpoch)
+			}
+			if epochApplied {
+				for i := uint64(0); i < 20; i++ {
+					k := i % 5
+					want[k] = append(want[k], byte('A'+i))
+				}
+			}
+			for i := uint64(0); i < 20; i++ {
+				wantGet(t, db2, i, want[i])
+			}
+		})
+	}
+}
+
+func TestCrashDuringManyEpochsRandomized(t *testing.T) {
+	// Run a workload for several epochs with a fail-point at a random
+	// persist count; after recovery the state must match a shadow model
+	// that applies epochs transactionally (all-or-nothing).
+	for seed := int64(1); seed <= 12; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			db, dev := openTestDB(t, 2)
+			model := map[uint64][]byte{}
+
+			const keys = 12
+			var load []*Txn
+			for i := uint64(0); i < keys; i++ {
+				v := []byte{byte(i)}
+				load = append(load, mkInsert(i, v))
+				model[i] = v
+			}
+			mustRun(t, db, load)
+
+			crashed := false
+			for ep := 0; ep < 6 && !crashed; ep++ {
+				var batch []*Txn
+				shadow := cloneModel(model)
+				for j := 0; j < 10; j++ {
+					k := uint64(rng.Intn(keys))
+					b := byte('a' + rng.Intn(26))
+					batch = append(batch, mkRMW(k, b))
+					shadow[k] = append(shadow[k], b)
+				}
+				if ep == 3 {
+					dev.SetFailAfter(int64(rng.Intn(40) + 1))
+				}
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							if r != nvm.ErrInjectedCrash {
+								panic(r)
+							}
+							err = nvm.ErrInjectedCrash
+						}
+					}()
+					_, e := db.RunEpoch(batch)
+					return e
+				}()
+				if err == nvm.ErrInjectedCrash {
+					crashed = true
+					dev.Crash(nvm.CrashStrict, seed)
+					db2, rep := recoverTestDB(t, dev, 2)
+					// The epoch either replayed fully or not at all.
+					if rep.ReplayedEpoch != 0 {
+						model = shadow
+					}
+					for k, v := range model {
+						wantGet(t, db2, k, v)
+					}
+					db = db2
+				} else if err != nil {
+					t.Fatal(err)
+				} else {
+					model = shadow
+				}
+			}
+			if !crashed {
+				t.Fatal("fail-point never fired; lower the threshold")
+			}
+		})
+	}
+}
+
+func cloneModel(m map[uint64][]byte) map[uint64][]byte {
+	c := make(map[uint64][]byte, len(m))
+	for k, v := range m {
+		c[k] = append([]byte(nil), v...)
+	}
+	return c
+}
+
+func TestRecoveryWithChaosEviction(t *testing.T) {
+	// With chaos eviction, arbitrary lines become durable at arbitrary
+	// times — including half-written version descriptors. Recovery must
+	// repair them all.
+	for seed := int64(1); seed <= 10; seed++ {
+		opts := testOpts(2)
+		dev := nvm.New(opts.Layout.TotalBytes(), nvm.WithChaosEviction(3, seed))
+		db, err := Open(dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var load []*Txn
+		for i := uint64(0); i < 10; i++ {
+			load = append(load, mkInsert(i, bytes.Repeat([]byte{byte(i)}, 100)))
+		}
+		if _, err := db.RunEpoch(load); err != nil {
+			t.Fatal(err)
+		}
+		// A couple of committed epochs.
+		for e := 0; e < 2; e++ {
+			var batch []*Txn
+			for i := uint64(0); i < 10; i++ {
+				batch = append(batch, mkRMW(i, byte('0'+i)))
+			}
+			if _, err := db.RunEpoch(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Log one more epoch, then crash before executing it.
+		batch := []*Txn{mkSet(3, []byte("after")), mkDelete(7)}
+		logTxns(t, db, 4, batch)
+		dev.Crash(nvm.CrashRandom, seed)
+
+		db2, rep := recoverTestDB(t, dev, 2)
+		if rep.ReplayedEpoch != 4 {
+			t.Fatalf("seed %d: replay = %d, want 4", seed, rep.ReplayedEpoch)
+		}
+		wantGet(t, db2, 3, []byte("after"))
+		wantGet(t, db2, 7, nil)
+		for i := uint64(0); i < 10; i++ {
+			if i == 3 || i == 7 {
+				continue
+			}
+			want := append(bytes.Repeat([]byte{byte(i)}, 100), byte('0'+i), byte('0'+i))
+			wantGet(t, db2, i, want)
+		}
+	}
+}
+
+func TestRecoveryRepairsTornDescriptors(t *testing.T) {
+	// Construct the §4.5 torn states by hand and verify repair.
+	db, dev := openTestDB(t, 1)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("v1data"))})
+	mustRun(t, db, []*Txn{mkSet(1, []byte("v2data"))})
+
+	rs, _ := db.idx.Get(kvKey(1))
+	r := db.rowRef(rs.nvOff)
+
+	// Case 1: GC copied v2's SID into v1 but not the pointer. Simulate:
+	// set v1.sid = v2.sid, persist, leave pointers differing.
+	v2 := r.readVersion(2)
+	dev.Store64(r.verOff(1)+verSID, v2.sid)
+	dev.Persist(r.verOff(1), 8)
+	dev.Crash(nvm.CrashAll, 1)
+
+	db2, rep := recoverTestDB(t, dev, 1)
+	if rep.RowsRepaired != 1 {
+		t.Fatalf("RowsRepaired = %d, want 1", rep.RowsRepaired)
+	}
+	rs2, _ := db2.idx.Get(kvKey(1))
+	r2 := db2.rowRef(rs2.nvOff)
+	nv1, nv2 := r2.readVersion(1), r2.readVersion(2)
+	if nv1 != nv2 {
+		t.Fatalf("case 1 not repaired: v1=%+v v2=%+v", nv1, nv2)
+	}
+	wantGet(t, db2, 1, []byte("v2data"))
+}
+
+func TestRecoveryRepairsHalfResetV2(t *testing.T) {
+	// Case 2: GC reset v2.sid to null but crashed before clearing the
+	// pointer.
+	db, dev := openTestDB(t, 1)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("v1data"))})
+	mustRun(t, db, []*Txn{mkSet(1, []byte("v2data"))})
+
+	rs, _ := db.idx.Get(kvKey(1))
+	r := db.rowRef(rs.nvOff)
+	// First make v1 := v2 (completed copy), then half-reset v2.
+	v2 := r.readVersion(2)
+	r.writeVersion(1, v2)
+	dev.Store64(r.verOff(2)+verSID, 0)
+	dev.Persist(rs.nvOff, 64)
+	dev.Crash(nvm.CrashAll, 1)
+
+	db2, rep := recoverTestDB(t, dev, 1)
+	if rep.RowsRepaired != 1 {
+		t.Fatalf("RowsRepaired = %d", rep.RowsRepaired)
+	}
+	rs2, _ := db2.idx.Get(kvKey(1))
+	r2 := db2.rowRef(rs2.nvOff)
+	if nv2 := r2.readVersion(2); nv2.ptr != 0 || nv2.size != 0 {
+		t.Fatalf("case 2 not repaired: %+v", nv2)
+	}
+	wantGet(t, db2, 1, []byte("v2data"))
+}
+
+func TestRecoverDeleteReplayed(t *testing.T) {
+	db, dev := openTestDB(t, 2)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("x")), mkInsert(2, []byte("y"))})
+	logTxns(t, db, 2, []*Txn{mkDelete(1)})
+	dev.Crash(nvm.CrashStrict, 5)
+	db2, rep := recoverTestDB(t, dev, 2)
+	if rep.ReplayedEpoch != 2 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	wantGet(t, db2, 1, nil)
+	wantGet(t, db2, 2, []byte("y"))
+}
+
+func TestRecoverInsertReverted(t *testing.T) {
+	// Inserts of a crashed, unlogged epoch must vanish (allocator revert).
+	db, dev := openTestDB(t, 2)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("x"))})
+	// Simulate a crash mid-insert-step of epoch 2: allocate rows by
+	// running the epoch with a fail-point armed early.
+	fired := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r != nvm.ErrInjectedCrash {
+					panic(r)
+				}
+				fired = true
+			}
+		}()
+		dev.SetFailAfter(5) // inside the epoch-2 persists
+		db.RunEpoch([]*Txn{mkInsert(50, []byte("ghost")), mkInsert(51, []byte("ghost2"))})
+	}()
+	if !fired {
+		t.Fatal("fail-point never fired")
+	}
+	dev.Crash(nvm.CrashStrict, 2)
+	db2, rep := recoverTestDB(t, dev, 2)
+	wantGet(t, db2, 1, []byte("x"))
+	switch rep.ReplayedEpoch {
+	case 0:
+		wantGet(t, db2, 50, nil)
+		wantGet(t, db2, 51, nil)
+	case 2:
+		wantGet(t, db2, 50, []byte("ghost"))
+		wantGet(t, db2, 51, []byte("ghost2"))
+	}
+}
+
+func TestRecoverCounters(t *testing.T) {
+	db, dev := openTestDB(t, 2)
+	db.CounterAdd(3, 41)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("x"))}) // checkpoint persists counters
+	db.CounterAdd(3, 100)                            // not checkpointed
+	dev.Crash(nvm.CrashStrict, 1)
+	db2, _ := recoverTestDB(t, dev, 2)
+	if got := db2.CounterGet(3); got != 41 {
+		t.Fatalf("counter = %d, want 41 (checkpointed value)", got)
+	}
+}
+
+func TestDoubleCrashDuringRecovery(t *testing.T) {
+	// Crash, begin recovery replay, crash again mid-replay, recover again:
+	// the final state must still be exact.
+	db, dev := openTestDB(t, 2)
+	var load []*Txn
+	for i := uint64(0); i < 10; i++ {
+		load = append(load, mkInsert(i, []byte{byte(i)}))
+	}
+	mustRun(t, db, load)
+	batch := []*Txn{mkRMW(1, 'p'), mkRMW(2, 'q'), mkRMW(1, 'r')}
+	logTxns(t, db, 2, batch)
+	dev.Crash(nvm.CrashStrict, 11)
+
+	// First recovery: crash during replay.
+	func() {
+		defer func() {
+			if r := recover(); r != nil && r != nvm.ErrInjectedCrash {
+				panic(r)
+			}
+		}()
+		dev.SetFailAfter(10)
+		Recover(dev, testOpts(2))
+	}()
+	dev.Crash(nvm.CrashStrict, 12)
+
+	// Second recovery must complete and produce the exact state.
+	db2, rep := recoverTestDB(t, dev, 2)
+	if rep.ReplayedEpoch != 2 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	wantGet(t, db2, 1, []byte{1, 'p', 'r'})
+	wantGet(t, db2, 2, []byte{2, 'q'})
+}
+
+func TestRecoverLayoutMismatch(t *testing.T) {
+	db, dev := openTestDB(t, 2)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("x"))})
+	bad := testOpts(2)
+	bad.Layout.RowsPerCore = 4096
+	if err := bad.Layout.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(dev, bad); err == nil {
+		t.Fatal("layout mismatch accepted")
+	}
+}
+
+func TestRecoverUnformattedDevice(t *testing.T) {
+	opts := testOpts(1)
+	dev := nvm.New(opts.Layout.TotalBytes())
+	if _, _, err := Recover(dev, opts); err == nil {
+		t.Fatal("recover on unformatted device succeeded")
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"nvcaracal/internal/nvm"
+)
+
+// Persistent row layout (fixed size, default 256 bytes; paper §5.3). The
+// header and both version descriptors share the first cache line so the
+// dual-version update protocol persists in one line write-back:
+//
+//	 0  table   uint32
+//	 4  (reserved)
+//	 8  key     uint64
+//	16  v1.sid  uint64   ── the older version; invariant v1.sid < v2.sid
+//	24  v1.ptr  uint64      (when both are non-zero)
+//	32  v1.size uint32
+//	40  v2.sid  uint64   ── the newer version
+//	48  v2.ptr  uint64
+//	56  v2.size uint32
+//	64  inline heap: two slots of (rowSize-64)/2 bytes each
+//
+// ptr encoding: 0 = no value; ptrInlineA / ptrInlineB = the value lives in
+// the corresponding inline slot; any other value = absolute device offset
+// of a persistent value-pool slot.
+const (
+	rowHdrTable = 0
+	rowHdrKey   = 8
+	rowV1       = 16
+	rowV2       = 40
+	verSID      = 0
+	verPtr      = 8
+	verSize     = 16
+	rowInline   = 64
+
+	ptrNone    = uint64(0)
+	ptrInlineA = uint64(1)
+	ptrInlineB = uint64(2)
+)
+
+// version is the in-DRAM decoding of one persistent version descriptor.
+type version struct {
+	sid  uint64
+	ptr  uint64
+	size uint32
+}
+
+func (v version) isNull() bool   { return v.sid == 0 }
+func (v version) isInline() bool { return v.ptr == ptrInlineA || v.ptr == ptrInlineB }
+
+// rowRef is a handle to one persistent row on the device.
+type rowRef struct {
+	dev     *nvm.Device
+	off     int64
+	rowSize int64
+}
+
+// inlineHalf returns the size of each of the two inline slots.
+func (r rowRef) inlineHalf() int64 { return (r.rowSize - rowInline) / 2 }
+
+// inlineOff returns the device offset of inline slot ptrInlineA/B.
+func (r rowRef) inlineOff(ptr uint64) int64 {
+	if ptr == ptrInlineA {
+		return r.off + rowInline
+	}
+	return r.off + rowInline + r.inlineHalf()
+}
+
+// valueOff resolves a version's data location on the device.
+func (r rowRef) valueOff(v version) int64 {
+	if v.isInline() {
+		return r.inlineOff(v.ptr)
+	}
+	return int64(v.ptr)
+}
+
+func (r rowRef) table() uint32 { return r.dev.Load32(r.off + rowHdrTable) }
+func (r rowRef) key() uint64   { return r.dev.Load64(r.off + rowHdrKey) }
+
+// writeHeader initializes a freshly allocated row: table, key, and both
+// version descriptors cleared (the slot may be recycled and hold stale
+// descriptors). One line store + flush; durability comes from the epoch
+// fence.
+func (r rowRef) writeHeader(table uint32, key uint64) {
+	var line [rowInline]byte
+	putU32(line[rowHdrTable:], table)
+	putU64(line[rowHdrKey:], key)
+	r.dev.WriteAt(line[:], r.off)
+	r.dev.Flush(r.off, rowInline)
+}
+
+func (r rowRef) verOff(which int) int64 {
+	if which == 1 {
+		return r.off + rowV1
+	}
+	return r.off + rowV2
+}
+
+// readVersion loads version descriptor 1 or 2.
+func (r rowRef) readVersion(which int) version {
+	off := r.verOff(which)
+	return version{
+		sid:  r.dev.Load64(off + verSID),
+		ptr:  r.dev.Load64(off + verPtr),
+		size: r.dev.Load32(off + verSize),
+	}
+}
+
+// writeVersion stores a descriptor with the crash-consistency ordering of
+// §4.5: the SID is stored before the pointer, so a partial write-back is
+// detectable by comparing SIDs. The line is flushed afterwards; the fence
+// comes from the epoch boundary (or replay makes the outcome irrelevant).
+func (r rowRef) writeVersion(which int, v version) {
+	off := r.verOff(which)
+	r.dev.Store64(off+verSID, v.sid)
+	r.dev.Store64(off+verPtr, v.ptr)
+	r.dev.Store32(off+verSize, v.size)
+	r.dev.Flush(r.off, rowInline)
+}
+
+// resetVersion nulls a descriptor, SID first (repair case 2 relies on
+// seeing sid==0 with a leftover pointer).
+func (r rowRef) resetVersion(which int) {
+	r.writeVersion(which, version{})
+}
+
+// latest returns the most recent version: v2 if present, else v1, which
+// may itself be null for a row inserted but never written.
+func (r rowRef) latest() version {
+	if v2 := r.readVersion(2); !v2.isNull() {
+		return v2
+	}
+	return r.readVersion(1)
+}
+
+// readValue copies a version's data out of the device.
+func (r rowRef) readValue(v version) []byte {
+	buf := make([]byte, v.size)
+	if v.size > 0 {
+		r.dev.ReadAt(buf, r.valueOff(v))
+	}
+	return buf
+}
+
+// readValueInto reads a version's data into dst (which must be size bytes).
+func (r rowRef) readValueInto(v version, dst []byte) {
+	if v.size > 0 {
+		r.dev.ReadAt(dst[:v.size], r.valueOff(v))
+	}
+}
+
+// writeValue stores data at the location a descriptor with (ptr,size) will
+// reference, flushing the touched lines.
+func (r rowRef) writeValue(ptr uint64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	off := r.valueOff(version{ptr: ptr, size: uint32(len(data))})
+	r.dev.WriteAt(data, off)
+	r.dev.Flush(off, int64(len(data)))
+}
+
+// freeInlineSlot picks the inline slot not referenced by v (or slot A when
+// v is not inline), i.e. the slot a new inline version may safely occupy.
+func freeInlineSlot(v version) uint64 {
+	if v.ptr == ptrInlineA {
+		return ptrInlineB
+	}
+	return ptrInlineA
+}
+
+// repair fixes torn version descriptors after a crash, implementing the
+// three situations of §4.5. crashedEpoch is the epoch that did not
+// checkpoint. It returns true if the row was modified.
+//
+//	Case 1: GC was copying v2 to v1; sids match but pointers differ →
+//	        finish the copy.
+//	Case 2: GC was resetting v2; sid is null but the pointer is not →
+//	        finish the reset.
+//	Case 3: v2.sid belongs to the crashed epoch → left as is; the replayed
+//	        final write detects the match and overwrites the descriptor.
+func (r rowRef) repair(crashedEpoch uint64) bool {
+	v1 := r.readVersion(1)
+	v2 := r.readVersion(2)
+	if !v1.isNull() && v1.sid == v2.sid && SIDEpoch(v1.sid) != crashedEpoch &&
+		(v1.ptr != v2.ptr || v1.size != v2.size) {
+		r.writeVersion(1, version{sid: v2.sid, ptr: v2.ptr, size: v2.size})
+		return true
+	}
+	if v2.isNull() && (v2.ptr != 0 || v2.size != 0) {
+		r.resetVersion(2)
+		return true
+	}
+	return false
+}
+
+// revertCrashedVersion implements the TPC-C recovery variant (§6.2.3):
+// if v2 was written during the crashed epoch, reset it so the replay —
+// which may assign different keys — starts from the clean checkpoint.
+// Returns true if a version was reverted.
+func (r rowRef) revertCrashedVersion(crashedEpoch uint64) bool {
+	v2 := r.readVersion(2)
+	if !v2.isNull() && SIDEpoch(v2.sid) == crashedEpoch {
+		r.resetVersion(2)
+		return true
+	}
+	return false
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

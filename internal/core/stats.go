@@ -1,0 +1,70 @@
+package core
+
+import (
+	"nvcaracal/internal/index"
+)
+
+// Get reads the latest committed value of (table, key) outside any
+// transaction. It must only be called between epochs (e.g. for
+// verification); it bypasses the cache and reads the persistent row.
+func (db *DB) Get(table uint32, key uint64) ([]byte, bool) {
+	rs, ok := db.idx.Get(index.Key{Table: table, ID: key})
+	if !ok {
+		return nil, false
+	}
+	r := db.rowRef(rs.nvOff)
+	latest := db.rowLatest(r)
+	if latest.isNull() {
+		return nil, false
+	}
+	return r.readValue(latest), true
+}
+
+// MemoryBreakdown reports where the database's bytes live, reproducing the
+// paper's Figure 8 categories.
+type MemoryBreakdown struct {
+	// DRAM.
+	IndexBytes    int64 // row index
+	TransientPeak int64 // transient pool high-water mark
+	TransientFoot int64 // transient pool retained chunks
+	CacheBytes    int64 // cached version payloads
+	CacheEntries  int64
+	// NVMM.
+	RowBytes     int64 // persistent row pool usage (bump regions)
+	ValueBytes   int64 // persistent value pool usage (bump regions)
+	LogBytes     int64 // input-log region size (rewritten per epoch)
+	ScratchBytes int64 // NVMM transient scratch (baseline modes only)
+}
+
+// DRAMTotal sums the DRAM categories.
+func (m MemoryBreakdown) DRAMTotal() int64 {
+	return m.IndexBytes + m.TransientPeak + m.CacheBytes
+}
+
+// NVMMTotal sums the NVMM categories.
+func (m MemoryBreakdown) NVMMTotal() int64 {
+	return m.RowBytes + m.ValueBytes + m.LogBytes + m.ScratchBytes
+}
+
+// Memory returns the current breakdown.
+func (db *DB) Memory() MemoryBreakdown {
+	var m MemoryBreakdown
+	m.IndexBytes = db.idx.MemBytes()
+	m.TransientPeak = int64(db.arenas.Peak())
+	m.TransientFoot = int64(db.arenas.Footprint())
+	snap := db.met.Snapshot()
+	m.CacheBytes = snap.CacheBytes
+	m.CacheEntries = snap.CacheEntries
+	for c := 0; c < db.opts.Cores; c++ {
+		m.RowBytes += db.rowPools[c].UsedBytes()
+		for k := range db.valPools {
+			m.ValueBytes += db.valPools[k][c].UsedBytes()
+		}
+	}
+	m.LogBytes = db.layout.LogCap()
+	m.ScratchBytes = int64(db.opts.Cores) * db.layout.ScratchPerCore
+	return m
+}
+
+// LogBytesTotal returns cumulative input-log payload bytes written.
+func (db *DB) LogBytesTotal() int64 { return db.logBytesTotal }

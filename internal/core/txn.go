@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"nvcaracal/internal/index"
+)
+
+// OpKind classifies a declared write-set operation.
+type OpKind uint8
+
+const (
+	// OpUpdate rewrites an existing row.
+	OpUpdate OpKind = iota
+	// OpInsert creates a new row.
+	OpInsert
+	// OpDelete removes an existing row.
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one entry of a transaction's declared write set. Deterministic
+// databases require write sets before execution (paper §3.1.1); the
+// initialization phase uses them to pre-create pending row versions.
+type Op struct {
+	Table uint32
+	Key   uint64
+	Kind  OpKind
+}
+
+// Txn is a one-shot deterministic transaction: all inputs are available at
+// submission, the write set is declared up front, and Exec runs the logic
+// against a Ctx during the execution phase. Exec must be deterministic
+// given the database state and Input — it is re-run during recovery.
+//
+// User-level aborts (Ctx.Abort) must be issued before the first write,
+// mirroring Caracal's restriction that transactions never abort after
+// making writes visible.
+type Txn struct {
+	// TypeID identifies the transaction type in the input log.
+	TypeID uint16
+	// Input is the serialized parameters logged for replay. The registered
+	// decoder must reconstruct an equivalent Txn from it.
+	Input []byte
+	// Ops is the declared write set.
+	Ops []Op
+	// Exec runs the transaction.
+	Exec func(ctx *Ctx)
+
+	sid     uint64
+	aborted bool
+}
+
+// SID returns the serial id assigned for the current epoch (valid during
+// and after RunEpoch).
+func (t *Txn) SID() uint64 { return t.sid }
+
+// Aborted reports whether the transaction issued a user-level abort during
+// the last execution.
+func (t *Txn) Aborted() bool { return t.aborted }
+
+// Decoder reconstructs a transaction from its logged input. The DB is
+// passed so decoders can reach engine-managed state such as persistent
+// counters (used by TPC-C's order-id generation).
+type Decoder func(data []byte, db *DB) (*Txn, error)
+
+// Registry maps logged transaction type ids to decoders.
+type Registry struct {
+	decoders map[uint16]Decoder
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{decoders: make(map[uint16]Decoder)}
+}
+
+// Register binds a decoder to a type id, replacing any previous binding.
+func (r *Registry) Register(typeID uint16, d Decoder) {
+	r.decoders[typeID] = d
+}
+
+// Decode reconstructs a transaction of the given type.
+func (r *Registry) Decode(typeID uint16, data []byte, db *DB) (*Txn, error) {
+	d, ok := r.decoders[typeID]
+	if !ok {
+		return nil, fmt.Errorf("core: no decoder registered for txn type %d", typeID)
+	}
+	return d(data, db)
+}
+
+// Ctx is the interface transactions use to access the database during the
+// execution phase. A Ctx is bound to one transaction on one worker core and
+// must not escape Exec.
+type Ctx struct {
+	db   *DB
+	txn  *Txn
+	core int
+	// wrote tracks which declared ops have been performed, by Ops index.
+	wrote []bool
+}
+
+// SID returns the executing transaction's serial id.
+func (c *Ctx) SID() uint64 { return c.txn.sid }
+
+// Abort marks the transaction as aborted by application logic. It must be
+// called before any Write/Insert/Delete; all the transaction's pending
+// versions are filled with IGNORE markers so readers skip them (paper §4.6).
+func (c *Ctx) Abort() {
+	for _, w := range c.wrote {
+		if w {
+			panic("core: Abort after a write violates the deterministic abort rule")
+		}
+	}
+	c.txn.aborted = true
+}
+
+// Aborted reports whether Abort was called.
+func (c *Ctx) Aborted() bool { return c.txn.aborted }
+
+// Read returns the value of (table, key) visible at this transaction's
+// serial id, or ok=false if the row does not exist at that point in the
+// serial order. The returned slice must not be modified or retained.
+func (c *Ctx) Read(table uint32, key uint64) ([]byte, bool) {
+	return c.db.read(c, index.Key{Table: table, ID: key})
+}
+
+// Write stores val as this transaction's version of (table, key). The op
+// must be in the declared write set as OpUpdate or OpInsert.
+func (c *Ctx) Write(table uint32, key uint64, val []byte) {
+	if c.txn.aborted {
+		panic("core: Write after Abort")
+	}
+	c.markWrote(table, key, OpUpdate, OpInsert)
+	c.db.write(c, index.Key{Table: table, ID: key}, val)
+}
+
+// Insert is Write for a row declared as OpInsert; provided for readability.
+func (c *Ctx) Insert(table uint32, key uint64, val []byte) {
+	if c.txn.aborted {
+		panic("core: Insert after Abort")
+	}
+	c.markWrote(table, key, OpInsert)
+	c.db.write(c, index.Key{Table: table, ID: key}, val)
+}
+
+// Delete removes (table, key). The op must be declared as OpDelete.
+func (c *Ctx) Delete(table uint32, key uint64) {
+	if c.txn.aborted {
+		panic("core: Delete after Abort")
+	}
+	c.markWrote(table, key, OpDelete)
+	c.db.writeDelete(c, index.Key{Table: table, ID: key})
+}
+
+// markWrote validates the op against the declared write set and records it.
+func (c *Ctx) markWrote(table uint32, key uint64, kinds ...OpKind) {
+	for i, op := range c.txn.Ops {
+		if op.Table != table || op.Key != key {
+			continue
+		}
+		for _, k := range kinds {
+			if op.Kind == k {
+				if c.wrote[i] {
+					panic(fmt.Sprintf("core: double write to table %d key %d in one txn (use a private buffer)", table, key))
+				}
+				c.wrote[i] = true
+				return
+			}
+		}
+	}
+	panic(fmt.Sprintf("core: write to table %d key %d not in declared write set", table, key))
+}

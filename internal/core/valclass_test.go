@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"nvcaracal/internal/nvm"
+)
+
+// testOptsMultiClass returns testOpts with power-of-two value size classes
+// (§5.5's multi-pool extension).
+func testOptsMultiClass(cores int) Options {
+	opts := testOpts(cores)
+	opts.Layout.ValueSize = 1024
+	opts.Layout.ValueSizes = []int64{128, 256, 512}
+	if err := opts.Layout.Finalize(); err != nil {
+		panic(err)
+	}
+	return opts
+}
+
+func openMultiClassDB(t *testing.T, cores int) (*DB, *nvm.Device, Options) {
+	t.Helper()
+	opts := testOptsMultiClass(cores)
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, dev, opts
+}
+
+func TestValueClassResolution(t *testing.T) {
+	opts := testOptsMultiClass(1)
+	classes := opts.Layout.ValueClasses()
+	want := []int64{128, 256, 512, 1024}
+	if len(classes) != len(want) {
+		t.Fatalf("classes = %v", classes)
+	}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Fatalf("classes = %v, want %v", classes, want)
+		}
+	}
+	if k := opts.Layout.ValueClassFor(100); classes[k] != 128 {
+		t.Fatalf("100 B -> class %d", classes[k])
+	}
+	if k := opts.Layout.ValueClassFor(512); classes[k] != 512 {
+		t.Fatalf("512 B -> class %d", classes[k])
+	}
+	if k := opts.Layout.ValueClassFor(2000); k != -1 {
+		t.Fatalf("oversized mapped to class %d", k)
+	}
+}
+
+func TestMultiClassMixedSizes(t *testing.T) {
+	db, _, _ := openMultiClassDB(t, 2)
+	sizes := []int{100, 200, 400, 900} // each lands in a different class
+	var load []*Txn
+	for i, n := range sizes {
+		load = append(load, mkInsert(uint64(i), bytes.Repeat([]byte{byte('a' + i)}, n)))
+	}
+	mustRun(t, db, load)
+	for i, n := range sizes {
+		want := bytes.Repeat([]byte{byte('a' + i)}, n)
+		wantGet(t, db, uint64(i), want)
+	}
+	// Each class's pool must have been used exactly once.
+	for k := range db.valPools {
+		var bump int64
+		for c := range db.valPools[k] {
+			bump += db.valPools[k][c].Bump()
+		}
+		if bump != 1 {
+			t.Fatalf("class %d bump = %d, want 1", k, bump)
+		}
+	}
+}
+
+func TestMultiClassGCRecyclesWithinClass(t *testing.T) {
+	db, _, _ := openMultiClassDB(t, 1)
+	mustRun(t, db, []*Txn{mkInsert(1, bytes.Repeat([]byte{1}, 200))})
+	// Alternate between two classes: each class's slots must recycle
+	// without growing its bump, and frees must never cross classes.
+	for i := 0; i < 30; i++ {
+		n := 200
+		if i%2 == 1 {
+			n = 400
+		}
+		mustRun(t, db, []*Txn{mkSet(1, bytes.Repeat([]byte{byte(i)}, n))})
+	}
+	for k := range db.valPools {
+		if bump := db.valPools[k][0].Bump(); bump > 3 {
+			t.Fatalf("class %d bump = %d: slots leak across classes", k, bump)
+		}
+	}
+	wantGet(t, db, 1, bytes.Repeat([]byte{29}, 400))
+}
+
+func TestMultiClassCrashRecovery(t *testing.T) {
+	db, dev, opts := openMultiClassDB(t, 2)
+	var load []*Txn
+	for i := uint64(0); i < 8; i++ {
+		load = append(load, mkInsert(i, bytes.Repeat([]byte{byte(i)}, 100+int(i)*120)))
+	}
+	mustRun(t, db, load)
+	batch := []*Txn{
+		mkSet(0, bytes.Repeat([]byte{0xAA}, 300)),
+		mkSet(7, bytes.Repeat([]byte{0xBB}, 1000)),
+		mkDelete(3),
+	}
+	logTxns(t, db, 2, batch)
+	dev.Crash(nvm.CrashStrict, 11)
+	db2, rep, err := Recover(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReplayedEpoch != 2 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	wantGet(t, db2, 0, bytes.Repeat([]byte{0xAA}, 300))
+	wantGet(t, db2, 7, bytes.Repeat([]byte{0xBB}, 1000))
+	wantGet(t, db2, 3, nil)
+	wantGet(t, db2, 1, bytes.Repeat([]byte{1}, 220))
+}
+
+func TestMultiClassAttachValidation(t *testing.T) {
+	_, dev, opts := openMultiClassDB(t, 1)
+	// Attaching with a different class list must fail.
+	bad := testOpts(1)
+	bad.Layout.ValueSizes = []int64{64}
+	if err := bad.Layout.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(dev, bad); err == nil {
+		t.Fatal("class-list mismatch accepted")
+	}
+	_ = opts
+}
+
+func TestTooManyValueClasses(t *testing.T) {
+	opts := testOpts(1)
+	opts.Layout.ValueSizes = []int64{1, 2, 4, 8, 16, 32, 64}
+	if err := opts.Layout.Finalize(); err == nil {
+		t.Fatal("7 classes accepted")
+	}
+}

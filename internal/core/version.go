@@ -1,0 +1,196 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// valueKind classifies a transient version value.
+type valueKind uint8
+
+const (
+	// vkData is a regular value.
+	vkData valueKind = iota
+	// vkDeleted marks a row deletion at this serial id.
+	vkDeleted
+	// vkIgnore marks a version whose writer aborted; readers skip it
+	// (paper §4.6).
+	vkIgnore
+	// vkNotFound is the initial version of a row that does not exist before
+	// this epoch (i.e. the row is being inserted this epoch).
+	vkNotFound
+)
+
+// versionVal is one materialized version value in the transient pool. The
+// struct itself is immutable after publication through the version array's
+// atomic slot.
+type versionVal struct {
+	kind valueKind
+	data []byte
+	// nvOff/nvLen locate the bytes on the NVMM device for ModeAllNVMM,
+	// where transient values live in (and are re-read from) NVMM scratch.
+	// -1 when the value lives in DRAM.
+	nvOff int64
+	nvLen int
+}
+
+var (
+	ignoreVal   = &versionVal{kind: vkIgnore, nvOff: -1}
+	deletedVal  = &versionVal{kind: vkDeleted, nvOff: -1}
+	notFoundVal = &versionVal{kind: vkNotFound, nvOff: -1}
+)
+
+// versionArray holds all versions of one row within one epoch, sorted by
+// serial id (paper §3.1.2): slot 0 is the initial version (the row's state
+// entering the epoch), and the remaining slots are the pending versions
+// pre-created by the initialization phase. Writers publish values into
+// their pre-assigned slot with an atomic store; readers binary-search for
+// the latest version below their own serial id and spin while it is
+// pending (nil).
+type versionArray struct {
+	epoch  uint64
+	sids   []uint64 // ascending; sids[0] == 0 is the initial version
+	vals   []atomic.Pointer[versionVal]
+	maxSID uint64 // sids[len-1]: the final writer, which persists to NVMM
+
+	// abort, shared from the DB, breaks spin waits when a sibling worker
+	// panicked (e.g. an injected crash) so the epoch can unwind.
+	abort *atomic.Bool
+
+	// wasCached notes that the row had a cached version entering this
+	// epoch; with CacheHotOnly it marks the row as worth re-caching.
+	wasCached bool
+}
+
+func newVersionArray(epoch uint64, sids []uint64, abort *atomic.Bool) *versionArray {
+	va := &versionArray{
+		epoch:  epoch,
+		sids:   sids,
+		vals:   make([]atomic.Pointer[versionVal], len(sids)),
+		maxSID: sids[len(sids)-1],
+		abort:  abort,
+	}
+	return va
+}
+
+// slotOf returns the index whose sid equals the writer's sid. The append
+// step guarantees presence; a miss is an engine bug.
+func (va *versionArray) slotOf(sid uint64) int {
+	lo, hi := 1, len(va.sids)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case va.sids[mid] == sid:
+			return mid
+		case va.sids[mid] < sid:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	panic("core: writer sid not found in version array")
+}
+
+// readSlot returns the index of the latest version with sid strictly below
+// the reader's sid. Index 0 (the initial version) is the floor.
+func (va *versionArray) readSlot(sid uint64) int {
+	lo, hi := 0, len(va.sids)-1
+	ans := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if va.sids[mid] < sid {
+			ans = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return ans
+}
+
+// waitValue spins until slot i is published, then returns it. The
+// deterministic serial order guarantees progress: a reader only ever waits
+// on smaller serial ids, and the smallest unfinished transaction never
+// waits (see engine.go's worker assignment).
+func (va *versionArray) waitValue(i int) *versionVal {
+	for spins := 0; ; spins++ {
+		if v := va.vals[i].Load(); v != nil {
+			return v
+		}
+		if spins < 64 {
+			continue
+		}
+		if va.abort != nil && va.abort.Load() {
+			panic(errEpochUnwound)
+		}
+		runtime.Gosched()
+	}
+}
+
+// resolveRead walks down from the slot for the reader's sid, skipping
+// IGNORE markers from aborted writers, and returns the first real value
+// (which may be vkDeleted, vkNotFound, or slot 0's initial version).
+func (va *versionArray) resolveRead(sid uint64) *versionVal {
+	for i := va.readSlot(sid); ; i-- {
+		v := va.waitValue(i)
+		if v.kind != vkIgnore {
+			return v
+		}
+		if i == 0 {
+			panic("core: initial version marked ignore")
+		}
+	}
+}
+
+// latestCommitted returns the latest non-ignore version at or below slot
+// hi, waiting out pending slots. Used by an aborted final writer to find
+// the value that must be persisted in its stead (§4.6). Returns the slot
+// index and value.
+func (va *versionArray) latestCommitted(hi int) (int, *versionVal) {
+	for i := hi; ; i-- {
+		v := va.waitValue(i)
+		if v.kind != vkIgnore {
+			return i, v
+		}
+		if i == 0 {
+			panic("core: initial version marked ignore")
+		}
+	}
+}
+
+// cachedVersion is the DRAM copy of a row's latest persistent value
+// (paper §4.2). stamp is the last epoch that created or touched it, driving
+// the K-epoch LRU eviction.
+type cachedVersion struct {
+	data    []byte
+	deleted bool // cached "row does not exist" is never stored; kept for clarity
+	stamp   atomic.Uint64
+}
+
+// rowState is the DRAM index entry for one row (Figure 3's row index).
+type rowState struct {
+	nvOff int64 // persistent row offset
+	owner int32 // owner core: routes init-phase work and major GC
+
+	// va is the row's version array for the current epoch, published by
+	// the append step. Stale arrays from prior epochs are detected via
+	// va.epoch (paper §5.1's stale-pointer trick).
+	va atomic.Pointer[versionArray]
+
+	// cached is the row's cached version, nil when evicted or invalidated.
+	cached atomic.Pointer[cachedVersion]
+
+	// onEvictList notes the row is already queued on some eviction list so
+	// concurrent cache fills do not double-queue it.
+	onEvictList atomic.Bool
+}
+
+// currentVA returns the row's version array if it belongs to epoch, else
+// nil.
+func (rs *rowState) currentVA(epoch uint64) *versionArray {
+	va := rs.va.Load()
+	if va != nil && va.epoch == epoch {
+		return va
+	}
+	return nil
+}

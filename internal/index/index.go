@@ -1,0 +1,139 @@
+// Package index provides the sharded DRAM hash index of the database.
+//
+// The paper keeps row indexes in DRAM for performance and rebuilds them
+// from the persistent rows during recovery (§4.3); the index never touches
+// NVMM. Sharding keeps init-phase inserts (partitioned by owner core) and
+// execution-phase lookups contention-free.
+package index
+
+import "sync"
+
+// Key identifies a row: a table id plus a 64-bit encoded primary key.
+// Workloads with composite keys (e.g. TPC-C's warehouse/district/order
+// triples) pack them into the 64-bit ID with per-table bit layouts.
+type Key struct {
+	Table uint32
+	ID    uint64
+}
+
+// Hash mixes a Key into a well-distributed 64-bit value
+// (splitmix64-style finalizer).
+func Hash(k Key) uint64 {
+	x := k.ID ^ (uint64(k.Table) << 56) ^ (uint64(k.Table) * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+type shard[V any] struct {
+	mu sync.RWMutex
+	m  map[Key]V
+	_  [40]byte // pad to a cache line to avoid false sharing
+}
+
+// Map is a sharded hash map from Key to V, safe for concurrent use.
+type Map[V any] struct {
+	shards []shard[V]
+	mask   uint64
+}
+
+// New creates a map with the given shard count, rounded up to a power of
+// two (minimum 1).
+func New[V any](nShards int) *Map[V] {
+	n := 1
+	for n < nShards {
+		n <<= 1
+	}
+	m := &Map[V]{shards: make([]shard[V], n), mask: uint64(n - 1)}
+	for i := range m.shards {
+		m.shards[i].m = make(map[Key]V)
+	}
+	return m
+}
+
+// NumShards returns the shard count.
+func (m *Map[V]) NumShards() int { return len(m.shards) }
+
+// ShardOf returns the shard index for a key; the engine uses the same
+// function to route init-phase work to owner cores.
+func (m *Map[V]) ShardOf(k Key) int { return int(Hash(k) & m.mask) }
+
+// Get returns the value for k.
+func (m *Map[V]) Get(k Key) (V, bool) {
+	sh := &m.shards[Hash(k)&m.mask]
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Put stores v under k.
+func (m *Map[V]) Put(k Key, v V) {
+	sh := &m.shards[Hash(k)&m.mask]
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// GetOrPut returns the existing value for k, or stores and returns def if
+// absent. The boolean reports whether the value already existed.
+func (m *Map[V]) GetOrPut(k Key, def V) (V, bool) {
+	sh := &m.shards[Hash(k)&m.mask]
+	sh.mu.Lock()
+	if v, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
+		return v, true
+	}
+	sh.m[k] = def
+	sh.mu.Unlock()
+	return def, false
+}
+
+// Delete removes k.
+func (m *Map[V]) Delete(k Key) {
+	sh := &m.shards[Hash(k)&m.mask]
+	sh.mu.Lock()
+	delete(sh.m, k)
+	sh.mu.Unlock()
+}
+
+// Len returns the total number of entries.
+func (m *Map[V]) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls f for every entry until f returns false. It locks one shard
+// at a time; concurrent mutation of other shards is allowed.
+func (m *Map[V]) Range(f func(Key, V) bool) {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			if !f(k, v) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// approxEntryBytes estimates DRAM per index entry: key (12 B padded to 16),
+// pointer-sized value, and Go map bucket overhead.
+const approxEntryBytes = 48
+
+// MemBytes estimates the index's DRAM footprint for memory accounting
+// (Figure 8 of the paper).
+func (m *Map[V]) MemBytes() int64 {
+	return int64(m.Len()) * approxEntryBytes
+}

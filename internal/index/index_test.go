@@ -1,0 +1,156 @@
+package index
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New[int](8)
+	k := Key{Table: 1, ID: 42}
+	if _, ok := m.Get(k); ok {
+		t.Fatal("empty map returned a value")
+	}
+	m.Put(k, 7)
+	v, ok := m.Get(k)
+	if !ok || v != 7 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+}
+
+func TestTablesAreDistinct(t *testing.T) {
+	m := New[int](8)
+	m.Put(Key{Table: 1, ID: 5}, 1)
+	m.Put(Key{Table: 2, ID: 5}, 2)
+	if v, _ := m.Get(Key{Table: 1, ID: 5}); v != 1 {
+		t.Fatalf("table 1 = %d", v)
+	}
+	if v, _ := m.Get(Key{Table: 2, ID: 5}); v != 2 {
+		t.Fatalf("table 2 = %d", v)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New[int](8)
+	k := Key{Table: 1, ID: 1}
+	m.Put(k, 1)
+	m.Delete(k)
+	if _, ok := m.Get(k); ok {
+		t.Fatal("deleted key still present")
+	}
+	m.Delete(k) // idempotent
+}
+
+func TestGetOrPut(t *testing.T) {
+	m := New[int](8)
+	k := Key{Table: 3, ID: 9}
+	v, existed := m.GetOrPut(k, 10)
+	if existed || v != 10 {
+		t.Fatalf("first GetOrPut = %d,%v", v, existed)
+	}
+	v, existed = m.GetOrPut(k, 20)
+	if !existed || v != 10 {
+		t.Fatalf("second GetOrPut = %d,%v", v, existed)
+	}
+}
+
+func TestShardCountRoundsToPowerOfTwo(t *testing.T) {
+	if got := New[int](5).NumShards(); got != 8 {
+		t.Fatalf("NumShards = %d, want 8", got)
+	}
+	if got := New[int](1).NumShards(); got != 1 {
+		t.Fatalf("NumShards = %d, want 1", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := New[int](4)
+	for i := uint64(0); i < 100; i++ {
+		m.Put(Key{Table: 1, ID: i}, int(i))
+	}
+	seen := map[uint64]bool{}
+	m.Range(func(k Key, v int) bool {
+		seen[k.ID] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("Range visited %d keys", len(seen))
+	}
+	// Early termination.
+	count := 0
+	m.Range(func(Key, int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early-terminated Range visited %d", count)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := New[int](16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := Key{Table: uint32(w), ID: uint64(i)}
+				m.Put(k, i)
+				if v, ok := m.Get(k); !ok || v != i {
+					t.Errorf("worker %d: lost key %d", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != 8000 {
+		t.Fatalf("Len = %d, want 8000", m.Len())
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	// Sequential IDs (the common workload pattern) must spread evenly.
+	const shards = 16
+	m := New[int](shards)
+	counts := make([]int, m.NumShards())
+	for i := uint64(0); i < 16000; i++ {
+		counts[m.ShardOf(Key{Table: 1, ID: i})]++
+	}
+	want := 16000 / m.NumShards()
+	for s, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("shard %d has %d keys, want ~%d", s, c, want)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	m := New[int](4)
+	if m.MemBytes() != 0 {
+		t.Fatal("empty map has nonzero MemBytes")
+	}
+	m.Put(Key{Table: 1, ID: 1}, 1)
+	if m.MemBytes() != approxEntryBytes {
+		t.Fatalf("MemBytes = %d", m.MemBytes())
+	}
+}
+
+// Property: Put then Get always round-trips, and ShardOf is stable.
+func TestQuickPutGet(t *testing.T) {
+	m := New[uint64](32)
+	f := func(table uint32, id, v uint64) bool {
+		k := Key{Table: table, ID: id}
+		m.Put(k, v)
+		got, ok := m.Get(k)
+		return ok && got == v && m.ShardOf(k) == m.ShardOf(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

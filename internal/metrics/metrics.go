@@ -1,0 +1,127 @@
+// Package metrics provides lightweight atomic counters for engine-level
+// accounting: transient vs persistent version writes, cache behaviour, and
+// memory breakdowns used to reproduce the paper's Figure 8.
+package metrics
+
+import "sync/atomic"
+
+// Counters aggregates engine events. All methods are safe for concurrent
+// use. The zero value is ready.
+type Counters struct {
+	txnsCommitted      atomic.Int64
+	txnsAborted        atomic.Int64
+	epochs             atomic.Int64
+	transientVersions  atomic.Int64 // versions written only to DRAM
+	persistentVersions atomic.Int64 // final versions written to NVMM
+	rowReads           atomic.Int64 // persistent-row reads from NVMM
+	cacheHits          atomic.Int64
+	cacheMisses        atomic.Int64
+	cacheBytes         atomic.Int64 // live cached-version payload bytes
+	cacheEntries       atomic.Int64
+	minorGCs           atomic.Int64
+	majorGCs           atomic.Int64
+}
+
+// Snapshot is an immutable copy of all counters.
+type Snapshot struct {
+	TxnsCommitted      int64
+	TxnsAborted        int64
+	Epochs             int64
+	TransientVersions  int64
+	PersistentVersions int64
+	RowReads           int64
+	CacheHits          int64
+	CacheMisses        int64
+	CacheBytes         int64
+	CacheEntries       int64
+	MinorGCs           int64
+	MajorGCs           int64
+}
+
+// Sub returns s - o field-wise, for interval measurements.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		TxnsCommitted:      s.TxnsCommitted - o.TxnsCommitted,
+		TxnsAborted:        s.TxnsAborted - o.TxnsAborted,
+		Epochs:             s.Epochs - o.Epochs,
+		TransientVersions:  s.TransientVersions - o.TransientVersions,
+		PersistentVersions: s.PersistentVersions - o.PersistentVersions,
+		RowReads:           s.RowReads - o.RowReads,
+		CacheHits:          s.CacheHits - o.CacheHits,
+		CacheMisses:        s.CacheMisses - o.CacheMisses,
+		CacheBytes:         s.CacheBytes, // gauges are not differenced
+		CacheEntries:       s.CacheEntries,
+		MinorGCs:           s.MinorGCs - o.MinorGCs,
+		MajorGCs:           s.MajorGCs - o.MajorGCs,
+	}
+}
+
+// TransientShare returns the fraction of version writes that stayed in
+// DRAM, the quantity the paper's contention analysis revolves around.
+func (s Snapshot) TransientShare() float64 {
+	total := s.TransientVersions + s.PersistentVersions
+	if total == 0 {
+		return 0
+	}
+	return float64(s.TransientVersions) / float64(total)
+}
+
+// AddCommitted adds n committed transactions.
+func (c *Counters) AddCommitted(n int64) { c.txnsCommitted.Add(n) }
+
+// AddAborted adds n aborted transactions.
+func (c *Counters) AddAborted(n int64) { c.txnsAborted.Add(n) }
+
+// AddEpoch counts one completed epoch.
+func (c *Counters) AddEpoch() { c.epochs.Add(1) }
+
+// AddTransient counts a version written only to DRAM.
+func (c *Counters) AddTransient() { c.transientVersions.Add(1) }
+
+// AddPersistent counts a final version written to NVMM.
+func (c *Counters) AddPersistent() { c.persistentVersions.Add(1) }
+
+// AddRowRead counts a persistent-row read from NVMM.
+func (c *Counters) AddRowRead() { c.rowReads.Add(1) }
+
+// AddCacheHit counts a read served by a cached version.
+func (c *Counters) AddCacheHit() { c.cacheHits.Add(1) }
+
+// AddCacheMiss counts a read that fell through to NVMM.
+func (c *Counters) AddCacheMiss() { c.cacheMisses.Add(1) }
+
+// CacheAdd accounts a cached-version creation of n payload bytes.
+func (c *Counters) CacheAdd(n int64) {
+	c.cacheBytes.Add(n)
+	c.cacheEntries.Add(1)
+}
+
+// CacheDrop accounts a cached-version eviction of n payload bytes.
+func (c *Counters) CacheDrop(n int64) {
+	c.cacheBytes.Add(-n)
+	c.cacheEntries.Add(-1)
+}
+
+// AddMinorGC counts a minor-collector cleanup.
+func (c *Counters) AddMinorGC() { c.minorGCs.Add(1) }
+
+// AddMajorGC counts a major-collector cleanup.
+func (c *Counters) AddMajorGC() { c.majorGCs.Add(1) }
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		TxnsCommitted:      c.txnsCommitted.Load(),
+		TxnsAborted:        c.txnsAborted.Load(),
+		Epochs:             c.epochs.Load(),
+		TransientVersions:  c.transientVersions.Load(),
+		PersistentVersions: c.persistentVersions.Load(),
+		RowReads:           c.rowReads.Load(),
+		CacheHits:          c.cacheHits.Load(),
+		CacheMisses:        c.cacheMisses.Load(),
+		CacheBytes:         c.cacheBytes.Load(),
+		CacheEntries:       c.cacheEntries.Load(),
+		MinorGCs:           c.minorGCs.Load(),
+		MajorGCs:           c.majorGCs.Load(),
+	}
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	var c Counters
+	c.AddCommitted(5)
+	c.AddAborted(2)
+	c.AddEpoch()
+	c.AddTransient()
+	c.AddTransient()
+	c.AddPersistent()
+	c.AddRowRead()
+	c.AddCacheHit()
+	c.AddCacheMiss()
+	c.CacheAdd(100)
+	c.AddMinorGC()
+	c.AddMajorGC()
+	s := c.Snapshot()
+	if s.TxnsCommitted != 5 || s.TxnsAborted != 2 || s.Epochs != 1 {
+		t.Fatalf("txn counters: %+v", s)
+	}
+	if s.TransientVersions != 2 || s.PersistentVersions != 1 {
+		t.Fatalf("version counters: %+v", s)
+	}
+	if s.CacheBytes != 100 || s.CacheEntries != 1 {
+		t.Fatalf("cache gauges: %+v", s)
+	}
+	if s.MinorGCs != 1 || s.MajorGCs != 1 {
+		t.Fatalf("gc counters: %+v", s)
+	}
+}
+
+func TestCacheDrop(t *testing.T) {
+	var c Counters
+	c.CacheAdd(100)
+	c.CacheAdd(50)
+	c.CacheDrop(100)
+	s := c.Snapshot()
+	if s.CacheBytes != 50 || s.CacheEntries != 1 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSub(t *testing.T) {
+	var c Counters
+	c.AddCommitted(10)
+	before := c.Snapshot()
+	c.AddCommitted(7)
+	c.AddTransient()
+	d := c.Snapshot().Sub(before)
+	if d.TxnsCommitted != 7 || d.TransientVersions != 1 {
+		t.Fatalf("Sub: %+v", d)
+	}
+}
+
+func TestTransientShare(t *testing.T) {
+	var c Counters
+	if got := c.Snapshot().TransientShare(); got != 0 {
+		t.Fatalf("empty share = %v", got)
+	}
+	for i := 0; i < 3; i++ {
+		c.AddTransient()
+	}
+	c.AddPersistent()
+	if got := c.Snapshot().TransientShare(); got != 0.75 {
+		t.Fatalf("share = %v, want 0.75", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddTransient()
+				c.CacheAdd(1)
+				c.CacheDrop(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.TransientVersions != 8000 {
+		t.Fatalf("TransientVersions = %d", s.TransientVersions)
+	}
+	if s.CacheBytes != 0 || s.CacheEntries != 0 {
+		t.Fatalf("cache gauges drifted: %+v", s)
+	}
+}

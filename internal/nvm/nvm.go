@@ -1,0 +1,525 @@
+// Package nvm simulates a byte-addressable non-volatile main memory (NVMM)
+// device such as Intel Optane Persistent Memory.
+//
+// The simulation tracks durability at CPU cache-line (64 byte) granularity,
+// which is the unit at which real hardware moves data between the CPU caches
+// and the persistence domain:
+//
+//   - Stores (WriteAt and friends) update the "live" image, the bytes that
+//     loads observe, and mark the touched lines dirty.
+//   - Flush (CLWB/CLFLUSHOPT) snapshots the current content of a line into a
+//     staging area. The snapshot is not yet durable.
+//   - Fence (SFENCE) commits all staged snapshots to the durable image.
+//
+// Crash discards the live image and rebuilds it from the durable image,
+// optionally letting some un-fenced lines survive (CrashRandom) the way a
+// real cache eviction can write back a dirty line at any time. Code that is
+// crash-consistent on this model — in particular under the adversarial
+// CrashStrict and CrashRandom modes — is crash-consistent on ADR hardware.
+//
+// The device also keeps precise access statistics and can charge a
+// configurable latency per line read/write so that benchmark results
+// reproduce the DRAM/NVMM performance gap of real hardware.
+package nvm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LineSize is the simulated cache line size in bytes, the granularity of
+// durability tracking.
+const LineSize = 64
+
+// shardCount is the number of locks sharding the dirty/staged line sets.
+const shardCount = 64
+
+// CrashMode selects how un-persisted lines behave across a simulated crash.
+type CrashMode int
+
+const (
+	// CrashStrict drops every line that was not flushed AND fenced. This is
+	// the adversarial model: nothing the program did not explicitly persist
+	// survives.
+	CrashStrict CrashMode = iota
+	// CrashRandom lets each non-durable line independently survive with 50%
+	// probability, modelling cache evictions that write back dirty lines
+	// before a power failure. Recovery code must be correct for every
+	// outcome, so tests drive this with many seeds.
+	CrashRandom
+	// CrashAll persists everything, modelling a flush of all caches on the
+	// failure path (eADR hardware). Useful as a control in tests.
+	CrashAll
+)
+
+// ErrInjectedCrash is the panic value raised when a fail-point installed
+// with SetFailAfter triggers. Engine code does not recover from it; tests
+// catch it at the top of the epoch loop to simulate a crash at an arbitrary
+// persist boundary.
+var ErrInjectedCrash = errors.New("nvm: injected crash")
+
+// Stats holds cumulative access counters for a device. All counts are in
+// units of line accesses except the byte totals.
+type Stats struct {
+	LineReads    int64 // lines touched by loads
+	LineWrites   int64 // lines touched by stores
+	BytesRead    int64
+	BytesWritten int64
+	Flushes      int64 // Flush calls (line writebacks issued)
+	Fences       int64 // Fence calls
+	LinesFenced  int64 // lines made durable by fences
+}
+
+// Sub returns s - o, useful for measuring an interval.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		LineReads:    s.LineReads - o.LineReads,
+		LineWrites:   s.LineWrites - o.LineWrites,
+		BytesRead:    s.BytesRead - o.BytesRead,
+		BytesWritten: s.BytesWritten - o.BytesWritten,
+		Flushes:      s.Flushes - o.Flushes,
+		Fences:       s.Fences - o.Fences,
+		LinesFenced:  s.LinesFenced - o.LinesFenced,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d flushes=%d fences=%d bytesR=%d bytesW=%d",
+		s.LineReads, s.LineWrites, s.Flushes, s.Fences, s.BytesRead, s.BytesWritten)
+}
+
+// Option configures a Device.
+type Option func(*Device)
+
+// WithLatency charges the given busy-wait latency per line read and write.
+// Zero (the default) disables the latency model; unit tests run with it off
+// and benchmarks turn it on to reproduce the DRAM/NVMM gap.
+func WithLatency(read, write time.Duration) Option {
+	return func(d *Device) {
+		d.readLatency = read
+		d.writeLatency = write
+	}
+}
+
+// WithFenceLatency charges a busy-wait drain latency per Fence, modelling
+// the cost of waiting for issued write-backs to reach the persistence
+// domain (SFENCE after CLWB on Optane is several hundred nanoseconds under
+// load). Engines that fence per transaction pay it per transaction;
+// epoch-based engines amortize it across the batch.
+func WithFenceLatency(d time.Duration) Option {
+	return func(dev *Device) {
+		dev.fenceLatency = d
+	}
+}
+
+// WithChaosEviction makes the device behave like a real CPU cache: after
+// any store, the just-written line may be evicted — written back to the
+// persistence domain — with probability 1/denom. An eviction between two
+// stores to the same line makes the first store durable without the second,
+// which is exactly the torn-update hazard the engine's SID-before-pointer
+// protocol and recovery repair must handle. Deterministic given the seed.
+func WithChaosEviction(denom int, seed int64) Option {
+	return func(d *Device) {
+		if denom > 0 {
+			d.chaosDenom = denom
+			d.chaosState.Store(uint64(seed)*2862933555777941757 + 3037000493)
+		}
+	}
+}
+
+// lineShard guards a subset of the dirty/staged line sets.
+type lineShard struct {
+	mu     sync.Mutex
+	dirty  map[int64]struct{} // written since last made durable
+	staged map[int64][]byte   // flushed snapshot awaiting a fence
+}
+
+// Device is a simulated NVMM region. It is safe for concurrent use provided
+// concurrent accesses do not overlap byte ranges (the same discipline real
+// memory requires); metadata updates are internally synchronized.
+type Device struct {
+	size    int64
+	live    []byte // what loads/stores observe
+	durable []byte // what survives a crash
+
+	shards [shardCount]lineShard
+
+	readLatency  time.Duration
+	writeLatency time.Duration
+	fenceLatency time.Duration
+
+	stats struct {
+		lineReads    atomic.Int64
+		lineWrites   atomic.Int64
+		bytesRead    atomic.Int64
+		bytesWritten atomic.Int64
+		flushes      atomic.Int64
+		fences       atomic.Int64
+		linesFenced  atomic.Int64
+	}
+
+	// failAfter, when positive, counts down on every flushed line; reaching
+	// zero panics with ErrInjectedCrash. Disabled when zero or negative.
+	failAfter atomic.Int64
+
+	// Chaos eviction state (see WithChaosEviction).
+	chaosDenom int
+	chaosState atomic.Uint64
+
+	// fenceMu serializes Fence against Flush so a fence commits a consistent
+	// snapshot set.
+	fenceMu sync.Mutex
+}
+
+// New creates a device of the given size in bytes, rounded up to a whole
+// number of lines. The initial contents are zero and durable.
+func New(size int64, opts ...Option) *Device {
+	if size <= 0 {
+		panic("nvm: non-positive device size")
+	}
+	size = (size + LineSize - 1) / LineSize * LineSize
+	d := &Device{
+		size:    size,
+		live:    make([]byte, size),
+		durable: make([]byte, size),
+	}
+	for i := range d.shards {
+		d.shards[i].dirty = make(map[int64]struct{})
+		d.shards[i].staged = make(map[int64][]byte)
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return d.size }
+
+func (d *Device) check(off, n int64) {
+	if off < 0 || n < 0 || off+n > d.size {
+		panic(fmt.Sprintf("nvm: access [%d,%d) out of bounds (size %d)", off, off+n, d.size))
+	}
+}
+
+func lineOf(off int64) int64 { return off / LineSize }
+
+func (d *Device) shardFor(line int64) *lineShard {
+	return &d.shards[line%shardCount]
+}
+
+// spin busy-waits for roughly dur. Busy waiting (rather than sleeping) keeps
+// the latency model accurate at the sub-microsecond scale of memory access.
+func spin(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < dur {
+	}
+}
+
+func (d *Device) chargeRead(lines int64) {
+	if d.readLatency > 0 {
+		spin(time.Duration(lines) * d.readLatency)
+	}
+}
+
+func (d *Device) chargeWrite(lines int64) {
+	if d.writeLatency > 0 {
+		spin(time.Duration(lines) * d.writeLatency)
+	}
+}
+
+func linesSpanned(off, n int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	return lineOf(off+n-1) - lineOf(off) + 1
+}
+
+// ReadAt copies len(p) bytes starting at off from the live image into p.
+func (d *Device) ReadAt(p []byte, off int64) {
+	n := int64(len(p))
+	d.check(off, n)
+	copy(p, d.live[off:off+n])
+	lines := linesSpanned(off, n)
+	d.stats.lineReads.Add(lines)
+	d.stats.bytesRead.Add(n)
+	d.chargeRead(lines)
+}
+
+// Slice returns a read-only view of the live image. The caller must not
+// mutate it and must not hold it across a Crash. It charges a read for the
+// spanned lines, making it equivalent to ReadAt without the copy.
+func (d *Device) Slice(off, n int64) []byte {
+	d.check(off, n)
+	lines := linesSpanned(off, n)
+	d.stats.lineReads.Add(lines)
+	d.stats.bytesRead.Add(n)
+	d.chargeRead(lines)
+	return d.live[off : off+n : off+n]
+}
+
+// seqWriteFactor discounts the latency of large contiguous writes: Optane's
+// sequential write bandwidth is several times its random-write bandwidth,
+// and a multi-line WriteAt models a streaming store sequence (e.g. the
+// input log). Only the latency model is affected; line counts in Stats stay
+// exact.
+const seqWriteFactor = 4
+
+// WriteAt stores p at off in the live image and marks the spanned lines
+// dirty. The data is not durable until it is flushed and fenced.
+func (d *Device) WriteAt(p []byte, off int64) {
+	n := int64(len(p))
+	d.check(off, n)
+	copy(d.live[off:off+n], p)
+	d.markDirty(off, n)
+	lines := linesSpanned(off, n)
+	d.stats.lineWrites.Add(lines)
+	d.stats.bytesWritten.Add(n)
+	if lines >= seqWriteFactor {
+		d.chargeWrite((lines + seqWriteFactor - 1) / seqWriteFactor)
+	} else {
+		d.chargeWrite(lines)
+	}
+}
+
+// Zero clears n bytes at off, with store semantics.
+func (d *Device) Zero(off, n int64) {
+	d.check(off, n)
+	clear(d.live[off : off+n])
+	d.markDirty(off, n)
+	lines := linesSpanned(off, n)
+	d.stats.lineWrites.Add(lines)
+	d.stats.bytesWritten.Add(n)
+	d.chargeWrite(lines)
+}
+
+func (d *Device) markDirty(off, n int64) {
+	first, last := lineOf(off), lineOf(off+n-1)
+	for l := first; l <= last; l++ {
+		sh := d.shardFor(l)
+		sh.mu.Lock()
+		if d.chaosDenom > 0 && d.chaosRoll() {
+			// Spontaneous eviction: the line, including this store, reaches
+			// the persistence domain immediately (ADR), no fence required.
+			copy(d.durable[l*LineSize:(l+1)*LineSize], d.live[l*LineSize:(l+1)*LineSize])
+			delete(sh.dirty, l)
+			delete(sh.staged, l)
+		} else {
+			sh.dirty[l] = struct{}{}
+		}
+		// A store after a flush invalidates the staged snapshot: real
+		// hardware would need a second CLWB to persist the new content.
+		// Keeping the stale snapshot models exactly that.
+		sh.mu.Unlock()
+	}
+}
+
+// chaosRoll advances a xorshift PRNG and reports a 1/denom hit. The state
+// is a single atomic so concurrent stores from different shards stay
+// race-free; a lost update only perturbs the random sequence.
+func (d *Device) chaosRoll() bool {
+	x := d.chaosState.Load()
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	d.chaosState.Store(x)
+	return x%uint64(d.chaosDenom) == 0
+}
+
+// Load64 reads a little-endian uint64 at off.
+func (d *Device) Load64(off int64) uint64 {
+	d.check(off, 8)
+	b := d.live[off : off+8]
+	v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	d.stats.lineReads.Add(linesSpanned(off, 8))
+	d.stats.bytesRead.Add(8)
+	d.chargeRead(linesSpanned(off, 8))
+	return v
+}
+
+// Store64 writes a little-endian uint64 at off with store semantics.
+func (d *Device) Store64(off int64, v uint64) {
+	d.check(off, 8)
+	b := d.live[off : off+8]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+	d.markDirty(off, 8)
+	d.stats.lineWrites.Add(linesSpanned(off, 8))
+	d.stats.bytesWritten.Add(8)
+	d.chargeWrite(linesSpanned(off, 8))
+}
+
+// Load32 reads a little-endian uint32 at off.
+func (d *Device) Load32(off int64) uint32 {
+	d.check(off, 4)
+	b := d.live[off : off+4]
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	d.stats.lineReads.Add(1)
+	d.stats.bytesRead.Add(4)
+	d.chargeRead(1)
+	return v
+}
+
+// Store32 writes a little-endian uint32 at off with store semantics.
+func (d *Device) Store32(off int64, v uint32) {
+	d.check(off, 4)
+	b := d.live[off : off+4]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	d.markDirty(off, 4)
+	d.stats.lineWrites.Add(1)
+	d.stats.bytesWritten.Add(4)
+	d.chargeWrite(1)
+}
+
+// Flush issues a write-back for every line in [off, off+n). Each flushed
+// line's current content is snapshotted; a subsequent Fence makes the
+// snapshots durable. Flushing a clean line is a no-op (as on hardware).
+func (d *Device) Flush(off, n int64) {
+	if n == 0 {
+		return
+	}
+	d.check(off, n)
+	first, last := lineOf(off), lineOf(off+n-1)
+	for l := first; l <= last; l++ {
+		sh := d.shardFor(l)
+		sh.mu.Lock()
+		if _, ok := sh.dirty[l]; ok {
+			snap := make([]byte, LineSize)
+			copy(snap, d.live[l*LineSize:(l+1)*LineSize])
+			sh.staged[l] = snap
+			delete(sh.dirty, l)
+			d.stats.flushes.Add(1)
+			if d.failAfter.Load() > 0 && d.failAfter.Add(-1) == 0 {
+				sh.mu.Unlock()
+				panic(ErrInjectedCrash)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Persist is Flush followed by Fence: the range is durable on return.
+func (d *Device) Persist(off, n int64) {
+	d.Flush(off, n)
+	d.Fence()
+}
+
+// Fence commits every staged line snapshot to the durable image. It models
+// SFENCE on an ADR platform: previously issued write-backs are now in the
+// persistence domain.
+func (d *Device) Fence() {
+	d.fenceMu.Lock()
+	defer d.fenceMu.Unlock()
+	d.stats.fences.Add(1)
+	spin(d.fenceLatency)
+	var committed int64
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		for l, snap := range sh.staged {
+			copy(d.durable[l*LineSize:(l+1)*LineSize], snap)
+			delete(sh.staged, l)
+			committed++
+		}
+		sh.mu.Unlock()
+	}
+	d.stats.linesFenced.Add(committed)
+}
+
+// Crash simulates a power failure: the live image is rebuilt from the
+// durable image. mode controls the fate of non-durable lines; seed drives
+// CrashRandom. All staged and dirty state is cleared. Statistics survive.
+func (d *Device) Crash(mode CrashMode, seed int64) {
+	d.fenceMu.Lock()
+	defer d.fenceMu.Unlock()
+	rng := rand.New(rand.NewSource(seed))
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		switch mode {
+		case CrashStrict:
+			// Neither dirty nor merely-staged lines survive.
+		case CrashAll:
+			for l := range sh.dirty {
+				copy(d.durable[l*LineSize:(l+1)*LineSize], d.live[l*LineSize:(l+1)*LineSize])
+			}
+			for l, snap := range sh.staged {
+				copy(d.durable[l*LineSize:(l+1)*LineSize], snap)
+			}
+		case CrashRandom:
+			for l := range sh.dirty {
+				if rng.Intn(2) == 0 {
+					copy(d.durable[l*LineSize:(l+1)*LineSize], d.live[l*LineSize:(l+1)*LineSize])
+				}
+			}
+			for l, snap := range sh.staged {
+				if rng.Intn(2) == 0 {
+					copy(d.durable[l*LineSize:(l+1)*LineSize], snap)
+				}
+			}
+		}
+		clear(sh.dirty)
+		clear(sh.staged)
+		sh.mu.Unlock()
+	}
+	copy(d.live, d.durable)
+	d.failAfter.Store(0)
+}
+
+// SetFailAfter installs a fail-point: after n more flushed lines the device
+// panics with ErrInjectedCrash. n <= 0 disables the fail-point.
+func (d *Device) SetFailAfter(n int64) { d.failAfter.Store(n) }
+
+// Stats returns a snapshot of the cumulative access counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		LineReads:    d.stats.lineReads.Load(),
+		LineWrites:   d.stats.lineWrites.Load(),
+		BytesRead:    d.stats.bytesRead.Load(),
+		BytesWritten: d.stats.bytesWritten.Load(),
+		Flushes:      d.stats.flushes.Load(),
+		Fences:       d.stats.fences.Load(),
+		LinesFenced:  d.stats.linesFenced.Load(),
+	}
+}
+
+// ResetStats zeroes all counters.
+func (d *Device) ResetStats() {
+	d.stats.lineReads.Store(0)
+	d.stats.lineWrites.Store(0)
+	d.stats.bytesRead.Store(0)
+	d.stats.bytesWritten.Store(0)
+	d.stats.flushes.Store(0)
+	d.stats.fences.Store(0)
+	d.stats.linesFenced.Store(0)
+}
+
+// DirtyLines reports how many lines are dirty or staged (not yet durable).
+// Intended for tests and diagnostics.
+func (d *Device) DirtyLines() int {
+	var n int
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		n += len(sh.dirty) + len(sh.staged)
+		sh.mu.Unlock()
+	}
+	return n
+}

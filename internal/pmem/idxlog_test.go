@@ -1,0 +1,203 @@
+package pmem
+
+import (
+	"testing"
+
+	"nvcaracal/internal/nvm"
+)
+
+func idxTestLayout(t *testing.T, logBytes int64) (Layout, *nvm.Device) {
+	t.Helper()
+	l := Layout{
+		Cores: 1, RowSize: 256, RowsPerCore: 64, ValueSize: 256,
+		ValuesPerCore: 64, RingCap: 256, LogBytes: 4096, Counters: 0,
+		IndexLogBytes: logBytes,
+	}
+	if err := l.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	dev := nvm.New(l.TotalBytes())
+	if err := Format(dev, l); err != nil {
+		t.Fatal(err)
+	}
+	return l, dev
+}
+
+func TestIndexLogNilWhenDisabled(t *testing.T) {
+	l, dev := idxTestLayout(t, 0)
+	if NewIndexLog(dev, l) != nil {
+		t.Fatal("journal created without a region")
+	}
+}
+
+func TestIndexLogRoundTrip(t *testing.T) {
+	l, dev := idxTestLayout(t, 1<<16)
+	il := NewIndexLog(dev, l)
+	e1 := []IndexEntry{
+		{Kind: IdxPut, Table: 1, Key: 10, RowOff: 4096},
+		{Kind: IdxPut, Table: 1, Key: 11, RowOff: 4352},
+	}
+	e2 := []IndexEntry{
+		{Kind: IdxDel, Table: 1, Key: 10},
+		{Kind: IdxGC, Table: 1, Key: 11, RowOff: 4352},
+	}
+	if !il.AppendEpoch(1, e1) {
+		t.Fatal("append 1 failed")
+	}
+	il.Checkpoint(1)
+	if !il.AppendEpoch(2, e2) {
+		t.Fatal("append 2 failed")
+	}
+	il.Checkpoint(2)
+	dev.Fence()
+	dev.Crash(nvm.CrashStrict, 1)
+
+	il2 := NewIndexLog(dev, l)
+	var got []IndexEntry
+	var epochs []uint64
+	if !il2.Recover(2, func(ep uint64, e IndexEntry) {
+		got = append(got, e)
+		epochs = append(epochs, ep)
+	}) {
+		t.Fatal("recover failed")
+	}
+	want := append(append([]IndexEntry{}, e1...), e2...)
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if epochs[0] != 1 || epochs[3] != 2 {
+		t.Fatalf("epochs = %v", epochs)
+	}
+}
+
+func TestIndexLogUncheckpointedBlockIgnored(t *testing.T) {
+	l, dev := idxTestLayout(t, 1<<16)
+	il := NewIndexLog(dev, l)
+	il.AppendEpoch(1, []IndexEntry{{Kind: IdxPut, Table: 1, Key: 1, RowOff: 64}})
+	il.Checkpoint(1)
+	dev.Fence()
+	// Epoch 2's block is written but never checkpointed.
+	il.AppendEpoch(2, []IndexEntry{{Kind: IdxPut, Table: 1, Key: 2, RowOff: 128}})
+	dev.Crash(nvm.CrashStrict, 2)
+
+	il2 := NewIndexLog(dev, l)
+	var got []IndexEntry
+	if !il2.Recover(1, func(_ uint64, e IndexEntry) { got = append(got, e) }) {
+		t.Fatal("recover failed")
+	}
+	if len(got) != 1 || got[0].Key != 1 {
+		t.Fatalf("got %+v, want only epoch 1's entry", got)
+	}
+}
+
+func TestIndexLogOverflowSticky(t *testing.T) {
+	l, dev := idxTestLayout(t, 4096)
+	il := NewIndexLog(dev, l)
+	big := make([]IndexEntry, 400) // 400*21 > 4096
+	if il.AppendEpoch(1, big) {
+		t.Fatal("oversized block accepted")
+	}
+	if !il.Overflowed() {
+		t.Fatal("overflow flag not set")
+	}
+	if il.AppendEpoch(2, nil) {
+		t.Fatal("append after overflow accepted")
+	}
+	il.Checkpoint(1)
+	dev.Fence()
+	dev.Crash(nvm.CrashStrict, 1)
+	il2 := NewIndexLog(dev, l)
+	if il2.Recover(1, func(uint64, IndexEntry) {}) {
+		t.Fatal("recover succeeded despite overflow; scan fallback required")
+	}
+}
+
+func TestIndexLogSnapshotReset(t *testing.T) {
+	l, dev := idxTestLayout(t, 1<<14)
+	il := NewIndexLog(dev, l)
+	for ep := uint64(1); ep <= 5; ep++ {
+		if !il.AppendEpoch(ep, []IndexEntry{{Kind: IdxPut, Table: 1, Key: ep, RowOff: int64(ep * 64)}}) {
+			t.Fatal("append failed")
+		}
+		il.Checkpoint(ep)
+		dev.Fence()
+	}
+	// Compact: snapshot replaces history.
+	il.ResetForSnapshot()
+	snap := []IndexEntry{
+		{Kind: IdxPut, Table: 1, Key: 100, RowOff: 640},
+		{Kind: IdxPut, Table: 1, Key: 101, RowOff: 704},
+	}
+	if !il.AppendEpoch(6, snap) {
+		t.Fatal("snapshot append failed")
+	}
+	il.Checkpoint(6)
+	dev.Fence()
+	dev.Crash(nvm.CrashStrict, 3)
+
+	il2 := NewIndexLog(dev, l)
+	var got []IndexEntry
+	if !il2.Recover(6, func(_ uint64, e IndexEntry) { got = append(got, e) }) {
+		t.Fatal("recover after snapshot failed")
+	}
+	if len(got) != 2 || got[0].Key != 100 {
+		t.Fatalf("snapshot entries = %+v", got)
+	}
+}
+
+func TestIndexLogCrashDuringSnapshotFallsBack(t *testing.T) {
+	l, dev := idxTestLayout(t, 1<<14)
+	il := NewIndexLog(dev, l)
+	// Several committed epochs.
+	for ep := uint64(1); ep <= 3; ep++ {
+		il.AppendEpoch(ep, []IndexEntry{{Kind: IdxPut, Table: 1, Key: ep, RowOff: int64(ep * 64)}})
+		il.Checkpoint(ep)
+		dev.Fence()
+	}
+	// Snapshot overwrites the region start but crashes before checkpoint.
+	il.ResetForSnapshot()
+	il.AppendEpoch(4, []IndexEntry{{Kind: IdxPut, Table: 9, Key: 9, RowOff: 999}})
+	// Force the overwrite to be durable (worst case) without the ctl update.
+	dev.Fence()
+	dev.Crash(nvm.CrashStrict, 4)
+
+	il2 := NewIndexLog(dev, l)
+	ok := il2.Recover(3, func(uint64, IndexEntry) {})
+	if ok {
+		t.Fatal("recover validated a journal whose blocks were overwritten mid-snapshot")
+	}
+}
+
+func TestIndexLogEmptyFreshDevice(t *testing.T) {
+	l, dev := idxTestLayout(t, 1<<14)
+	il := NewIndexLog(dev, l)
+	if !il.Recover(0, func(uint64, IndexEntry) { t.Fatal("entry on fresh device") }) {
+		t.Fatal("fresh recover failed")
+	}
+}
+
+func TestIndexLogEmptyEpochBlocks(t *testing.T) {
+	l, dev := idxTestLayout(t, 1<<14)
+	il := NewIndexLog(dev, l)
+	for ep := uint64(1); ep <= 3; ep++ {
+		if !il.AppendEpoch(ep, nil) {
+			t.Fatal("empty append failed")
+		}
+		il.Checkpoint(ep)
+		dev.Fence()
+	}
+	dev.Crash(nvm.CrashStrict, 5)
+	il2 := NewIndexLog(dev, l)
+	n := 0
+	if !il2.Recover(3, func(uint64, IndexEntry) { n++ }) {
+		t.Fatal("recover failed")
+	}
+	if n != 0 {
+		t.Fatalf("entries = %d", n)
+	}
+}

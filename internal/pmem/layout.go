@@ -1,0 +1,447 @@
+// Package pmem lays out the simulated NVMM region and implements the
+// paper's persistent allocators: per-core bump allocators with ring-buffer
+// free lists whose control offsets are checkpointed at epoch granularity
+// (Figure 4 of the paper), so that a crash reverts all allocations and
+// revertible frees of the in-flight epoch.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+
+	"nvcaracal/internal/nvm"
+)
+
+// Magic identifies a formatted NVCaracal region.
+const Magic = uint64(0x4e56434152414341) // "NVCARACA"
+
+// LayoutVersion guards against attaching to an incompatible format.
+const LayoutVersion = uint64(3)
+
+const line = int64(nvm.LineSize)
+
+// Layout describes how the NVMM region is carved into the header, epoch
+// record, TPC-C counter slots, the input-log region, and the per-core
+// persistent row and value pools. All offsets are line-aligned.
+type Layout struct {
+	// Parameters (persisted in the header and validated on Attach).
+	Cores         int
+	RowSize       int64 // bytes per persistent row (fixed, default 256)
+	RowsPerCore   int64 // row pool capacity per core
+	ValueSize     int64 // bytes per persistent value slot (fixed, default 1024)
+	ValuesPerCore int64 // value pool capacity per core (per size class)
+	// ValueSizes optionally adds further value size classes beyond
+	// ValueSize, realizing §5.5's "one pool for each power of two size"
+	// extension. Each class gets its own per-core pool of ValuesPerCore
+	// slots. Sorted ascending; ValueSize is appended automatically if not
+	// listed. At most 6 classes.
+	ValueSizes []int64
+	RingCap    int64 // free-list ring entries per pool
+	LogBytes   int64 // input-log region size
+	Counters   int64 // persistent counter slots (e.g. TPC-C order ids)
+	// ScratchPerCore sizes the per-core NVMM scratch arenas used by the
+	// all-NVMM and hybrid baseline modes to store transient versions in
+	// NVMM. Zero for the NVCaracal design, which keeps them in DRAM.
+	ScratchPerCore int64
+	// IndexLogBytes sizes the optional persistent index journal (the
+	// paper's §7 extension: batched index updates persisted at epoch
+	// granularity so recovery can skip the full row scan). Zero disables
+	// the journal.
+	IndexLogBytes int64
+
+	// Computed offsets.
+	headerOff  int64
+	epochOff   int64
+	counterOff int64
+	logOff     int64
+	rowCtlOff  []int64
+	rowRingOff []int64
+	rowDataOff []int64
+	valClasses []int64   // resolved ascending size classes
+	valCtlOff  [][]int64 // [class][core]
+	valRingOff [][]int64
+	valDataOff [][]int64
+	scratchOff []int64
+	idxLogOff  int64
+	total      int64
+}
+
+func alignUp(x int64) int64 { return (x + line - 1) / line * line }
+
+// DefaultLayout returns a layout with the paper's default row (256 B) and
+// value (1024 B) sizes, sized for the given per-core capacities.
+func DefaultLayout(cores int, rowsPerCore, valuesPerCore int64) Layout {
+	l := Layout{
+		Cores:         cores,
+		RowSize:       256,
+		RowsPerCore:   rowsPerCore,
+		ValueSize:     1024,
+		ValuesPerCore: valuesPerCore,
+		RingCap:       rowsPerCore + valuesPerCore + 1024,
+		LogBytes:      8 << 20,
+		Counters:      64,
+	}
+	l.compute()
+	return l
+}
+
+// Finalize validates parameters and computes all region offsets. It must be
+// called after manual construction and before use.
+func (l *Layout) Finalize() error {
+	if l.Cores <= 0 {
+		return errors.New("pmem: layout needs at least one core")
+	}
+	if l.RowSize < 64 || l.RowSize%line != 0 {
+		return fmt.Errorf("pmem: row size %d must be a positive multiple of %d", l.RowSize, line)
+	}
+	if l.ValueSize <= 0 {
+		return fmt.Errorf("pmem: value size %d must be positive", l.ValueSize)
+	}
+	if l.RowsPerCore <= 0 || l.ValuesPerCore <= 0 {
+		return errors.New("pmem: pool capacities must be positive")
+	}
+	if l.RingCap <= 0 {
+		return errors.New("pmem: ring capacity must be positive")
+	}
+	if l.LogBytes < 4096 {
+		return errors.New("pmem: log region too small")
+	}
+	if l.Counters < 0 {
+		return errors.New("pmem: negative counter count")
+	}
+	if l.ScratchPerCore < 0 {
+		return errors.New("pmem: negative scratch size")
+	}
+	if len(l.ValueSizes) > 5 {
+		return errors.New("pmem: at most 6 value size classes")
+	}
+	for _, vs := range l.ValueSizes {
+		if vs <= 0 {
+			return errors.New("pmem: non-positive value size class")
+		}
+	}
+	if l.IndexLogBytes < 0 {
+		return errors.New("pmem: negative index log size")
+	}
+	if l.IndexLogBytes > 0 && l.IndexLogBytes < 4096 {
+		return errors.New("pmem: index log too small (min 4096)")
+	}
+	l.compute()
+	return nil
+}
+
+// resolveValueClasses merges ValueSize and ValueSizes into the sorted,
+// deduplicated class list.
+func (l *Layout) resolveValueClasses() {
+	classes := append([]int64{}, l.ValueSizes...)
+	found := false
+	for _, c := range classes {
+		if c == l.ValueSize {
+			found = true
+		}
+	}
+	if !found {
+		classes = append(classes, l.ValueSize)
+	}
+	for i := 1; i < len(classes); i++ {
+		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
+			classes[j], classes[j-1] = classes[j-1], classes[j]
+		}
+	}
+	dedup := classes[:0]
+	var prev int64 = -1
+	for _, c := range classes {
+		if c != prev {
+			dedup = append(dedup, c)
+			prev = c
+		}
+	}
+	l.valClasses = dedup
+}
+
+func (l *Layout) compute() {
+	l.resolveValueClasses()
+	off := int64(0)
+	l.headerOff = off
+	off += 2 * line // magic/version + params (two lines)
+	l.epochOff = off
+	off += line // epoch record gets its own line
+	l.counterOff = off
+	off += alignUp(l.Counters * 8)
+	l.logOff = off
+	off += alignUp(l.LogBytes)
+
+	l.rowCtlOff = make([]int64, l.Cores)
+	l.rowRingOff = make([]int64, l.Cores)
+	l.rowDataOff = make([]int64, l.Cores)
+	for c := 0; c < l.Cores; c++ {
+		l.rowCtlOff[c] = off
+		off += line
+		l.rowRingOff[c] = off
+		off += alignUp(l.RingCap * 8)
+		l.rowDataOff[c] = off
+		off += alignUp(l.RowsPerCore * l.RowSize)
+	}
+	l.valCtlOff = make([][]int64, len(l.valClasses))
+	l.valRingOff = make([][]int64, len(l.valClasses))
+	l.valDataOff = make([][]int64, len(l.valClasses))
+	for k, size := range l.valClasses {
+		l.valCtlOff[k] = make([]int64, l.Cores)
+		l.valRingOff[k] = make([]int64, l.Cores)
+		l.valDataOff[k] = make([]int64, l.Cores)
+		for c := 0; c < l.Cores; c++ {
+			l.valCtlOff[k][c] = off
+			off += line
+			l.valRingOff[k][c] = off
+			off += alignUp(l.RingCap * 8)
+			l.valDataOff[k][c] = off
+			off += alignUp(l.ValuesPerCore * size)
+		}
+	}
+	l.scratchOff = make([]int64, l.Cores)
+	for c := 0; c < l.Cores; c++ {
+		l.scratchOff[c] = off
+		off += alignUp(l.ScratchPerCore)
+	}
+	l.idxLogOff = off
+	off += alignUp(l.IndexLogBytes)
+	l.total = off
+}
+
+// TotalBytes returns the device size this layout requires.
+func (l *Layout) TotalBytes() int64 { return l.total }
+
+// LogOff returns the offset of the input-log region.
+func (l *Layout) LogOff() int64 { return l.logOff }
+
+// LogCap returns the usable size of the input-log region.
+func (l *Layout) LogCap() int64 { return l.LogBytes }
+
+// CounterOff returns the offset of persistent counter slot i.
+func (l *Layout) CounterOff(i int64) int64 {
+	if i < 0 || i >= l.Counters {
+		panic(fmt.Sprintf("pmem: counter %d out of range", i))
+	}
+	return l.counterOff + i*8
+}
+
+// RowDataOff returns the base offset of core c's persistent row region.
+func (l *Layout) RowDataOff(c int) int64 { return l.rowDataOff[c] }
+
+// ScratchOff returns the base offset of core c's NVMM scratch arena.
+func (l *Layout) ScratchOff(c int) int64 { return l.scratchOff[c] }
+
+// ValDataOff returns the base offset of core c's persistent value region
+// for size class k.
+func (l *Layout) ValDataOff(k, c int) int64 { return l.valDataOff[k][c] }
+
+// ValueClasses returns the resolved ascending value size classes.
+func (l *Layout) ValueClasses() []int64 { return l.valClasses }
+
+// ValueClassFor returns the index of the smallest class fitting n bytes,
+// or -1 if none fits.
+func (l *Layout) ValueClassFor(n int64) int {
+	for k, size := range l.valClasses {
+		if n <= size {
+			return k
+		}
+	}
+	return -1
+}
+
+// ValueClassOfOffset returns the size class whose data regions contain the
+// given device offset, or -1 if the offset is not in any value region.
+func (l *Layout) ValueClassOfOffset(off int64) int {
+	for k, size := range l.valClasses {
+		regionLen := alignUp(l.ValuesPerCore * size)
+		for c := 0; c < l.Cores; c++ {
+			base := l.valDataOff[k][c]
+			if off >= base && off < base+regionLen {
+				return k
+			}
+		}
+	}
+	return -1
+}
+
+// MaxValueSize returns the largest value size class.
+func (l *Layout) MaxValueSize() int64 {
+	return l.valClasses[len(l.valClasses)-1]
+}
+
+// header field slots (within headerOff region).
+const (
+	hdrMagic   = 0
+	hdrVersion = 8
+	// second line: parameters
+	hdrCores    = 64
+	hdrRowSize  = 72
+	hdrRowsPC   = 80
+	hdrValSize  = 88
+	hdrValsPC   = 96
+	hdrRingCap  = 104
+	hdrLogBytes = 112
+	hdrCounters = 120
+	hdrScratch  = 16 // first line, after magic/version
+	hdrIdxLog   = 24 // first line
+	hdrValClass = 32 // first line: FNV of the value-class list
+)
+
+// Format writes the header and zeroes all control state, preparing a device
+// for first use. The epoch record is set to 0: no epoch has been
+// checkpointed yet.
+func Format(dev *nvm.Device, l Layout) error {
+	if l.total == 0 {
+		l.compute()
+	}
+	if dev.Size() < l.total {
+		return fmt.Errorf("pmem: device %d bytes, layout needs %d", dev.Size(), l.total)
+	}
+	dev.Store64(l.headerOff+hdrMagic, Magic)
+	dev.Store64(l.headerOff+hdrVersion, LayoutVersion)
+	dev.Store64(l.headerOff+hdrScratch, uint64(l.ScratchPerCore))
+	dev.Store64(l.headerOff+hdrIdxLog, uint64(l.IndexLogBytes))
+	dev.Store64(l.headerOff+hdrValClass, l.valueClassHash())
+	dev.Store64(l.headerOff+hdrCores, uint64(l.Cores))
+	dev.Store64(l.headerOff+hdrRowSize, uint64(l.RowSize))
+	dev.Store64(l.headerOff+hdrRowsPC, uint64(l.RowsPerCore))
+	dev.Store64(l.headerOff+hdrValSize, uint64(l.ValueSize))
+	dev.Store64(l.headerOff+hdrValsPC, uint64(l.ValuesPerCore))
+	dev.Store64(l.headerOff+hdrRingCap, uint64(l.RingCap))
+	dev.Store64(l.headerOff+hdrLogBytes, uint64(l.LogBytes))
+	dev.Store64(l.headerOff+hdrCounters, uint64(l.Counters))
+	dev.Zero(l.epochOff, line)
+	if l.Counters > 0 {
+		dev.Zero(l.counterOff, alignUp(l.Counters*8))
+	}
+	dev.Zero(l.logOff, line) // log header only; payload is length-guarded
+	for c := 0; c < l.Cores; c++ {
+		dev.Zero(l.rowCtlOff[c], line)
+	}
+	for k := range l.valCtlOff {
+		for c := 0; c < l.Cores; c++ {
+			dev.Zero(l.valCtlOff[k][c], line)
+		}
+	}
+	if l.IndexLogBytes > 0 {
+		dev.Zero(l.idxLogOff, line)
+	}
+	dev.Persist(l.headerOff, 2*line)
+	dev.Persist(l.epochOff, line)
+	if l.Counters > 0 {
+		dev.Persist(l.counterOff, alignUp(l.Counters*8))
+	}
+	dev.Persist(l.logOff, line)
+	for c := 0; c < l.Cores; c++ {
+		dev.Persist(l.rowCtlOff[c], line)
+	}
+	for k := range l.valCtlOff {
+		for c := 0; c < l.Cores; c++ {
+			dev.Persist(l.valCtlOff[k][c], line)
+		}
+	}
+	if l.IndexLogBytes > 0 {
+		dev.Persist(l.idxLogOff, line)
+	}
+	return nil
+}
+
+// Attach validates that the device was formatted with a compatible layout
+// and returns the layout reconstructed from the header.
+func Attach(dev *nvm.Device, want Layout) (Layout, error) {
+	if want.total == 0 {
+		want.compute()
+	}
+	if dev.Load64(want.headerOff+hdrMagic) != Magic {
+		return Layout{}, errors.New("pmem: device not formatted (bad magic)")
+	}
+	if v := dev.Load64(want.headerOff + hdrVersion); v != LayoutVersion {
+		return Layout{}, fmt.Errorf("pmem: layout version %d, want %d", v, LayoutVersion)
+	}
+	check := func(off int64, got uint64, name string, want uint64) error {
+		if got != want {
+			return fmt.Errorf("pmem: header %s = %d, attach config says %d", name, got, want)
+		}
+		_ = off
+		return nil
+	}
+	for _, c := range []struct {
+		off  int64
+		name string
+		want uint64
+	}{
+		{hdrCores, "cores", uint64(want.Cores)},
+		{hdrRowSize, "rowSize", uint64(want.RowSize)},
+		{hdrRowsPC, "rowsPerCore", uint64(want.RowsPerCore)},
+		{hdrValSize, "valueSize", uint64(want.ValueSize)},
+		{hdrValsPC, "valuesPerCore", uint64(want.ValuesPerCore)},
+		{hdrRingCap, "ringCap", uint64(want.RingCap)},
+		{hdrLogBytes, "logBytes", uint64(want.LogBytes)},
+		{hdrCounters, "counters", uint64(want.Counters)},
+		{hdrScratch, "scratchPerCore", uint64(want.ScratchPerCore)},
+		{hdrIdxLog, "indexLogBytes", uint64(want.IndexLogBytes)},
+		{hdrValClass, "valueClasses", want.valueClassHash()},
+	} {
+		if err := check(c.off, dev.Load64(want.headerOff+c.off), c.name, c.want); err != nil {
+			return Layout{}, err
+		}
+	}
+	return want, nil
+}
+
+// valueClassHash digests the resolved class list for header validation.
+func (l *Layout) valueClassHash() uint64 {
+	h := idxFnvOffset
+	for _, c := range l.valClasses {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(c >> (8 * i)))
+			h *= idxFnvPrime
+		}
+	}
+	return h
+}
+
+// EpochRecord manages the persistent checkpointed-epoch number.
+type EpochRecord struct {
+	dev *nvm.Device
+	off int64
+}
+
+// NewEpochRecord returns the epoch record for a formatted device.
+func NewEpochRecord(dev *nvm.Device, l Layout) *EpochRecord {
+	return &EpochRecord{dev: dev, off: l.epochOff}
+}
+
+// Load returns the last checkpointed epoch (0 if none).
+func (e *EpochRecord) Load() uint64 { return e.dev.Load64(e.off) }
+
+// Store persists the checkpointed epoch number. Per Algorithm 1, the caller
+// must already have fenced the epoch's data writes; Store issues its own
+// trailing persist so the record itself is durable on return.
+func (e *EpochRecord) Store(epoch uint64) {
+	e.dev.Store64(e.off, epoch)
+	e.dev.Persist(e.off, 8)
+}
+
+// Counter is a persistent 64-bit counter slot (used for TPC-C order ids,
+// which Caracal generates non-deterministically and therefore must persist
+// at epoch boundaries).
+type Counter struct {
+	dev *nvm.Device
+	off int64
+}
+
+// NewCounter returns counter slot i.
+func NewCounter(dev *nvm.Device, l Layout, i int64) *Counter {
+	return &Counter{dev: dev, off: l.CounterOff(i)}
+}
+
+// Load reads the persisted counter value.
+func (c *Counter) Load() uint64 { return c.dev.Load64(c.off) }
+
+// Store writes the counter value without persisting; the epoch checkpoint
+// sequence flushes the counter region.
+func (c *Counter) Store(v uint64) { c.dev.Store64(c.off, v) }
+
+// Flush persists the counter slot.
+func (c *Counter) Flush() { c.dev.Flush(c.off, 8) }

@@ -1,0 +1,225 @@
+package pmem
+
+import (
+	"errors"
+	"fmt"
+
+	"nvcaracal/internal/nvm"
+)
+
+// Control-line field offsets (all eight fields share one cache line, which
+// is safe: a checkpoint modifies only the current-parity slots and then
+// persists the line; an un-fenced crash reverts the whole line to the
+// previous checkpoint's content, in which the other-parity slots are the
+// ones recovery reads).
+const (
+	ctlBump0 = 0  // bump offset, even-epoch checkpoint
+	ctlBump1 = 8  // bump offset, odd-epoch checkpoint
+	ctlHead0 = 16 // free-list head, even
+	ctlHead1 = 24 // free-list head, odd
+	ctlTail0 = 32 // free-list tail, even
+	ctlTail1 = 40 // free-list tail, odd
+	ctlCTEp  = 48 // epoch stamp of the non-revertible current-tail slot
+	ctlCT    = 56 // current tail (persisted after major GC, before execution)
+)
+
+// ErrPoolFull is returned when neither the free list nor the bump region
+// can satisfy an allocation.
+var ErrPoolFull = errors.New("pmem: pool out of space")
+
+// Pool is one core's persistent slot allocator: a bump allocator over a
+// fixed slot region plus a ring-buffer free list, both with dual
+// epoch-checkpointed control offsets (paper §5.4, Figure 4).
+//
+// A Pool is owned by a single core: all calls must come from one goroutine
+// at a time. Cross-core offsets may be freed into any pool because ring
+// entries are absolute device offsets.
+type Pool struct {
+	dev      *nvm.Device
+	ctlOff   int64
+	ringOff  int64
+	dataOff  int64
+	slotSize int64
+	capSlots int64
+	ringCap  int64
+
+	// DRAM state (Figure 4's "offset", "head", "tail").
+	bump int64 // slots handed out from the bump region
+	head int64 // logical free-list consume position (monotonic)
+	tail int64 // logical free-list append position (monotonic)
+
+	// Checkpoint barriers.
+	headCkpt int64 // head at last checkpoint: entries >= headCkpt must survive a crash
+	tailCkpt int64 // tail at last checkpoint: allocations must not cross it (invariant 2)
+
+	// Ring-flush bookkeeping: appends since the last flush.
+	flushFrom int64
+}
+
+// RowPool returns core c's persistent row pool.
+func RowPool(dev *nvm.Device, l Layout, c int) *Pool {
+	return &Pool{
+		dev:      dev,
+		ctlOff:   l.rowCtlOff[c],
+		ringOff:  l.rowRingOff[c],
+		dataOff:  l.rowDataOff[c],
+		slotSize: l.RowSize,
+		capSlots: l.RowsPerCore,
+		ringCap:  l.RingCap,
+	}
+}
+
+// ValuePool returns core c's persistent value pool for size class k.
+func ValuePool(dev *nvm.Device, l Layout, k, c int) *Pool {
+	return &Pool{
+		dev:      dev,
+		ctlOff:   l.valCtlOff[k][c],
+		ringOff:  l.valRingOff[k][c],
+		dataOff:  l.valDataOff[k][c],
+		slotSize: l.valClasses[k],
+		capSlots: l.ValuesPerCore,
+		ringCap:  l.RingCap,
+	}
+}
+
+// SlotSize returns the fixed slot size of this pool.
+func (p *Pool) SlotSize() int64 { return p.slotSize }
+
+// DataBase returns the base offset of the pool's slot region.
+func (p *Pool) DataBase() int64 { return p.dataOff }
+
+// Bump returns the number of slots handed out from the bump region.
+func (p *Pool) Bump() int64 { return p.bump }
+
+// FreeCount returns the number of entries currently on the free list.
+func (p *Pool) FreeCount() int64 { return p.tail - p.head }
+
+// UsedBytes returns the bytes of the bump region in use (upper bound on
+// live data; free-list slots within it are reusable).
+func (p *Pool) UsedBytes() int64 { return p.bump * p.slotSize }
+
+func (p *Pool) ringSlotOff(pos int64) int64 {
+	return p.ringOff + (pos%p.ringCap)*8
+}
+
+// Alloc returns the device offset of a free slot. It prefers the free list
+// but never consumes entries appended after the last checkpoint (invariant
+// 2: slots freed in the current epoch must not be reused until the epoch is
+// checkpointed, so their deletion can be reverted). Allocation never writes
+// NVMM: only the DRAM head or bump offset moves.
+func (p *Pool) Alloc() (int64, error) {
+	if p.head < p.tailCkpt {
+		off := int64(p.dev.Load64(p.ringSlotOff(p.head)))
+		p.head++
+		return off, nil
+	}
+	if p.bump < p.capSlots {
+		off := p.dataOff + p.bump*p.slotSize
+		p.bump++
+		return off, nil
+	}
+	return 0, fmt.Errorf("%w (cap %d slots of %d bytes)", ErrPoolFull, p.capSlots, p.slotSize)
+}
+
+// Free appends the slot at off to the free list. The ring entry is written
+// to NVMM but not flushed; FlushRing batches the writeback. The entry
+// becomes allocatable only after the next checkpoint.
+func (p *Pool) Free(off int64) {
+	if p.tail-p.headCkpt >= p.ringCap {
+		// The ring must retain every entry from the last checkpointed head
+		// onward so a crash can revert consumption; running out means the
+		// pool was sized too small for the workload's churn.
+		panic(fmt.Sprintf("pmem: free-list ring overflow (cap %d)", p.ringCap))
+	}
+	p.dev.Store64(p.ringSlotOff(p.tail), uint64(off))
+	p.tail++
+}
+
+// FlushRing issues write-backs for all ring entries appended since the last
+// flush. Sequential appends flush at line granularity, matching the paper's
+// batched free-list persistence.
+func (p *Pool) FlushRing() {
+	for pos := p.flushFrom; pos < p.tail; {
+		slot := p.ringSlotOff(pos)
+		lineStart := slot / line * line
+		lineEnd := lineStart + line
+		p.dev.Flush(lineStart, line)
+		// Advance pos past every entry within this flushed line, handling
+		// ring wraparound (entries in one line are contiguous positions).
+		for pos < p.tail && p.ringSlotOff(pos) >= lineStart && p.ringSlotOff(pos) < lineEnd {
+			pos++
+		}
+		p.flushFrom = pos
+	}
+}
+
+// Checkpoint writes the DRAM bump/head/tail into the parity slots for the
+// given epoch and flushes the ring and control line. The caller issues the
+// fence (one fence covers all pools), then calls Checkpointed.
+func (p *Pool) Checkpoint(epoch uint64) {
+	p.FlushRing()
+	par := int64(epoch % 2)
+	p.dev.Store64(p.ctlOff+ctlBump0+par*8, uint64(p.bump))
+	p.dev.Store64(p.ctlOff+ctlHead0+par*8, uint64(p.head))
+	p.dev.Store64(p.ctlOff+ctlTail0+par*8, uint64(p.tail))
+	p.dev.Flush(p.ctlOff, line)
+}
+
+// Checkpointed commits the checkpoint barriers after the caller's fence
+// made the epoch durable: entries freed last epoch become allocatable.
+func (p *Pool) Checkpointed() {
+	p.headCkpt = p.head
+	p.tailCkpt = p.tail
+}
+
+// StageCurrentTail writes and flushes the third, non-revertible tail offset
+// (paper §5.5) after major GC appends its frees and before the execution
+// phase. The caller must issue one fence covering all pools before
+// execution begins; after that fence the GC frees are durable and survive a
+// crash during execution, while frees appended later (by transaction
+// deletes) will be reverted.
+func (p *Pool) StageCurrentTail(epoch uint64) {
+	p.FlushRing()
+	p.dev.Store64(p.ctlOff+ctlCT, uint64(p.tail))
+	p.dev.Store64(p.ctlOff+ctlCTEp, epoch)
+	p.dev.Flush(p.ctlOff, line)
+}
+
+// Recover restores the DRAM state from the checkpoint of ckptEpoch. If the
+// crashed epoch (ckptEpoch+1) had persisted a current-tail slot, the tail
+// adopts it: those frees came from major GC and are non-revertible.
+// It returns the offsets freed non-revertibly in the crashed epoch, which
+// recovery uses as the duplicate-suppression set when it re-runs major GC.
+func (p *Pool) Recover(ckptEpoch uint64) []int64 {
+	par := int64(ckptEpoch % 2)
+	p.bump = int64(p.dev.Load64(p.ctlOff + ctlBump0 + par*8))
+	p.head = int64(p.dev.Load64(p.ctlOff + ctlHead0 + par*8))
+	p.tail = int64(p.dev.Load64(p.ctlOff + ctlTail0 + par*8))
+	ckptTail := p.tail
+	var gcFrees []int64
+	if p.dev.Load64(p.ctlOff+ctlCTEp) == ckptEpoch+1 {
+		ct := int64(p.dev.Load64(p.ctlOff + ctlCT))
+		for pos := ckptTail; pos < ct; pos++ {
+			gcFrees = append(gcFrees, int64(p.dev.Load64(p.ringSlotOff(pos))))
+		}
+		p.tail = ct
+	}
+	p.headCkpt = p.head
+	// Invariant 2 uses the checkpointed tail, not the adopted current tail:
+	// slots freed by the crashed epoch's GC must not be reallocated while
+	// that epoch is replayed.
+	p.tailCkpt = ckptTail
+	p.flushFrom = p.tail
+	return gcFrees
+}
+
+// FreeSet returns the set of slot offsets currently on the free list
+// (between head and tail). Recovery uses it to skip free slots while
+// scanning the bump region for live rows.
+func (p *Pool) FreeSet() map[int64]struct{} {
+	s := make(map[int64]struct{}, p.tail-p.head)
+	for pos := p.head; pos < p.tail; pos++ {
+		s[int64(p.dev.Load64(p.ringSlotOff(pos)))] = struct{}{}
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+// Package wal implements the epoch-granularity input log of the
+// deterministic database.
+//
+// A deterministic database does not log transaction outputs: it logs the
+// *inputs* and predetermined serial order of every transaction in an epoch,
+// persists them before the execution phase begins, and replays them
+// deterministically after a crash. Only the in-flight epoch's log is ever
+// needed (earlier epochs are covered by the checkpoint), so the log region
+// is rewritten from its base every epoch at sequential NVMM bandwidth.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"nvcaracal/internal/nvm"
+)
+
+// Record is one logged transaction input: a workload-registered type id and
+// the serialized parameters sufficient to reconstruct the transaction.
+type Record struct {
+	Type uint16
+	Data []byte
+}
+
+// ErrLogFull is returned when an epoch's inputs exceed the log region.
+var ErrLogFull = errors.New("wal: epoch inputs exceed log region")
+
+// header layout (one line):
+//
+//	0  epoch     uint64
+//	8  count     uint64
+//	16 payload   uint64 (bytes)
+//	24 checksum  uint64 (FNV-1a over payload bytes, seeded with epoch+count)
+const headerSize = int64(nvm.LineSize)
+
+// Log manages the input-log region of the device.
+type Log struct {
+	dev  *nvm.Device
+	off  int64
+	size int64
+
+	lastPayload int64 // payload bytes of the most recent WriteEpoch
+	buf         []byte
+}
+
+// New returns a log over [off, off+size) of the device.
+func New(dev *nvm.Device, off, size int64) *Log {
+	if size <= headerSize {
+		panic("wal: log region too small")
+	}
+	return &Log{dev: dev, off: off, size: size}
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnv1a(seed uint64, data []byte) uint64 {
+	h := uint64(fnvOffset) ^ seed
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// WriteEpoch serializes the records, writes them to the log region, and
+// persists everything with a single fence. On return the epoch's inputs are
+// durable and the execution phase may make writes visible immediately.
+func (l *Log) WriteEpoch(epoch uint64, recs []Record) error {
+	need := 0
+	for _, r := range recs {
+		need += 2 + 4 + len(r.Data)
+	}
+	if int64(need) > l.size-headerSize {
+		return fmt.Errorf("%w: need %d, have %d", ErrLogFull, need, l.size-headerSize)
+	}
+	if cap(l.buf) < need {
+		l.buf = make([]byte, need)
+	}
+	buf := l.buf[:0]
+	for _, r := range recs {
+		buf = binary.LittleEndian.AppendUint16(buf, r.Type)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Data)))
+		buf = append(buf, r.Data...)
+	}
+	l.buf = buf
+
+	payloadOff := l.off + headerSize
+	l.dev.WriteAt(buf, payloadOff)
+
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], epoch)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(recs)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(buf)))
+	binary.LittleEndian.PutUint64(hdr[24:], fnv1a(epoch*31+uint64(len(recs)), buf))
+	l.dev.WriteAt(hdr[:], l.off)
+
+	l.dev.Flush(l.off, headerSize+int64(len(buf)))
+	l.dev.Fence()
+	l.lastPayload = int64(len(buf))
+	return nil
+}
+
+// ReadEpoch returns the records logged for the given epoch, or ok=false if
+// the log does not hold a complete, checksum-valid image of that epoch
+// (e.g. the crash happened before the log fence).
+func (l *Log) ReadEpoch(epoch uint64) ([]Record, bool) {
+	var hdr [32]byte
+	l.dev.ReadAt(hdr[:], l.off)
+	gotEpoch := binary.LittleEndian.Uint64(hdr[0:])
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	payload := binary.LittleEndian.Uint64(hdr[16:])
+	sum := binary.LittleEndian.Uint64(hdr[24:])
+	if gotEpoch != epoch {
+		return nil, false
+	}
+	if int64(payload) > l.size-headerSize {
+		return nil, false
+	}
+	data := make([]byte, payload)
+	l.dev.ReadAt(data, l.off+headerSize)
+	if fnv1a(epoch*31+count, data) != sum {
+		return nil, false
+	}
+	recs := make([]Record, 0, count)
+	pos := 0
+	for i := uint64(0); i < count; i++ {
+		if pos+6 > len(data) {
+			return nil, false
+		}
+		typ := binary.LittleEndian.Uint16(data[pos:])
+		n := int(binary.LittleEndian.Uint32(data[pos+2:]))
+		pos += 6
+		if pos+n > len(data) {
+			return nil, false
+		}
+		recs = append(recs, Record{Type: typ, Data: data[pos : pos+n : pos+n]})
+		pos += n
+	}
+	if pos != len(data) {
+		return nil, false
+	}
+	return recs, true
+}
+
+// LastPayloadBytes reports the payload size of the most recent WriteEpoch,
+// for logging-overhead accounting.
+func (l *Log) LastPayloadBytes() int64 { return l.lastPayload }

@@ -1,0 +1,146 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nvcaracal/internal/nvm"
+)
+
+func newLog(t *testing.T, size int64) (*Log, *nvm.Device) {
+	t.Helper()
+	dev := nvm.New(size)
+	return New(dev, 0, size), dev
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	l, _ := newLog(t, 1<<16)
+	recs := []Record{
+		{Type: 1, Data: []byte("alpha")},
+		{Type: 2, Data: []byte{}},
+		{Type: 300, Data: bytes.Repeat([]byte{0xAB}, 1000)},
+	}
+	if err := l.WriteEpoch(5, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := l.ReadEpoch(5)
+	if !ok {
+		t.Fatal("ReadEpoch failed")
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Type != recs[i].Type || !bytes.Equal(got[i].Data, recs[i].Data) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestReadWrongEpoch(t *testing.T) {
+	l, _ := newLog(t, 1<<16)
+	l.WriteEpoch(5, []Record{{Type: 1, Data: []byte("x")}})
+	if _, ok := l.ReadEpoch(6); ok {
+		t.Fatal("read of wrong epoch succeeded")
+	}
+}
+
+func TestLogSurvivesCrash(t *testing.T) {
+	l, dev := newLog(t, 1<<16)
+	recs := []Record{{Type: 9, Data: []byte("persist me")}}
+	if err := l.WriteEpoch(3, recs); err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash(nvm.CrashStrict, 1)
+	got, ok := l.ReadEpoch(3)
+	if !ok || len(got) != 1 || !bytes.Equal(got[0].Data, []byte("persist me")) {
+		t.Fatal("log lost after crash despite fence")
+	}
+}
+
+func TestTornLogRejected(t *testing.T) {
+	// Write epoch 1 (durable), then epoch 2 without a fence taking effect
+	// (crash strict before the implicit fence completes cannot be forced
+	// through the public API, so simulate a torn header by corrupting it).
+	l, dev := newLog(t, 1<<16)
+	l.WriteEpoch(1, []Record{{Type: 1, Data: []byte("old")}})
+	l.WriteEpoch(2, []Record{{Type: 1, Data: []byte("new")}})
+	// Corrupt one payload byte: checksum must catch it.
+	dev.WriteAt([]byte{0xFF}, headerSize+3)
+	if _, ok := l.ReadEpoch(2); ok {
+		t.Fatal("corrupted log accepted")
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	l, _ := newLog(t, 256)
+	err := l.WriteEpoch(1, []Record{{Type: 1, Data: make([]byte, 1000)}})
+	if !errors.Is(err, ErrLogFull) {
+		t.Fatalf("err = %v, want ErrLogFull", err)
+	}
+}
+
+func TestOverwritePreviousEpoch(t *testing.T) {
+	l, _ := newLog(t, 1<<16)
+	l.WriteEpoch(1, []Record{{Type: 1, Data: []byte("one")}})
+	l.WriteEpoch(2, []Record{{Type: 2, Data: []byte("two!")}})
+	if _, ok := l.ReadEpoch(1); ok {
+		t.Fatal("stale epoch still readable")
+	}
+	got, ok := l.ReadEpoch(2)
+	if !ok || got[0].Type != 2 {
+		t.Fatal("current epoch unreadable")
+	}
+}
+
+func TestEmptyEpoch(t *testing.T) {
+	l, _ := newLog(t, 1<<16)
+	if err := l.WriteEpoch(4, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := l.ReadEpoch(4)
+	if !ok || len(got) != 0 {
+		t.Fatalf("empty epoch: ok=%v len=%d", ok, len(got))
+	}
+}
+
+func TestLastPayloadBytes(t *testing.T) {
+	l, _ := newLog(t, 1<<16)
+	l.WriteEpoch(1, []Record{{Type: 1, Data: make([]byte, 10)}})
+	if got := l.LastPayloadBytes(); got != 16 { // 2+4+10
+		t.Fatalf("LastPayloadBytes = %d, want 16", got)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, epoch uint64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, _ := newLog(t, 1<<18)
+		n := rng.Intn(50)
+		recs := make([]Record, n)
+		for i := range recs {
+			data := make([]byte, rng.Intn(200))
+			rng.Read(data)
+			recs[i] = Record{Type: uint16(rng.Intn(1 << 16)), Data: data}
+		}
+		if err := l.WriteEpoch(epoch, recs); err != nil {
+			return false
+		}
+		got, ok := l.ReadEpoch(epoch)
+		if !ok || len(got) != n {
+			return false
+		}
+		for i := range recs {
+			if got[i].Type != recs[i].Type || !bytes.Equal(got[i].Data, recs[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

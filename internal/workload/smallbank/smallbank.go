@@ -1,0 +1,387 @@
+// Package smallbank implements the SmallBank OLTP benchmark (paper §6.2.2):
+// bank customers with checking and savings accounts, five transaction types
+// chosen uniformly, two of which abort at a 10% rate, and a hotspot subset
+// of customers targeted by 90% of the transactions.
+package smallbank
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"nvcaracal/internal/core"
+	"nvcaracal/internal/zen"
+)
+
+// Table ids.
+const (
+	TableAccount  = uint32(10) // customer id -> metadata (read-mostly)
+	TableSavings  = uint32(11) // customer id -> savings balance (8 bytes)
+	TableChecking = uint32(12) // customer id -> checking balance (8 bytes)
+)
+
+// Transaction type ids (logged).
+const (
+	TxnBalance uint16 = 0x5B00 + iota
+	TxnDepositChecking
+	TxnTransactSavings
+	TxnAmalgamate
+	TxnWriteCheck
+	TxnLoad
+)
+
+// Config describes a SmallBank instance (Table 2 of the paper).
+type Config struct {
+	// Customers is the account count (paper: 18M default, 180M large).
+	Customers int
+	// Hotspot is the number of hot customers targeted by 90% of
+	// transactions (paper: 1M low contention, 10K high contention — as a
+	// fraction of the scaled dataset).
+	Hotspot int
+	// InitialBalance seeds every account.
+	InitialBalance int64
+}
+
+// DefaultConfig returns a scaled configuration with the paper's hotspot
+// structure: hotspot = customers/18 approximates the low-contention setup;
+// pass an explicit Hotspot for high contention.
+func DefaultConfig(customers, hotspot int) Config {
+	return Config{Customers: customers, Hotspot: hotspot, InitialBalance: 10_000}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Customers < 4 {
+		return fmt.Errorf("smallbank: %d customers too few", c.Customers)
+	}
+	if c.Hotspot <= 0 || c.Hotspot > c.Customers {
+		return fmt.Errorf("smallbank: hotspot %d out of range", c.Hotspot)
+	}
+	return nil
+}
+
+// Workload generates SmallBank transactions.
+type Workload struct {
+	cfg Config
+}
+
+// New creates a workload; the config must validate.
+func New(cfg Config) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{cfg: cfg}, nil
+}
+
+// Config returns the workload configuration.
+func (w *Workload) Config() Config { return w.cfg }
+
+func encBalance(v int64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, uint64(v))
+}
+
+func decBalance(b []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+// LoadBatches returns the insert batches populating both account tables.
+func (w *Workload) LoadBatches(batchSize int) [][]*core.Txn {
+	var batches [][]*core.Txn
+	var cur []*core.Txn
+	for i := 0; i < w.cfg.Customers; i++ {
+		cust := uint64(i)
+		bal := w.cfg.InitialBalance
+		cur = append(cur, &core.Txn{
+			TypeID: TxnLoad,
+			Input:  binary.LittleEndian.AppendUint64(nil, cust),
+			Ops: []core.Op{
+				{Table: TableAccount, Key: cust, Kind: core.OpInsert},
+				{Table: TableSavings, Key: cust, Kind: core.OpInsert},
+				{Table: TableChecking, Key: cust, Kind: core.OpInsert},
+			},
+			Exec: func(ctx *core.Ctx) {
+				ctx.Insert(TableAccount, cust, encBalance(int64(cust)))
+				ctx.Insert(TableSavings, cust, encBalance(bal))
+				ctx.Insert(TableChecking, cust, encBalance(bal))
+			},
+		})
+		if len(cur) == batchSize {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
+}
+
+// LoadZen populates a Zen instance.
+func (w *Workload) LoadZen(db *zen.DB) error {
+	for i := 0; i < w.cfg.Customers; i++ {
+		tx := db.NewTxn()
+		cust := uint64(i)
+		tx.Write(TableAccount, cust, encBalance(int64(cust)))
+		tx.Write(TableSavings, cust, encBalance(w.cfg.InitialBalance))
+		tx.Write(TableChecking, cust, encBalance(w.cfg.InitialBalance))
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickCustomer draws a customer: 90% from the hotspot, else uniform.
+func (w *Workload) pickCustomer(rng *rand.Rand) uint64 {
+	if rng.Intn(10) < 9 {
+		return uint64(rng.Intn(w.cfg.Hotspot))
+	}
+	return uint64(rng.Intn(w.cfg.Customers))
+}
+
+// params is the serializable input of any SmallBank transaction.
+type params struct {
+	Type   uint16
+	Cust1  uint64
+	Cust2  uint64
+	Amount int64
+}
+
+func (p params) encode() []byte {
+	b := make([]byte, 0, 26)
+	b = binary.LittleEndian.AppendUint16(b, p.Type)
+	b = binary.LittleEndian.AppendUint64(b, p.Cust1)
+	b = binary.LittleEndian.AppendUint64(b, p.Cust2)
+	return binary.LittleEndian.AppendUint64(b, uint64(p.Amount))
+}
+
+func decodeParams(d []byte) (params, error) {
+	if len(d) != 26 {
+		return params{}, fmt.Errorf("smallbank: bad input length %d", len(d))
+	}
+	return params{
+		Type:   binary.LittleEndian.Uint16(d),
+		Cust1:  binary.LittleEndian.Uint64(d[2:]),
+		Cust2:  binary.LittleEndian.Uint64(d[10:]),
+		Amount: int64(binary.LittleEndian.Uint64(d[18:])),
+	}, nil
+}
+
+// build constructs the deterministic transaction for the given params.
+func (w *Workload) build(p params) *core.Txn {
+	in := p.encode()
+	switch p.Type {
+	case TxnBalance:
+		// Read-only: empty write set.
+		return &core.Txn{
+			TypeID: p.Type, Input: in,
+			Exec: func(ctx *core.Ctx) {
+				s, _ := ctx.Read(TableSavings, p.Cust1)
+				c, _ := ctx.Read(TableChecking, p.Cust1)
+				_ = s
+				_ = c
+			},
+		}
+	case TxnDepositChecking:
+		return &core.Txn{
+			TypeID: p.Type, Input: in,
+			Ops: []core.Op{{Table: TableChecking, Key: p.Cust1, Kind: core.OpUpdate}},
+			Exec: func(ctx *core.Ctx) {
+				old, _ := ctx.Read(TableChecking, p.Cust1)
+				ctx.Write(TableChecking, p.Cust1, encBalance(decBalance(old)+p.Amount))
+			},
+		}
+	case TxnTransactSavings:
+		// Aborts when the resulting savings balance would be negative
+		// (one of the two ~10%-abort types).
+		return &core.Txn{
+			TypeID: p.Type, Input: in,
+			Ops: []core.Op{{Table: TableSavings, Key: p.Cust1, Kind: core.OpUpdate}},
+			Exec: func(ctx *core.Ctx) {
+				old, _ := ctx.Read(TableSavings, p.Cust1)
+				bal := decBalance(old) + p.Amount
+				if bal < 0 {
+					ctx.Abort()
+					return
+				}
+				ctx.Write(TableSavings, p.Cust1, encBalance(bal))
+			},
+		}
+	case TxnAmalgamate:
+		// Move all funds of cust1 into cust2's checking account.
+		return &core.Txn{
+			TypeID: p.Type, Input: in,
+			Ops: []core.Op{
+				{Table: TableSavings, Key: p.Cust1, Kind: core.OpUpdate},
+				{Table: TableChecking, Key: p.Cust1, Kind: core.OpUpdate},
+				{Table: TableChecking, Key: p.Cust2, Kind: core.OpUpdate},
+			},
+			Exec: func(ctx *core.Ctx) {
+				s, _ := ctx.Read(TableSavings, p.Cust1)
+				c, _ := ctx.Read(TableChecking, p.Cust1)
+				total := decBalance(s) + decBalance(c)
+				dst, _ := ctx.Read(TableChecking, p.Cust2)
+				ctx.Write(TableSavings, p.Cust1, encBalance(0))
+				ctx.Write(TableChecking, p.Cust1, encBalance(0))
+				ctx.Write(TableChecking, p.Cust2, encBalance(decBalance(dst)+total))
+			},
+		}
+	case TxnWriteCheck:
+		// Deduct from checking; abort on insufficient total funds (the
+		// other ~10%-abort type).
+		return &core.Txn{
+			TypeID: p.Type, Input: in,
+			Ops: []core.Op{{Table: TableChecking, Key: p.Cust1, Kind: core.OpUpdate}},
+			Exec: func(ctx *core.Ctx) {
+				s, _ := ctx.Read(TableSavings, p.Cust1)
+				c, _ := ctx.Read(TableChecking, p.Cust1)
+				if decBalance(s)+decBalance(c) < p.Amount {
+					ctx.Abort()
+					return
+				}
+				ctx.Write(TableChecking, p.Cust1, encBalance(decBalance(c)-p.Amount))
+			},
+		}
+	}
+	panic(fmt.Sprintf("smallbank: unknown txn type %#x", p.Type))
+}
+
+// genParams draws one transaction's parameters. Amounts are tuned so the
+// two abortable types abort at roughly the paper's 10% rate given the
+// initial balances.
+func (w *Workload) genParams(rng *rand.Rand) params {
+	p := params{Cust1: w.pickCustomer(rng)}
+	switch rng.Intn(5) {
+	case 0:
+		p.Type = TxnBalance
+	case 1:
+		p.Type = TxnDepositChecking
+		p.Amount = int64(rng.Intn(100) + 1)
+	case 2:
+		p.Type = TxnTransactSavings
+		// Mostly small deposits; occasionally a large withdrawal that can
+		// push the balance negative.
+		if rng.Intn(10) == 0 {
+			p.Amount = -int64(rng.Intn(40_000))
+		} else {
+			p.Amount = int64(rng.Intn(100) + 1)
+		}
+	case 3:
+		p.Type = TxnAmalgamate
+		for {
+			p.Cust2 = w.pickCustomer(rng)
+			if p.Cust2 != p.Cust1 {
+				break
+			}
+		}
+	case 4:
+		p.Type = TxnWriteCheck
+		if rng.Intn(10) == 0 {
+			p.Amount = int64(rng.Intn(100_000))
+		} else {
+			p.Amount = int64(rng.Intn(50) + 1)
+		}
+	}
+	return p
+}
+
+// Gen produces one transaction.
+func (w *Workload) Gen(rng *rand.Rand) *core.Txn {
+	return w.build(w.genParams(rng))
+}
+
+// GenBatch produces an epoch's worth of transactions.
+func (w *Workload) GenBatch(rng *rand.Rand, n int) []*core.Txn {
+	batch := make([]*core.Txn, n)
+	for i := range batch {
+		batch[i] = w.Gen(rng)
+	}
+	return batch
+}
+
+// Register installs the replay decoders.
+func (w *Workload) Register(reg *core.Registry) {
+	dec := func(d []byte, _ *core.DB) (*core.Txn, error) {
+		p, err := decodeParams(d)
+		if err != nil {
+			return nil, err
+		}
+		return w.build(p), nil
+	}
+	for _, t := range []uint16{TxnBalance, TxnDepositChecking, TxnTransactSavings, TxnAmalgamate, TxnWriteCheck} {
+		reg.Register(t, dec)
+	}
+	reg.Register(TxnLoad, func(d []byte, _ *core.DB) (*core.Txn, error) {
+		if len(d) != 8 {
+			return nil, fmt.Errorf("smallbank: bad loader input")
+		}
+		cust := binary.LittleEndian.Uint64(d)
+		bal := w.cfg.InitialBalance
+		return &core.Txn{
+			TypeID: TxnLoad, Input: d,
+			Ops: []core.Op{
+				{Table: TableAccount, Key: cust, Kind: core.OpInsert},
+				{Table: TableSavings, Key: cust, Kind: core.OpInsert},
+				{Table: TableChecking, Key: cust, Kind: core.OpInsert},
+			},
+			Exec: func(ctx *core.Ctx) {
+				ctx.Insert(TableAccount, cust, encBalance(int64(cust)))
+				ctx.Insert(TableSavings, cust, encBalance(bal))
+				ctx.Insert(TableChecking, cust, encBalance(bal))
+			},
+		}, nil
+	})
+}
+
+// RunZen executes one equivalent transaction against a Zen instance.
+func (w *Workload) RunZen(db *zen.DB, rng *rand.Rand) error {
+	p := w.genParams(rng)
+	tx := db.NewTxn()
+	switch p.Type {
+	case TxnBalance:
+		tx.Read(TableSavings, p.Cust1)
+		tx.Read(TableChecking, p.Cust1)
+	case TxnDepositChecking:
+		old, _ := tx.Read(TableChecking, p.Cust1)
+		tx.Write(TableChecking, p.Cust1, encBalance(decBalance(old)+p.Amount))
+	case TxnTransactSavings:
+		old, _ := tx.Read(TableSavings, p.Cust1)
+		bal := decBalance(old) + p.Amount
+		if bal < 0 {
+			tx.Abort()
+		} else {
+			tx.Write(TableSavings, p.Cust1, encBalance(bal))
+		}
+	case TxnAmalgamate:
+		s, _ := tx.Read(TableSavings, p.Cust1)
+		c, _ := tx.Read(TableChecking, p.Cust1)
+		dst, _ := tx.Read(TableChecking, p.Cust2)
+		tx.Write(TableSavings, p.Cust1, encBalance(0))
+		tx.Write(TableChecking, p.Cust1, encBalance(0))
+		tx.Write(TableChecking, p.Cust2, encBalance(decBalance(dst)+decBalance(s)+decBalance(c)))
+	case TxnWriteCheck:
+		s, _ := tx.Read(TableSavings, p.Cust1)
+		c, _ := tx.Read(TableChecking, p.Cust1)
+		if decBalance(s)+decBalance(c) < p.Amount {
+			tx.Abort()
+		} else {
+			tx.Write(TableChecking, p.Cust1, encBalance(decBalance(c)-p.Amount))
+		}
+	}
+	return tx.Commit()
+}
+
+// TotalMoney sums all balances (conservation invariant for tests). Only
+// valid between epochs.
+func (w *Workload) TotalMoney(get func(table uint32, key uint64) ([]byte, bool)) int64 {
+	var total int64
+	for i := 0; i < w.cfg.Customers; i++ {
+		if v, ok := get(TableSavings, uint64(i)); ok {
+			total += decBalance(v)
+		}
+		if v, ok := get(TableChecking, uint64(i)); ok {
+			total += decBalance(v)
+		}
+	}
+	return total
+}

@@ -1,0 +1,235 @@
+package smallbank
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvcaracal/internal/core"
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/pmem"
+	"nvcaracal/internal/zen"
+)
+
+func testWorkload(t *testing.T) *Workload {
+	t.Helper()
+	w, err := New(Config{Customers: 200, Hotspot: 10, InitialBalance: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func openDB(t *testing.T, w *Workload) (*core.DB, *nvm.Device, core.Options) {
+	t.Helper()
+	reg := core.NewRegistry()
+	w.Register(reg)
+	layout := pmem.Layout{
+		Cores: 2, RowSize: 128, RowsPerCore: 2048, ValueSize: 256,
+		ValuesPerCore: 1024, RingCap: 8192, LogBytes: 1 << 20, Counters: 4,
+	}
+	if err := layout.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{
+		Cores: 2, Layout: layout, CacheEnabled: true, CacheK: 8,
+		MinorGCEnabled: true, Registry: reg,
+	}
+	dev := nvm.New(layout.TotalBytes())
+	db, err := core.Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, dev, opts
+}
+
+func load(t *testing.T, db *core.DB, w *Workload) {
+	t.Helper()
+	for _, b := range w.LoadBatches(100) {
+		if _, err := db.RunEpoch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for i, c := range []Config{
+		{Customers: 2, Hotspot: 1},
+		{Customers: 100, Hotspot: 0},
+		{Customers: 100, Hotspot: 200},
+	} {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	w := testWorkload(t)
+	db, _, _ := openDB(t, w)
+	load(t, db, w)
+	if db.RowCount() != 3*w.Config().Customers {
+		t.Fatalf("RowCount = %d", db.RowCount())
+	}
+	v, ok := db.Get(TableChecking, 0)
+	if !ok || decBalance(v) != 10_000 {
+		t.Fatalf("checking 0 = %v,%v", v, ok)
+	}
+}
+
+// modelBank applies params sequentially to an in-memory model.
+type modelBank struct {
+	sav, chk map[uint64]int64
+}
+
+func newModelBank(w *Workload) *modelBank {
+	m := &modelBank{sav: map[uint64]int64{}, chk: map[uint64]int64{}}
+	for i := 0; i < w.cfg.Customers; i++ {
+		m.sav[uint64(i)] = w.cfg.InitialBalance
+		m.chk[uint64(i)] = w.cfg.InitialBalance
+	}
+	return m
+}
+
+func (m *modelBank) apply(p params) {
+	switch p.Type {
+	case TxnBalance:
+	case TxnDepositChecking:
+		m.chk[p.Cust1] += p.Amount
+	case TxnTransactSavings:
+		if m.sav[p.Cust1]+p.Amount >= 0 {
+			m.sav[p.Cust1] += p.Amount
+		}
+	case TxnAmalgamate:
+		total := m.sav[p.Cust1] + m.chk[p.Cust1]
+		m.sav[p.Cust1] = 0
+		m.chk[p.Cust1] = 0
+		m.chk[p.Cust2] += total
+	case TxnWriteCheck:
+		if m.sav[p.Cust1]+m.chk[p.Cust1] >= p.Amount {
+			m.chk[p.Cust1] -= p.Amount
+		}
+	}
+}
+
+func TestEngineMatchesSequentialModel(t *testing.T) {
+	w := testWorkload(t)
+	db, _, _ := openDB(t, w)
+	load(t, db, w)
+	model := newModelBank(w)
+	rng := rand.New(rand.NewSource(7))
+
+	for e := 0; e < 5; e++ {
+		var batch []*core.Txn
+		used := map[uint64]bool{}
+		for len(batch) < 30 {
+			p := w.genParams(rng)
+			// One txn per customer pair per epoch keeps the sequential
+			// model aligned with the serial order without re-implementing
+			// intra-epoch chaining (covered by core tests).
+			if used[p.Cust1] || (p.Type == TxnAmalgamate && used[p.Cust2]) {
+				continue
+			}
+			used[p.Cust1] = true
+			if p.Type == TxnAmalgamate {
+				used[p.Cust2] = true
+			}
+			batch = append(batch, w.build(p))
+			model.apply(p)
+		}
+		if _, err := db.RunEpoch(batch); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < w.cfg.Customers; i++ {
+			k := uint64(i)
+			if sv, _ := db.Get(TableSavings, k); decBalance(sv) != model.sav[k] {
+				t.Fatalf("epoch %d cust %d savings: %d != %d", e, i, decBalance(sv), model.sav[k])
+			}
+			if cv, _ := db.Get(TableChecking, k); decBalance(cv) != model.chk[k] {
+				t.Fatalf("epoch %d cust %d checking: %d != %d", e, i, decBalance(cv), model.chk[k])
+			}
+		}
+	}
+}
+
+func TestAbortRateRoughlyTenPercent(t *testing.T) {
+	w := testWorkload(t)
+	db, _, _ := openDB(t, w)
+	load(t, db, w)
+	rng := rand.New(rand.NewSource(8))
+	var committed, aborted int
+	for e := 0; e < 20; e++ {
+		res, err := db.RunEpoch(w.GenBatch(rng, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed += res.Committed
+		aborted += res.Aborted
+	}
+	rate := float64(aborted) / float64(committed+aborted)
+	// Two of five types abort ~10% of the time => overall ~4%; accept a
+	// broad band since balances drift.
+	if rate < 0.005 || rate > 0.25 {
+		t.Fatalf("abort rate = %.3f, implausible", rate)
+	}
+}
+
+func TestCrashRecoveryPreservesBalances(t *testing.T) {
+	w := testWorkload(t)
+	db, dev, opts := openDB(t, w)
+	load(t, db, w)
+	rng := rand.New(rand.NewSource(9))
+	for e := 0; e < 3; e++ {
+		if _, err := db.RunEpoch(w.GenBatch(rng, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.TotalMoney(db.Get)
+	dev.Crash(nvm.CrashStrict, 1)
+	db2, _, err := core.Recover(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := w.TotalMoney(db2.Get); after != before {
+		t.Fatalf("total money changed across crash: %d -> %d", before, after)
+	}
+}
+
+func TestZenSmallBank(t *testing.T) {
+	w := testWorkload(t)
+	cfg := zen.Config{TupleSize: 64, Capacity: 4096, CacheEntries: 128}
+	dev := nvm.New(cfg.DeviceSize())
+	zdb, err := zen.Open(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadZen(zdb); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 200; i++ {
+		if err := w.RunZen(zdb, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := zdb.Stats()
+	if s.Commits+s.Aborts < 200 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	w := testWorkload(t)
+	rng := rand.New(rand.NewSource(11))
+	hot := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if w.pickCustomer(rng) < uint64(w.cfg.Hotspot) {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	// 90% targeted + 10%*hotspot/customers incidental.
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hotspot fraction = %.3f", frac)
+	}
+}

@@ -1,0 +1,830 @@
+// Package tpcc implements the TPC-C benchmark with Caracal's modifications
+// for deterministic execution (paper §6.2.3):
+//
+//   - Payment takes the customer id as a transaction input instead of a
+//     last-name lookup.
+//   - NewOrder draws its order id from an engine-persisted atomic counter
+//     per district at transaction-generation time (before execution), so
+//     the write set is known up front. The counters make TPC-C not fully
+//     deterministic, which is why the engine's RevertOnRecovery mode exists.
+//   - Delivery uses a reconnaissance read at generation time to discover
+//     the oldest undelivered order and declares a write set from it; the
+//     execution validates the reconnaissance and skips (ignoring its
+//     declared writes) when the order was already delivered.
+//
+// Keys are packed into uint64s arithmetically; see the key helpers.
+package tpcc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"nvcaracal/internal/core"
+)
+
+// Table ids.
+const (
+	TableWarehouse = uint32(20) // w -> {ytd}
+	TableDistrict  = uint32(21) // dKey -> {ytd}
+	TableCustomer  = uint32(22) // cKey -> {balance, ytdPayment, paymentCnt, deliveryCnt}
+	TableItem      = uint32(23) // i -> {price}
+	TableStock     = uint32(24) // sKey -> {qty, ytd, orderCnt}
+	TableOrder     = uint32(25) // oKey -> {cID, olCnt, carrier}
+	TableOrderLine = uint32(26) // olKey -> {item, supplyW, qty, amount, delivered}
+	TableNewOrder  = uint32(27) // oKey -> {} (presence marker)
+	TableHistory   = uint32(28) // hID -> {cKey, amount}
+	TableCustLast  = uint32(29) // cKey -> {lastO} (supports OrderStatus)
+	TableDistDeliv = uint32(30) // dKey -> {nextDeliveryO}
+)
+
+// Transaction type ids (logged).
+const (
+	TxnNewOrder uint16 = 0x7C00 + iota
+	TxnPayment
+	TxnOrderStatus
+	TxnDelivery
+	TxnStockLevel
+	TxnLoad
+)
+
+// Config scales the benchmark (Table 3 of the paper: 256 warehouses low
+// contention, 1 warehouse high contention).
+type Config struct {
+	Warehouses           int
+	Districts            int // per warehouse; spec says 10
+	CustomersPerDistrict int // spec says 3000
+	Items                int // spec says 100000
+}
+
+// DefaultConfig returns a configuration scaled for simulation.
+func DefaultConfig(warehouses int) Config {
+	return Config{Warehouses: warehouses, Districts: 10, CustomersPerDistrict: 120, Items: 1000}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Warehouses < 1 || c.Districts < 1 || c.CustomersPerDistrict < 3 || c.Items < 10 {
+		return fmt.Errorf("tpcc: implausible config %+v", c)
+	}
+	if c.CustomersPerDistrict > 99_999 || c.Items > 999_999 {
+		return fmt.Errorf("tpcc: config exceeds key packing limits: %+v", c)
+	}
+	return nil
+}
+
+// RequiredCounters returns how many persistent counter slots the engine
+// layout must provide: one order-id counter per district plus one history
+// id counter.
+func (c Config) RequiredCounters() int64 {
+	return int64(c.Warehouses*c.Districts) + 1
+}
+
+// --- key packing ---
+
+func dKey(w, d int) uint64 { return uint64(w)*100 + uint64(d) }
+func cKey(w, d, c int) uint64 {
+	return dKey(w, d)*100_000 + uint64(c)
+}
+func sKey(w, i int) uint64 { return uint64(w)*1_000_000 + uint64(i) }
+func oKey(w, d int, o uint64) uint64 {
+	return dKey(w, d)*10_000_000 + o
+}
+func olKey(w, d int, o uint64, ol int) uint64 {
+	return oKey(w, d, o)*16 + uint64(ol)
+}
+
+func (c Config) districtSlot(w, d int) int {
+	return (w-1)*c.Districts + (d - 1)
+}
+
+func (c Config) historySlot() int { return c.Warehouses * c.Districts }
+
+// --- value encodings ---
+
+func encInt64s(vs ...int64) []byte {
+	b := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	return b
+}
+
+func decInt64(b []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(b[i*8:]))
+}
+
+// Workload generates TPC-C transactions against a core.DB (the engine
+// counters make generation stateful).
+type Workload struct {
+	cfg Config
+
+	// counterSnap holds the district order-id counters as of the start of
+	// the current batch. Delivery reconnaissance must not observe ids
+	// issued to NewOrders generated earlier in the same batch — their
+	// orders do not exist yet and must not be treated as burned ids.
+	counterSnap []uint64
+}
+
+// New creates a workload; the config must validate.
+func New(cfg Config) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{cfg: cfg}, nil
+}
+
+// Config returns the workload configuration.
+func (w *Workload) Config() Config { return w.cfg }
+
+// --- loading ---
+
+// loadRec describes one loader insert, encoded into the input log.
+type loadRec struct {
+	Table uint32
+	Key   uint64
+	A, B  int64 // seed values
+}
+
+func (l loadRec) encode() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, l.Table)
+	b = binary.LittleEndian.AppendUint64(b, l.Key)
+	b = binary.LittleEndian.AppendUint64(b, uint64(l.A))
+	return binary.LittleEndian.AppendUint64(b, uint64(l.B))
+}
+
+func decodeLoadRec(d []byte) (loadRec, error) {
+	if len(d) != 28 {
+		return loadRec{}, fmt.Errorf("tpcc: bad load record length %d", len(d))
+	}
+	return loadRec{
+		Table: binary.LittleEndian.Uint32(d),
+		Key:   binary.LittleEndian.Uint64(d[4:]),
+		A:     int64(binary.LittleEndian.Uint64(d[12:])),
+		B:     int64(binary.LittleEndian.Uint64(d[20:])),
+	}, nil
+}
+
+func (l loadRec) value() []byte {
+	switch l.Table {
+	case TableWarehouse, TableDistrict:
+		return encInt64s(0) // ytd
+	case TableCustomer:
+		return encInt64s(l.A, 0, 0, 0) // balance, ytdPayment, paymentCnt, deliveryCnt
+	case TableItem:
+		return encInt64s(l.A) // price
+	case TableStock:
+		return encInt64s(l.A, 0, 0) // qty, ytd, orderCnt
+	case TableCustLast:
+		return encInt64s(0)
+	case TableDistDeliv:
+		return encInt64s(1) // first order id to deliver
+	}
+	panic(fmt.Sprintf("tpcc: load into unexpected table %d", l.Table))
+}
+
+func (l loadRec) txn() *core.Txn {
+	val := l.value()
+	return &core.Txn{
+		TypeID: TxnLoad,
+		Input:  l.encode(),
+		Ops:    []core.Op{{Table: l.Table, Key: l.Key, Kind: core.OpInsert}},
+		Exec: func(ctx *core.Ctx) {
+			ctx.Insert(l.Table, l.Key, val)
+		},
+	}
+}
+
+// LoadBatches returns the insert batches populating all tables.
+func (w *Workload) LoadBatches(batchSize int) [][]*core.Txn {
+	var recs []loadRec
+	for i := 1; i <= w.cfg.Items; i++ {
+		recs = append(recs, loadRec{Table: TableItem, Key: uint64(i), A: int64(i%90+1) * 100})
+	}
+	for wh := 1; wh <= w.cfg.Warehouses; wh++ {
+		recs = append(recs, loadRec{Table: TableWarehouse, Key: uint64(wh)})
+		for i := 1; i <= w.cfg.Items; i++ {
+			recs = append(recs, loadRec{Table: TableStock, Key: sKey(wh, i), A: int64(50 + (i % 50))})
+		}
+		for d := 1; d <= w.cfg.Districts; d++ {
+			recs = append(recs, loadRec{Table: TableDistrict, Key: dKey(wh, d)})
+			recs = append(recs, loadRec{Table: TableDistDeliv, Key: dKey(wh, d)})
+			for c := 1; c <= w.cfg.CustomersPerDistrict; c++ {
+				recs = append(recs, loadRec{Table: TableCustomer, Key: cKey(wh, d, c), A: 1_000_00})
+				recs = append(recs, loadRec{Table: TableCustLast, Key: cKey(wh, d, c)})
+			}
+		}
+	}
+	var batches [][]*core.Txn
+	for start := 0; start < len(recs); start += batchSize {
+		end := min(start+batchSize, len(recs))
+		batch := make([]*core.Txn, 0, end-start)
+		for _, r := range recs[start:end] {
+			batch = append(batch, r.txn())
+		}
+		batches = append(batches, batch)
+	}
+	return batches
+}
+
+// --- transaction generation ---
+
+// Mix returns the standard transaction mix percentages.
+func Mix() map[string]int {
+	return map[string]int{"NewOrder": 45, "Payment": 43, "OrderStatus": 4, "Delivery": 4, "StockLevel": 4}
+}
+
+// Gen produces one transaction using the standard mix. The db is needed
+// for order-id counters and Delivery reconnaissance.
+func (w *Workload) Gen(rng *rand.Rand, db *core.DB) *core.Txn {
+	r := rng.Intn(100)
+	switch {
+	case r < 45:
+		return w.genNewOrder(rng, db)
+	case r < 88:
+		return w.genPayment(rng, db)
+	case r < 92:
+		return w.genOrderStatus(rng)
+	case r < 96:
+		return w.genDelivery(rng, db)
+	default:
+		return w.genStockLevel(rng, db)
+	}
+}
+
+// GenBatch produces an epoch's worth of transactions, snapshotting the
+// order-id counters first (see Workload.counterSnap).
+func (w *Workload) GenBatch(rng *rand.Rand, db *core.DB, n int) []*core.Txn {
+	w.snapshotCounters(db)
+	batch := make([]*core.Txn, n)
+	for i := range batch {
+		batch[i] = w.Gen(rng, db)
+	}
+	w.counterSnap = nil
+	return batch
+}
+
+func (w *Workload) snapshotCounters(db *core.DB) {
+	n := w.cfg.Warehouses * w.cfg.Districts
+	if cap(w.counterSnap) < n {
+		w.counterSnap = make([]uint64, n)
+	}
+	w.counterSnap = w.counterSnap[:n]
+	for i := 0; i < n; i++ {
+		w.counterSnap[i] = db.CounterGet(i)
+	}
+}
+
+// lastCommittedIssued returns the last order id issued before the current
+// batch began for a district.
+func (w *Workload) lastCommittedIssued(db *core.DB, wh, d int) uint64 {
+	slot := w.cfg.districtSlot(wh, d)
+	if w.counterSnap != nil {
+		return w.counterSnap[slot]
+	}
+	return db.CounterGet(slot)
+}
+
+func (w *Workload) pickWarehouse(rng *rand.Rand) int {
+	return 1 + rng.Intn(w.cfg.Warehouses)
+}
+
+// --- NewOrder ---
+
+type noParams struct {
+	W, D, C int
+	O       uint64 // counter-assigned order id
+	Abort   bool   // 1% invalid-item rollback
+	Items   []noItem
+}
+
+type noItem struct {
+	Item    int
+	SupplyW int
+	Qty     int
+}
+
+func (p noParams) encode() []byte {
+	b := make([]byte, 0, 64)
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.W))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.D))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.C))
+	b = binary.LittleEndian.AppendUint64(b, p.O)
+	ab := byte(0)
+	if p.Abort {
+		ab = 1
+	}
+	b = append(b, ab, byte(len(p.Items)))
+	for _, it := range p.Items {
+		b = binary.LittleEndian.AppendUint32(b, uint32(it.Item))
+		b = binary.LittleEndian.AppendUint32(b, uint32(it.SupplyW))
+		b = append(b, byte(it.Qty))
+	}
+	return b
+}
+
+func decodeNOParams(d []byte) (noParams, error) {
+	if len(d) < 22 {
+		return noParams{}, fmt.Errorf("tpcc: short neworder input")
+	}
+	p := noParams{
+		W: int(binary.LittleEndian.Uint32(d)),
+		D: int(binary.LittleEndian.Uint32(d[4:])),
+		C: int(binary.LittleEndian.Uint32(d[8:])),
+		O: binary.LittleEndian.Uint64(d[12:]),
+	}
+	p.Abort = d[20] == 1
+	n := int(d[21])
+	pos := 22
+	for i := 0; i < n; i++ {
+		if pos+9 > len(d) {
+			return noParams{}, fmt.Errorf("tpcc: truncated neworder items")
+		}
+		p.Items = append(p.Items, noItem{
+			Item:    int(binary.LittleEndian.Uint32(d[pos:])),
+			SupplyW: int(binary.LittleEndian.Uint32(d[pos+4:])),
+			Qty:     int(d[pos+8]),
+		})
+		pos += 9
+	}
+	return p, nil
+}
+
+func (w *Workload) genNewOrder(rng *rand.Rand, db *core.DB) *core.Txn {
+	wh := w.pickWarehouse(rng)
+	d := 1 + rng.Intn(w.cfg.Districts)
+	c := 1 + rng.Intn(w.cfg.CustomersPerDistrict)
+	p := noParams{
+		W: wh, D: d, C: c,
+		O:     db.CounterAdd(w.cfg.districtSlot(wh, d), 1) + 1,
+		Abort: rng.Intn(100) == 0,
+	}
+	olCnt := 5 + rng.Intn(11)
+	used := map[int]bool{}
+	for i := 0; i < olCnt; i++ {
+		var item int
+		for {
+			item = 1 + rng.Intn(w.cfg.Items)
+			if !used[item] {
+				used[item] = true
+				break
+			}
+		}
+		supply := wh
+		if w.cfg.Warehouses > 1 && rng.Intn(100) == 0 {
+			for {
+				supply = w.pickWarehouse(rng)
+				if supply != wh {
+					break
+				}
+			}
+		}
+		p.Items = append(p.Items, noItem{Item: item, SupplyW: supply, Qty: 1 + rng.Intn(10)})
+	}
+	return w.buildNewOrder(p)
+}
+
+func (w *Workload) buildNewOrder(p noParams) *core.Txn {
+	ok := oKey(p.W, p.D, p.O)
+	ops := []core.Op{
+		{Table: TableOrder, Key: ok, Kind: core.OpInsert},
+		{Table: TableNewOrder, Key: ok, Kind: core.OpInsert},
+		{Table: TableCustLast, Key: cKey(p.W, p.D, p.C), Kind: core.OpUpdate},
+	}
+	for i, it := range p.Items {
+		ops = append(ops,
+			core.Op{Table: TableOrderLine, Key: olKey(p.W, p.D, p.O, i+1), Kind: core.OpInsert},
+			core.Op{Table: TableStock, Key: sKey(it.SupplyW, it.Item), Kind: core.OpUpdate},
+		)
+	}
+	return &core.Txn{
+		TypeID: TxnNewOrder,
+		Input:  p.encode(),
+		Ops:    ops,
+		Exec: func(ctx *core.Ctx) {
+			if p.Abort {
+				// Invalid item: user-level abort before any writes (§3.1.1).
+				ctx.Abort()
+				return
+			}
+			// Reads: customer (discount/credit) and district.
+			if _, found := ctx.Read(TableCustomer, cKey(p.W, p.D, p.C)); !found {
+				panic("tpcc: missing customer")
+			}
+			ctx.Read(TableDistrict, dKey(p.W, p.D))
+			for i, it := range p.Items {
+				price, found := ctx.Read(TableItem, uint64(it.Item))
+				if !found {
+					panic("tpcc: missing item")
+				}
+				sk := sKey(it.SupplyW, it.Item)
+				st, found := ctx.Read(TableStock, sk)
+				if !found {
+					panic("tpcc: missing stock")
+				}
+				qty := decInt64(st, 0)
+				if qty >= int64(it.Qty)+10 {
+					qty -= int64(it.Qty)
+				} else {
+					qty = qty - int64(it.Qty) + 91
+				}
+				ctx.Write(TableStock, sk, encInt64s(qty, decInt64(st, 1)+int64(it.Qty), decInt64(st, 2)+1))
+				amount := decInt64(price, 0) * int64(it.Qty)
+				ctx.Insert(TableOrderLine, olKey(p.W, p.D, p.O, i+1),
+					encInt64s(int64(it.Item), int64(it.SupplyW), int64(it.Qty), amount, 0))
+			}
+			ctx.Insert(TableOrder, ok, encInt64s(int64(cKey(p.W, p.D, p.C)), int64(len(p.Items)), 0))
+			ctx.Insert(TableNewOrder, ok, nil)
+			ctx.Write(TableCustLast, cKey(p.W, p.D, p.C), encInt64s(int64(p.O)))
+		},
+	}
+}
+
+// --- Payment ---
+
+type payParams struct {
+	W, D, C int
+	Amount  int64
+	HID     uint64
+}
+
+func (p payParams) encode() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(p.W))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.D))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.C))
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.Amount))
+	return binary.LittleEndian.AppendUint64(b, p.HID)
+}
+
+func decodePayParams(d []byte) (payParams, error) {
+	if len(d) != 28 {
+		return payParams{}, fmt.Errorf("tpcc: bad payment input length %d", len(d))
+	}
+	return payParams{
+		W:      int(binary.LittleEndian.Uint32(d)),
+		D:      int(binary.LittleEndian.Uint32(d[4:])),
+		C:      int(binary.LittleEndian.Uint32(d[8:])),
+		Amount: int64(binary.LittleEndian.Uint64(d[12:])),
+		HID:    binary.LittleEndian.Uint64(d[20:]),
+	}, nil
+}
+
+func (w *Workload) genPayment(rng *rand.Rand, db *core.DB) *core.Txn {
+	p := payParams{
+		W:      w.pickWarehouse(rng),
+		D:      1 + rng.Intn(w.cfg.Districts),
+		C:      1 + rng.Intn(w.cfg.CustomersPerDistrict),
+		Amount: int64(rng.Intn(5000) + 1),
+		HID:    db.CounterAdd(w.cfg.historySlot(), 1) + 1,
+	}
+	return w.buildPayment(p)
+}
+
+func (w *Workload) buildPayment(p payParams) *core.Txn {
+	ck := cKey(p.W, p.D, p.C)
+	return &core.Txn{
+		TypeID: TxnPayment,
+		Input:  p.encode(),
+		Ops: []core.Op{
+			{Table: TableWarehouse, Key: uint64(p.W), Kind: core.OpUpdate},
+			{Table: TableDistrict, Key: dKey(p.W, p.D), Kind: core.OpUpdate},
+			{Table: TableCustomer, Key: ck, Kind: core.OpUpdate},
+			{Table: TableHistory, Key: p.HID, Kind: core.OpInsert},
+		},
+		Exec: func(ctx *core.Ctx) {
+			wv, _ := ctx.Read(TableWarehouse, uint64(p.W))
+			ctx.Write(TableWarehouse, uint64(p.W), encInt64s(decInt64(wv, 0)+p.Amount))
+			dv, _ := ctx.Read(TableDistrict, dKey(p.W, p.D))
+			ctx.Write(TableDistrict, dKey(p.W, p.D), encInt64s(decInt64(dv, 0)+p.Amount))
+			cv, _ := ctx.Read(TableCustomer, ck)
+			ctx.Write(TableCustomer, ck, encInt64s(
+				decInt64(cv, 0)-p.Amount,
+				decInt64(cv, 1)+p.Amount,
+				decInt64(cv, 2)+1,
+				decInt64(cv, 3),
+			))
+			ctx.Insert(TableHistory, p.HID, encInt64s(int64(ck), p.Amount))
+		},
+	}
+}
+
+// --- OrderStatus (read-only) ---
+
+type osParams struct {
+	W, D, C int
+}
+
+func (p osParams) encode() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(p.W))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.D))
+	return binary.LittleEndian.AppendUint32(b, uint32(p.C))
+}
+
+func decodeOSParams(d []byte) (osParams, error) {
+	if len(d) != 12 {
+		return osParams{}, fmt.Errorf("tpcc: bad orderstatus input")
+	}
+	return osParams{
+		W: int(binary.LittleEndian.Uint32(d)),
+		D: int(binary.LittleEndian.Uint32(d[4:])),
+		C: int(binary.LittleEndian.Uint32(d[8:])),
+	}, nil
+}
+
+func (w *Workload) genOrderStatus(rng *rand.Rand) *core.Txn {
+	return w.buildOrderStatus(osParams{
+		W: w.pickWarehouse(rng),
+		D: 1 + rng.Intn(w.cfg.Districts),
+		C: 1 + rng.Intn(w.cfg.CustomersPerDistrict),
+	})
+}
+
+func (w *Workload) buildOrderStatus(p osParams) *core.Txn {
+	return &core.Txn{
+		TypeID: TxnOrderStatus,
+		Input:  p.encode(),
+		Exec: func(ctx *core.Ctx) {
+			last, found := ctx.Read(TableCustLast, cKey(p.W, p.D, p.C))
+			if !found {
+				return
+			}
+			o := uint64(decInt64(last, 0))
+			if o == 0 {
+				return // customer has no orders yet
+			}
+			ov, found := ctx.Read(TableOrder, oKey(p.W, p.D, o))
+			if !found {
+				return
+			}
+			olCnt := int(decInt64(ov, 1))
+			for i := 1; i <= olCnt; i++ {
+				ctx.Read(TableOrderLine, olKey(p.W, p.D, o, i))
+			}
+		},
+	}
+}
+
+// --- Delivery ---
+
+// dlvDistrict is the reconnaissance result for one district.
+type dlvDistrict struct {
+	D     int
+	O     uint64
+	CKey  uint64
+	OlCnt int
+	Mode  byte // 0 = nothing to deliver, 1 = deliver, 2 = advance past burned id
+}
+
+type dlvParams struct {
+	W         int
+	Carrier   int64
+	Districts []dlvDistrict
+}
+
+func (p dlvParams) encode() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(p.W))
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.Carrier))
+	b = append(b, byte(len(p.Districts)))
+	for _, d := range p.Districts {
+		b = binary.LittleEndian.AppendUint32(b, uint32(d.D))
+		b = binary.LittleEndian.AppendUint64(b, d.O)
+		b = binary.LittleEndian.AppendUint64(b, d.CKey)
+		b = append(b, byte(d.OlCnt), d.Mode)
+	}
+	return b
+}
+
+func decodeDlvParams(d []byte) (dlvParams, error) {
+	if len(d) < 13 {
+		return dlvParams{}, fmt.Errorf("tpcc: short delivery input")
+	}
+	p := dlvParams{
+		W:       int(binary.LittleEndian.Uint32(d)),
+		Carrier: int64(binary.LittleEndian.Uint64(d[4:])),
+	}
+	n := int(d[12])
+	pos := 13
+	for i := 0; i < n; i++ {
+		if pos+22 > len(d) {
+			return dlvParams{}, fmt.Errorf("tpcc: truncated delivery input")
+		}
+		p.Districts = append(p.Districts, dlvDistrict{
+			D:     int(binary.LittleEndian.Uint32(d[pos:])),
+			O:     binary.LittleEndian.Uint64(d[pos+4:]),
+			CKey:  binary.LittleEndian.Uint64(d[pos+12:]),
+			OlCnt: int(d[pos+20]),
+			Mode:  d[pos+21],
+		})
+		pos += 22
+	}
+	return p, nil
+}
+
+func (w *Workload) genDelivery(rng *rand.Rand, db *core.DB) *core.Txn {
+	wh := w.pickWarehouse(rng)
+	p := dlvParams{W: wh, Carrier: int64(1 + rng.Intn(10))}
+	for d := 1; d <= w.cfg.Districts; d++ {
+		dd := dlvDistrict{D: d}
+		if nv, found := db.Get(TableDistDeliv, dKey(wh, d)); found {
+			o := uint64(decInt64(nv, 0))
+			lastIssued := w.lastCommittedIssued(db, wh, d)
+			if o <= lastIssued {
+				dd.O = o
+				if ov, found := db.Get(TableOrder, oKey(wh, d, o)); found {
+					dd.CKey = uint64(decInt64(ov, 0))
+					dd.OlCnt = int(decInt64(ov, 1))
+					dd.Mode = 1
+				} else {
+					// The order id was burned by an aborted NewOrder:
+					// advance the delivery pointer past it.
+					dd.Mode = 2
+				}
+			}
+		}
+		p.Districts = append(p.Districts, dd)
+	}
+	return w.buildDelivery(p)
+}
+
+func (w *Workload) buildDelivery(p dlvParams) *core.Txn {
+	var ops []core.Op
+	for _, dd := range p.Districts {
+		switch dd.Mode {
+		case 1:
+			ok := oKey(p.W, dd.D, dd.O)
+			ops = append(ops,
+				core.Op{Table: TableNewOrder, Key: ok, Kind: core.OpDelete},
+				core.Op{Table: TableOrder, Key: ok, Kind: core.OpUpdate},
+				core.Op{Table: TableCustomer, Key: dd.CKey, Kind: core.OpUpdate},
+				core.Op{Table: TableDistDeliv, Key: dKey(p.W, dd.D), Kind: core.OpUpdate},
+			)
+			for i := 1; i <= dd.OlCnt; i++ {
+				ops = append(ops, core.Op{Table: TableOrderLine, Key: olKey(p.W, dd.D, dd.O, i), Kind: core.OpUpdate})
+			}
+		case 2:
+			ops = append(ops, core.Op{Table: TableDistDeliv, Key: dKey(p.W, dd.D), Kind: core.OpUpdate})
+		}
+	}
+	return &core.Txn{
+		TypeID: TxnDelivery,
+		Input:  p.encode(),
+		Ops:    ops,
+		Exec: func(ctx *core.Ctx) {
+			for _, dd := range p.Districts {
+				switch dd.Mode {
+				case 1:
+					ok := oKey(p.W, dd.D, dd.O)
+					// Validate the reconnaissance: if another Delivery in
+					// this epoch already delivered the order, skip; the
+					// declared writes become IGNORE markers.
+					if _, stillThere := ctx.Read(TableNewOrder, ok); !stillThere {
+						continue
+					}
+					ctx.Delete(TableNewOrder, ok)
+					ov, _ := ctx.Read(TableOrder, ok)
+					ctx.Write(TableOrder, ok, encInt64s(decInt64(ov, 0), decInt64(ov, 1), p.Carrier))
+					var total int64
+					for i := 1; i <= dd.OlCnt; i++ {
+						olk := olKey(p.W, dd.D, dd.O, i)
+						olv, found := ctx.Read(TableOrderLine, olk)
+						if !found {
+							continue
+						}
+						total += decInt64(olv, 3)
+						ctx.Write(TableOrderLine, olk, encInt64s(
+							decInt64(olv, 0), decInt64(olv, 1), decInt64(olv, 2), decInt64(olv, 3), 1))
+					}
+					cv, _ := ctx.Read(TableCustomer, dd.CKey)
+					ctx.Write(TableCustomer, dd.CKey, encInt64s(
+						decInt64(cv, 0)+total, decInt64(cv, 1), decInt64(cv, 2), decInt64(cv, 3)+1))
+					ctx.Write(TableDistDeliv, dKey(p.W, dd.D), encInt64s(int64(dd.O)+1))
+				case 2:
+					ctx.Write(TableDistDeliv, dKey(p.W, dd.D), encInt64s(int64(dd.O)+1))
+				}
+			}
+		},
+	}
+}
+
+// --- StockLevel (read-only) ---
+
+type slParams struct {
+	W, D      int
+	Threshold int64
+	OHi       uint64 // last issued order id at generation time
+}
+
+func (p slParams) encode() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(p.W))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.D))
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.Threshold))
+	return binary.LittleEndian.AppendUint64(b, p.OHi)
+}
+
+func decodeSLParams(d []byte) (slParams, error) {
+	if len(d) != 24 {
+		return slParams{}, fmt.Errorf("tpcc: bad stocklevel input")
+	}
+	return slParams{
+		W:         int(binary.LittleEndian.Uint32(d)),
+		D:         int(binary.LittleEndian.Uint32(d[4:])),
+		Threshold: int64(binary.LittleEndian.Uint64(d[8:])),
+		OHi:       binary.LittleEndian.Uint64(d[16:]),
+	}, nil
+}
+
+func (w *Workload) genStockLevel(rng *rand.Rand, db *core.DB) *core.Txn {
+	wh := w.pickWarehouse(rng)
+	d := 1 + rng.Intn(w.cfg.Districts)
+	return w.buildStockLevel(slParams{
+		W: wh, D: d,
+		Threshold: int64(10 + rng.Intn(11)),
+		OHi:       db.CounterGet(w.cfg.districtSlot(wh, d)),
+	})
+}
+
+func (w *Workload) buildStockLevel(p slParams) *core.Txn {
+	return &core.Txn{
+		TypeID: TxnStockLevel,
+		Input:  p.encode(),
+		Exec: func(ctx *core.Ctx) {
+			lo := uint64(1)
+			if p.OHi > 20 {
+				lo = p.OHi - 19
+			}
+			low := 0
+			for o := lo; o <= p.OHi; o++ {
+				ov, found := ctx.Read(TableOrder, oKey(p.W, p.D, o))
+				if !found {
+					continue // burned order id
+				}
+				olCnt := int(decInt64(ov, 1))
+				for i := 1; i <= olCnt; i++ {
+					olv, found := ctx.Read(TableOrderLine, olKey(p.W, p.D, o, i))
+					if !found {
+						continue
+					}
+					item := int(decInt64(olv, 0))
+					sv, found := ctx.Read(TableStock, sKey(p.W, item))
+					if found && decInt64(sv, 0) < p.Threshold {
+						low++
+					}
+				}
+			}
+			_ = low
+		},
+	}
+}
+
+// Register installs the replay decoders. NewOrder and Payment decoders do
+// not re-draw counters: the ids in the logged input are authoritative
+// (replay may produce different ids than the crashed run, which is why the
+// engine's RevertOnRecovery mode is required for TPC-C).
+func (w *Workload) Register(reg *core.Registry) {
+	reg.Register(TxnNewOrder, func(d []byte, db *core.DB) (*core.Txn, error) {
+		p, err := decodeNOParams(d)
+		if err != nil {
+			return nil, err
+		}
+		// Re-issue the order id from the recovered counter so the id space
+		// stays consistent after replay.
+		p.O = db.CounterAdd(w.cfg.districtSlot(p.W, p.D), 1) + 1
+		return w.buildNewOrder(p), nil
+	})
+	reg.Register(TxnPayment, func(d []byte, db *core.DB) (*core.Txn, error) {
+		p, err := decodePayParams(d)
+		if err != nil {
+			return nil, err
+		}
+		p.HID = db.CounterAdd(w.cfg.historySlot(), 1) + 1
+		return w.buildPayment(p), nil
+	})
+	reg.Register(TxnOrderStatus, func(d []byte, _ *core.DB) (*core.Txn, error) {
+		p, err := decodeOSParams(d)
+		if err != nil {
+			return nil, err
+		}
+		return w.buildOrderStatus(p), nil
+	})
+	reg.Register(TxnDelivery, func(d []byte, _ *core.DB) (*core.Txn, error) {
+		p, err := decodeDlvParams(d)
+		if err != nil {
+			return nil, err
+		}
+		return w.buildDelivery(p), nil
+	})
+	reg.Register(TxnStockLevel, func(d []byte, _ *core.DB) (*core.Txn, error) {
+		p, err := decodeSLParams(d)
+		if err != nil {
+			return nil, err
+		}
+		return w.buildStockLevel(p), nil
+	})
+	reg.Register(TxnLoad, func(d []byte, _ *core.DB) (*core.Txn, error) {
+		r, err := decodeLoadRec(d)
+		if err != nil {
+			return nil, err
+		}
+		return r.txn(), nil
+	})
+}

@@ -1,0 +1,356 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvcaracal/internal/core"
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/pmem"
+)
+
+func testWorkload(t *testing.T, warehouses int) *Workload {
+	t.Helper()
+	w, err := New(Config{Warehouses: warehouses, Districts: 2, CustomersPerDistrict: 20, Items: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func openDB(t *testing.T, w *Workload) (*core.DB, *nvm.Device, core.Options) {
+	t.Helper()
+	reg := core.NewRegistry()
+	w.Register(reg)
+	layout := pmem.Layout{
+		Cores: 2, RowSize: 192, RowsPerCore: 1 << 14, ValueSize: 256,
+		ValuesPerCore: 1 << 12, RingCap: 1 << 16, LogBytes: 1 << 20,
+		Counters: w.Config().RequiredCounters(),
+	}
+	if err := layout.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{
+		Cores: 2, Layout: layout, CacheEnabled: true, CacheK: 8,
+		MinorGCEnabled: true, RevertOnRecovery: true, Registry: reg,
+	}
+	dev := nvm.New(layout.TotalBytes())
+	db, err := core.Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, dev, opts
+}
+
+func load(t *testing.T, db *core.DB, w *Workload) {
+	t.Helper()
+	for _, b := range w.LoadBatches(500) {
+		if _, err := db.RunEpoch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for i, c := range []Config{
+		{Warehouses: 0, Districts: 10, CustomersPerDistrict: 100, Items: 100},
+		{Warehouses: 1, Districts: 10, CustomersPerDistrict: 100, Items: 5},
+		{Warehouses: 1, Districts: 10, CustomersPerDistrict: 1_000_000, Items: 100},
+	} {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if DefaultConfig(8).Warehouses != 8 {
+		t.Error("DefaultConfig")
+	}
+}
+
+func TestKeyPackingDisjoint(t *testing.T) {
+	// Key spaces of different tuple kinds must not collide within a table
+	// and must round-trip district/order identities.
+	seen := map[uint64]bool{}
+	for wh := 1; wh <= 3; wh++ {
+		for d := 1; d <= 10; d++ {
+			k := dKey(wh, d)
+			if seen[k] {
+				t.Fatalf("district key collision %d", k)
+			}
+			seen[k] = true
+		}
+	}
+	if oKey(1, 1, 5) == oKey(1, 2, 5) {
+		t.Fatal("order keys collide across districts")
+	}
+	if olKey(1, 1, 5, 1) == olKey(1, 1, 5, 2) {
+		t.Fatal("orderline keys collide")
+	}
+	if olKey(1, 1, 5, 15) >= olKey(1, 1, 6, 1) {
+		t.Fatal("orderline keys overflow into next order")
+	}
+}
+
+func TestLoadCounts(t *testing.T) {
+	w := testWorkload(t, 2)
+	db, _, _ := openDB(t, w)
+	load(t, db, w)
+	cfg := w.Config()
+	want := cfg.Items + // items
+		cfg.Warehouses*(1+cfg.Items) + // warehouses + stock
+		cfg.Warehouses*cfg.Districts*2 + // districts + distdeliv
+		cfg.Warehouses*cfg.Districts*cfg.CustomersPerDistrict*2 // customers + custlast
+	if db.RowCount() != want {
+		t.Fatalf("RowCount = %d, want %d", db.RowCount(), want)
+	}
+}
+
+func TestMixPercentagesSum(t *testing.T) {
+	total := 0
+	for _, v := range Mix() {
+		total += v
+	}
+	if total != 100 {
+		t.Fatalf("mix sums to %d", total)
+	}
+}
+
+func runEpochs(t *testing.T, db *core.DB, w *Workload, rng *rand.Rand, epochs, perEpoch int) (committed, aborted int) {
+	t.Helper()
+	for e := 0; e < epochs; e++ {
+		res, err := db.RunEpoch(w.GenBatch(rng, db, perEpoch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed += res.Committed
+		aborted += res.Aborted
+	}
+	return
+}
+
+func TestRunMixedWorkload(t *testing.T) {
+	w := testWorkload(t, 2)
+	db, _, _ := openDB(t, w)
+	load(t, db, w)
+	rng := rand.New(rand.NewSource(1))
+	committed, aborted := runEpochs(t, db, w, rng, 5, 100)
+	if committed < 400 {
+		t.Fatalf("committed = %d", committed)
+	}
+	// ~1% of NewOrders (45%) abort.
+	if aborted > committed/5 {
+		t.Fatalf("aborted = %d of %d", aborted, committed)
+	}
+}
+
+// checkConsistency verifies TPC-C invariants adapted to this reproduction:
+//   - every order id at or above the district's delivery pointer and issued
+//     has a NewOrder row iff the order exists and is undelivered;
+//   - delivered orders have a carrier and no NewOrder row;
+//   - warehouse ytd equals the sum of its districts' ytd.
+func checkConsistency(t *testing.T, db *core.DB, w *Workload) {
+	t.Helper()
+	cfg := w.Config()
+	for wh := 1; wh <= cfg.Warehouses; wh++ {
+		var distSum int64
+		for d := 1; d <= cfg.Districts; d++ {
+			dv, ok := db.Get(TableDistrict, dKey(wh, d))
+			if !ok {
+				t.Fatalf("district %d/%d missing", wh, d)
+			}
+			distSum += decInt64(dv, 0)
+
+			nv, ok := db.Get(TableDistDeliv, dKey(wh, d))
+			if !ok {
+				t.Fatalf("distdeliv %d/%d missing", wh, d)
+			}
+			nextDeliv := uint64(decInt64(nv, 0))
+			last := db.CounterGet(cfg.districtSlot(wh, d))
+			for o := uint64(1); o <= last; o++ {
+				_, orderExists := db.Get(TableOrder, oKey(wh, d, o))
+				_, noExists := db.Get(TableNewOrder, oKey(wh, d, o))
+				if !orderExists {
+					if noExists {
+						t.Fatalf("w%d d%d o%d: NewOrder without Order", wh, d, o)
+					}
+					continue
+				}
+				ov, _ := db.Get(TableOrder, oKey(wh, d, o))
+				carrier := decInt64(ov, 2)
+				if o < nextDeliv {
+					if noExists {
+						t.Fatalf("w%d d%d o%d: delivered order still has NewOrder row", wh, d, o)
+					}
+					if carrier == 0 {
+						t.Fatalf("w%d d%d o%d: delivered order has no carrier", wh, d, o)
+					}
+				} else {
+					if !noExists {
+						t.Fatalf("w%d d%d o%d: undelivered order lost its NewOrder row", wh, d, o)
+					}
+					if carrier != 0 {
+						t.Fatalf("w%d d%d o%d: undelivered order has carrier %d", wh, d, o, carrier)
+					}
+				}
+			}
+		}
+		wv, ok := db.Get(TableWarehouse, uint64(wh))
+		if !ok {
+			t.Fatalf("warehouse %d missing", wh)
+		}
+		if got := decInt64(wv, 0); got != distSum {
+			t.Fatalf("warehouse %d ytd %d != district sum %d", wh, got, distSum)
+		}
+	}
+}
+
+func TestConsistencyAfterManyEpochs(t *testing.T) {
+	w := testWorkload(t, 2)
+	db, _, _ := openDB(t, w)
+	load(t, db, w)
+	rng := rand.New(rand.NewSource(2))
+	runEpochs(t, db, w, rng, 8, 80)
+	checkConsistency(t, db, w)
+}
+
+func TestSingleWarehouseHighContention(t *testing.T) {
+	w := testWorkload(t, 1)
+	db, _, _ := openDB(t, w)
+	load(t, db, w)
+	rng := rand.New(rand.NewSource(3))
+	runEpochs(t, db, w, rng, 5, 100)
+	checkConsistency(t, db, w)
+}
+
+func TestOrderLinesMatchOrders(t *testing.T) {
+	w := testWorkload(t, 1)
+	db, _, _ := openDB(t, w)
+	load(t, db, w)
+	rng := rand.New(rand.NewSource(4))
+	runEpochs(t, db, w, rng, 4, 60)
+	cfg := w.Config()
+	for d := 1; d <= cfg.Districts; d++ {
+		last := db.CounterGet(cfg.districtSlot(1, d))
+		for o := uint64(1); o <= last; o++ {
+			ov, ok := db.Get(TableOrder, oKey(1, d, o))
+			if !ok {
+				continue
+			}
+			olCnt := int(decInt64(ov, 1))
+			if olCnt < 5 || olCnt > 15 {
+				t.Fatalf("order %d has %d lines", o, olCnt)
+			}
+			for i := 1; i <= olCnt; i++ {
+				if _, ok := db.Get(TableOrderLine, olKey(1, d, o, i)); !ok {
+					t.Fatalf("order %d missing line %d", o, i)
+				}
+			}
+			// No extra lines.
+			if _, ok := db.Get(TableOrderLine, olKey(1, d, o, olCnt+1)); ok {
+				t.Fatalf("order %d has extra line", o)
+			}
+		}
+	}
+}
+
+func TestCrashRecoveryWithRevert(t *testing.T) {
+	// The TPC-C recovery path: crash mid-epoch, recover with
+	// RevertOnRecovery, verify consistency holds afterward.
+	for seed := int64(1); seed <= 6; seed++ {
+		w := testWorkload(t, 1)
+		db, dev, opts := openDB(t, w)
+		load(t, db, w)
+		rng := rand.New(rand.NewSource(seed))
+		runEpochs(t, db, w, rng, 2, 60)
+
+		fired := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if r != nvm.ErrInjectedCrash {
+						panic(r)
+					}
+					fired = true
+				}
+			}()
+			batch := w.GenBatch(rng, db, 60)
+			dev.SetFailAfter(int64(20 + seed*13))
+			db.RunEpoch(batch)
+		}()
+		if !fired {
+			t.Fatalf("seed %d: fail-point never fired", seed)
+		}
+		dev.Crash(nvm.CrashStrict, seed)
+		db2, rep, err := core.Recover(dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = rep
+		checkConsistency(t, db2, w)
+		// And the database keeps working.
+		rng2 := rand.New(rand.NewSource(seed + 100))
+		w2 := testWorkload(t, 1)
+		for e := 0; e < 2; e++ {
+			if _, err := db2.RunEpoch(w2.GenBatch(rng2, db2, 40)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkConsistency(t, db2, w2)
+	}
+}
+
+func TestDeliveryAdvancesPastBurnedIDs(t *testing.T) {
+	// Force aborted NewOrders (burned order ids) and verify Delivery does
+	// not stall on them.
+	w := testWorkload(t, 1)
+	db, _, _ := openDB(t, w)
+	load(t, db, w)
+	rng := rand.New(rand.NewSource(6))
+
+	// Generate NewOrders, marking every third one aborted.
+	w.snapshotCounters(db)
+	var batch []*core.Txn
+	for i := 0; i < 12; i++ {
+		txn := w.genNewOrder(rng, db)
+		batch = append(batch, txn)
+	}
+	w.counterSnap = nil
+	if _, err := db.RunEpoch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// Deliver everything over several rounds.
+	for round := 0; round < 30; round++ {
+		w.snapshotCounters(db)
+		d := w.genDelivery(rng, db)
+		w.counterSnap = nil
+		if _, err := db.RunEpoch([]*core.Txn{d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := w.Config()
+	for d := 1; d <= cfg.Districts; d++ {
+		nv, _ := db.Get(TableDistDeliv, dKey(1, d))
+		next := uint64(decInt64(nv, 0))
+		last := db.CounterGet(cfg.districtSlot(1, d))
+		if next != last+1 {
+			t.Fatalf("district %d delivery pointer %d, want %d (stalled)", d, next, last+1)
+		}
+	}
+	checkConsistency(t, db, w)
+}
+
+func TestHistoryRowsInserted(t *testing.T) {
+	w := testWorkload(t, 1)
+	db, _, _ := openDB(t, w)
+	load(t, db, w)
+	rng := rand.New(rand.NewSource(7))
+	runEpochs(t, db, w, rng, 3, 80)
+	hCount := db.CounterGet(w.Config().historySlot())
+	if hCount == 0 {
+		t.Fatal("no payments ran")
+	}
+	for h := uint64(1); h <= hCount; h++ {
+		if _, ok := db.Get(TableHistory, h); !ok {
+			t.Fatalf("history row %d missing", h)
+		}
+	}
+}

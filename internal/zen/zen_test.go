@@ -1,0 +1,362 @@
+package zen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"nvcaracal/internal/nvm"
+)
+
+func testDB(t *testing.T, cacheEntries int) (*DB, *nvm.Device, Config) {
+	t.Helper()
+	cfg := Config{TupleSize: 128, Capacity: 4096, CacheEntries: cacheEntries}
+	dev := nvm.New(cfg.DeviceSize())
+	db, err := Open(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, dev, cfg
+}
+
+func commit(t *testing.T, tx *Txn) {
+	t.Helper()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	db, _, _ := testDB(t, 100)
+	tx := db.NewTxn()
+	tx.Write(1, 42, []byte("hello"))
+	commit(t, tx)
+	v, ok := db.Read(1, 42)
+	if !ok || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("Read = %q,%v", v, ok)
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	db, _, _ := testDB(t, 100)
+	tx := db.NewTxn()
+	tx.Write(1, 1, []byte("a"))
+	if v, ok := tx.Read(1, 1); !ok || !bytes.Equal(v, []byte("a")) {
+		t.Fatalf("read-your-write = %q,%v", v, ok)
+	}
+	tx.Delete(1, 1)
+	if _, ok := tx.Read(1, 1); ok {
+		t.Fatal("read-your-delete returned a value")
+	}
+	commit(t, tx)
+}
+
+func TestUpdateReplacesValue(t *testing.T) {
+	db, _, _ := testDB(t, 100)
+	for i := 0; i < 5; i++ {
+		tx := db.NewTxn()
+		tx.Write(1, 7, []byte{byte(i)})
+		commit(t, tx)
+	}
+	v, _ := db.Read(1, 7)
+	if !bytes.Equal(v, []byte{4}) {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db, _, _ := testDB(t, 100)
+	tx := db.NewTxn()
+	tx.Write(1, 1, []byte("x"))
+	commit(t, tx)
+	tx = db.NewTxn()
+	tx.Delete(1, 1)
+	commit(t, tx)
+	if _, ok := db.Read(1, 1); ok {
+		t.Fatal("deleted key readable")
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	db, _, _ := testDB(t, 100)
+	tx := db.NewTxn()
+	tx.Write(1, 1, []byte("x"))
+	tx.Abort()
+	commit(t, tx) // no-op after abort
+	if _, ok := db.Read(1, 1); ok {
+		t.Fatal("aborted write visible")
+	}
+	if db.Stats().Aborts != 1 {
+		t.Fatalf("aborts = %d", db.Stats().Aborts)
+	}
+}
+
+func TestSlotRecycling(t *testing.T) {
+	db, _, _ := testDB(t, 0)
+	for i := 0; i < 100; i++ {
+		tx := db.NewTxn()
+		tx.Write(1, 5, []byte{byte(i)})
+		commit(t, tx)
+	}
+	if used := db.Stats().SlotsUsed; used != 1 {
+		t.Fatalf("SlotsUsed = %d, want 1 (old versions recycled)", used)
+	}
+}
+
+func TestHeapFull(t *testing.T) {
+	cfg := Config{TupleSize: 64, Capacity: 4, CacheEntries: 0}
+	dev := nvm.New(cfg.DeviceSize())
+	db, err := Open(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		tx := db.NewTxn()
+		tx.Write(1, i, []byte("v"))
+		commit(t, tx)
+	}
+	tx := db.NewTxn()
+	tx.Write(1, 99, []byte("v"))
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit on full heap succeeded")
+	}
+}
+
+func TestValueTooLarge(t *testing.T) {
+	db, _, _ := testDB(t, 0)
+	tx := db.NewTxn()
+	tx.Write(1, 1, make([]byte, 1024))
+	if err := tx.Commit(); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+func TestCacheServesReads(t *testing.T) {
+	db, dev, _ := testDB(t, 100)
+	tx := db.NewTxn()
+	tx.Write(1, 1, []byte("cached"))
+	commit(t, tx)
+	before := dev.Stats()
+	for i := 0; i < 10; i++ {
+		db.Read(1, 1)
+	}
+	if got := dev.Stats().Sub(before).LineReads; got != 0 {
+		t.Fatalf("cached reads hit NVMM %d times", got)
+	}
+	if db.Stats().CacheHits < 10 {
+		t.Fatalf("cache hits = %d", db.Stats().CacheHits)
+	}
+}
+
+func TestCacheBounded(t *testing.T) {
+	db, _, _ := testDB(t, 8)
+	for i := uint64(0); i < 100; i++ {
+		tx := db.NewTxn()
+		tx.Write(1, i, []byte("v"))
+		commit(t, tx)
+	}
+	if n := db.Stats().CacheEntries; n > 8 {
+		t.Fatalf("cache grew to %d entries, bound 8", n)
+	}
+}
+
+func TestEveryUpdateWritesNVMM(t *testing.T) {
+	// Zen's defining property vs NVCaracal: contention does not reduce
+	// NVMM writes.
+	db, _, _ := testDB(t, 100)
+	for i := 0; i < 50; i++ {
+		tx := db.NewTxn()
+		tx.Write(1, 1, []byte{byte(i)}) // same hot key
+		commit(t, tx)
+	}
+	if w := db.Stats().NVMMWrites; w != 50 {
+		t.Fatalf("NVMMWrites = %d, want 50", w)
+	}
+}
+
+func TestRecoverAfterCrash(t *testing.T) {
+	db, dev, cfg := testDB(t, 100)
+	for i := uint64(0); i < 20; i++ {
+		tx := db.NewTxn()
+		tx.Write(1, i, []byte{byte(i * 3)})
+		commit(t, tx)
+	}
+	tx := db.NewTxn()
+	tx.Delete(1, 5)
+	commit(t, tx)
+	dev.Crash(nvm.CrashStrict, 1)
+
+	db2, err := Recover(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		v, ok := db2.Read(1, i)
+		if i == 5 {
+			if ok {
+				t.Fatal("deleted key survived recovery")
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(v, []byte{byte(i * 3)}) {
+			t.Fatalf("key %d: %v,%v", i, v, ok)
+		}
+	}
+}
+
+func TestRecoverDiscardsUncommitted(t *testing.T) {
+	db, dev, cfg := testDB(t, 0)
+	tx := db.NewTxn()
+	tx.Write(1, 1, []byte("durable"))
+	commit(t, tx)
+	// Simulate a torn commit: write a tuple, flush payload, crash before
+	// the commit flag is fenced. Easiest: write a raw uncommitted tuple.
+	off, err := db.alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Store32(off+tupTable, 1)
+	dev.Store64(off+tupKey, 1)
+	dev.Store64(off+tupVersion, 999)
+	dev.Persist(off, 64)
+	dev.Crash(nvm.CrashStrict, 1)
+
+	db2, err := Recover(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := db2.Read(1, 1)
+	if !ok || !bytes.Equal(v, []byte("durable")) {
+		t.Fatalf("Read = %q,%v, want durable value", v, ok)
+	}
+}
+
+func TestRecoverRebuildsFreeList(t *testing.T) {
+	db, dev, cfg := testDB(t, 0)
+	for i := 0; i < 10; i++ {
+		tx := db.NewTxn()
+		tx.Write(1, 1, []byte{byte(i)}) // one key, many superseded slots
+		commit(t, tx)
+	}
+	dev.Crash(nvm.CrashStrict, 2)
+	db2, err := Recover(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used := db2.Stats().SlotsUsed; used != 1 {
+		t.Fatalf("SlotsUsed after recovery = %d, want 1", used)
+	}
+	// The recycled slots must be allocatable.
+	for i := uint64(10); i < 15; i++ {
+		tx := db2.NewTxn()
+		tx.Write(1, i, []byte("new"))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentCommits(t *testing.T) {
+	db, _, _ := testDB(t, 1000)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tx := db.NewTxn()
+				tx.Write(1, uint64(w*1000+i), []byte{byte(w)})
+				tx.Write(2, uint64(i%10), []byte{byte(i)}) // contended table
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c := db.Stats().Commits; c != workers*100 {
+		t.Fatalf("commits = %d", c)
+	}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < 100; i++ {
+			if _, ok := db.Read(1, uint64(w*1000+i)); !ok {
+				t.Fatalf("lost key %d/%d", w, i)
+			}
+		}
+	}
+}
+
+func TestQuickZenMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{TupleSize: 128, Capacity: 2048, CacheEntries: 16}
+		dev := nvm.New(cfg.DeviceSize())
+		db, err := Open(dev, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[uint64][]byte{}
+		for i := 0; i < 200; i++ {
+			k := uint64(rng.Intn(30))
+			switch rng.Intn(4) {
+			case 0:
+				tx := db.NewTxn()
+				tx.Delete(1, k)
+				if err := tx.Commit(); err != nil {
+					return false
+				}
+				delete(model, k)
+			default:
+				v := make([]byte, rng.Intn(64))
+				rng.Read(v)
+				tx := db.NewTxn()
+				tx.Write(1, k, v)
+				if err := tx.Commit(); err != nil {
+					return false
+				}
+				model[k] = v
+			}
+		}
+		// Crash + recover, then compare.
+		dev.Crash(nvm.CrashStrict, seed)
+		db2, err := Recover(dev, cfg)
+		if err != nil {
+			return false
+		}
+		for k := uint64(0); k < 30; k++ {
+			got, ok := db2.Read(1, k)
+			want, wok := model[k]
+			if ok != wok || (ok && !bytes.Equal(got, want)) {
+				t.Logf("seed %d key %d: %v/%v vs %v/%v", seed, k, got, ok, want, wok)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for i, cfg := range []Config{
+		{TupleSize: 16, Capacity: 10},
+		{TupleSize: 128, Capacity: 0},
+	} {
+		dev := nvm.New(1024)
+		if _, err := Open(dev, cfg); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+	// Device too small.
+	cfg := Config{TupleSize: 128, Capacity: 1024}
+	if _, err := Open(nvm.New(64), cfg); err == nil {
+		t.Error("small device accepted")
+	}
+	_ = fmt.Sprint
+}

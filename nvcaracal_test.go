@@ -1,0 +1,217 @@
+package nvcaracal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"nvcaracal/internal/nvm"
+)
+
+const tbl = uint32(1)
+
+func setTxn(key uint64, val []byte) *Txn {
+	in := binary.LittleEndian.AppendUint64(nil, key)
+	in = append(in, val...)
+	return &Txn{
+		TypeID: 1,
+		Input:  in,
+		Ops:    []Op{{Table: tbl, Key: key, Kind: OpInsert}},
+		Exec: func(ctx *Ctx) {
+			ctx.Insert(tbl, key, val)
+		},
+	}
+}
+
+func facadeRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Register(1, func(d []byte, _ *DB) (*Txn, error) {
+		return setTxn(binary.LittleEndian.Uint64(d), d[8:]), nil
+	})
+	return reg
+}
+
+func TestOpenZeroConfig(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Cores() < 1 {
+		t.Fatal("no cores")
+	}
+	if _, err := db.RunEpoch([]*Txn{setTxn(1, []byte("v"))}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := db.Get(tbl, 1)
+	if !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+}
+
+func TestOpenWithDeviceCrashRecover(t *testing.T) {
+	cfg := Config{Cores: 2, Registry: facadeRegistry()}
+	db, dev, err := OpenWithDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RunEpoch([]*Txn{setTxn(7, []byte("durable"))}); err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash(nvm.CrashStrict, 1)
+	db2, rep, err := Recover(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CheckpointEpoch != 1 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	v, ok := db2.Get(tbl, 7)
+	if !ok || !bytes.Equal(v, []byte("durable")) {
+		t.Fatalf("Get after recovery = %q,%v", v, ok)
+	}
+}
+
+func TestRecoverWithoutRegistryFails(t *testing.T) {
+	cfg := Config{Cores: 1, Registry: facadeRegistry()}
+	_, dev, err := OpenWithDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(dev, Config{Cores: 1}); err == nil {
+		t.Fatal("recovery without registry accepted")
+	}
+}
+
+func TestModesOpen(t *testing.T) {
+	for _, m := range []StorageMode{ModeNVCaracal, ModeNoLogging, ModeHybrid, ModeAllNVMM, ModeAllDRAM} {
+		db, err := Open(Config{Cores: 1, Mode: m})
+		if err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+		if _, err := db.RunEpoch([]*Txn{setTxn(1, []byte("x"))}); err != nil {
+			t.Fatalf("mode %v: %v", m, err)
+		}
+	}
+}
+
+func TestLatencyConfigSlowsNVMM(t *testing.T) {
+	fast, err := Open(Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Open(Config{Cores: 1, NVMMWriteLatency: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(db *DB) time.Duration {
+		start := time.Now()
+		batch := make([]*Txn, 32)
+		for i := range batch {
+			batch[i] = setTxn(uint64(i), []byte("value"))
+		}
+		if _, err := db.RunEpoch(batch); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	tf, ts := run(fast), run(slow)
+	if ts < tf*2 {
+		t.Fatalf("latency model ineffective: fast=%v slow=%v", tf, ts)
+	}
+}
+
+func TestBadLayoutRejected(t *testing.T) {
+	if _, err := Open(Config{Cores: 1, RowSize: 100}); err == nil {
+		t.Fatal("invalid row size accepted")
+	}
+}
+
+func TestPersistIndexRecovery(t *testing.T) {
+	cfg := Config{Cores: 2, Registry: facadeRegistry(), PersistIndex: true}
+	db, dev, err := OpenWithDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []*Txn
+	for i := uint64(0); i < 100; i++ {
+		batch = append(batch, setTxn(i, []byte{byte(i)}))
+	}
+	if _, err := db.RunEpoch(batch); err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash(nvm.CrashStrict, 9)
+	db2, rep, err := Recover(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.UsedIndexJournal {
+		t.Fatal("facade PersistIndex did not engage the journal")
+	}
+	if db2.RowCount() != 100 {
+		t.Fatalf("RowCount = %d", db2.RowCount())
+	}
+}
+
+func TestAriaFacade(t *testing.T) {
+	areg := NewAriaRegistry()
+	areg.Register(7, func(d []byte, _ *DB) (*AriaTxn, error) {
+		return &AriaTxn{
+			TypeID: 7, Input: d,
+			Exec: func(ctx *AriaCtx) {
+				ctx.Write(tbl, binary.LittleEndian.Uint64(d), d[8:])
+			},
+		}, nil
+	})
+	cfg := Config{Cores: 2, Registry: facadeRegistry(), AriaRegistry: areg}
+	db, dev, err := OpenWithDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := append(binary.LittleEndian.AppendUint64(nil, 3), []byte("aria!")...)
+	txn := &AriaTxn{TypeID: 7, Input: in, Exec: func(ctx *AriaCtx) {
+		ctx.Write(tbl, 3, []byte("aria!"))
+	}}
+	res, err := db.RunEpochAria([]*AriaTxn{txn})
+	if err != nil || res.Committed != 1 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	dev.Crash(CrashStrict, 1)
+	db2, _, err := Recover(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := db2.Get(tbl, 3)
+	if !ok || !bytes.Equal(v, []byte("aria!")) {
+		t.Fatalf("aria row after recovery: %q,%v", v, ok)
+	}
+}
+
+func TestCacheHotOnlyConfig(t *testing.T) {
+	db, err := Open(Config{Cores: 1, CacheHotOnly: true, DisableCacheOnRead: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RunEpoch([]*Txn{setTxn(1, []byte("cold"))}); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.Metrics().CacheEntries; n != 0 {
+		t.Fatalf("cold single-write row cached: %d entries", n)
+	}
+}
+
+func TestMemoryAndMetricsExposed(t *testing.T) {
+	db, err := Open(Config{Cores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RunEpoch([]*Txn{setTxn(1, []byte("x"))}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Memory().RowBytes == 0 {
+		t.Fatal("Memory breakdown empty")
+	}
+	if db.Metrics().TxnsCommitted != 1 {
+		t.Fatal("Metrics not wired")
+	}
+}
