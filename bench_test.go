@@ -9,6 +9,7 @@ package nvcaracal_test
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -428,6 +429,64 @@ func BenchmarkFig12EpochSize(b *testing.B) {
 			_ = dev
 		})
 	}
+}
+
+// --- Group-commit front-end: concurrent Submit vs hand-batched epochs ---
+
+// BenchmarkSubmitVsHandBatched measures the overhead of the concurrent
+// group-commit front-end against a single caller hand-assembling the same
+// epochs. Both variants run SmallBank at low contention with the same batch
+// cap; the submit variant pushes pre-generated transactions through 8
+// goroutines. The front-end's throughput should land within ~20% of the
+// hand-batched baseline.
+func BenchmarkSubmitVsHandBatched(b *testing.B) {
+	const submitters = 8
+	b.Run("hand-batched", func(b *testing.B) {
+		w, db, dev := smallbankDB(b, benchSBCust/18, nvcaracal.ModeNVCaracal, nil)
+		rng := rand.New(rand.NewSource(8))
+		driveNVC(b, db, dev, func(n int) []*nvcaracal.Txn { return w.GenBatch(rng, n) })
+	})
+	b.Run("submit", func(b *testing.B) {
+		w, db, _ := smallbankDB(b, benchSBCust/18, nvcaracal.ModeNVCaracal, nil)
+		rng := rand.New(rand.NewSource(8))
+		txns := w.GenBatch(rng, b.N) // generation is client-side, excluded from the timer
+		epochBase := db.Epoch()
+		b.ResetTimer()
+		s := nvcaracal.NewSubmitter(db, nvcaracal.SubmitterConfig{
+			MaxBatch: benchEpochSize,
+			MaxDelay: 2 * time.Millisecond,
+		})
+		futs := make([]*nvcaracal.Future, len(txns))
+		var wg sync.WaitGroup
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < len(txns); i += submitters {
+					f, err := s.Submit(txns[i])
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					futs[i] = f
+				}
+			}(g)
+		}
+		wg.Wait()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		for _, f := range futs {
+			if f == nil {
+				b.Fatal("missing future")
+			}
+			if r := f.Wait(); r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		b.ReportMetric(float64(db.Epoch()-epochBase), "epochs")
+	})
 }
 
 // --- §7 extension: Aria-style CC on the same NVMM substrate ---

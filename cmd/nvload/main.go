@@ -8,6 +8,12 @@
 //	nvload -workload ycsb -rows 50000 -contention high -epochs 10
 //	nvload -workload smallbank -mode hybrid
 //	nvload -workload tpcc -warehouses 4 -epoch-txns 2000
+//	nvload -workload ycsb -submitters 8        # concurrent group-commit mode
+//
+// With -submitters N the measured phase is driven through the concurrent
+// group-commit front-end: N client goroutines call Submit and the batch
+// former closes epochs at -epoch-txns transactions or -submit-max-delay,
+// instead of a single caller hand-assembling each epoch.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
 	"time"
 
 	"nvcaracal"
@@ -34,6 +41,8 @@ func main() {
 		epochs     = flag.Int("epochs", 5, "measured epochs")
 		cores      = flag.Int("cores", 0, "worker cores (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
+		submitters = flag.Int("submitters", 0, "concurrent submitter goroutines (0 = hand-batched epochs)")
+		submitLag  = flag.Duration("submit-max-delay", 2*time.Millisecond, "batch former max-latency deadline (with -submitters)")
 		readLat    = flag.Duration("nvmm-read-latency", 60*time.Nanosecond, "simulated NVMM read latency per line")
 		writeLat   = flag.Duration("nvmm-write-latency", 250*time.Nanosecond, "simulated NVMM write latency per line")
 	)
@@ -137,21 +146,25 @@ func main() {
 
 	var committed, aborted int
 	var total time.Duration
-	for e := 0; e < *epochs; e++ {
-		batch := gen(db)
-		start := time.Now()
-		res, err := db.RunEpoch(batch)
-		if err != nil {
-			fatal(err)
+	if *submitters > 0 {
+		committed, aborted, total = runSubmitters(db, gen, *submitters, *epochs, *epochTxns, *submitLag)
+	} else {
+		for e := 0; e < *epochs; e++ {
+			batch := gen(db)
+			start := time.Now()
+			res, err := db.RunEpoch(batch)
+			if err != nil {
+				fatal(err)
+			}
+			d := time.Since(start)
+			total += d
+			committed += res.Committed
+			aborted += res.Aborted
+			fmt.Printf("epoch %d: %d committed, %d aborted, %v (log %v, init %v, exec %v, sync %v)\n",
+				res.Epoch, res.Committed, res.Aborted, d.Round(time.Microsecond),
+				res.LogTime.Round(time.Microsecond), res.InitTime.Round(time.Microsecond),
+				res.ExecTime.Round(time.Microsecond), res.SyncTime.Round(time.Microsecond))
 		}
-		d := time.Since(start)
-		total += d
-		committed += res.Committed
-		aborted += res.Aborted
-		fmt.Printf("epoch %d: %d committed, %d aborted, %v (log %v, init %v, exec %v, sync %v)\n",
-			res.Epoch, res.Committed, res.Aborted, d.Round(time.Microsecond),
-			res.LogTime.Round(time.Microsecond), res.InitTime.Round(time.Microsecond),
-			res.ExecTime.Round(time.Microsecond), res.SyncTime.Round(time.Microsecond))
 	}
 
 	fmt.Printf("\nthroughput: %.0f txns/s (%d committed, %d aborted in %v)\n",
@@ -170,6 +183,68 @@ func main() {
 
 	st := db.Device().Stats()
 	fmt.Printf("device: %s\n", st)
+}
+
+// runSubmitters drives the measured phase through the group-commit
+// front-end: the workload's epochs are pre-generated (generation is the
+// client side), split round-robin across n submitter goroutines, and
+// submitted concurrently. Returns commit/abort counts and the measured
+// wall-clock.
+func runSubmitters(db *nvcaracal.DB, gen func(*nvcaracal.DB) []*nvcaracal.Txn,
+	n, epochs, epochTxns int, maxDelay time.Duration) (committed, aborted int, total time.Duration) {
+	var txns []*nvcaracal.Txn
+	for e := 0; e < epochs; e++ {
+		txns = append(txns, gen(db)...)
+	}
+	fmt.Printf("submitting %d txns from %d goroutines (batch cap %d, max delay %v)\n",
+		len(txns), n, epochTxns, maxDelay)
+
+	epochBase := db.Epoch()
+	s := nvcaracal.NewSubmitter(db, nvcaracal.SubmitterConfig{
+		MaxBatch: epochTxns,
+		MaxDelay: maxDelay,
+	})
+	futs := make([]*nvcaracal.Future, len(txns))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(txns); i += n {
+				f, err := s.Submit(txns[i])
+				if err != nil {
+					fatal(err)
+				}
+				futs[i] = f
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		fatal(err)
+	}
+	total = time.Since(start)
+
+	var failed int
+	for _, f := range futs {
+		switch r := f.Wait(); {
+		case r.Err != nil:
+			failed++
+		case r.Committed:
+			committed++
+		default:
+			aborted++
+		}
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d submissions failed", failed))
+	}
+	used := db.Epoch() - epochBase
+	fmt.Printf("group commit: %d epochs used (%.1f txns/epoch), mean epoch %v\n",
+		used, float64(len(txns))/float64(max(1, int(used))),
+		(total / time.Duration(max(1, int(used)))).Round(time.Microsecond))
+	return committed, aborted, total
 }
 
 func parseMode(s string) (nvcaracal.StorageMode, error) {

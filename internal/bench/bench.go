@@ -168,6 +168,7 @@ func Experiments() []Experiment {
 		{"fig10", "Figure 10: failure-recovery support overhead", RunFig10},
 		{"fig11", "Figure 11: recovery time breakdown", RunFig11},
 		{"fig12", "Figure 12: effect of epoch size", RunFig12},
+		{"submit", "Group-commit front-end: concurrent Submit vs hand-batched epochs", RunSubmit},
 	}
 }
 

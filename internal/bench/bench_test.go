@@ -47,8 +47,8 @@ outer:
 
 func TestExperimentRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 9 {
-		t.Fatalf("expected 9 experiments, got %d", len(names))
+	if len(names) != 10 {
+		t.Fatalf("expected 10 experiments, got %d", len(names))
 	}
 	for _, n := range names {
 		if _, ok := ByName(n); !ok {

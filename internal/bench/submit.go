@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"nvcaracal"
+)
+
+// RunSubmit measures the concurrent group-commit front-end (a reproduction
+// extension, not a paper figure): N submitter goroutines pushing SmallBank
+// transactions through nvcaracal.Submitter versus one caller hand-assembling
+// the same epochs. The front-end adds queueing and batch-forming work on the
+// epoch path, so the comparison bounds what serving real clients costs over
+// the paper's hand-batched measurement loop.
+func RunSubmit(o Options) []Result {
+	s := o.Scale
+	hot := s.SBCustomers / s.SBHotLowDiv
+	var rs []Result
+
+	o.logf("submit: SmallBank %d customers, hand-batched baseline", s.SBCustomers)
+	setup, err := s.setupSmallBankNVC(s.SBCustomers, hot, sizing{mode: nvcaracal.ModeNVCaracal})
+	must(err)
+	base, err := s.runSmallBankNVC(setup, o.Seed)
+	must(err)
+	rs = append(rs, Result{
+		Exp:    "submit",
+		Labels: []Label{L("frontend", "hand-batched")},
+		Value:  kTPS(base),
+		Unit:   "ktps",
+	})
+	freeMem()
+
+	for _, n := range []int{2, 8} {
+		o.logf("submit: %d concurrent submitters", n)
+		setup, err := s.setupSmallBankNVC(s.SBCustomers, hot, sizing{mode: nvcaracal.ModeNVCaracal})
+		must(err)
+		m, err := s.runSubmitNVC(setup, n, o.Seed)
+		must(err)
+		rs = append(rs, Result{
+			Exp:    "submit",
+			Labels: []Label{L("frontend", fmt.Sprintf("submit-%d", n))},
+			Value:  kTPS(m),
+			Unit:   "ktps",
+		})
+		freeMem()
+	}
+
+	o.emit(rs)
+	if o.Out != nil && len(rs) >= 2 && rs[0].Value > 0 {
+		o.logf("  submit-8/hand-batched = %.2fx", Ratio(rs[len(rs)-1].Value, rs[0].Value))
+	}
+	return rs
+}
+
+// runSubmitNVC times pre-generated SmallBank transactions pushed through a
+// Submitter by `submitters` goroutines. Generation stays outside the timed
+// window (it models the client side), matching runNVC; rounds repeat until
+// the measurement window is long enough to be stable.
+func (s Scale) runSubmitNVC(setup *smallbankSetup, submitters int, seed int64) (measured, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var m measured
+	var total time.Duration
+	epochsUsed := uint64(0)
+	for round := 0; round == 0 || (total < minMeasure && round < 50); round++ {
+		txns := make([]*nvcaracal.Txn, 0, s.Epochs*s.EpochTxns)
+		for e := 0; e < s.Epochs; e++ {
+			txns = append(txns, setup.w.GenBatch(rng, s.EpochTxns)...)
+		}
+		epochBase := setup.db.Epoch()
+		futs := make([]*nvcaracal.Future, len(txns))
+		errCh := make(chan error, submitters)
+		start := time.Now()
+		sub := nvcaracal.NewSubmitter(setup.db, nvcaracal.SubmitterConfig{
+			MaxBatch: s.EpochTxns,
+			MaxDelay: 2 * time.Millisecond,
+		})
+		var wg sync.WaitGroup
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < len(txns); i += submitters {
+					f, err := sub.Submit(txns[i])
+					if err != nil {
+						errCh <- err
+						return
+					}
+					futs[i] = f
+				}
+			}(g)
+		}
+		wg.Wait()
+		if err := sub.Close(); err != nil {
+			return m, err
+		}
+		total += time.Since(start)
+		select {
+		case err := <-errCh:
+			return m, err
+		default:
+		}
+		for _, f := range futs {
+			r := f.Wait()
+			if r.Err != nil {
+				return m, r.Err
+			}
+			if r.Committed {
+				m.Committed++
+			} else {
+				m.Aborted++
+			}
+		}
+		epochsUsed += setup.db.Epoch() - epochBase
+	}
+	if total > 0 {
+		m.TPS = float64(m.Committed+m.Aborted) / total.Seconds()
+	}
+	if epochsUsed > 0 {
+		m.EpochLat = total / time.Duration(epochsUsed)
+	}
+	return m, nil
+}

@@ -40,11 +40,17 @@ type AriaTxn struct {
 	// Exec runs the transaction against an AriaCtx.
 	Exec func(ctx *AriaCtx)
 
-	sid uint64
+	sid     uint64
+	aborted bool
 }
 
 // SID returns the serial id assigned in the current epoch.
 func (t *AriaTxn) SID() uint64 { return t.sid }
+
+// Aborted reports whether the transaction issued a user-level abort during
+// the last epoch it executed in. Conflict losers are not user aborts; they
+// appear in AriaResult.Deferred instead.
+func (t *AriaTxn) Aborted() bool { return t.aborted }
 
 // AriaDecoder reconstructs an AriaTxn from its logged input.
 type AriaDecoder func(data []byte, db *DB) (*AriaTxn, error)
@@ -148,16 +154,17 @@ type AriaResult struct {
 // concurrency control (see the file comment). It may be interleaved with
 // RunEpoch calls on the same database.
 func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
-	if len(batch) > MaxTxnsPerEpoch {
-		return AriaResult{}, fmt.Errorf("core: batch of %d exceeds max %d", len(batch), MaxTxnsPerEpoch)
+	if err := CheckBatchSize(len(batch)); err != nil {
+		return AriaResult{}, err
 	}
 	start := time.Now()
-	epoch := db.epoch + 1
+	epoch := db.epoch.Load() + 1
 	res := AriaResult{Epoch: epoch}
 	db.abortFlag.Store(false)
 
 	for i, t := range batch {
 		t.sid = MakeSID(epoch, uint64(i+1))
+		t.aborted = false
 	}
 
 	// Log inputs, tagged with the Aria marker.
@@ -216,6 +223,7 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	committed := make([]*AriaCtx, 0, len(batch))
 	for i, ctx := range ctxs {
 		if ctx.aborted {
+			batch[i].aborted = true
 			res.UserAborted++
 			continue
 		}
@@ -270,7 +278,7 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	db.releaseEpochState(epoch)
 	db.met.AddCommitted(int64(res.Committed))
 	db.met.AddAborted(int64(res.UserAborted + res.ConflictAborted))
-	db.epoch = epoch
+	db.epoch.Store(epoch)
 	db.met.AddEpoch()
 	res.ElapsedTime = time.Since(start)
 	return res, nil

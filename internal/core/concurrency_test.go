@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestEpochReadDuringRunEpoch exercises the Epoch() read path concurrently
+// with running epochs; under -race it fails if the epoch counter is not
+// atomic (the front-end reads it while RunEpoch advances it).
+func TestEpochReadDuringRunEpoch(t *testing.T) {
+	db, _ := openTestDB(t, 2)
+	mustRun(t, db, []*Txn{mkInsert(1, []byte("seed"))})
+
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	var last atomic.Uint64
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := db.Epoch()
+			if prev := last.Load(); e < prev {
+				t.Errorf("Epoch() went backwards: %d after %d", e, prev)
+				return
+			}
+			last.Store(e)
+		}
+	}()
+	for i := 0; i < 25; i++ {
+		mustRun(t, db, []*Txn{mkSet(1, []byte{byte(i)})})
+	}
+	close(stop)
+	<-readerDone
+	if got := db.Epoch(); got != 26 {
+		t.Fatalf("Epoch() = %d, want 26", got)
+	}
+}
+
+// TestSIDBoundaries pins the SID packing at the serial-number boundary: the
+// largest admissible serial must not bleed into the epoch bits.
+func TestSIDBoundaries(t *testing.T) {
+	sid := MakeSID(7, MaxTxnsPerEpoch)
+	if got := SIDEpoch(sid); got != 7 {
+		t.Fatalf("SIDEpoch(MakeSID(7, max)) = %d, want 7", got)
+	}
+	// One past the cap silently collides: serial 2^24 ORs into the epoch
+	// bits and lands on serial 0 — the initial-version sentinel slot.
+	if MakeSID(1, MaxTxnsPerEpoch+1) != MakeSID(1, 0) {
+		t.Fatal("expected serial overflow to collide with serial 0")
+	}
+	if err := CheckBatchSize(MaxTxnsPerEpoch); err != nil {
+		t.Fatalf("CheckBatchSize(max) = %v, want nil", err)
+	}
+	if err := CheckBatchSize(MaxTxnsPerEpoch + 1); err == nil {
+		t.Fatal("CheckBatchSize(max+1) = nil, want error")
+	}
+}
+
+// TestOversizedBatchRejected verifies both epoch flavours reject a batch
+// one past MaxTxnsPerEpoch before assigning any SIDs, without advancing the
+// epoch counter.
+func TestOversizedBatchRejected(t *testing.T) {
+	db, _ := openTestDB(t, 1)
+	// The cap check runs before any element is touched, so nil entries are
+	// fine and keep the oversized slices cheap.
+	if _, err := db.RunEpoch(make([]*Txn, MaxTxnsPerEpoch+1)); err == nil {
+		t.Fatal("RunEpoch accepted an oversized batch")
+	}
+	if _, err := db.RunEpochAria(make([]*AriaTxn, MaxTxnsPerEpoch+1)); err == nil {
+		t.Fatal("RunEpochAria accepted an oversized batch")
+	}
+	if got := db.Epoch(); got != 0 {
+		t.Fatalf("rejected batches advanced the epoch to %d", got)
+	}
+	// The engine stays usable after the rejection.
+	mustRun(t, db, []*Txn{mkInsert(9, []byte("ok"))})
+	if got := db.Epoch(); got != 1 {
+		t.Fatalf("Epoch() = %d after one good epoch, want 1", got)
+	}
+}

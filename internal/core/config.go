@@ -166,5 +166,18 @@ func MakeSID(epoch uint64, serial uint64) uint64 { return epoch<<epochBits | ser
 // SIDEpoch extracts the epoch from a serial id.
 func SIDEpoch(sid uint64) uint64 { return sid >> epochBits }
 
-// MaxTxnsPerEpoch is the largest batch RunEpoch accepts.
+// MaxTxnsPerEpoch is the largest batch RunEpoch and RunEpochAria accept:
+// serial numbers are 1-based and occupy the low epochBits of a SID, so a
+// larger batch would overflow the serial field into the epoch bits and
+// collide SIDs silently.
 const MaxTxnsPerEpoch = 1<<epochBits - 1
+
+// CheckBatchSize validates that an n-transaction batch fits in one epoch.
+// Both epoch flavours apply it before assigning SIDs; batching front-ends
+// use it to size batches (including any resubmitted conflict losers).
+func CheckBatchSize(n int) error {
+	if n > MaxTxnsPerEpoch {
+		return fmt.Errorf("core: batch of %d exceeds max %d txns per epoch", n, MaxTxnsPerEpoch)
+	}
+	return nil
+}

@@ -34,7 +34,11 @@ type DB struct {
 	idx      *index.Map[*rowState]
 	arenas   *arena.Group
 
-	epoch uint64 // last completed (checkpointed) epoch
+	// epoch is the last completed (checkpointed) epoch. Epoch processing
+	// itself is single-threaded (one RunEpoch/RunEpochAria at a time), but
+	// concurrent front-ends read Epoch() while an epoch runs, so the
+	// counter is atomic.
+	epoch atomic.Uint64
 
 	// counters mirrors the persistent counter slots in DRAM; flushed at
 	// every checkpoint (TPC-C order ids, §6.2.3).
@@ -147,8 +151,9 @@ func newDB(dev *nvm.Device, opts Options) *DB {
 // Cores returns the configured worker-core count.
 func (db *DB) Cores() int { return db.opts.Cores }
 
-// Epoch returns the last checkpointed epoch number.
-func (db *DB) Epoch() uint64 { return db.epoch }
+// Epoch returns the last checkpointed epoch number. It is safe to call
+// concurrently with a running epoch.
+func (db *DB) Epoch() uint64 { return db.epoch.Load() }
 
 // Mode returns the storage mode.
 func (db *DB) Mode() StorageMode { return db.opts.Mode }
@@ -195,10 +200,10 @@ func (r EpochResult) Total() time.Duration {
 // (Algorithm 1 of the paper). On return the epoch is durable (in logging
 // mode) and all its writes are visible to subsequent epochs.
 func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
-	if len(batch) > MaxTxnsPerEpoch {
-		return EpochResult{}, fmt.Errorf("core: batch of %d exceeds max %d", len(batch), MaxTxnsPerEpoch)
+	if err := CheckBatchSize(len(batch)); err != nil {
+		return EpochResult{}, err
 	}
-	epoch := db.epoch + 1
+	epoch := db.epoch.Load() + 1
 	res := EpochResult{Epoch: epoch}
 	db.abortFlag.Store(false)
 
@@ -246,7 +251,7 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	db.finishEpoch(epoch, batch, &res)
 	res.SyncTime = time.Since(t3)
 
-	db.epoch = epoch
+	db.epoch.Store(epoch)
 	db.met.AddEpoch()
 	return res, nil
 }

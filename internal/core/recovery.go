@@ -59,7 +59,7 @@ func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
 
 	ckpt := db.epochRec.Load()
 	rep.CheckpointEpoch = ckpt
-	db.epoch = ckpt
+	db.epoch.Store(ckpt)
 	crashed := ckpt + 1
 
 	// Restore allocator state; collect the crashed epoch's durable GC

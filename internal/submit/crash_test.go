@@ -1,0 +1,158 @@
+package submit_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nvcaracal"
+)
+
+// TestCrashDuringSubmission injects a device power failure while 8
+// submitter goroutines are in flight. Every future must resolve rather
+// than hang: commits before the crash stay durable across Recover,
+// the epoch executing at the crash resolves ErrEpochFailed (its inputs may
+// have reached the log, in which case recovery replays them), and
+// transactions that never entered an epoch resolve ErrNeverSubmitted and
+// are guaranteed absent after recovery.
+func TestCrashDuringSubmission(t *testing.T) {
+	const (
+		submitters = 8
+		perWorker  = 150
+	)
+	cfg := testConfig()
+	db, dev, err := nvcaracal.OpenWithDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nvcaracal.NewSubmitter(db, nvcaracal.SubmitterConfig{
+		MaxBatch: 32,
+		MaxDelay: 100 * time.Microsecond,
+	})
+
+	// A couple of healthy epochs first, so the crash lands on a database
+	// with durable history.
+	warm, err := s.Submit(mkInsert(1, []byte("warm")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := warm.Wait(); r.Err != nil || !r.Committed {
+		t.Fatalf("warmup: %+v", r)
+	}
+
+	// Arm the fail-point: after a few thousand more flushed lines the next
+	// persist panics with ErrInjectedCrash inside RunEpoch.
+	dev.SetFailAfter(4000)
+
+	futs := make([][]*nvcaracal.Future, submitters)
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			futs[w] = make([]*nvcaracal.Future, perWorker)
+			for i := 0; i < perWorker; i++ {
+				k := key(w+1, i) // worker 0 slot reserved for the warmup key
+				f, err := s.Submit(mkInsert(k, binary.LittleEndian.AppendUint64(nil, k)))
+				if err != nil {
+					// The engine failed while we were queueing: expected for
+					// the tail of the stream; stop this worker.
+					if errors.Is(err, nvcaracal.ErrEpochFailed) {
+						return
+					}
+					t.Errorf("worker %d submit %d: unexpected error %v", w, i, err)
+					return
+				}
+				futs[w][i] = f
+			}
+		}(w)
+	}
+	wg.Wait()
+	closeErr := s.Close()
+	if closeErr == nil {
+		t.Fatal("expected Close to report the injected crash")
+	}
+	if !errors.Is(closeErr, nvcaracal.ErrEpochFailed) {
+		t.Fatalf("Close: %v, want ErrEpochFailed", closeErr)
+	}
+
+	// Every issued future must have resolved; sort them by outcome.
+	type outcome struct {
+		key uint64
+		res nvcaracal.SubmitResult
+	}
+	var committed, epochFailed, neverSubmitted []outcome
+	for w := range futs {
+		for i, f := range futs[w] {
+			if f == nil {
+				continue // submission itself was rejected after the failure
+			}
+			select {
+			case <-f.Done():
+			case <-time.After(10 * time.Second):
+				t.Fatalf("worker %d future %d hung after crash", w, i)
+			}
+			o := outcome{key: key(w+1, i), res: f.Wait()}
+			r := o.res
+			switch {
+			case r.Err == nil && r.Committed:
+				committed = append(committed, o)
+			case errors.Is(r.Err, nvcaracal.ErrNeverSubmitted):
+				neverSubmitted = append(neverSubmitted, o)
+			case errors.Is(r.Err, nvcaracal.ErrEpochFailed):
+				epochFailed = append(epochFailed, o)
+			default:
+				t.Fatalf("worker %d txn %d: unexpected outcome %+v", w, i, r)
+			}
+		}
+	}
+	if len(epochFailed) == 0 {
+		t.Fatal("no future resolved ErrEpochFailed; the crash missed the pipeline")
+	}
+	t.Logf("outcomes: %d committed, %d epoch-failed, %d never-submitted",
+		len(committed), len(epochFailed), len(neverSubmitted))
+
+	// Power-cycle and recover: logged epochs replay deterministically.
+	dev.Crash(nvcaracal.CrashStrict, 42)
+	rec, rep, err := nvcaracal.Recover(dev, cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	t.Logf("recovery: checkpoint epoch %d, replayed epoch %d (%d txns)",
+		rep.CheckpointEpoch, rep.ReplayedEpoch, rep.TxnsReplayed)
+
+	if v, ok := rec.Get(tblKV, 1); !ok || string(v) != "warm" {
+		t.Fatalf("warmup row lost: ok=%v val=%q", ok, v)
+	}
+	// Durable commits survive the crash with the exact value written.
+	for _, o := range committed {
+		v, ok := rec.Get(tblKV, o.key)
+		if !ok || binary.LittleEndian.Uint64(v) != o.key {
+			t.Fatalf("committed key %d (epoch %d) lost after recovery: ok=%v", o.key, o.res.Epoch, ok)
+		}
+	}
+	// Never-submitted transactions are guaranteed absent: their inputs
+	// never reached the log.
+	for _, o := range neverSubmitted {
+		if _, ok := rec.Get(tblKV, o.key); ok {
+			t.Fatalf("never-submitted key %d present after recovery", o.key)
+		}
+	}
+	// Epoch-failed transactions are all-or-nothing per epoch: either the
+	// crashed epoch's inputs were fully logged (the replay reran them all)
+	// or none of them are visible.
+	present := 0
+	for _, o := range epochFailed {
+		if _, ok := rec.Get(tblKV, o.key); ok {
+			present++
+		}
+	}
+	if present != 0 && present != len(epochFailed) {
+		t.Fatalf("crashed epoch partially visible after recovery: %d/%d keys", present, len(epochFailed))
+	}
+	if present > 0 && rep.ReplayedEpoch == 0 {
+		t.Fatal("crashed-epoch keys visible but recovery replayed nothing")
+	}
+}

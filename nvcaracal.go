@@ -27,6 +27,16 @@
 //	}
 //	res, err := db.RunEpoch([]*nvcaracal.Txn{txn})
 //
+// RunEpoch serves one hand-assembled batch at a time. To serve transactions
+// from many goroutines, open a Submitter: it batches concurrent Submit calls
+// into epochs (closing each at a size cap or latency deadline) and resolves
+// every submission's future once its epoch is durable:
+//
+//	s := nvcaracal.NewSubmitter(db, nvcaracal.SubmitterConfig{})
+//	fut, err := s.Submit(txn) // safe from any goroutine
+//	res := fut.Wait()         // epoch, SID, committed/aborted
+//	s.Close()                 // flush queued work, stop the pipeline
+//
 // See the examples directory for runnable programs and internal/core for
 // the engine itself.
 package nvcaracal
