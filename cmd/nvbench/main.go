@@ -15,6 +15,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"nvcaracal/internal/bench"
+	"nvcaracal/internal/nvm"
 )
 
 func main() {
@@ -38,8 +40,18 @@ func main() {
 		readLat   = flag.Duration("read-lat", 0, "override NVMM read latency per line")
 		writeLat  = flag.Duration("write-lat", 0, "override NVMM write latency per line")
 		csvPath   = flag.String("csv", "", "also write results as CSV to this file")
+		devBench  = flag.String("device-bench", "", "run the raw device contention benchmark and write JSON to this file (skips experiments)")
+		devOps    = flag.Int("device-ops", 200000, "device-bench iterations per core")
 	)
 	flag.Parse()
+
+	if *devBench != "" {
+		if err := runDeviceBench(*devBench, *devOps); err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: device-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -130,4 +142,38 @@ func writeCSV(path string, rs []bench.Result) error {
 		}
 	}
 	return w.Error()
+}
+
+// deviceBenchReport is the schema of BENCH_device.json: the raw device-op
+// throughput trajectory committed to the repo so device-layer changes show
+// their perf effect in review. Wall-clock numbers are hardware-dependent;
+// the committed file records the reference machine in `cpu`/`go`.
+type deviceBenchReport struct {
+	Benchmark string                  `json:"benchmark"`
+	Go        string                  `json:"go"`
+	CPU       int                     `json:"gomaxprocs"`
+	OpsCore   int                     `json:"ops_per_core"`
+	Results   []nvm.DeviceBenchResult `json:"results"`
+}
+
+// runDeviceBench measures device-op throughput at 1/4/8 worker goroutines
+// (the BenchmarkDeviceContention sweep) and writes the JSON artifact.
+func runDeviceBench(path string, opsPerCore int) error {
+	rep := deviceBenchReport{
+		Benchmark: "device-contention",
+		Go:        runtime.Version(),
+		CPU:       runtime.GOMAXPROCS(0),
+		OpsCore:   opsPerCore,
+	}
+	for _, cores := range []int{1, 4, 8} {
+		r := nvm.RunDeviceBench(cores, opsPerCore)
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("device-bench cores=%d: %.0f devops/s (%d ops in %.3fs)\n",
+			r.Cores, r.OpsSec, r.Ops, r.Secs)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -183,6 +183,10 @@ func main() {
 
 	st := db.Device().Stats()
 	fmt.Printf("device: %s\n", st)
+	if st.Fences > 0 {
+		fmt.Printf("device: %d lines committed over %d fences (%.0f lines/fence amortization)\n",
+			st.LinesFenced, st.Fences, float64(st.LinesFenced)/float64(st.Fences))
+	}
 }
 
 // runSubmitters drives the measured phase through the group-commit

@@ -291,7 +291,7 @@ func (db *DB) ariaApply(owner int, epoch uint64, key index.Key, sid uint64, w ar
 		if !exists {
 			return // deleting a nonexistent row is a no-op
 		}
-		db.met.AddPersistent()
+		db.met.At(owner).AddPersistent()
 		db.dropRow(owner, rs)
 		return
 	}
@@ -310,7 +310,7 @@ func (db *DB) ariaApply(owner int, epoch uint64, key index.Key, sid uint64, w ar
 			})
 		}
 	}
-	db.met.AddPersistent()
+	db.met.At(owner).AddPersistent()
 	if db.cacheOn() && (!db.opts.CacheHotOnly || rs.cached.Load() != nil) {
 		db.installCached(owner, rs, w.data, epoch)
 	}
@@ -334,10 +334,10 @@ func (db *DB) readCommittedRow(core int, epoch uint64, rs *rowState) ([]byte, bo
 	if db.cacheOn() {
 		if cv := rs.cached.Load(); cv != nil {
 			cv.stamp.Store(epoch)
-			db.met.AddCacheHit()
+			db.met.At(core).AddCacheHit()
 			return cv.data, true
 		}
-		db.met.AddCacheMiss()
+		db.met.At(core).AddCacheMiss()
 	}
 	r := db.rowRef(rs.nvOff)
 	latest := db.rowLatest(r)
@@ -345,7 +345,7 @@ func (db *DB) readCommittedRow(core int, epoch uint64, rs *rowState) ([]byte, bo
 		return nil, false
 	}
 	data := r.readValue(latest)
-	db.met.AddRowRead()
+	db.met.At(core).AddRowRead()
 	if db.cacheOn() && db.opts.CacheOnRead {
 		db.installCached(core, rs, data, epoch)
 	}

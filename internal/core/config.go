@@ -152,6 +152,18 @@ func (o *Options) validate() error {
 			return errors.New("core: PersistIndex requires a logging mode")
 		}
 	}
+	if o.Mode.persistsIntermediates() {
+		// Intermediate versions land in the per-core NVMM scratch ring; any
+		// value the engine accepts (up to the largest value class) must fit,
+		// or scratchAlloc would have to overrun the core's region.
+		if o.Layout.ScratchPerCore <= 0 {
+			return fmt.Errorf("core: mode %v requires Layout.ScratchPerCore > 0", o.Mode)
+		}
+		if max := o.Layout.MaxValueSize(); max > 0 && o.Layout.ScratchPerCore < max {
+			return fmt.Errorf("core: Layout.ScratchPerCore %d cannot hold the largest value class %d",
+				o.Layout.ScratchPerCore, max)
+		}
+	}
 	return nil
 }
 

@@ -514,15 +514,15 @@ func (db *DB) buildVersionArray(epoch uint64, owner int, key index.Key, ops []in
 			init = &versionVal{kind: vkData, data: data, nvOff: -1}
 			rs.cached.Store(nil)
 			va.wasCached = true
-			db.met.CacheDrop(int64(len(cv.data)))
-			db.met.AddCacheHit()
+			db.met.At(owner).CacheDrop(int64(len(cv.data)))
+			db.met.At(owner).AddCacheHit()
 		} else {
 			// One NVMM read per written row per epoch.
 			data := db.arenas.Core(owner).Alloc(int(latest.size))
 			r.readValueInto(latest, data)
 			init = db.placeTransient(owner, data)
-			db.met.AddRowRead()
-			db.met.AddCacheMiss()
+			db.met.At(owner).AddRowRead()
+			db.met.At(owner).AddCacheMiss()
 		}
 		va.vals[0].Store(init)
 	}
@@ -546,6 +546,12 @@ func (db *DB) placeTransient(core int, data []byte) *versionVal {
 func (db *DB) scratchAlloc(core int, n int) int64 {
 	if db.layout.ScratchPerCore == 0 {
 		panic("core: mode requires NVMM scratch but layout has none")
+	}
+	if int64(n) > db.layout.ScratchPerCore {
+		// Wrapping cannot help: the value would overrun the region (and
+		// scribble the next core's scratch) even from offset 0.
+		panic(fmt.Sprintf("core: transient value of %d bytes exceeds ScratchPerCore %d",
+			n, db.layout.ScratchPerCore))
 	}
 	off := db.scratch[core]
 	if off+int64(n) > db.layout.ScratchPerCore {

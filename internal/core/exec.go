@@ -73,7 +73,7 @@ func (db *DB) write(c *Ctx, key index.Key, val []byte) {
 	if isFinal {
 		db.finalize(c.core, rs, va, slot)
 	} else {
-		db.met.AddTransient()
+		db.met.At(c.core).AddTransient()
 	}
 }
 
@@ -85,7 +85,7 @@ func (db *DB) writeDelete(c *Ctx, key index.Key) {
 	if c.txn.sid == va.maxSID {
 		db.finalize(c.core, rs, va, slot)
 	} else {
-		db.met.AddTransient()
+		db.met.At(c.core).AddTransient()
 	}
 }
 
@@ -140,10 +140,10 @@ func (db *DB) finalize(core int, rs *rowState, va *versionArray, slot int) {
 	sid := va.sids[idx]
 	switch vv.kind {
 	case vkDeleted:
-		db.met.AddPersistent()
+		db.met.At(core).AddPersistent()
 		db.dropRow(core, rs)
 	case vkData:
-		db.met.AddPersistent()
+		db.met.At(core).AddPersistent()
 		data, _ := db.materialize(vv)
 		if db.cacheOn() && db.shouldCache(va) {
 			// Create the cached version before the persistent write so the
@@ -176,9 +176,9 @@ func (db *DB) installCached(core int, rs *rowState, data []byte, epoch uint64) {
 	// Swap keeps the byte accounting exact even when two readers race to
 	// install a cached version for the same row.
 	if old := rs.cached.Swap(cv); old != nil {
-		db.met.CacheDrop(int64(len(old.data)))
+		db.met.At(core).CacheDrop(int64(len(old.data)))
 	}
-	db.met.CacheAdd(int64(len(cv.data)))
+	db.met.At(core).CacheAdd(int64(len(cv.data)))
 	if rs.onEvictList.CompareAndSwap(false, true) {
 		db.evictBuf[core] = append(db.evictBuf[core], rs)
 	}
@@ -200,7 +200,7 @@ func (db *DB) dropRow(core int, rs *rowState) {
 	db.rowPools[core].Free(rs.nvOff)
 	if cv := rs.cached.Load(); cv != nil {
 		rs.cached.Store(nil)
-		db.met.CacheDrop(int64(len(cv.data)))
+		db.met.At(core).CacheDrop(int64(len(cv.data)))
 	}
 	db.deferredIndexDeletes[core] = append(db.deferredIndexDeletes[core],
 		index.Key{Table: r.table(), ID: r.key()})
@@ -233,7 +233,7 @@ func (db *DB) persistFinal(core int, rs *rowState, sid uint64, data []byte) {
 			if !v1.isInline() && v1.ptr != ptrNone {
 				panic("core: non-inline stale version reached the execution phase")
 			}
-			db.met.AddMinorGC()
+			db.met.At(core).AddMinorGC()
 		}
 		r.writeVersion(1, v2)
 		v1 = v2
@@ -254,8 +254,7 @@ func (db *DB) persistFinal(core int, rs *rowState, sid uint64, data []byte) {
 		}
 		ptr = uint64(off)
 	}
-	r.writeValue(ptr, data)
-	r.writeVersion(2, version{sid: sid, ptr: ptr, size: uint32(len(data))})
+	r.writeFinal(sid, ptr, data)
 
 	// If the stale first version is non-inline, queue the row for the
 	// major collector; if the minor collector is disabled, all stale rows

@@ -59,7 +59,7 @@ func (db *DB) majorGC(epoch uint64) {
 			}
 			r.writeVersion(1, v2)
 			r.resetVersion(2)
-			db.met.AddMajorGC()
+			db.met.At(owner).AddMajorGC()
 		}
 	})
 }

@@ -109,12 +109,20 @@ func (r rowRef) readVersion(which int) version {
 // §4.5: the SID is stored before the pointer, so a partial write-back is
 // detectable by comparing SIDs. The line is flushed afterwards; the fence
 // comes from the epoch boundary (or replay makes the outcome irrelevant).
+// The three field stores and the flush go through one vectored device call;
+// WriteFields preserves field store order, so the SID-first protocol holds.
 func (r rowRef) writeVersion(which int, v version) {
 	off := r.verOff(which)
-	r.dev.Store64(off+verSID, v.sid)
-	r.dev.Store64(off+verPtr, v.ptr)
-	r.dev.Store32(off+verSize, v.size)
-	r.dev.Flush(r.off, rowInline)
+	var sid, ptr [8]byte
+	var size [4]byte
+	putU64(sid[:], v.sid)
+	putU64(ptr[:], v.ptr)
+	putU32(size[:], v.size)
+	r.dev.WriteFields([]nvm.FieldWrite{
+		{Off: off + verSID, Data: sid[:]},
+		{Off: off + verPtr, Data: ptr[:]},
+		{Off: off + verSize, Data: size[:]},
+	}, []nvm.Range{{Off: r.off, N: rowInline}})
 }
 
 // resetVersion nulls a descriptor, SID first (repair case 2 relies on
@@ -157,6 +165,36 @@ func (r rowRef) writeValue(ptr uint64, data []byte) {
 	off := r.valueOff(version{ptr: ptr, size: uint32(len(data))})
 	r.dev.WriteAt(data, off)
 	r.dev.Flush(off, int64(len(data)))
+}
+
+// writeFinal is the vectored hot path of persistFinal: the value bytes, the
+// v2 descriptor fields, and both flushes go to the device as one call. The
+// value lines (inline heap or value pool) are disjoint from the descriptor
+// line, and the field order keeps every individual store and flush exactly
+// where the unvectored sequence (writeValue then writeVersion) put it, so
+// access counters, chaos-eviction rolls, and fail-point positions are
+// unchanged — the call only drops the per-operation device round trips.
+func (r rowRef) writeFinal(sid uint64, ptr uint64, data []byte) {
+	off := r.verOff(2)
+	var sidB, ptrB [8]byte
+	var sizeB [4]byte
+	putU64(sidB[:], sid)
+	putU64(ptrB[:], ptr)
+	putU32(sizeB[:], uint32(len(data)))
+	fields := make([]nvm.FieldWrite, 0, 4)
+	flushes := make([]nvm.Range, 0, 2)
+	if len(data) > 0 {
+		valOff := r.valueOff(version{ptr: ptr, size: uint32(len(data))})
+		fields = append(fields, nvm.FieldWrite{Off: valOff, Data: data})
+		flushes = append(flushes, nvm.Range{Off: valOff, N: int64(len(data))})
+	}
+	fields = append(fields,
+		nvm.FieldWrite{Off: off + verSID, Data: sidB[:]},
+		nvm.FieldWrite{Off: off + verPtr, Data: ptrB[:]},
+		nvm.FieldWrite{Off: off + verSize, Data: sizeB[:]},
+	)
+	flushes = append(flushes, nvm.Range{Off: r.off, N: rowInline})
+	r.dev.WriteFields(fields, flushes)
 }
 
 // freeInlineSlot picks the inline slot not referenced by v (or slot A when

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/pmem"
+)
+
+// TestScratchConfigValidation pins the config-level guard: modes that place
+// transient versions in NVMM scratch must have a scratch region that can
+// hold any value the engine accepts.
+func TestScratchConfigValidation(t *testing.T) {
+	mk := func(scratch int64) Options {
+		l := pmem.Layout{
+			Cores: 1, RowSize: 256, RowsPerCore: 64,
+			ValueSize: 512, ValuesPerCore: 64, RingCap: 256,
+			LogBytes: 1 << 16, ScratchPerCore: scratch,
+		}
+		if err := l.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		return Options{Cores: 1, Mode: ModeHybrid, Layout: l}
+	}
+
+	opts := mk(0)
+	dev := nvm.New(opts.Layout.TotalBytes())
+	if _, err := Open(dev, opts); err == nil || !strings.Contains(err.Error(), "ScratchPerCore") {
+		t.Fatalf("hybrid mode with no scratch: got err %v, want ScratchPerCore error", err)
+	}
+
+	opts = mk(256) // smaller than the 512-byte value class
+	dev = nvm.New(opts.Layout.TotalBytes())
+	if _, err := Open(dev, opts); err == nil || !strings.Contains(err.Error(), "largest value class") {
+		t.Fatalf("hybrid mode with undersized scratch: got err %v, want value-class error", err)
+	}
+
+	opts = mk(512)
+	dev = nvm.New(opts.Layout.TotalBytes())
+	if _, err := Open(dev, opts); err != nil {
+		t.Fatalf("hybrid mode with adequate scratch rejected: %v", err)
+	}
+}
+
+// TestScratchAllocOversizePanics pins the runtime guard: a transient value
+// that cannot fit the per-core scratch region even from offset zero —
+// reachable for intermediate versions, which are not bounded by the value
+// classes — must panic loudly instead of wrapping and overrunning into the
+// next core's region.
+func TestScratchAllocOversizePanics(t *testing.T) {
+	opts := testOpts(2)
+	opts.Mode = ModeHybrid
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrapping within bounds still works: two allocations that together
+	// exceed the region wrap to offset 0.
+	per := opts.Layout.ScratchPerCore
+	a := db.scratchAlloc(0, int(per)-8)
+	if got := db.scratchAlloc(0, 64); got != opts.Layout.ScratchOff(0) {
+		t.Fatalf("wrap: second alloc at %d, want region base %d (first at %d)", got, opts.Layout.ScratchOff(0), a)
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("oversized scratch alloc did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "exceeds ScratchPerCore") {
+			t.Fatalf("panic message %v lacks the oversize diagnostic", r)
+		}
+	}()
+	db.scratchAlloc(0, int(per)+1)
+}

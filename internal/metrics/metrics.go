@@ -1,13 +1,21 @@
 // Package metrics provides lightweight atomic counters for engine-level
 // accounting: transient vs persistent version writes, cache behaviour, and
 // memory breakdowns used to reproduce the paper's Figure 8.
+//
+// Counters are striped: each worker core updates its own cache-line-sized
+// cell (via At) and Snapshot folds the cells, so the execution phase never
+// has every core bouncing one counter cache line. The zero value is ready.
 package metrics
 
 import "sync/atomic"
 
-// Counters aggregates engine events. All methods are safe for concurrent
-// use. The zero value is ready.
-type Counters struct {
+// stripes is the number of counter cells. Core IDs index cells modulo this,
+// so any core count works; beyond 64 cores stripes are shared pairwise.
+const stripes = 64
+
+// Cell is one stripe of the counters: the per-core view a worker updates
+// without contending with other cores. Obtain one with Counters.At.
+type Cell struct {
 	txnsCommitted      atomic.Int64
 	txnsAborted        atomic.Int64
 	epochs             atomic.Int64
@@ -20,6 +28,21 @@ type Counters struct {
 	cacheEntries       atomic.Int64
 	minorGCs           atomic.Int64
 	majorGCs           atomic.Int64
+	_                  [32]byte // pad to a multiple of 64B: no false sharing
+}
+
+// Counters aggregates engine events. All methods are safe for concurrent
+// use. Hot paths should grab the executing core's Cell once via At and
+// update that; the convenience methods on Counters itself hit cell 0 and
+// are fine for cold paths (epoch boundaries, coordinators, tests).
+type Counters struct {
+	cells [stripes]Cell
+}
+
+// At returns the counter cell for a worker core. Per-cell totals are
+// meaningless in isolation; Snapshot folds them.
+func (c *Counters) At(core int) *Cell {
+	return &c.cells[uint(core)%stripes]
 }
 
 // Snapshot is an immutable copy of all counters.
@@ -67,61 +90,104 @@ func (s Snapshot) TransientShare() float64 {
 }
 
 // AddCommitted adds n committed transactions.
-func (c *Counters) AddCommitted(n int64) { c.txnsCommitted.Add(n) }
+func (c *Cell) AddCommitted(n int64) { c.txnsCommitted.Add(n) }
 
 // AddAborted adds n aborted transactions.
-func (c *Counters) AddAborted(n int64) { c.txnsAborted.Add(n) }
+func (c *Cell) AddAborted(n int64) { c.txnsAborted.Add(n) }
 
 // AddEpoch counts one completed epoch.
-func (c *Counters) AddEpoch() { c.epochs.Add(1) }
+func (c *Cell) AddEpoch() { c.epochs.Add(1) }
 
 // AddTransient counts a version written only to DRAM.
-func (c *Counters) AddTransient() { c.transientVersions.Add(1) }
+func (c *Cell) AddTransient() { c.transientVersions.Add(1) }
 
 // AddPersistent counts a final version written to NVMM.
-func (c *Counters) AddPersistent() { c.persistentVersions.Add(1) }
+func (c *Cell) AddPersistent() { c.persistentVersions.Add(1) }
 
 // AddRowRead counts a persistent-row read from NVMM.
-func (c *Counters) AddRowRead() { c.rowReads.Add(1) }
+func (c *Cell) AddRowRead() { c.rowReads.Add(1) }
 
 // AddCacheHit counts a read served by a cached version.
-func (c *Counters) AddCacheHit() { c.cacheHits.Add(1) }
+func (c *Cell) AddCacheHit() { c.cacheHits.Add(1) }
 
 // AddCacheMiss counts a read that fell through to NVMM.
-func (c *Counters) AddCacheMiss() { c.cacheMisses.Add(1) }
+func (c *Cell) AddCacheMiss() { c.cacheMisses.Add(1) }
 
 // CacheAdd accounts a cached-version creation of n payload bytes.
-func (c *Counters) CacheAdd(n int64) {
+func (c *Cell) CacheAdd(n int64) {
 	c.cacheBytes.Add(n)
 	c.cacheEntries.Add(1)
 }
 
-// CacheDrop accounts a cached-version eviction of n payload bytes.
-func (c *Counters) CacheDrop(n int64) {
+// CacheDrop accounts a cached-version eviction of n payload bytes. A cell's
+// gauge may go negative (create on one core, evict on another); only the
+// folded Snapshot totals are meaningful.
+func (c *Cell) CacheDrop(n int64) {
 	c.cacheBytes.Add(-n)
 	c.cacheEntries.Add(-1)
 }
 
 // AddMinorGC counts a minor-collector cleanup.
-func (c *Counters) AddMinorGC() { c.minorGCs.Add(1) }
+func (c *Cell) AddMinorGC() { c.minorGCs.Add(1) }
 
 // AddMajorGC counts a major-collector cleanup.
-func (c *Counters) AddMajorGC() { c.majorGCs.Add(1) }
+func (c *Cell) AddMajorGC() { c.majorGCs.Add(1) }
 
-// Snapshot returns a copy of all counters.
+// Cold-path convenience forwarders on Counters (cell 0).
+
+// AddCommitted adds n committed transactions.
+func (c *Counters) AddCommitted(n int64) { c.cells[0].AddCommitted(n) }
+
+// AddAborted adds n aborted transactions.
+func (c *Counters) AddAborted(n int64) { c.cells[0].AddAborted(n) }
+
+// AddEpoch counts one completed epoch.
+func (c *Counters) AddEpoch() { c.cells[0].AddEpoch() }
+
+// AddTransient counts a version written only to DRAM.
+func (c *Counters) AddTransient() { c.cells[0].AddTransient() }
+
+// AddPersistent counts a final version written to NVMM.
+func (c *Counters) AddPersistent() { c.cells[0].AddPersistent() }
+
+// AddRowRead counts a persistent-row read from NVMM.
+func (c *Counters) AddRowRead() { c.cells[0].AddRowRead() }
+
+// AddCacheHit counts a read served by a cached version.
+func (c *Counters) AddCacheHit() { c.cells[0].AddCacheHit() }
+
+// AddCacheMiss counts a read that fell through to NVMM.
+func (c *Counters) AddCacheMiss() { c.cells[0].AddCacheMiss() }
+
+// CacheAdd accounts a cached-version creation of n payload bytes.
+func (c *Counters) CacheAdd(n int64) { c.cells[0].CacheAdd(n) }
+
+// CacheDrop accounts a cached-version eviction of n payload bytes.
+func (c *Counters) CacheDrop(n int64) { c.cells[0].CacheDrop(n) }
+
+// AddMinorGC counts a minor-collector cleanup.
+func (c *Counters) AddMinorGC() { c.cells[0].AddMinorGC() }
+
+// AddMajorGC counts a major-collector cleanup.
+func (c *Counters) AddMajorGC() { c.cells[0].AddMajorGC() }
+
+// Snapshot returns a copy of all counters, folding the striped cells.
 func (c *Counters) Snapshot() Snapshot {
-	return Snapshot{
-		TxnsCommitted:      c.txnsCommitted.Load(),
-		TxnsAborted:        c.txnsAborted.Load(),
-		Epochs:             c.epochs.Load(),
-		TransientVersions:  c.transientVersions.Load(),
-		PersistentVersions: c.persistentVersions.Load(),
-		RowReads:           c.rowReads.Load(),
-		CacheHits:          c.cacheHits.Load(),
-		CacheMisses:        c.cacheMisses.Load(),
-		CacheBytes:         c.cacheBytes.Load(),
-		CacheEntries:       c.cacheEntries.Load(),
-		MinorGCs:           c.minorGCs.Load(),
-		MajorGCs:           c.majorGCs.Load(),
+	var s Snapshot
+	for i := range c.cells {
+		cell := &c.cells[i]
+		s.TxnsCommitted += cell.txnsCommitted.Load()
+		s.TxnsAborted += cell.txnsAborted.Load()
+		s.Epochs += cell.epochs.Load()
+		s.TransientVersions += cell.transientVersions.Load()
+		s.PersistentVersions += cell.persistentVersions.Load()
+		s.RowReads += cell.rowReads.Load()
+		s.CacheHits += cell.cacheHits.Load()
+		s.CacheMisses += cell.cacheMisses.Load()
+		s.CacheBytes += cell.cacheBytes.Load()
+		s.CacheEntries += cell.cacheEntries.Load()
+		s.MinorGCs += cell.minorGCs.Load()
+		s.MajorGCs += cell.majorGCs.Load()
 	}
+	return s
 }

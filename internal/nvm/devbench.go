@@ -1,0 +1,55 @@
+package nvm
+
+import (
+	"sync"
+	"time"
+)
+
+// DeviceBenchResult reports one contention measurement: total device store
+// operations per second achieved by `Cores` goroutines hammering disjoint
+// regions with the engine's hot-path access pattern.
+type DeviceBenchResult struct {
+	Cores  int     `json:"cores"`
+	Ops    int64   `json:"ops"`
+	Secs   float64 `json:"secs"`
+	OpsSec float64 `json:"ops_per_sec"`
+}
+
+// RunDeviceBench measures device-op throughput at the given core count with
+// the latency model disabled, isolating the simulator's own synchronization
+// overhead (the quantity BenchmarkDeviceContention tracks and
+// BENCH_device.json commits as the perf trajectory).
+//
+// Each worker owns a disjoint 1 MiB region and repeats the engine's
+// per-row persist pattern: three small stores and a value store into one
+// row-sized block, a flush of the touched lines, and a periodic fence —
+// the same shape persistFinal issues per final write.
+func RunDeviceBench(cores int, opsPerCore int) DeviceBenchResult {
+	const regionPerCore = 1 << 20
+	d := New(int64(cores) * regionPerCore)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cores; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := int64(c) * regionPerCore
+			var val [128]byte
+			for i := 0; i < opsPerCore; i++ {
+				off := base + int64(i%4096)*256
+				d.Store64(off, uint64(i))
+				d.Store64(off+8, uint64(i)+1)
+				d.Store32(off+16, uint32(i))
+				d.WriteAt(val[:], off+64)
+				d.Flush(off, 192)
+				if i%256 == 255 {
+					d.Fence()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	ops := int64(cores) * int64(opsPerCore) * 5 // 4 stores + 1 flush per iteration
+	return DeviceBenchResult{Cores: cores, Ops: ops, Secs: secs, OpsSec: float64(ops) / secs}
+}

@@ -20,6 +20,25 @@
 // The device also keeps precise access statistics and can charge a
 // configurable latency per line read/write so that benchmark results
 // reproduce the DRAM/NVMM performance gap of real hardware.
+//
+// # Concurrency design
+//
+// The engine's scalability curves are only meaningful if the simulator's
+// own synchronization stays off the hot path, so durability metadata is
+// tracked per line in an atomic state word over preallocated arrays:
+//
+//   - Stores mark lines dirty with a lock-free CAS; no mutex is taken.
+//   - Flush snapshots the line into a preallocated staging image (no
+//     allocation) and records the line once in a striped touched-line
+//     journal, so Fence commits exactly the flushed lines instead of
+//     sweeping every possible line under a global lock.
+//   - Access statistics go to striped counter cells, folded on Stats(),
+//     so concurrent workers do not contend on one cache line of counters.
+//
+// The device is safe for concurrent use provided concurrent accesses do not
+// overlap byte ranges (the same discipline real memory requires). Crash
+// additionally requires that no accesses are in flight, which holds for the
+// engine (an injected crash unwinds all workers before Crash is called).
 package nvm
 
 import (
@@ -35,8 +54,26 @@ import (
 // durability tracking.
 const LineSize = 64
 
-// shardCount is the number of locks sharding the dirty/staged line sets.
-const shardCount = 64
+// stripeCount is the number of journal stripes (and their locks) sharding
+// the flushed-line journals. Stores never take these locks; only Flush,
+// Fence, and chaos evictions do, and only for the stripe of the line.
+const stripeCount = 64
+
+// statStripes is the number of striped statistic cells.
+const statStripes = 64
+
+// Per-line durability state bits.
+const (
+	// stDirty: stored since last made durable; content only in the live
+	// image.
+	stDirty = uint32(1) << iota
+	// stStaged: a flush snapshotted the line into the staging image; the
+	// snapshot awaits a fence.
+	stStaged
+	// stJournaled: the line has an entry in a journal buffer awaiting the
+	// next fence. Invariant: stStaged implies stJournaled.
+	stJournaled
+)
 
 // CrashMode selects how un-persisted lines behave across a simulated crash.
 type CrashMode int
@@ -131,36 +168,61 @@ func WithChaosEviction(denom int, seed int64) Option {
 	}
 }
 
-// lineShard guards a subset of the dirty/staged line sets.
-type lineShard struct {
-	mu     sync.Mutex
-	dirty  map[int64]struct{} // written since last made durable
-	staged map[int64][]byte   // flushed snapshot awaiting a fence
+// journalStripe holds one shard of the flushed-line journal: the lines
+// staged since the last fence whose line number maps to this stripe. The
+// two buffers alternate so Fence can drain one while flushes append to the
+// other without reallocating.
+type journalStripe struct {
+	mu    sync.Mutex
+	lines []int64
+	spare []int64
+	_     [64 - 8]byte // keep stripes off each other's cache lines
 }
 
-// Device is a simulated NVMM region. It is safe for concurrent use provided
-// concurrent accesses do not overlap byte ranges (the same discipline real
-// memory requires); metadata updates are internally synchronized.
+// statCell is one stripe of the access counters. Exactly one cache line so
+// cells do not false-share.
+type statCell struct {
+	lineReads    atomic.Int64
+	lineWrites   atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	flushes      atomic.Int64
+	fences       atomic.Int64
+	linesFenced  atomic.Int64
+	_            [8]byte
+}
+
+// FieldWrite is one store of a vectored multi-field write (WriteFields).
+type FieldWrite struct {
+	Off  int64
+	Data []byte
+}
+
+// Range is a byte range of the device, for vectored flush/persist calls.
+type Range struct {
+	Off, N int64
+}
+
+// Device is a simulated NVMM region. See the package comment for the
+// concurrency contract.
 type Device struct {
 	size    int64
+	nLines  int64
 	live    []byte // what loads/stores observe
 	durable []byte // what survives a crash
+	staging []byte // flushed snapshots awaiting a fence, indexed by line
 
-	shards [shardCount]lineShard
+	// state holds the per-line durability state machine (stDirty,
+	// stStaged, stJournaled).
+	state []atomic.Uint32
+
+	stripes [stripeCount]journalStripe
 
 	readLatency  time.Duration
 	writeLatency time.Duration
 	fenceLatency time.Duration
 
-	stats struct {
-		lineReads    atomic.Int64
-		lineWrites   atomic.Int64
-		bytesRead    atomic.Int64
-		bytesWritten atomic.Int64
-		flushes      atomic.Int64
-		fences       atomic.Int64
-		linesFenced  atomic.Int64
-	}
+	cells [statStripes]statCell
 
 	// failAfter, when positive, counts down on every flushed line; reaching
 	// zero panics with ErrInjectedCrash. Disabled when zero or negative.
@@ -170,8 +232,8 @@ type Device struct {
 	chaosDenom int
 	chaosState atomic.Uint64
 
-	// fenceMu serializes Fence against Flush so a fence commits a consistent
-	// snapshot set.
+	// fenceMu serializes Fence (and Crash) so each fence commits a
+	// consistent snapshot set.
 	fenceMu sync.Mutex
 }
 
@@ -184,12 +246,11 @@ func New(size int64, opts ...Option) *Device {
 	size = (size + LineSize - 1) / LineSize * LineSize
 	d := &Device{
 		size:    size,
+		nLines:  size / LineSize,
 		live:    make([]byte, size),
 		durable: make([]byte, size),
-	}
-	for i := range d.shards {
-		d.shards[i].dirty = make(map[int64]struct{})
-		d.shards[i].staged = make(map[int64][]byte)
+		staging: make([]byte, size),
+		state:   make([]atomic.Uint32, size/LineSize),
 	}
 	for _, o := range opts {
 		o(d)
@@ -208,8 +269,14 @@ func (d *Device) check(off, n int64) {
 
 func lineOf(off int64) int64 { return off / LineSize }
 
-func (d *Device) shardFor(line int64) *lineShard {
-	return &d.shards[line%shardCount]
+func (d *Device) stripeFor(line int64) *journalStripe {
+	return &d.stripes[line%stripeCount]
+}
+
+// cellFor picks the statistics stripe for an access starting at the given
+// line. Disjoint working sets (per-core pools) land on different cells.
+func (d *Device) cellFor(line int64) *statCell {
+	return &d.cells[uint64(line)%statStripes]
 }
 
 // spin busy-waits for roughly dur. Busy waiting (rather than sleeping) keeps
@@ -248,8 +315,9 @@ func (d *Device) ReadAt(p []byte, off int64) {
 	d.check(off, n)
 	copy(p, d.live[off:off+n])
 	lines := linesSpanned(off, n)
-	d.stats.lineReads.Add(lines)
-	d.stats.bytesRead.Add(n)
+	cell := d.cellFor(lineOf(off))
+	cell.lineReads.Add(lines)
+	cell.bytesRead.Add(n)
 	d.chargeRead(lines)
 }
 
@@ -259,8 +327,9 @@ func (d *Device) ReadAt(p []byte, off int64) {
 func (d *Device) Slice(off, n int64) []byte {
 	d.check(off, n)
 	lines := linesSpanned(off, n)
-	d.stats.lineReads.Add(lines)
-	d.stats.bytesRead.Add(n)
+	cell := d.cellFor(lineOf(off))
+	cell.lineReads.Add(lines)
+	cell.bytesRead.Add(n)
 	d.chargeRead(lines)
 	return d.live[off : off+n : off+n]
 }
@@ -272,6 +341,15 @@ func (d *Device) Slice(off, n int64) []byte {
 // exact.
 const seqWriteFactor = 4
 
+// chargedWriteLines applies the sequential-write discount to the latency
+// model (not the counters) for a store spanning the given line count.
+func chargedWriteLines(lines int64) int64 {
+	if lines >= seqWriteFactor {
+		return (lines + seqWriteFactor - 1) / seqWriteFactor
+	}
+	return lines
+}
+
 // WriteAt stores p at off in the live image and marks the spanned lines
 // dirty. The data is not durable until it is flushed and fenced.
 func (d *Device) WriteAt(p []byte, off int64) {
@@ -280,50 +358,67 @@ func (d *Device) WriteAt(p []byte, off int64) {
 	copy(d.live[off:off+n], p)
 	d.markDirty(off, n)
 	lines := linesSpanned(off, n)
-	d.stats.lineWrites.Add(lines)
-	d.stats.bytesWritten.Add(n)
-	if lines >= seqWriteFactor {
-		d.chargeWrite((lines + seqWriteFactor - 1) / seqWriteFactor)
-	} else {
-		d.chargeWrite(lines)
-	}
+	cell := d.cellFor(lineOf(off))
+	cell.lineWrites.Add(lines)
+	cell.bytesWritten.Add(n)
+	d.chargeWrite(chargedWriteLines(lines))
 }
 
-// Zero clears n bytes at off, with store semantics.
+// Zero clears n bytes at off, with store semantics. Like WriteAt it models
+// a streaming store sequence, so large contiguous zeroing (e.g. pool
+// initialization) gets the same sequential-write latency discount.
 func (d *Device) Zero(off, n int64) {
 	d.check(off, n)
 	clear(d.live[off : off+n])
 	d.markDirty(off, n)
 	lines := linesSpanned(off, n)
-	d.stats.lineWrites.Add(lines)
-	d.stats.bytesWritten.Add(n)
-	d.chargeWrite(lines)
+	cell := d.cellFor(lineOf(off))
+	cell.lineWrites.Add(lines)
+	cell.bytesWritten.Add(n)
+	d.chargeWrite(chargedWriteLines(lines))
 }
 
+// markDirty transitions the spanned lines to dirty with a lock-free CAS per
+// line. With chaos eviction enabled, a line may instead be written back to
+// the persistence domain immediately.
 func (d *Device) markDirty(off, n int64) {
 	first, last := lineOf(off), lineOf(off+n-1)
 	for l := first; l <= last; l++ {
-		sh := d.shardFor(l)
-		sh.mu.Lock()
 		if d.chaosDenom > 0 && d.chaosRoll() {
-			// Spontaneous eviction: the line, including this store, reaches
-			// the persistence domain immediately (ADR), no fence required.
-			copy(d.durable[l*LineSize:(l+1)*LineSize], d.live[l*LineSize:(l+1)*LineSize])
-			delete(sh.dirty, l)
-			delete(sh.staged, l)
-		} else {
-			sh.dirty[l] = struct{}{}
+			d.evictLine(l)
+			continue
 		}
-		// A store after a flush invalidates the staged snapshot: real
-		// hardware would need a second CLWB to persist the new content.
-		// Keeping the stale snapshot models exactly that.
-		sh.mu.Unlock()
+		st := &d.state[l]
+		for {
+			s := st.Load()
+			if s&stDirty != 0 || st.CompareAndSwap(s, s|stDirty) {
+				break
+			}
+		}
 	}
 }
 
+// evictLine models a spontaneous cache eviction: the line, including the
+// store that triggered the roll, reaches the persistence domain immediately
+// (ADR), no fence required. Any staged snapshot is dropped; a journal entry
+// left behind is skipped by the next fence.
+func (d *Device) evictLine(l int64) {
+	sp := d.stripeFor(l)
+	sp.mu.Lock()
+	copy(d.durable[l*LineSize:(l+1)*LineSize], d.live[l*LineSize:(l+1)*LineSize])
+	st := &d.state[l]
+	for {
+		s := st.Load()
+		if st.CompareAndSwap(s, s&^(stDirty|stStaged)) {
+			break
+		}
+	}
+	sp.mu.Unlock()
+}
+
 // chaosRoll advances a xorshift PRNG and reports a 1/denom hit. The state
-// is a single atomic so concurrent stores from different shards stay
-// race-free; a lost update only perturbs the random sequence.
+// is a single atomic so concurrent stores stay race-free; a lost update
+// only perturbs the random sequence.
 func (d *Device) chaosRoll() bool {
 	x := d.chaosState.Load()
 	x ^= x << 13
@@ -339,9 +434,11 @@ func (d *Device) Load64(off int64) uint64 {
 	b := d.live[off : off+8]
 	v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
 		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
-	d.stats.lineReads.Add(linesSpanned(off, 8))
-	d.stats.bytesRead.Add(8)
-	d.chargeRead(linesSpanned(off, 8))
+	lines := linesSpanned(off, 8)
+	cell := d.cellFor(lineOf(off))
+	cell.lineReads.Add(lines)
+	cell.bytesRead.Add(8)
+	d.chargeRead(lines)
 	return v
 }
 
@@ -358,9 +455,11 @@ func (d *Device) Store64(off int64, v uint64) {
 	b[6] = byte(v >> 48)
 	b[7] = byte(v >> 56)
 	d.markDirty(off, 8)
-	d.stats.lineWrites.Add(linesSpanned(off, 8))
-	d.stats.bytesWritten.Add(8)
-	d.chargeWrite(linesSpanned(off, 8))
+	lines := linesSpanned(off, 8)
+	cell := d.cellFor(lineOf(off))
+	cell.lineWrites.Add(lines)
+	cell.bytesWritten.Add(8)
+	d.chargeWrite(lines)
 }
 
 // Load32 reads a little-endian uint32 at off.
@@ -368,8 +467,9 @@ func (d *Device) Load32(off int64) uint32 {
 	d.check(off, 4)
 	b := d.live[off : off+4]
 	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
-	d.stats.lineReads.Add(1)
-	d.stats.bytesRead.Add(4)
+	cell := d.cellFor(lineOf(off))
+	cell.lineReads.Add(1)
+	cell.bytesRead.Add(4)
 	d.chargeRead(1)
 	return v
 }
@@ -383,14 +483,59 @@ func (d *Device) Store32(off int64, v uint32) {
 	b[2] = byte(v >> 16)
 	b[3] = byte(v >> 24)
 	d.markDirty(off, 4)
-	d.stats.lineWrites.Add(1)
-	d.stats.bytesWritten.Add(4)
+	cell := d.cellFor(lineOf(off))
+	cell.lineWrites.Add(1)
+	cell.bytesWritten.Add(4)
 	d.chargeWrite(1)
+}
+
+// WriteFields applies a vector of stores, then flushes the given ranges,
+// in one device call: the engine's per-row final write (value bytes plus
+// the version descriptor fields) and the WAL's epoch append (payload plus
+// header) each become a single call instead of a store-flush round trip
+// per field.
+//
+// Counting is identical to issuing every store and flush individually —
+// each field charges its own spanned lines, exactly as a separate WriteAt
+// or StoreN would — so substituting WriteFields at a call site never moves
+// an access counter. Store order (and therefore chaos-eviction rolls and
+// the SID-before-pointer crash protocol) is the slice order; flushes run
+// after all stores, which leaves every per-range dirty set unchanged as
+// long as the flush ranges do not overlap lines stored by later fields at
+// the original call site (the engine's call sites flush disjoint ranges).
+func (d *Device) WriteFields(fields []FieldWrite, flushes []Range) {
+	var lines, chargedLines, bytes int64
+	var cell *statCell
+	for _, f := range fields {
+		n := int64(len(f.Data))
+		if n == 0 {
+			continue
+		}
+		d.check(f.Off, n)
+		copy(d.live[f.Off:f.Off+n], f.Data)
+		d.markDirty(f.Off, n)
+		ln := linesSpanned(f.Off, n)
+		lines += ln
+		chargedLines += chargedWriteLines(ln)
+		bytes += n
+		if cell == nil {
+			cell = d.cellFor(lineOf(f.Off))
+		}
+	}
+	if cell != nil {
+		cell.lineWrites.Add(lines)
+		cell.bytesWritten.Add(bytes)
+		d.chargeWrite(chargedLines)
+	}
+	for _, r := range flushes {
+		d.Flush(r.Off, r.N)
+	}
 }
 
 // Flush issues a write-back for every line in [off, off+n). Each flushed
 // line's current content is snapshotted; a subsequent Fence makes the
-// snapshots durable. Flushing a clean line is a no-op (as on hardware).
+// snapshots durable. Flushing a clean line is a no-op (as on hardware) and
+// takes no lock.
 func (d *Device) Flush(off, n int64) {
 	if n == 0 {
 		return
@@ -398,21 +543,43 @@ func (d *Device) Flush(off, n int64) {
 	d.check(off, n)
 	first, last := lineOf(off), lineOf(off+n-1)
 	for l := first; l <= last; l++ {
-		sh := d.shardFor(l)
-		sh.mu.Lock()
-		if _, ok := sh.dirty[l]; ok {
-			snap := make([]byte, LineSize)
-			copy(snap, d.live[l*LineSize:(l+1)*LineSize])
-			sh.staged[l] = snap
-			delete(sh.dirty, l)
-			d.stats.flushes.Add(1)
-			if d.failAfter.Load() > 0 && d.failAfter.Add(-1) == 0 {
-				sh.mu.Unlock()
-				panic(ErrInjectedCrash)
-			}
+		if d.state[l].Load()&stDirty == 0 {
+			continue
 		}
-		sh.mu.Unlock()
+		d.flushLine(l)
 	}
+}
+
+// flushLine snapshots one dirty line into the staging image and journals it
+// for the next fence. The stripe lock excludes a concurrent fence commit or
+// chaos eviction of the same line; stores stay lock-free, so the state CAS
+// can race with a concurrent markDirty — on CAS failure the snapshot is
+// retaken so a dirty marking is only ever cleared by a snapshot that
+// includes its bytes.
+func (d *Device) flushLine(l int64) {
+	sp := d.stripeFor(l)
+	sp.mu.Lock()
+	st := &d.state[l]
+	for {
+		s := st.Load()
+		if s&stDirty == 0 {
+			sp.mu.Unlock()
+			return
+		}
+		copy(d.staging[l*LineSize:(l+1)*LineSize], d.live[l*LineSize:(l+1)*LineSize])
+		if st.CompareAndSwap(s, s&^stDirty|stStaged|stJournaled) {
+			if s&stJournaled == 0 {
+				sp.lines = append(sp.lines, l)
+			}
+			break
+		}
+	}
+	d.cellFor(l).flushes.Add(1)
+	if d.failAfter.Load() > 0 && d.failAfter.Add(-1) == 0 {
+		sp.mu.Unlock()
+		panic(ErrInjectedCrash)
+	}
+	sp.mu.Unlock()
 }
 
 // Persist is Flush followed by Fence: the range is durable on return.
@@ -421,63 +588,97 @@ func (d *Device) Persist(off, n int64) {
 	d.Fence()
 }
 
+// PersistRange flushes every given range and issues one fence: a vectored
+// Persist for call sites that previously flushed several regions and
+// fenced once (or fenced per region, where a single trailing fence is
+// equivalent because the final durable state is identical).
+func (d *Device) PersistRange(ranges ...Range) {
+	for _, r := range ranges {
+		d.Flush(r.Off, r.N)
+	}
+	d.Fence()
+}
+
 // Fence commits every staged line snapshot to the durable image. It models
 // SFENCE on an ADR platform: previously issued write-backs are now in the
-// persistence domain.
+// persistence domain. Only the journaled lines are visited — the cost is
+// proportional to the lines flushed since the last fence, not to the
+// device size or a fixed shard count.
 func (d *Device) Fence() {
 	d.fenceMu.Lock()
 	defer d.fenceMu.Unlock()
-	d.stats.fences.Add(1)
+	d.cells[0].fences.Add(1)
 	spin(d.fenceLatency)
 	var committed int64
-	for i := range d.shards {
-		sh := &d.shards[i]
-		sh.mu.Lock()
-		for l, snap := range sh.staged {
-			copy(d.durable[l*LineSize:(l+1)*LineSize], snap)
-			delete(sh.staged, l)
-			committed++
+	for i := range d.stripes {
+		sp := &d.stripes[i]
+		sp.mu.Lock()
+		batch := sp.lines
+		sp.lines, sp.spare = sp.spare[:0], batch
+		for _, l := range batch {
+			st := &d.state[l]
+			for {
+				s := st.Load()
+				if st.CompareAndSwap(s, s&^(stStaged|stJournaled)) {
+					if s&stStaged != 0 {
+						copy(d.durable[l*LineSize:(l+1)*LineSize], d.staging[l*LineSize:(l+1)*LineSize])
+						committed++
+					}
+					break
+				}
+			}
 		}
-		sh.mu.Unlock()
+		sp.mu.Unlock()
 	}
-	d.stats.linesFenced.Add(committed)
+	d.cells[0].linesFenced.Add(committed)
 }
 
 // Crash simulates a power failure: the live image is rebuilt from the
 // durable image. mode controls the fate of non-durable lines; seed drives
 // CrashRandom. All staged and dirty state is cleared. Statistics survive.
+// The caller must ensure no accesses are in flight.
 func (d *Device) Crash(mode CrashMode, seed int64) {
 	d.fenceMu.Lock()
 	defer d.fenceMu.Unlock()
 	rng := rand.New(rand.NewSource(seed))
-	for i := range d.shards {
-		sh := &d.shards[i]
-		sh.mu.Lock()
-		switch mode {
-		case CrashStrict:
-			// Neither dirty nor merely-staged lines survive.
-		case CrashAll:
-			for l := range sh.dirty {
-				copy(d.durable[l*LineSize:(l+1)*LineSize], d.live[l*LineSize:(l+1)*LineSize])
-			}
-			for l, snap := range sh.staged {
-				copy(d.durable[l*LineSize:(l+1)*LineSize], snap)
-			}
-		case CrashRandom:
-			for l := range sh.dirty {
-				if rng.Intn(2) == 0 {
-					copy(d.durable[l*LineSize:(l+1)*LineSize], d.live[l*LineSize:(l+1)*LineSize])
+	for l := int64(0); l < d.nLines; l++ {
+		s := d.state[l].Load()
+		if s&(stDirty|stStaged) != 0 {
+			lo, hi := l*LineSize, (l+1)*LineSize
+			switch mode {
+			case CrashStrict:
+				// Neither dirty nor merely-staged lines survive.
+			case CrashAll:
+				// A staged snapshot models an issued write-back: it is what
+				// the failure-path cache flush finds in flight. A line dirty
+				// on top of a stale snapshot keeps the snapshot (the second
+				// store was never written back).
+				if s&stStaged != 0 {
+					copy(d.durable[lo:hi], d.staging[lo:hi])
+				} else {
+					copy(d.durable[lo:hi], d.live[lo:hi])
 				}
-			}
-			for l, snap := range sh.staged {
-				if rng.Intn(2) == 0 {
-					copy(d.durable[l*LineSize:(l+1)*LineSize], snap)
+			case CrashRandom:
+				// Each non-durable image rolls independently, mirroring the
+				// eviction lottery of real caches: a dirty line may be
+				// written back, and an issued-but-unfenced write-back may
+				// have landed.
+				if s&stDirty != 0 && rng.Intn(2) == 0 {
+					copy(d.durable[lo:hi], d.live[lo:hi])
+				}
+				if s&stStaged != 0 && rng.Intn(2) == 0 {
+					copy(d.durable[lo:hi], d.staging[lo:hi])
 				}
 			}
 		}
-		clear(sh.dirty)
-		clear(sh.staged)
-		sh.mu.Unlock()
+		if s != 0 {
+			d.state[l].Store(0)
+		}
+	}
+	for i := range d.stripes {
+		sp := &d.stripes[i]
+		sp.lines = sp.lines[:0]
+		sp.spare = sp.spare[:0]
 	}
 	copy(d.live, d.durable)
 	d.failAfter.Store(0)
@@ -487,39 +688,45 @@ func (d *Device) Crash(mode CrashMode, seed int64) {
 // panics with ErrInjectedCrash. n <= 0 disables the fail-point.
 func (d *Device) SetFailAfter(n int64) { d.failAfter.Store(n) }
 
-// Stats returns a snapshot of the cumulative access counters.
+// Stats returns a snapshot of the cumulative access counters, folding the
+// striped cells.
 func (d *Device) Stats() Stats {
-	return Stats{
-		LineReads:    d.stats.lineReads.Load(),
-		LineWrites:   d.stats.lineWrites.Load(),
-		BytesRead:    d.stats.bytesRead.Load(),
-		BytesWritten: d.stats.bytesWritten.Load(),
-		Flushes:      d.stats.flushes.Load(),
-		Fences:       d.stats.fences.Load(),
-		LinesFenced:  d.stats.linesFenced.Load(),
+	var s Stats
+	for i := range d.cells {
+		c := &d.cells[i]
+		s.LineReads += c.lineReads.Load()
+		s.LineWrites += c.lineWrites.Load()
+		s.BytesRead += c.bytesRead.Load()
+		s.BytesWritten += c.bytesWritten.Load()
+		s.Flushes += c.flushes.Load()
+		s.Fences += c.fences.Load()
+		s.LinesFenced += c.linesFenced.Load()
 	}
+	return s
 }
 
 // ResetStats zeroes all counters.
 func (d *Device) ResetStats() {
-	d.stats.lineReads.Store(0)
-	d.stats.lineWrites.Store(0)
-	d.stats.bytesRead.Store(0)
-	d.stats.bytesWritten.Store(0)
-	d.stats.flushes.Store(0)
-	d.stats.fences.Store(0)
-	d.stats.linesFenced.Store(0)
+	for i := range d.cells {
+		c := &d.cells[i]
+		c.lineReads.Store(0)
+		c.lineWrites.Store(0)
+		c.bytesRead.Store(0)
+		c.bytesWritten.Store(0)
+		c.flushes.Store(0)
+		c.fences.Store(0)
+		c.linesFenced.Store(0)
+	}
 }
 
 // DirtyLines reports how many lines are dirty or staged (not yet durable).
 // Intended for tests and diagnostics.
 func (d *Device) DirtyLines() int {
 	var n int
-	for i := range d.shards {
-		sh := &d.shards[i]
-		sh.mu.Lock()
-		n += len(sh.dirty) + len(sh.staged)
-		sh.mu.Unlock()
+	for l := int64(0); l < d.nLines; l++ {
+		if d.state[l].Load()&(stDirty|stStaged) != 0 {
+			n++
+		}
 	}
 	return n
 }

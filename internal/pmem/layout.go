@@ -326,23 +326,30 @@ func Format(dev *nvm.Device, l Layout) error {
 	if l.IndexLogBytes > 0 {
 		dev.Zero(l.idxLogOff, line)
 	}
-	dev.Persist(l.headerOff, 2*line)
-	dev.Persist(l.epochOff, line)
-	if l.Counters > 0 {
-		dev.Persist(l.counterOff, alignUp(l.Counters*8))
+	// One vectored persist: flush every initialized region, then a single
+	// fence. Formatting used to fence per region — dozens of fences for a
+	// many-core layout — for no ordering benefit, since nothing is valid
+	// until the whole format is durable anyway.
+	ranges := []nvm.Range{
+		{Off: l.headerOff, N: 2 * line},
+		{Off: l.epochOff, N: line},
+		{Off: l.logOff, N: line},
 	}
-	dev.Persist(l.logOff, line)
+	if l.Counters > 0 {
+		ranges = append(ranges, nvm.Range{Off: l.counterOff, N: alignUp(l.Counters * 8)})
+	}
 	for c := 0; c < l.Cores; c++ {
-		dev.Persist(l.rowCtlOff[c], line)
+		ranges = append(ranges, nvm.Range{Off: l.rowCtlOff[c], N: line})
 	}
 	for k := range l.valCtlOff {
 		for c := 0; c < l.Cores; c++ {
-			dev.Persist(l.valCtlOff[k][c], line)
+			ranges = append(ranges, nvm.Range{Off: l.valCtlOff[k][c], N: line})
 		}
 	}
 	if l.IndexLogBytes > 0 {
-		dev.Persist(l.idxLogOff, line)
+		ranges = append(ranges, nvm.Range{Off: l.idxLogOff, N: line})
 	}
+	dev.PersistRange(ranges...)
 	return nil
 }
 

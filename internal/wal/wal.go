@@ -89,17 +89,19 @@ func (l *Log) WriteEpoch(epoch uint64, recs []Record) error {
 	}
 	l.buf = buf
 
-	payloadOff := l.off + headerSize
-	l.dev.WriteAt(buf, payloadOff)
-
 	var hdr [32]byte
 	binary.LittleEndian.PutUint64(hdr[0:], epoch)
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(recs)))
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(buf)))
 	binary.LittleEndian.PutUint64(hdr[24:], fnv1a(epoch*31+uint64(len(recs)), buf))
-	l.dev.WriteAt(hdr[:], l.off)
 
-	l.dev.Flush(l.off, headerSize+int64(len(buf)))
+	// Payload then header in one vectored call (payload-first order means a
+	// torn append never has a valid header over garbage payload; the
+	// checksum backstops the rest), then the single durability fence.
+	l.dev.WriteFields([]nvm.FieldWrite{
+		{Off: l.off + headerSize, Data: buf},
+		{Off: l.off, Data: hdr[:]},
+	}, []nvm.Range{{Off: l.off, N: headerSize + int64(len(buf))}})
 	l.dev.Fence()
 	l.lastPayload = int64(len(buf))
 	return nil
