@@ -1,194 +1,290 @@
-package core
+// The exhaustive crash sweeps live in package core_test and drive the
+// engine through the shared crash-test kit (internal/crashcheck/kit), the
+// same scaffolding the crash-consistency model checker uses, so the sweep
+// workload is recoverable by replay without this file carrying its own
+// builders and registries.
+package core_test
 
 import (
 	"bytes"
 	"fmt"
 	"testing"
 
+	"nvcaracal/internal/core"
+	"nvcaracal/internal/crashcheck/kit"
 	"nvcaracal/internal/nvm"
 )
 
-// TestCrashSweepEveryPersistBoundary is the exhaustive crash test: it runs
-// the same epoch repeatedly, each time injecting a power failure after one
-// more flushed line, until the epoch finally commits. After every crash the
-// database must recover to either the pre-epoch state (log not durable) or
-// the complete post-epoch state (deterministic replay) — never anything in
-// between.
+const (
+	sweepCores  = 2
+	sweepMaxKey = 64 // all sweep keys live below this
+)
+
+// sweepFlavour is one epoch shape swept over every persist boundary: warm
+// runs the committed history, doom runs the epoch the crash lands in
+// (epoch number doomed). Both build fresh transaction values on every call
+// because the engine consumes Txn objects.
+type sweepFlavour struct {
+	name   string
+	doomed uint64
+	warm   func(t *testing.T, db *core.DB)
+	doom   func(db *core.DB) (fired bool, err error)
+}
+
+func mustEpoch(t *testing.T, db *core.DB, batch []*core.Txn) {
+	t.Helper()
+	if _, err := db.RunEpoch(batch); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- caracal flavour: mixed operation kinds, epochs 1-2 warm, epoch 3 doomed.
+
+func sweepWarm(t *testing.T, db *core.DB) {
+	t.Helper()
+	var load []*core.Txn
+	for i := uint64(0); i < 6; i++ {
+		load = append(load, kit.MkInsert(i, []byte{byte('A' + i)}))
+	}
+	mustEpoch(t, db, load)
+	// A second epoch updating some rows, so persistent rows hold two
+	// versions and the doomed epoch's GC has real work.
+	mustEpoch(t, db, []*core.Txn{
+		kit.MkSet(1, bytes.Repeat([]byte{0xDD}, 180)), // non-inline: queued for major GC
+		kit.MkRMW(0, 'x'),
+	})
+}
+
+// sweepBatch mixes all operation kinds: updates (inline and non-inline),
+// an insert, a delete, RMW chains on a hot key, and an abort.
+func sweepBatch() []*core.Txn {
+	return []*core.Txn{
+		kit.MkRMW(0, 'a'),
+		kit.MkRMW(0, 'b'), // hot-key chain: intermediate version stays transient
+		kit.MkSet(1, bytes.Repeat([]byte{0xEE}, 200)), // non-inline value
+		kit.MkDelete(2),
+		kit.MkInsert(50, []byte("fresh")),
+		kit.MkAbortSet(3, []byte("discard")),
+		kit.MkRMW(4, 'z'),
+	}
+}
+
+// --- aria flavour: same warm history, doomed epoch is Aria-flavoured, so
+// the crash lands in snapshot execution and recovery replays through the
+// aria marker path.
+
+func ariaSweepBatch() []*core.AriaTxn {
+	return []*core.AriaTxn{
+		kit.AriaRMW(0, 'a'),
+		kit.AriaSet(1, bytes.Repeat([]byte{0xEE}, 200)),
+		kit.AriaDelete(2),
+		kit.AriaSet(50, []byte("fresh")),
+		kit.AriaTransfer(4, 5), // WAW-conflicts with the RMW below: deterministic abort
+		kit.AriaRMW(4, 'z'),
+	}
+}
+
+// --- major-gc flavour: every warm epoch overwrites a set of non-inline
+// values, so the doomed epoch runs major GC with a full free ring — the
+// crash points land inside the free-list persist phase (ring flush, fence,
+// current-tail stage) as well as the usual log/row phases.
+
+func gcVal(k uint64, e int) []byte {
+	return bytes.Repeat([]byte{byte(0x10*e) ^ byte(k)}, 180+int(k%40))
+}
+
+func gcWarm(t *testing.T, db *core.DB) {
+	t.Helper()
+	var load []*core.Txn
+	for i := uint64(0); i < 10; i++ {
+		load = append(load, kit.MkInsert(i, gcVal(i, 0)))
+	}
+	mustEpoch(t, db, load)
+	for e := 1; e <= 3; e++ {
+		var b []*core.Txn
+		for i := uint64(0); i < 10; i++ {
+			b = append(b, kit.MkSet(i, gcVal(i, e)))
+		}
+		mustEpoch(t, db, b)
+	}
+}
+
+func gcSweepBatch() []*core.Txn {
+	var b []*core.Txn
+	for i := uint64(0); i < 8; i++ {
+		b = append(b, kit.MkSet(i, gcVal(i, 9)))
+	}
+	return append(b, kit.MkDelete(8), kit.MkInsert(60, []byte("gc-new")), kit.MkRMW(9, 'q'))
+}
+
+func sweepFlavours() []sweepFlavour {
+	return []sweepFlavour{
+		{
+			name: "caracal", doomed: 3,
+			warm: sweepWarm,
+			doom: func(db *core.DB) (bool, error) { return kit.RunUntilCrash(db, sweepBatch()) },
+		},
+		{
+			name: "aria", doomed: 3,
+			warm: sweepWarm,
+			doom: func(db *core.DB) (bool, error) { return kit.RunAriaUntilCrash(db, ariaSweepBatch()) },
+		},
+		{
+			name: "major-gc", doomed: 5,
+			warm: gcWarm,
+			doom: func(db *core.DB) (bool, error) { return kit.RunUntilCrash(db, gcSweepBatch()) },
+		},
+	}
+}
+
+// refStates computes the flavour's exact pre- and post-epoch states by
+// running the schedule without any crash.
+func (fl sweepFlavour) refStates(t *testing.T) (pre, post map[uint64][]byte) {
+	t.Helper()
+	opts := kit.Options(sweepCores)
+	db, err := core.Open(nvm.New(opts.Layout.TotalBytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.warm(t, db)
+	pre = kit.SnapshotKV(db, sweepMaxKey)
+	if fired, err := fl.doom(db); fired || err != nil {
+		t.Fatalf("crash-free reference run: fired=%v err=%v", fired, err)
+	}
+	post = kit.SnapshotKV(db, sweepMaxKey)
+	return pre, post
+}
+
+func kvEqual(a, b map[uint64][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || !bytes.Equal(v, w) {
+			return false
+		}
+	}
+	return true
+}
+
+func diffKV(t *testing.T, desc string, db *core.DB, want map[uint64][]byte) {
+	t.Helper()
+	got := kit.SnapshotKV(db, sweepMaxKey)
+	for k, v := range want {
+		g, ok := got[k]
+		if !ok || !bytes.Equal(g, v) {
+			t.Fatalf("%s: key %d got %q (present=%v) want %q", desc, k, g, ok, v)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Fatalf("%s: key %d present (%q), want absent", desc, k, got[k])
+		}
+	}
+}
+
+// TestCrashSweepEveryPersistBoundary is the exhaustive crash test: for
+// each epoch flavour it runs the same doomed epoch repeatedly, each time
+// injecting a power failure after one more flushed line, until the epoch
+// finally commits. After every crash the database must recover to either
+// the pre-epoch state (log not durable) or the complete post-epoch state
+// (deterministic replay) — never anything in between. The flavours cover
+// Caracal execution, Aria snapshot execution (replayed through the aria
+// marker path), and an epoch whose major GC has a full free ring.
 func TestCrashSweepEveryPersistBoundary(t *testing.T) {
 	if testing.Short() {
 		t.Skip("crash sweep is slow")
 	}
-
-	// Build the reference states once.
-	preState, postState := referenceStates(t)
-
-	committedAt := int64(-1)
-	for failAfter := int64(1); committedAt < 0; failAfter++ {
-		if failAfter > 10_000 {
-			t.Fatal("epoch never commits; sweep diverged")
-		}
-		db, dev := openTestDB(t, 2)
-		loadSweepData(t, db)
-
-		batch := sweepBatch()
-		fired := false
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					if r != nvm.ErrInjectedCrash {
-						panic(r)
-					}
-					fired = true
+	for _, fl := range sweepFlavours() {
+		fl := fl
+		t.Run(fl.name, func(t *testing.T) {
+			pre, post := fl.refStates(t)
+			if kvEqual(pre, post) {
+				t.Fatal("doomed epoch is a no-op; the sweep would prove nothing")
+			}
+			committedAt := int64(-1)
+			for failAfter := int64(1); committedAt < 0; failAfter++ {
+				if failAfter > 20_000 {
+					t.Fatal("epoch never commits; sweep diverged")
 				}
-			}()
-			dev.SetFailAfter(failAfter)
-			if _, err := db.RunEpoch(batch); err != nil {
-				t.Fatal(err)
-			}
-			dev.SetFailAfter(0)
-		}()
-		if !fired {
-			committedAt = failAfter
-		}
-		dev.Crash(nvm.CrashStrict, failAfter)
-
-		db2, rep := recoverTestDB(t, dev, 2)
-		want := preState
-		if !fired || rep.ReplayedEpoch != 0 {
-			// Epoch committed, or the log survived and was replayed.
-			if rep.ReplayedEpoch != 0 || !fired {
-				want = postState
-			}
-		}
-		if fired && rep.ReplayedEpoch == 0 {
-			want = preState
-		}
-		for k, v := range want {
-			got, ok := db2.Get(tblKV, k)
-			if v == nil {
-				if ok {
-					t.Fatalf("failAfter=%d: key %d present, want absent", failAfter, k)
+				opts := kit.Options(sweepCores)
+				dev := nvm.New(opts.Layout.TotalBytes())
+				db, err := core.Open(dev, opts)
+				if err != nil {
+					t.Fatal(err)
 				}
-				continue
+				fl.warm(t, db)
+
+				dev.SetFailAfter(failAfter)
+				fired, err := fl.doom(db)
+				dev.SetFailAfter(0)
+				if err != nil {
+					t.Fatalf("failAfter=%d: %v", failAfter, err)
+				}
+				if !fired {
+					committedAt = failAfter
+				}
+				dev.Crash(nvm.CrashStrict, failAfter)
+
+				db2, rep, err := core.Recover(dev, kit.Options(sweepCores))
+				if err != nil {
+					t.Fatalf("failAfter=%d: recover: %v", failAfter, err)
+				}
+				committed := !fired || rep.CheckpointEpoch >= fl.doomed || rep.ReplayedEpoch == fl.doomed
+				want := pre
+				if committed {
+					want = post
+				}
+				diffKV(t, fmt.Sprintf("%s failAfter=%d fired=%v ckpt=%d replayed=%d",
+					fl.name, failAfter, fired, rep.CheckpointEpoch, rep.ReplayedEpoch), db2, want)
 			}
-			if !ok || !bytes.Equal(got, v) {
-				t.Fatalf("failAfter=%d (fired=%v replayed=%d): key %d got %q want %q",
-					failAfter, fired, rep.ReplayedEpoch, k, got, v)
-			}
-		}
+			t.Logf("%s: epoch commits after %d flushed lines; every earlier crash point recovered exactly",
+				fl.name, committedAt)
+		})
 	}
-	t.Logf("epoch commits after %d flushed lines; every earlier crash point recovered exactly", committedAt)
-}
-
-// The sweep workload mixes all operation kinds: updates (inline and
-// non-inline), an insert, a delete, RMW chains on a hot key, and an abort.
-func sweepBatch() []*Txn {
-	return []*Txn{
-		mkRMW(0, 'a'),
-		mkRMW(0, 'b'), // hot-key chain: intermediate version stays transient
-		mkSet(1, bytes.Repeat([]byte{0xEE}, 200)), // non-inline value
-		mkDelete(2),
-		mkInsert(50, []byte("fresh")),
-		mkAbortSet(3, []byte("discard"), true),
-		mkRMW(4, 'z'),
-	}
-}
-
-func loadSweepData(t *testing.T, db *DB) {
-	t.Helper()
-	var load []*Txn
-	for i := uint64(0); i < 6; i++ {
-		load = append(load, mkInsert(i, []byte{byte('A' + i)}))
-	}
-	mustRun(t, db, load)
-	// A second epoch updating some rows, so persistent rows hold two
-	// versions and the doomed epoch's GC has real work.
-	mustRun(t, db, []*Txn{
-		mkSet(1, bytes.Repeat([]byte{0xDD}, 180)), // non-inline: queued for major GC
-		mkRMW(0, 'x'),
-	})
-}
-
-// referenceStates computes the exact pre- and post-epoch states by running
-// the schedule without any crash.
-func referenceStates(t *testing.T) (pre, post map[uint64][]byte) {
-	t.Helper()
-	db, _ := openTestDB(t, 2)
-	loadSweepData(t, db)
-	pre = snapshotKV(db)
-	mustRun(t, db, sweepBatch())
-	post = snapshotKV(db)
-	return pre, post
-}
-
-func snapshotKV(db *DB) map[uint64][]byte {
-	m := map[uint64][]byte{}
-	for k := uint64(0); k < 60; k++ {
-		if v, ok := db.Get(tblKV, k); ok {
-			m[k] = append([]byte(nil), v...)
-		} else {
-			m[k] = nil
-		}
-	}
-	return m
 }
 
 // TestCrashSweepWithChaosEviction repeats a coarser sweep with chaos
 // eviction enabled, so arbitrary lines become durable between the injected
 // crash points — the worst case for torn descriptors.
 func TestCrashSweepWithChaosEviction(t *testing.T) {
-	preState, postState := referenceStates(t)
+	fl := sweepFlavours()[0] // caracal
+	pre, post := fl.refStates(t)
 	for seed := int64(1); seed <= 8; seed++ {
 		for _, failAfter := range []int64{2, 5, 9, 14, 20, 27, 35, 44} {
-			opts := testOpts(2)
+			opts := kit.Options(sweepCores)
 			dev := nvm.New(opts.Layout.TotalBytes(), nvm.WithChaosEviction(4, seed))
-			db, err := Open(dev, opts)
+			db, err := core.Open(dev, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			loadSweepData(t, db)
+			fl.warm(t, db)
 
-			fired := false
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						if r != nvm.ErrInjectedCrash {
-							panic(r)
-						}
-						fired = true
-					}
-				}()
-				dev.SetFailAfter(failAfter)
-				db.RunEpoch(sweepBatch())
-				dev.SetFailAfter(0)
-			}()
+			dev.SetFailAfter(failAfter)
+			fired, err := fl.doom(db)
+			dev.SetFailAfter(0)
+			if err != nil {
+				t.Fatalf("seed=%d failAfter=%d: %v", seed, failAfter, err)
+			}
 			dev.Crash(nvm.CrashRandom, seed*1000+failAfter)
 
-			db2, rep := recoverTestDB(t, dev, 2)
-			// Three legal outcomes: the epoch committed before the crash
-			// (or its epoch record reached the persistence domain via an
-			// eviction — that IS the commit point, since all epoch data is
-			// fenced before the record is written), the log survived and
-			// the epoch replayed, or the epoch vanished entirely.
-			want := postState
-			epochCommitted := rep.CheckpointEpoch >= 3 || rep.ReplayedEpoch == 3
-			if fired && !epochCommitted {
-				want = preState
+			db2, rep, err := core.Recover(dev, kit.Options(sweepCores))
+			if err != nil {
+				t.Fatalf("seed=%d failAfter=%d: recover: %v", seed, failAfter, err)
 			}
-			for k, v := range want {
-				got, ok := db2.Get(tblKV, k)
-				desc := fmt.Sprintf("seed=%d failAfter=%d fired=%v replayed=%d key=%d",
-					seed, failAfter, fired, rep.ReplayedEpoch, k)
-				if v == nil {
-					if ok {
-						t.Fatalf("%s: present, want absent", desc)
-					}
-					continue
-				}
-				if !ok || !bytes.Equal(got, v) {
-					t.Fatalf("%s: got %q want %q", desc, got, v)
-				}
+			// Three legal outcomes: the epoch committed before the crash (or
+			// its epoch record reached the persistence domain via an eviction
+			// — that IS the commit point, since all epoch data is fenced
+			// before the record is written), the log survived and the epoch
+			// replayed, or the epoch vanished entirely.
+			committed := !fired || rep.CheckpointEpoch >= fl.doomed || rep.ReplayedEpoch == fl.doomed
+			want := pre
+			if committed {
+				want = post
 			}
+			diffKV(t, fmt.Sprintf("chaos seed=%d failAfter=%d fired=%v replayed=%d",
+				seed, failAfter, fired, rep.ReplayedEpoch), db2, want)
 		}
 	}
 }

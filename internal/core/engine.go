@@ -263,7 +263,7 @@ func (db *DB) checkpointEpoch(epoch uint64) {
 	for i := range db.counters {
 		v := db.counters[i].Load()
 		c := pmem.NewCounter(db.dev, db.layout, int64(i))
-		c.Store(v)
+		c.Store(v, epoch)
 		c.Flush()
 	}
 	for c := 0; c < db.opts.Cores; c++ {

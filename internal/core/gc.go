@@ -7,10 +7,15 @@ package core
 //
 // The collection is crash-safe in two phases:
 //
-//	Phase 1 appends all value frees to the per-core free-list rings and
-//	persists the non-revertible current-tail offset with one fence. A crash
-//	before the fence reverts everything (full redo); a crash after it keeps
-//	every free durable.
+//	Phase 1 appends all value frees to the per-core free-list rings, fences
+//	them durable, and only then persists the non-revertible current-tail
+//	offsets (with a second fence). The order matters: recovery adopts the
+//	ring entries the current-tail slot names, so the slot must never be
+//	durable while the entries it covers are not — a crash between the two
+//	flushes would otherwise let a partial persistence land the pointer
+//	without the data, and recovery would adopt stale ring bytes as free
+//	slots. A crash before the second fence reverts everything (full redo);
+//	a crash after it keeps every free durable.
 //	Phase 2 rewrites the rows (copy v2→v1, reset v2) with the
 //	SID-before-pointer ordering; a crash mid-phase leaves rows that the
 //	recovery scan re-queues, and the duplicate-suppression set (built from
@@ -26,7 +31,15 @@ func (db *DB) majorGC(epoch uint64) {
 		db.gcPending[w] = db.gcPending[w][:0]
 	}
 
-	// Phase 1: append frees.
+	pending := false
+	for _, l := range byOwner {
+		if len(l) > 0 {
+			pending = true
+			break
+		}
+	}
+
+	// Phase 1: append frees and flush the ring lines.
 	db.parallel(func(owner int) {
 		for _, rs := range byOwner[owner] {
 			r := db.rowRef(rs.nvOff)
@@ -41,6 +54,19 @@ func (db *DB) majorGC(epoch uint64) {
 			}
 			db.freeValue(owner, int64(v1.ptr))
 		}
+		if pending {
+			for k := range db.valPools {
+				db.valPools[k][owner].FlushRing()
+			}
+		}
+	})
+	if pending {
+		// Ring entries must be durable before the current-tail slots that
+		// name them; skipped when nothing was queued (the current-tail
+		// update is then a no-op range and needs no ordering).
+		db.dev.Fence()
+	}
+	db.parallel(func(owner int) {
 		for k := range db.valPools {
 			db.valPools[k][owner].StageCurrentTail(epoch)
 		}

@@ -203,7 +203,7 @@ func TestJournalCrashSweep(t *testing.T) {
 				}
 			}()
 			dev.SetFailAfter(failAfter)
-			db.RunEpoch(sweepBatch())
+			db.RunEpoch(journalSweepBatch())
 			dev.SetFailAfter(0)
 		}()
 		if !fired {
@@ -237,6 +237,33 @@ func TestJournalCrashSweep(t *testing.T) {
 	}
 }
 
+// journalSweepBatch mirrors the core_test crash-sweep batch with the
+// package-internal builders (this file's registry decodes their type ids;
+// the kit's ids would not replay here).
+func journalSweepBatch() []*Txn {
+	return []*Txn{
+		mkRMW(0, 'a'),
+		mkRMW(0, 'b'),
+		mkSet(1, bytes.Repeat([]byte{0xEE}, 200)),
+		mkDelete(2),
+		mkInsert(50, []byte("fresh")),
+		mkAbortSet(3, []byte("discard"), true),
+		mkRMW(4, 'z'),
+	}
+}
+
+func journalSnapshotKV(db *DB) map[uint64][]byte {
+	m := map[uint64][]byte{}
+	for k := uint64(0); k < 60; k++ {
+		if v, ok := db.Get(tblKV, k); ok {
+			m[k] = append([]byte(nil), v...)
+		} else {
+			m[k] = nil
+		}
+	}
+	return m
+}
+
 func journalLoad(t *testing.T, db *DB) {
 	t.Helper()
 	var load []*Txn
@@ -254,9 +281,9 @@ func journalReferenceStates(t *testing.T) (pre, post map[uint64][]byte) {
 	t.Helper()
 	db, _, _ := openJournalDB(t, 2, 1<<20)
 	journalLoad(t, db)
-	pre = snapshotKV(db)
-	mustRun(t, db, sweepBatch())
-	post = snapshotKV(db)
+	pre = journalSnapshotKV(db)
+	mustRun(t, db, journalSweepBatch())
+	post = journalSnapshotKV(db)
 	return pre, post
 }
 

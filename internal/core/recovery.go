@@ -73,9 +73,12 @@ func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
 			}
 		}
 	}
-	// Restore persistent counters.
+	// Restore persistent counters from the checkpointed parity slots; the
+	// crashed epoch wrote the other parity, so values it may have flushed
+	// before its epoch record committed are ignored and replay re-applies
+	// every increment exactly once.
 	for i := range db.counters {
-		db.counters[i].Store(pmem.NewCounter(dev, db.layout, int64(i)).Load())
+		db.counters[i].Store(pmem.NewCounter(dev, db.layout, int64(i)).Load(ckpt))
 	}
 
 	// Load the crashed epoch's logged inputs, if they were fully persisted.
@@ -278,11 +281,20 @@ func (db *DB) recoverIndexFromJournal(crashed uint64, batch []*Txn, rep *Recover
 	// copies). Execution cannot have touched anything else, and nothing
 	// executes before the input log is durable.
 	for _, rs := range gcRows {
-		if db.rowRef(rs.nvOff).repair(crashed) {
+		r := db.rowRef(rs.nvOff)
+		if r.repair(crashed) {
 			rep.RowsRepaired++
 		}
-		db.gcPending[rs.owner] = append(db.gcPending[rs.owner], rs)
-		rep.GCListRebuilt++
+		// Re-queue only rows whose collection is still pending, under the
+		// same condition as the scan path: repair completes collections the
+		// crash interrupted mid-copy, and blindly re-queuing a completed row
+		// would free the value its surviving version references.
+		v1, v2 := r.readVersion(1), r.readVersion(2)
+		if !v2.isNull() && SIDEpoch(v2.sid) != crashed && !v1.isNull() &&
+			v2ReplacedNeedsGC(v1, db.opts.MinorGCEnabled) {
+			db.gcPending[rs.owner] = append(db.gcPending[rs.owner], rs)
+			rep.GCListRebuilt++
+		}
 	}
 	var reverts []*rowState
 	seen := make(map[index.Key]struct{})

@@ -285,7 +285,10 @@ func TestRecoveryRepairsTornDescriptors(t *testing.T) {
 	r := db.rowRef(rs.nvOff)
 
 	// Case 1: GC copied v2's SID into v1 but not the pointer. Simulate:
-	// set v1.sid = v2.sid, persist, leave pointers differing.
+	// set v1.sid = v2.sid, persist, leave pointers differing. Repair must
+	// complete the whole interrupted collection: v1 becomes v2's content
+	// AND v2 is reset, so the row cannot be re-queued for a second
+	// collection that would free the value v1 now references.
 	v2 := r.readVersion(2)
 	dev.Store64(r.verOff(1)+verSID, v2.sid)
 	dev.Persist(r.verOff(1), 8)
@@ -298,8 +301,11 @@ func TestRecoveryRepairsTornDescriptors(t *testing.T) {
 	rs2, _ := db2.idx.Get(kvKey(1))
 	r2 := db2.rowRef(rs2.nvOff)
 	nv1, nv2 := r2.readVersion(1), r2.readVersion(2)
-	if nv1 != nv2 {
-		t.Fatalf("case 1 not repaired: v1=%+v v2=%+v", nv1, nv2)
+	if nv1 != (version{sid: v2.sid, ptr: v2.ptr, size: v2.size}) {
+		t.Fatalf("case 1 copy not finished: v1=%+v want %+v", nv1, v2)
+	}
+	if !nv2.isNull() || nv2.ptr != 0 || nv2.size != 0 {
+		t.Fatalf("case 1 must complete the collection: v2=%+v, want null", nv2)
 	}
 	wantGet(t, db2, 1, []byte("v2data"))
 }

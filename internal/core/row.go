@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"nvcaracal/internal/nvm"
 )
 
@@ -105,6 +107,37 @@ func (r rowRef) readVersion(which int) version {
 	}
 }
 
+// persistOrderBroken, when set, reverses the SID-before-pointer store
+// order of writeVersion and writeFinal: pointer and size are stored first,
+// the SID last. It exists solely so the crash-consistency model checker
+// can demonstrate that the §4.5 ordering is load-bearing — with the order
+// broken, a torn descriptor write-back can pair an old SID with a new
+// pointer, recovery misclassifies the version, and the checker must
+// surface an invariant violation. Never set outside tests and nvtorture's
+// -break-persist-order mode.
+var persistOrderBroken atomic.Bool
+
+// SetPersistOrderBroken toggles the deliberately broken persist ordering
+// (see persistOrderBroken). For crash-consistency testing only.
+func SetPersistOrderBroken(on bool) { persistOrderBroken.Store(on) }
+
+// versionFields builds the descriptor field stores in protocol order:
+// SID before pointer (§4.5), unless the broken-order test hook is armed.
+func versionFields(off int64, sid, ptr, size []byte) []nvm.FieldWrite {
+	if persistOrderBroken.Load() {
+		return []nvm.FieldWrite{
+			{Off: off + verPtr, Data: ptr},
+			{Off: off + verSize, Data: size},
+			{Off: off + verSID, Data: sid},
+		}
+	}
+	return []nvm.FieldWrite{
+		{Off: off + verSID, Data: sid},
+		{Off: off + verPtr, Data: ptr},
+		{Off: off + verSize, Data: size},
+	}
+}
+
 // writeVersion stores a descriptor with the crash-consistency ordering of
 // §4.5: the SID is stored before the pointer, so a partial write-back is
 // detectable by comparing SIDs. The line is flushed afterwards; the fence
@@ -118,11 +151,8 @@ func (r rowRef) writeVersion(which int, v version) {
 	putU64(sid[:], v.sid)
 	putU64(ptr[:], v.ptr)
 	putU32(size[:], v.size)
-	r.dev.WriteFields([]nvm.FieldWrite{
-		{Off: off + verSID, Data: sid[:]},
-		{Off: off + verPtr, Data: ptr[:]},
-		{Off: off + verSize, Data: size[:]},
-	}, []nvm.Range{{Off: r.off, N: rowInline}})
+	r.dev.WriteFields(versionFields(off, sid[:], ptr[:], size[:]),
+		[]nvm.Range{{Off: r.off, N: rowInline}})
 }
 
 // resetVersion nulls a descriptor, SID first (repair case 2 relies on
@@ -188,11 +218,7 @@ func (r rowRef) writeFinal(sid uint64, ptr uint64, data []byte) {
 		fields = append(fields, nvm.FieldWrite{Off: valOff, Data: data})
 		flushes = append(flushes, nvm.Range{Off: valOff, N: int64(len(data))})
 	}
-	fields = append(fields,
-		nvm.FieldWrite{Off: off + verSID, Data: sidB[:]},
-		nvm.FieldWrite{Off: off + verPtr, Data: ptrB[:]},
-		nvm.FieldWrite{Off: off + verSize, Data: sizeB[:]},
-	)
+	fields = append(fields, versionFields(off, sidB[:], ptrB[:], sizeB[:])...)
 	flushes = append(flushes, nvm.Range{Off: r.off, N: rowInline})
 	r.dev.WriteFields(fields, flushes)
 }
@@ -210,8 +236,13 @@ func freeInlineSlot(v version) uint64 {
 // three situations of §4.5. crashedEpoch is the epoch that did not
 // checkpoint. It returns true if the row was modified.
 //
-//	Case 1: GC was copying v2 to v1; sids match but pointers differ →
-//	        finish the copy.
+//	Case 1: GC was collecting the row — matching sids mean the copy of v2
+//	        into v1 at least began — so complete the whole collection:
+//	        finish the copy if it tore, then reset v2. Leaving v2 in place
+//	        (as repair once did) is unsound: recovery re-queues the row,
+//	        and the redone collection frees the pointer now shared by both
+//	        versions — the row's only value — which a later epoch then
+//	        reallocates out from under it.
 //	Case 2: GC was resetting v2; sid is null but the pointer is not →
 //	        finish the reset.
 //	Case 3: v2.sid belongs to the crashed epoch → left as is; the replayed
@@ -219,9 +250,11 @@ func freeInlineSlot(v version) uint64 {
 func (r rowRef) repair(crashedEpoch uint64) bool {
 	v1 := r.readVersion(1)
 	v2 := r.readVersion(2)
-	if !v1.isNull() && v1.sid == v2.sid && SIDEpoch(v1.sid) != crashedEpoch &&
-		(v1.ptr != v2.ptr || v1.size != v2.size) {
-		r.writeVersion(1, version{sid: v2.sid, ptr: v2.ptr, size: v2.size})
+	if !v1.isNull() && !v2.isNull() && v1.sid == v2.sid && SIDEpoch(v1.sid) != crashedEpoch {
+		if v1.ptr != v2.ptr || v1.size != v2.size {
+			r.writeVersion(1, version{sid: v2.sid, ptr: v2.ptr, size: v2.size})
+		}
+		r.resetVersion(2)
 		return true
 	}
 	if v2.isNull() && (v2.ptr != 0 || v2.size != 0) {

@@ -1,0 +1,397 @@
+package crashcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"nvcaracal/internal/core"
+	"nvcaracal/internal/crashcheck/kit"
+	"nvcaracal/internal/nvm"
+)
+
+// Violation kinds.
+const (
+	KindRecoverError   = "recover-error"   // Recover returned an error or crashed unexpectedly
+	KindEpochError     = "epoch-error"     // the probe epoch failed for a non-crash reason
+	KindEpochLost      = "committed-epoch-lost"
+	KindDigestMismatch = "digest-mismatch" // lost committed data or resurrected uncommitted data
+	KindInvariant      = "invariant"       // structural invariant broken (see core.CheckInvariants)
+)
+
+// Point identifies one crash point: the fail-point position within the
+// probe epoch's flush sequence, the crash mode, and — for double faults —
+// a second fail-point armed during the recovery that follows.
+type Point struct {
+	FailAfter int64  `json:"fail_after"`
+	Mode      string `json:"mode"` // "strict" | "all" | "random"
+	CrashSeed int64  `json:"crash_seed,omitempty"`
+	// DoubleFailAfter, when positive, arms a second fail-point during the
+	// first recovery attempt, crashing it mid-flight before the final
+	// recovery runs.
+	DoubleFailAfter int64 `json:"double_fail_after,omitempty"`
+}
+
+func (p Point) String() string {
+	s := fmt.Sprintf("fail@%d/%s", p.FailAfter, p.Mode)
+	if p.Mode == "random" {
+		s += fmt.Sprintf("#%d", p.CrashSeed)
+	}
+	if p.DoubleFailAfter > 0 {
+		s += fmt.Sprintf("+refail@%d", p.DoubleFailAfter)
+	}
+	return s
+}
+
+func crashModeOf(name string) (nvm.CrashMode, error) {
+	switch name {
+	case "strict":
+		return nvm.CrashStrict, nil
+	case "all":
+		return nvm.CrashAll, nil
+	case "random":
+		return nvm.CrashRandom, nil
+	}
+	return 0, fmt.Errorf("crashcheck: unknown crash mode %q", name)
+}
+
+// Violation is one failed check at one crash point.
+type Violation struct {
+	Point  Point  `json:"point"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %s: %s", v.Kind, v.Point, v.Detail)
+}
+
+// Config controls an exploration run.
+type Config struct {
+	// Budget bounds wall-clock time; zero means unbounded. Points not
+	// explored before the deadline are skipped (and counted in the report).
+	Budget time.Duration
+	// MaxPoints bounds the number of points planned; zero plans the full
+	// cross product (exhaustive). When the full product exceeds MaxPoints
+	// the planner samples fail-points stratified toward fence boundaries.
+	MaxPoints int
+	// Workers is the worker-pool size; zero means GOMAXPROCS.
+	Workers int
+	// Modes are the crash modes to cross with each fail-point; nil means
+	// all three.
+	Modes []string
+	// RandomSeeds is how many seeds each CrashRandom point gets (min 1).
+	RandomSeeds int
+	// DoubleFaults adds crash-during-recovery variants for a subset of
+	// points (every DoubleEvery-th, default 8).
+	DoubleFaults bool
+	DoubleEvery  int
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = []string{"strict", "all", "random"}
+	}
+	if c.RandomSeeds < 1 {
+		c.RandomSeeds = 1
+	}
+	if c.DoubleEvery <= 0 {
+		c.DoubleEvery = 8
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// Report is the outcome of an exploration run.
+type Report struct {
+	Spec       Spec   `json:"spec"`
+	ProbeEpoch uint64 `json:"probe_epoch"`
+	// FlushPoints is the number of explicit line flushes the probe epoch
+	// issues when run after recovery from the probe-boundary snapshot —
+	// the space the fail-points index into.
+	FlushPoints int64 `json:"flush_points"`
+	// FenceCount is how many fences the probe epoch issues (the persist-
+	// phase boundaries stratified sampling biases toward).
+	FenceCount int `json:"fence_count"`
+	// Deterministic reports whether two independent replica runs of the
+	// probe epoch produced identical flush counts and digests. Single-core
+	// specs are deterministic; multi-core specs usually are not, in which
+	// case each point samples one interleaving (checks remain valid).
+	Deterministic bool `json:"deterministic"`
+	// Exhaustive reports that every fail-point in [1, FlushPoints] was
+	// planned (no sampling).
+	Exhaustive     bool        `json:"exhaustive"`
+	PointsPlanned  int         `json:"points_planned"`
+	PointsExplored int         `json:"points_explored"`
+	DigestPre      string      `json:"digest_pre"`
+	DigestPost     string      `json:"digest_post"`
+	Violations     []Violation `json:"violations,omitempty"`
+	ElapsedMS      int64       `json:"elapsed_ms"`
+}
+
+// oracle holds the crash-free reference: a device snapshot at the probe
+// boundary, the digests on either side of the probe epoch, and the shape
+// of the probe epoch's flush sequence.
+type oracle struct {
+	sess       *session
+	snap       *nvm.Snapshot
+	probeEpoch uint64 // engine epoch number of the probe epoch
+	probeLE    int    // logical epoch index fed to the generator
+	digestPre  uint64
+	digestPost uint64
+	flushes    int64
+	fenceMarks []int64 // flush counts (relative to probe start) at each fence
+	determin   bool
+}
+
+// buildOracle runs the workload crash-free and captures the reference
+// state. Three runs are involved: the main run produces the snapshot and
+// both digests; a replica run (recover-then-probe, the exact path every
+// checker worker takes) measures the flush sequence; a second replica run
+// re-measures it to classify the spec as deterministic.
+func buildOracle(sess *session) (*oracle, error) {
+	o := &oracle{sess: sess, probeLE: sess.spec.WarmEpochs + 1}
+
+	dev := sess.newDevice()
+	db, err := core.Open(dev, sess.opts)
+	if err != nil {
+		return nil, fmt.Errorf("crashcheck: open: %w", err)
+	}
+	epochs := 0
+	for _, b := range sess.loadBatches() {
+		if _, err := db.RunEpoch(b); err != nil {
+			return nil, fmt.Errorf("crashcheck: load epoch: %w", err)
+		}
+		epochs++
+	}
+	for le := 1; le <= sess.spec.WarmEpochs; le++ {
+		if err := sess.runEpoch(db, le); err != nil {
+			return nil, fmt.Errorf("crashcheck: warm epoch %d: %w", le, err)
+		}
+		epochs++
+	}
+	o.probeEpoch = uint64(epochs + 1)
+	o.digestPre = db.StateDigest()
+	if err := db.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("crashcheck: invariants broken before probe (spec unusable): %w", err)
+	}
+	o.snap = dev.Snapshot()
+	if err := sess.runEpoch(db, o.probeLE); err != nil {
+		return nil, fmt.Errorf("crashcheck: probe epoch: %w", err)
+	}
+	o.digestPost = db.StateDigest()
+	if err := db.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("crashcheck: invariants broken after probe (spec unusable): %w", err)
+	}
+	if o.digestPre == o.digestPost {
+		return nil, fmt.Errorf("crashcheck: probe epoch left the digest unchanged; the spec cannot detect lost epochs")
+	}
+
+	// Replica runs: measure the flush sequence on the path workers take.
+	f1, marks1, d1, err := o.replicaProbe()
+	if err != nil {
+		return nil, err
+	}
+	f2, _, d2, err := o.replicaProbe()
+	if err != nil {
+		return nil, err
+	}
+	if d1 != o.digestPost || d2 != o.digestPost {
+		return nil, fmt.Errorf("crashcheck: recovered replica's probe digest %016x/%016x does not match oracle %016x; workload is not replay-deterministic",
+			d1, d2, o.digestPost)
+	}
+	o.flushes, o.fenceMarks = f1, marks1
+	o.determin = f1 == f2
+	return o, nil
+}
+
+// replicaProbe recovers a fresh replica of the snapshot and runs the probe
+// epoch crash-free with fence tracing, returning the flush count, the
+// relative fence marks, and the resulting digest.
+func (o *oracle) replicaProbe() (int64, []int64, uint64, error) {
+	dev := o.snap.NewDevice()
+	db, _, err := core.Recover(dev, o.sess.opts)
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("crashcheck: clean recovery of the probe-boundary snapshot failed: %w", err)
+	}
+	if got := db.StateDigest(); got != o.digestPre {
+		return 0, nil, 0, fmt.Errorf("crashcheck: clean recovery changed the digest: %016x != %016x", got, o.digestPre)
+	}
+	base := dev.Stats().Flushes
+	dev.TraceFences(true)
+	if err := o.sess.runEpoch(db, o.probeLE); err != nil {
+		return 0, nil, 0, fmt.Errorf("crashcheck: replica probe epoch: %w", err)
+	}
+	marksAbs := dev.FenceMarks()
+	dev.TraceFences(false)
+	flushes := dev.Stats().Flushes - base
+	marks := make([]int64, 0, len(marksAbs))
+	for _, m := range marksAbs {
+		if rel := m - base; rel > 0 && rel <= flushes {
+			marks = append(marks, rel)
+		}
+	}
+	return flushes, marks, db.StateDigest(), nil
+}
+
+// explore runs one crash point on the worker's device replica and returns
+// the first violated check, or nil.
+func (o *oracle) explore(dev *nvm.Device, pt Point) *Violation {
+	mode, err := crashModeOf(pt.Mode)
+	if err != nil {
+		return &Violation{Point: pt, Kind: KindEpochError, Detail: err.Error()}
+	}
+	dev.Restore(o.snap)
+	db, _, err := core.Recover(dev, o.sess.opts)
+	if err != nil {
+		return &Violation{Point: pt, Kind: KindRecoverError, Detail: fmt.Sprintf("pre-probe recovery: %v", err)}
+	}
+
+	dev.SetFailAfter(pt.FailAfter)
+	fired, err := o.sess.runEpochUntilCrash(db, o.probeLE)
+	dev.SetFailAfter(0)
+	if err != nil {
+		return &Violation{Point: pt, Kind: KindEpochError, Detail: err.Error()}
+	}
+	dev.Crash(mode, pt.CrashSeed)
+
+	if pt.DoubleFailAfter > 0 {
+		dev.SetFailAfter(pt.DoubleFailAfter)
+		_, _, refired, rerr := kit.RecoverUntilCrash(dev, o.sess.opts)
+		dev.SetFailAfter(0)
+		if rerr != nil {
+			return &Violation{Point: pt, Kind: KindRecoverError, Detail: fmt.Sprintf("first recovery attempt: %v", rerr)}
+		}
+		if refired {
+			// Crash the interrupted recovery too; vary the seed so the two
+			// faults do not share an eviction pattern.
+			dev.Crash(mode, pt.CrashSeed+7919)
+		}
+	}
+
+	db2, rep, err := core.Recover(dev, o.sess.opts)
+	if err != nil {
+		return &Violation{Point: pt, Kind: KindRecoverError, Detail: err.Error()}
+	}
+
+	// No committed epoch may be lost: everything up to the probe boundary
+	// was durable before the fail-point armed.
+	if rep.CheckpointEpoch < o.probeEpoch-1 {
+		return &Violation{Point: pt, Kind: KindEpochLost,
+			Detail: fmt.Sprintf("recovered checkpoint epoch %d but epochs through %d were committed before the crash",
+				rep.CheckpointEpoch, o.probeEpoch-1)}
+	}
+	if rep.CheckpointEpoch > o.probeEpoch {
+		return &Violation{Point: pt, Kind: KindRecoverError,
+			Detail: fmt.Sprintf("recovered checkpoint epoch %d is beyond the probe epoch %d", rep.CheckpointEpoch, o.probeEpoch)}
+	}
+
+	committed := rep.CheckpointEpoch >= o.probeEpoch || rep.ReplayedEpoch == o.probeEpoch
+	want, side := o.digestPre, "pre-probe (epoch not committed: lost uncommitted data must vanish entirely)"
+	if committed {
+		want, side = o.digestPost, "post-probe (epoch committed or replayed)"
+	}
+	if got := db2.StateDigest(); got != want {
+		return &Violation{Point: pt, Kind: KindDigestMismatch,
+			Detail: fmt.Sprintf("recovered digest %016x != %s oracle %016x (fired=%v ckpt=%d replayed=%d)",
+				got, side, want, fired, rep.CheckpointEpoch, rep.ReplayedEpoch)}
+	}
+	if err := db2.CheckInvariants(); err != nil {
+		return &Violation{Point: pt, Kind: KindInvariant, Detail: err.Error()}
+	}
+	return nil
+}
+
+// Run explores the crash-point space of the spec's probe epoch and
+// reports every violated check.
+func Run(spec Spec, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	sess, err := newSession(spec)
+	if err != nil {
+		return nil, err
+	}
+	o, err := buildOracle(sess)
+	if err != nil {
+		return nil, err
+	}
+	pts, exhaustive := plan(o, cfg)
+	cfg.logf("probe epoch %d: %d flushes, %d fences; %d points planned (exhaustive=%v deterministic=%v)",
+		o.probeEpoch, o.flushes, len(o.fenceMarks), len(pts), exhaustive, o.determin)
+
+	var deadline time.Time
+	if cfg.Budget > 0 {
+		deadline = start.Add(cfg.Budget)
+	}
+	var (
+		mu         sync.Mutex
+		violations []Violation
+		explored   int
+	)
+	ch := make(chan Point)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dev := o.snap.NewDevice()
+			for pt := range ch {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					continue // budget exhausted: drain without exploring
+				}
+				v := o.explore(dev, pt)
+				mu.Lock()
+				explored++
+				if v != nil {
+					violations = append(violations, *v)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, pt := range pts {
+		ch <- pt
+	}
+	close(ch)
+	wg.Wait()
+
+	sort.Slice(violations, func(i, j int) bool {
+		a, b := violations[i].Point, violations[j].Point
+		if a.FailAfter != b.FailAfter {
+			return a.FailAfter < b.FailAfter
+		}
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		if a.CrashSeed != b.CrashSeed {
+			return a.CrashSeed < b.CrashSeed
+		}
+		return a.DoubleFailAfter < b.DoubleFailAfter
+	})
+	return &Report{
+		Spec:           spec,
+		ProbeEpoch:     o.probeEpoch,
+		FlushPoints:    o.flushes,
+		FenceCount:     len(o.fenceMarks),
+		Deterministic:  o.determin,
+		Exhaustive:     exhaustive,
+		PointsPlanned:  len(pts),
+		PointsExplored: explored,
+		DigestPre:      fmt.Sprintf("%016x", o.digestPre),
+		DigestPost:     fmt.Sprintf("%016x", o.digestPost),
+		Violations:     violations,
+		ElapsedMS:      time.Since(start).Milliseconds(),
+	}, nil
+}

@@ -1,0 +1,161 @@
+package crashcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Repro is a minimized, self-contained reproducer for one violation:
+// replaying the spec's oracle run and then the single crash point
+// reproduces the failed check. Serialized as JSON so CI can attach it as
+// an artifact and cmd/nvtorture -repro can replay it.
+type Repro struct {
+	Spec   Spec   `json:"spec"`
+	Point  Point  `json:"point"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	// BrokenPersistOrder records that the run had the deliberate
+	// SID-before-pointer ordering break enabled (core.SetPersistOrderBroken),
+	// so Replay can reinstate it.
+	BrokenPersistOrder bool `json:"broken_persist_order,omitempty"`
+}
+
+// WriteFile serializes the reproducer as indented JSON.
+func (r Repro) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadRepro reads a JSON reproducer.
+func LoadRepro(path string) (Repro, error) {
+	var r Repro
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("crashcheck: parse repro %s: %w", path, err)
+	}
+	return r, r.Spec.Validate()
+}
+
+// Replay re-executes exactly the reproducer's crash point: oracle run,
+// restore, crash, recover, checks. It returns the violation it reproduces,
+// or nil if the build no longer exhibits it.
+func Replay(r Repro) (*Violation, error) {
+	sess, err := newSession(r.Spec)
+	if err != nil {
+		return nil, err
+	}
+	o, err := buildOracle(sess)
+	if err != nil {
+		return nil, err
+	}
+	dev := o.snap.NewDevice()
+	return o.explore(dev, r.Point), nil
+}
+
+// Minimize greedily shrinks the spec while a bounded exploration still
+// finds a violation, then returns a reproducer for the surviving
+// violation on the smallest spec. seed is the starting violation from the
+// original run; budget bounds the whole minimization (each probe run gets
+// a slice of it). The reduction order tries the biggest structural cuts
+// first: fewer warm epochs, fewer transactions, fewer rows, fewer cores,
+// then chaos off.
+func Minimize(spec Spec, seed Violation, cfg Config, budget time.Duration) Repro {
+	deadline := time.Now().Add(budget)
+	probe := cfg.withDefaults()
+	probe.DoubleFaults = true
+	if probe.MaxPoints <= 0 || probe.MaxPoints > 600 {
+		probe.MaxPoints = 600
+	}
+	probe.Log = nil
+
+	// check runs a bounded exploration of s and returns its first
+	// violation. The per-probe budget keeps a pathological candidate from
+	// eating the whole minimization window.
+	check := func(s Spec) *Violation {
+		if err := s.Validate(); err != nil {
+			return nil
+		}
+		c := probe
+		if remain := time.Until(deadline); remain <= 0 {
+			return nil
+		} else if c.Budget == 0 || c.Budget > remain/2 {
+			c.Budget = remain / 2
+		}
+		rep, err := Run(s, c)
+		if err != nil || len(rep.Violations) == 0 {
+			return nil
+		}
+		return &rep.Violations[0]
+	}
+
+	cur, vio := spec, seed
+	for time.Now().Before(deadline) {
+		improved := false
+		for _, cand := range reductions(cur) {
+			if time.Now().After(deadline) {
+				break
+			}
+			if v := check(cand); v != nil {
+				cur, vio = cand, *v
+				improved = true
+				break // restart the reduction ladder from the smaller spec
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return Repro{Spec: cur, Point: vio.Point, Kind: vio.Kind, Detail: vio.Detail}
+}
+
+// reductions yields candidate smaller specs, biggest cuts first.
+func reductions(s Spec) []Spec {
+	var out []Spec
+	add := func(c Spec) {
+		if c != s && c.Validate() == nil {
+			out = append(out, c)
+		}
+	}
+	if s.WarmEpochs > 0 {
+		c := s
+		c.WarmEpochs /= 2
+		add(c)
+	}
+	if s.TxnsPerEpoch > 1 {
+		c := s
+		c.TxnsPerEpoch /= 2
+		if c.TxnsPerEpoch < 1 {
+			c.TxnsPerEpoch = 1
+		}
+		add(c)
+	}
+	if s.Rows > 4 {
+		c := s
+		c.Rows /= 2
+		add(c)
+	}
+	if s.Cores > 1 {
+		c := s
+		c.Cores = 1
+		add(c)
+	}
+	if s.ChaosDenom > 0 {
+		c := s
+		c.ChaosDenom = 0
+		add(c)
+	}
+	if s.PersistIndex {
+		c := s
+		c.PersistIndex = false
+		add(c)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package crashcheck
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// dfOffsets are the recovery-relative fail-point positions used for
+// double-fault variants: early (header/pool restore), mid (scan/repair),
+// and later (replay) phases of recovery.
+var dfOffsets = [...]int64{3, 7, 17, 41, 97}
+
+// plan enumerates the crash points to explore. With no MaxPoints cap — or
+// when the full cross product fits under it — every fail-point in
+// [1, flushes] is planned (exhaustive). Otherwise fail-points are sampled,
+// stratified toward the persist-phase boundaries the fence marks identify:
+// the flushes immediately around each fence are where checkpoint ordering
+// bugs live, so each mark contributes its neighborhood [m-1, m+2] before
+// the remaining budget spreads uniformly.
+func plan(o *oracle, cfg Config) ([]Point, bool) {
+	variantsPerFA := 0
+	for _, m := range cfg.Modes {
+		if m == "random" {
+			variantsPerFA += cfg.RandomSeeds
+		} else {
+			variantsPerFA++
+		}
+	}
+	if variantsPerFA == 0 {
+		return nil, false
+	}
+
+	F := o.flushes
+	budget := int64(0)
+	if cfg.MaxPoints > 0 {
+		budget = int64(cfg.MaxPoints)
+		if cfg.DoubleFaults {
+			// Double-fault variants ride on top of every DoubleEvery-th
+			// point; reserve their share of the budget.
+			budget = budget * int64(cfg.DoubleEvery) / int64(cfg.DoubleEvery+1)
+		}
+	}
+
+	var fas []int64
+	exhaustive := budget == 0 || F*int64(variantsPerFA) <= budget
+	if exhaustive {
+		fas = make([]int64, 0, F)
+		for fa := int64(1); fa <= F; fa++ {
+			fas = append(fas, fa)
+		}
+	} else {
+		maxFAs := budget / int64(variantsPerFA)
+		if maxFAs < 1 {
+			maxFAs = 1
+		}
+		picked := make(map[int64]struct{})
+		add := func(fa int64) {
+			if fa >= 1 && fa <= F && int64(len(picked)) < maxFAs {
+				picked[fa] = struct{}{}
+			}
+		}
+		add(1)
+		add(F)
+		for _, m := range o.fenceMarks {
+			for fa := m - 1; fa <= m+2; fa++ {
+				add(fa)
+			}
+		}
+		rng := rand.New(rand.NewSource(o.sess.spec.Seed ^ 0x5DEECE66D))
+		for int64(len(picked)) < maxFAs {
+			add(rng.Int63n(F) + 1)
+		}
+		fas = make([]int64, 0, len(picked))
+		for fa := range picked {
+			fas = append(fas, fa)
+		}
+		sort.Slice(fas, func(i, j int) bool { return fas[i] < fas[j] })
+	}
+
+	pts := make([]Point, 0, int64(len(fas))*int64(variantsPerFA))
+	for _, fa := range fas {
+		for _, m := range cfg.Modes {
+			seeds := 1
+			if m == "random" {
+				seeds = cfg.RandomSeeds
+			}
+			for s := 0; s < seeds; s++ {
+				pts = append(pts, Point{
+					FailAfter: fa,
+					Mode:      m,
+					CrashSeed: o.sess.spec.Seed*31 + fa*1009 + int64(s),
+				})
+			}
+		}
+	}
+
+	if cfg.DoubleFaults {
+		n := len(pts)
+		for i := 0; i < n; i += cfg.DoubleEvery {
+			pt := pts[i]
+			pt.DoubleFailAfter = dfOffsets[(i/cfg.DoubleEvery)%len(dfOffsets)]
+			pts = append(pts, pt)
+		}
+	}
+	if cfg.MaxPoints > 0 && len(pts) > cfg.MaxPoints {
+		pts = pts[:cfg.MaxPoints]
+		exhaustive = false
+	}
+	return pts, exhaustive
+}

@@ -1,0 +1,154 @@
+// Engine-level device-contract tests live in nvm_test so they can drive a
+// real engine through the shared crash-test kit (internal/crashcheck/kit)
+// on top of the device: the crash-consistency model checker leans on the
+// properties pinned here — snapshot/restore isolation, single-core flush
+// determinism, and fail-point/fence accounting seen from above the engine.
+package nvm_test
+
+import (
+	"testing"
+
+	"nvcaracal/internal/core"
+	"nvcaracal/internal/crashcheck/kit"
+	"nvcaracal/internal/nvm"
+)
+
+func engineWarm(t *testing.T, db *core.DB) {
+	t.Helper()
+	var load []*core.Txn
+	for i := uint64(0); i < 12; i++ {
+		load = append(load, kit.MkInsert(i, []byte{byte(i), byte(i >> 8)}))
+	}
+	if _, err := db.RunEpoch(load); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func engineProbe() []*core.Txn {
+	return []*core.Txn{
+		kit.MkRMW(0, 'p'),
+		kit.MkSet(1, make([]byte, 200)), // non-inline value
+		kit.MkDelete(2),
+		kit.MkInsert(40, []byte("probe")),
+	}
+}
+
+// TestEngineSnapshotReplicaDeterminism pins the property the model checker's
+// oracle depends on: replay the identical recover-then-epoch sequence on two
+// devices built from one snapshot and (at one core) the device observes the
+// identical access trace — same flush count, same fence marks, same stats.
+// Fail-point N therefore names the same crash state on every replica.
+func TestEngineSnapshotReplicaDeterminism(t *testing.T) {
+	opts := kit.Options(1)
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := core.Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineWarm(t, db)
+	snap := dev.Snapshot()
+
+	run := func() (nvm.Stats, []int64) {
+		d := snap.NewDevice()
+		rdb, _, err := core.Recover(d, kit.Options(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.ResetStats()
+		d.TraceFences(true)
+		if _, err := rdb.RunEpoch(engineProbe()); err != nil {
+			t.Fatal(err)
+		}
+		d.TraceFences(false)
+		return d.Stats(), d.FenceMarks()
+	}
+
+	stA, marksA := run()
+	stB, marksB := run()
+	if stA != stB {
+		t.Fatalf("replica stats diverged:\n A %+v\n B %+v", stA, stB)
+	}
+	if len(marksA) != len(marksB) {
+		t.Fatalf("fence mark count diverged: %d vs %d", len(marksA), len(marksB))
+	}
+	for i := range marksA {
+		if marksA[i] != marksB[i] {
+			t.Fatalf("fence mark %d diverged: %d vs %d", i, marksA[i], marksB[i])
+		}
+	}
+	if stA.Flushes == 0 || len(marksA) == 0 {
+		t.Fatalf("probe epoch issued no flushes/fences (stats %+v, %d marks)", stA, len(marksA))
+	}
+	if last := marksA[len(marksA)-1]; last <= 0 || last > stA.Flushes {
+		t.Fatalf("final fence mark %d outside (0, %d]", last, stA.Flushes)
+	}
+}
+
+// TestEngineRestoreIsolatesCrashPoints reuses one device across crash
+// points via Restore, the way a checker worker does, and verifies each
+// exploration starts from the pristine snapshot: the injected crash and
+// recovery of one point must not leak into the next. Every point must
+// recover to exactly the pre-probe or post-probe state.
+func TestEngineRestoreIsolatesCrashPoints(t *testing.T) {
+	opts := kit.Options(1)
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := core.Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineWarm(t, db)
+	pre := kit.SnapshotKV(db, 64)
+	snap := dev.Snapshot()
+
+	// Reference post state and the probe's flush budget, on a replica.
+	refDev := snap.NewDevice()
+	refDB, _, err := core.Recover(refDev, kit.Options(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDev.ResetStats()
+	if _, err := refDB.RunEpoch(engineProbe()); err != nil {
+		t.Fatal(err)
+	}
+	post := kit.SnapshotKV(refDB, 64)
+	flushes := refDev.Stats().Flushes
+
+	worker := snap.NewDevice()
+	for _, fa := range []int64{1, flushes / 3, flushes / 2, flushes - 1, flushes} {
+		if fa < 1 {
+			continue
+		}
+		worker.Restore(snap)
+		wdb, _, err := core.Recover(worker, kit.Options(1))
+		if err != nil {
+			t.Fatalf("failAfter=%d: pre-probe recover: %v", fa, err)
+		}
+		worker.SetFailAfter(fa)
+		fired, err := kit.RunUntilCrash(wdb, engineProbe())
+		worker.SetFailAfter(0)
+		if err != nil {
+			t.Fatalf("failAfter=%d: %v", fa, err)
+		}
+		worker.Crash(nvm.CrashRandom, 1000+fa)
+
+		rdb, rep, err := core.Recover(worker, kit.Options(1))
+		if err != nil {
+			t.Fatalf("failAfter=%d: recover: %v", fa, err)
+		}
+		committed := !fired || rep.ReplayedEpoch != 0
+		want := pre
+		if committed {
+			want = post
+		}
+		got := kit.SnapshotKV(rdb, 64)
+		if len(got) != len(want) {
+			t.Fatalf("failAfter=%d fired=%v: %d rows, want %d", fa, fired, len(got), len(want))
+		}
+		for k, v := range want {
+			if g, ok := got[k]; !ok || string(g) != string(v) {
+				t.Fatalf("failAfter=%d fired=%v: key %d got %q (present=%v) want %q",
+					fa, fired, k, g, ok, v)
+			}
+		}
+	}
+}

@@ -235,6 +235,10 @@ type Device struct {
 	// fenceMu serializes Fence (and Crash) so each fence commits a
 	// consistent snapshot set.
 	fenceMu sync.Mutex
+
+	// Fence-mark tracing (see TraceFences). Guarded by fenceMu.
+	traceFences bool
+	fenceMarks  []int64
 }
 
 // New creates a device of the given size in bytes, rounded up to a whole
@@ -608,6 +612,9 @@ func (d *Device) Fence() {
 	d.fenceMu.Lock()
 	defer d.fenceMu.Unlock()
 	d.cells[0].fences.Add(1)
+	if d.traceFences {
+		d.fenceMarks = append(d.fenceMarks, d.foldFlushes())
+	}
 	spin(d.fenceLatency)
 	var committed int64
 	for i := range d.stripes {
@@ -685,7 +692,19 @@ func (d *Device) Crash(mode CrashMode, seed int64) {
 }
 
 // SetFailAfter installs a fail-point: after n more flushed lines the device
-// panics with ErrInjectedCrash. n <= 0 disables the fail-point.
+// panics with ErrInjectedCrash. n <= 0 disables the fail-point. Flushes of
+// clean lines are no-ops and do not count.
+//
+// Torn-prefix semantics under vectored calls: when the fail-point fires
+// inside a WriteFields or PersistRange call, every field store of the call
+// has already reached the live image (stores precede flushes), the firing
+// line and every line flushed before it are staged (write-backs issued),
+// and later flush ranges are dirty-only. No trailing fence has run, so
+// under CrashStrict nothing from the interrupted call survives; under
+// CrashAll/CrashRandom the staged prefix may land while the dirty suffix
+// may only land via the live image — exactly the outcomes an interrupted
+// CLWB sequence permits on real hardware. A fail-point therefore never
+// splits an individual field store, only the flush sequence.
 func (d *Device) SetFailAfter(n int64) { d.failAfter.Store(n) }
 
 // Stats returns a snapshot of the cumulative access counters, folding the

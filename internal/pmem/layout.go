@@ -16,7 +16,7 @@ import (
 const Magic = uint64(0x4e56434152414341) // "NVCARACA"
 
 // LayoutVersion guards against attaching to an incompatible format.
-const LayoutVersion = uint64(3)
+const LayoutVersion = uint64(4)
 
 const line = int64(nvm.LineSize)
 
@@ -167,7 +167,7 @@ func (l *Layout) compute() {
 	l.epochOff = off
 	off += line // epoch record gets its own line
 	l.counterOff = off
-	off += alignUp(l.Counters * 8)
+	off += alignUp(l.Counters * counterStride)
 	l.logOff = off
 	off += alignUp(l.LogBytes)
 
@@ -217,12 +217,12 @@ func (l *Layout) LogOff() int64 { return l.logOff }
 // LogCap returns the usable size of the input-log region.
 func (l *Layout) LogCap() int64 { return l.LogBytes }
 
-// CounterOff returns the offset of persistent counter slot i.
+// CounterOff returns the offset of persistent counter i's parity pair.
 func (l *Layout) CounterOff(i int64) int64 {
 	if i < 0 || i >= l.Counters {
 		panic(fmt.Sprintf("pmem: counter %d out of range", i))
 	}
-	return l.counterOff + i*8
+	return l.counterOff + i*counterStride
 }
 
 // RowDataOff returns the base offset of core c's persistent row region.
@@ -312,7 +312,7 @@ func Format(dev *nvm.Device, l Layout) error {
 	dev.Store64(l.headerOff+hdrCounters, uint64(l.Counters))
 	dev.Zero(l.epochOff, line)
 	if l.Counters > 0 {
-		dev.Zero(l.counterOff, alignUp(l.Counters*8))
+		dev.Zero(l.counterOff, alignUp(l.Counters*counterStride))
 	}
 	dev.Zero(l.logOff, line) // log header only; payload is length-guarded
 	for c := 0; c < l.Cores; c++ {
@@ -336,7 +336,7 @@ func Format(dev *nvm.Device, l Layout) error {
 		{Off: l.logOff, N: line},
 	}
 	if l.Counters > 0 {
-		ranges = append(ranges, nvm.Range{Off: l.counterOff, N: alignUp(l.Counters * 8)})
+		ranges = append(ranges, nvm.Range{Off: l.counterOff, N: alignUp(l.Counters * counterStride)})
 	}
 	for c := 0; c < l.Cores; c++ {
 		ranges = append(ranges, nvm.Range{Off: l.rowCtlOff[c], N: line})
@@ -430,25 +430,39 @@ func (e *EpochRecord) Store(epoch uint64) {
 	e.dev.Persist(e.off, 8)
 }
 
-// Counter is a persistent 64-bit counter slot (used for TPC-C order ids,
-// which Caracal generates non-deterministically and therefore must persist
-// at epoch boundaries).
+// counterStride is the per-counter footprint: two parity slots, so the
+// checkpoint of epoch e never overwrites the slot recovery would read if
+// the crash lands before e's epoch record commits.
+const counterStride = 16
+
+// Counter is a persistent 64-bit counter (used for TPC-C order ids, which
+// Caracal generates non-deterministically and therefore must persist at
+// epoch boundaries). Like the pool control offsets, each counter keeps two
+// parity slots indexed by epoch: the checkpoint of epoch e writes slot
+// e%2 and recovery reads slot ckpt%2. A single slot would be unsound —
+// the checkpoint flushes counters before the epoch record commits, so a
+// crash in between can leave post-epoch values durable while the epoch
+// itself is replayed, applying every counter increment twice.
 type Counter struct {
 	dev *nvm.Device
 	off int64
 }
 
-// NewCounter returns counter slot i.
+// NewCounter returns counter i.
 func NewCounter(dev *nvm.Device, l Layout, i int64) *Counter {
 	return &Counter{dev: dev, off: l.CounterOff(i)}
 }
 
-// Load reads the persisted counter value.
-func (c *Counter) Load() uint64 { return c.dev.Load64(c.off) }
+// Load reads the value checkpointed at the given epoch.
+func (c *Counter) Load(epoch uint64) uint64 {
+	return c.dev.Load64(c.off + int64(epoch%2)*8)
+}
 
-// Store writes the counter value without persisting; the epoch checkpoint
-// sequence flushes the counter region.
-func (c *Counter) Store(v uint64) { c.dev.Store64(c.off, v) }
+// Store writes the counter value into epoch's parity slot without
+// persisting; the epoch checkpoint sequence flushes the counter region.
+func (c *Counter) Store(v uint64, epoch uint64) {
+	c.dev.Store64(c.off+int64(epoch%2)*8, v)
+}
 
-// Flush persists the counter slot.
-func (c *Counter) Flush() { c.dev.Flush(c.off, 8) }
+// Flush persists the counter's parity pair.
+func (c *Counter) Flush() { c.dev.Flush(c.off, counterStride) }

@@ -223,3 +223,14 @@ func (p *Pool) FreeSet() map[int64]struct{} {
 	}
 	return s
 }
+
+// FreeList returns the free-list entries in ring order, head to tail,
+// including duplicates. Invariant checkers use it to detect double frees,
+// which FreeSet's map form would silently collapse.
+func (p *Pool) FreeList() []int64 {
+	l := make([]int64, 0, p.tail-p.head)
+	for pos := p.head; pos < p.tail; pos++ {
+		l = append(l, int64(p.dev.Load64(p.ringSlotOff(pos))))
+	}
+	return l
+}

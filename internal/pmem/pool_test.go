@@ -341,12 +341,22 @@ func TestEpochRecord(t *testing.T) {
 func TestCounters(t *testing.T) {
 	l, dev := testLayout(t)
 	c := NewCounter(dev, l, 2)
-	c.Store(123)
+	c.Store(123, 1)
 	c.Flush()
 	dev.Fence()
 	dev.Crash(nvm.CrashStrict, 1)
-	if got := NewCounter(dev, l, 2).Load(); got != 123 {
+	if got := NewCounter(dev, l, 2).Load(1); got != 123 {
 		t.Fatalf("counter = %d, want 123", got)
+	}
+	// The parity slots are independent: epoch 2's checkpoint must not
+	// clobber the value recovery reads when epoch 2 doesn't commit.
+	c.Store(456, 2)
+	c.Flush()
+	if got := c.Load(1); got != 123 {
+		t.Fatalf("epoch-1 slot = %d after epoch-2 store, want 123", got)
+	}
+	if got := c.Load(2); got != 456 {
+		t.Fatalf("epoch-2 slot = %d, want 456", got)
 	}
 }
 

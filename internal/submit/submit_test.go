@@ -11,56 +11,26 @@ import (
 	"time"
 
 	"nvcaracal"
+	"nvcaracal/internal/crashcheck/kit"
 )
 
-const tblKV = uint32(1)
-
-const (
-	ttInsert uint16 = iota + 1
-	ttSet
-)
+// The KV builders and their replay registry come from the shared crash-test
+// kit (nvcaracal.Txn is an alias of core.Txn, so kit transactions submit
+// directly); the thin wrappers keep the call sites short.
+const tblKV = kit.Table
 
 func encKV(key uint64, val []byte) []byte {
 	return append(binary.LittleEndian.AppendUint64(nil, key), val...)
 }
 
-func mkInsert(key uint64, val []byte) *nvcaracal.Txn {
-	return &nvcaracal.Txn{
-		TypeID: ttInsert,
-		Input:  encKV(key, val),
-		Ops:    []nvcaracal.Op{{Table: tblKV, Key: key, Kind: nvcaracal.OpInsert}},
-		Exec: func(ctx *nvcaracal.Ctx) {
-			ctx.Insert(tblKV, key, val)
-		},
-	}
-}
+func mkInsert(key uint64, val []byte) *nvcaracal.Txn { return kit.MkInsert(key, val) }
 
-func mkSet(key uint64, val []byte) *nvcaracal.Txn {
-	return &nvcaracal.Txn{
-		TypeID: ttSet,
-		Input:  encKV(key, val),
-		Ops:    []nvcaracal.Op{{Table: tblKV, Key: key, Kind: nvcaracal.OpUpdate}},
-		Exec: func(ctx *nvcaracal.Ctx) {
-			ctx.Write(tblKV, key, val)
-		},
-	}
-}
-
-func testRegistry() *nvcaracal.Registry {
-	reg := nvcaracal.NewRegistry()
-	reg.Register(ttInsert, func(d []byte, _ *nvcaracal.DB) (*nvcaracal.Txn, error) {
-		return mkInsert(binary.LittleEndian.Uint64(d), d[8:]), nil
-	})
-	reg.Register(ttSet, func(d []byte, _ *nvcaracal.DB) (*nvcaracal.Txn, error) {
-		return mkSet(binary.LittleEndian.Uint64(d), d[8:]), nil
-	})
-	return reg
-}
+func mkSet(key uint64, val []byte) *nvcaracal.Txn { return kit.MkSet(key, val) }
 
 func testConfig() nvcaracal.Config {
 	return nvcaracal.Config{
 		Cores:         2,
-		Registry:      testRegistry(),
+		Registry:      kit.Registry(),
 		RowsPerCore:   1 << 13,
 		ValuesPerCore: 1 << 13,
 	}
@@ -298,7 +268,7 @@ func TestRejectBackpressure(t *testing.T) {
 
 	gate := make(chan struct{})
 	gated := &nvcaracal.Txn{
-		TypeID: ttInsert,
+		TypeID: kit.TypeInsert,
 		Input:  encKV(1, []byte("g")),
 		Ops:    []nvcaracal.Op{{Table: tblKV, Key: 1, Kind: nvcaracal.OpInsert}},
 		Exec: func(ctx *nvcaracal.Ctx) {
@@ -357,7 +327,7 @@ func TestBlockBackpressure(t *testing.T) {
 
 	gate := make(chan struct{})
 	gf, err := s.Submit(&nvcaracal.Txn{
-		TypeID: ttInsert,
+		TypeID: kit.TypeInsert,
 		Input:  encKV(1, []byte("g")),
 		Ops:    []nvcaracal.Op{{Table: tblKV, Key: 1, Kind: nvcaracal.OpInsert}},
 		Exec: func(ctx *nvcaracal.Ctx) {
