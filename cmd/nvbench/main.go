@@ -42,8 +42,17 @@ func main() {
 		csvPath   = flag.String("csv", "", "also write results as CSV to this file")
 		devBench  = flag.String("device-bench", "", "run the raw device contention benchmark and write JSON to this file (skips experiments)")
 		devOps    = flag.Int("device-ops", 200000, "device-bench iterations per core")
+		obsBench  = flag.String("obs-bench", "", "run the observed phase-breakdown cells and write BENCH_obs.json-style output to this file (skips experiments)")
 	)
 	flag.Parse()
+
+	if *obsBench != "" {
+		if err := runObsBench(*obsBench, *scaleName, *seed, *cores); err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: obs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *devBench != "" {
 		if err := runDeviceBench(*devBench, *devOps); err != nil {
@@ -154,6 +163,35 @@ type deviceBenchReport struct {
 	CPU       int                     `json:"gomaxprocs"`
 	OpsCore   int                     `json:"ops_per_core"`
 	Results   []nvm.DeviceBenchResult `json:"results"`
+}
+
+// runObsBench runs the observed phase-breakdown cells and writes the
+// BENCH_obs.json artifact: where epoch time goes (log/init/execute/persist
+// plus GC shares) per workload and contention level.
+func runObsBench(path, scaleName string, seed int64, cores int) error {
+	var scale bench.Scale
+	switch scaleName {
+	case "quick":
+		scale = bench.QuickScale()
+	case "paper":
+		scale = bench.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q (quick or paper)", scaleName)
+	}
+	scale.Cores = cores
+	rep, err := bench.RunObsReport(bench.Options{Scale: scale, Out: os.Stdout, Seed: seed})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d observed cells to %s\n", len(rep.Cells), path)
+	return nil
 }
 
 // runDeviceBench measures device-op throughput at 1/4/8 worker goroutines

@@ -17,14 +17,17 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"sync"
 	"time"
 
 	"nvcaracal"
+	"nvcaracal/internal/obs"
 	"nvcaracal/internal/workload/smallbank"
 	"nvcaracal/internal/workload/tpcc"
 	"nvcaracal/internal/workload/ycsb"
@@ -45,6 +48,9 @@ func main() {
 		submitLag  = flag.Duration("submit-max-delay", 2*time.Millisecond, "batch former max-latency deadline (with -submitters)")
 		readLat    = flag.Duration("nvmm-read-latency", 60*time.Nanosecond, "simulated NVMM read latency per line")
 		writeLat   = flag.Duration("nvmm-write-latency", 250*time.Nanosecond, "simulated NVMM write latency per line")
+		obsAddr    = flag.String("obs-addr", "", "serve /debug/nvcaracal/{stats,trace} on this address (e.g. :8077); also enables instrumentation")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run's epoch phases to this file")
+		serveAfter = flag.Duration("serve-after", 0, "keep the -obs-addr server up this long after the run (for scraping)")
 	)
 	flag.Parse()
 
@@ -59,6 +65,14 @@ func main() {
 		NVMMReadLatency:  *readLat,
 		NVMMWriteLatency: *writeLat,
 		Registry:         nvcaracal.NewRegistry(),
+	}
+	if *obsAddr != "" || *traceOut != "" {
+		cfg.Obs = nvcaracal.NewObs(nvcaracal.ObsConfig{
+			Hists:  true,
+			Trace:  true,
+			Device: true,
+			Cores:  *cores,
+		})
 	}
 	if storageMode == nvcaracal.ModeAllDRAM {
 		cfg.NVMMReadLatency, cfg.NVMMWriteLatency = 0, 0
@@ -135,6 +149,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *obsAddr != "" {
+		h := nvcaracal.NewObsHandler(cfg.Obs)
+		h.AddSource("engine", func() any { return db.Metrics() })
+		h.AddSource("memory", func() any { return db.Memory() })
+		h.AddSource("device", func() any { return db.Device().Stats() })
+		h.PublishExpvar("nvcaracal")
+		mux := http.NewServeMux()
+		mux.Handle("/debug/nvcaracal/", h)
+		mux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			if err := http.ListenAndServe(*obsAddr, mux); err != nil {
+				fatal(fmt.Errorf("obs server: %w", err))
+			}
+		}()
+		fmt.Printf("obs: serving http://%s%s and %s\n", *obsAddr, obs.StatsPath, obs.TracePath)
+	}
 	fmt.Printf("loading %s (%d batches)...\n", *workload, len(loadBatches))
 	loadStart := time.Now()
 	for _, b := range loadBatches {
@@ -187,6 +217,40 @@ func main() {
 		fmt.Printf("device: %d lines committed over %d fences (%.0f lines/fence amortization)\n",
 			st.LinesFenced, st.Fences, float64(st.LinesFenced)/float64(st.Fences))
 	}
+
+	if o := cfg.Obs; o != nil {
+		if d := o.Device(); d != nil {
+			fmt.Printf("obs: fence p99 %v, fence stall total %v\n",
+				time.Duration(d.Fence.Snapshot().Percentile(99)),
+				time.Duration(d.FenceStallNanos()))
+		}
+		ep := o.EpochSnapshot()
+		fmt.Printf("obs: epoch p50 %v p99 %v over %d epochs\n",
+			time.Duration(ep.Percentile(50)), time.Duration(ep.Percentile(99)), ep.Count)
+		if *traceOut != "" {
+			if err := writeTrace(o, *traceOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("obs: wrote trace to %s (load in https://ui.perfetto.dev)\n", *traceOut)
+		}
+	}
+	if *obsAddr != "" && *serveAfter > 0 {
+		fmt.Printf("obs: serving for another %v...\n", *serveAfter)
+		time.Sleep(*serveAfter)
+	}
+}
+
+// writeTrace exports the retained epoch-phase spans as Chrome trace JSON.
+func writeTrace(o *nvcaracal.Obs, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, o.Tracer().Spans(0)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runSubmitters drives the measured phase through the group-commit

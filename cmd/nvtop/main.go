@@ -1,0 +1,200 @@
+// Command nvtop reads a running engine's observability endpoint
+// (/debug/nvcaracal/stats, served by nvload/nvbench under -obs-addr) and
+// prints a latency report: per-phase and end-to-end epoch histograms,
+// transaction execution latency, and device-level read/write/flush/fence
+// latency with the fence-stall total.
+//
+// One-shot by default; with -interval it polls and reports the delta of
+// each window (counts and histogram buckets are differenced, so percentiles
+// describe just that window's activity):
+//
+//	nvtop -addr 127.0.0.1:8077
+//	nvtop -addr 127.0.0.1:8077 -interval 2s -count 10
+//
+// With -selfcheck it validates the endpoint instead: the stats payload must
+// parse against the schema and carry non-zero epoch counts, and the trace
+// endpoint must serve loadable Chrome trace JSON with at least one span.
+// The CI observability smoke runs exactly this.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"nvcaracal/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8077", "host:port of the engine's -obs-addr")
+		interval  = flag.Duration("interval", 0, "poll interval (0 = one-shot)")
+		count     = flag.Int("count", 0, "number of interval reports (0 = until interrupted)")
+		selfcheck = flag.Bool("selfcheck", false, "validate the stats and trace endpoints, then exit")
+		timeout   = flag.Duration("timeout", 5*time.Second, "HTTP timeout per request")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	base := "http://" + *addr
+
+	if *selfcheck {
+		if err := runSelfcheck(client, base); err != nil {
+			fatal(err)
+		}
+		fmt.Println("selfcheck ok")
+		return
+	}
+
+	prev, err := fetchStats(client, base)
+	if err != nil {
+		fatal(err)
+	}
+	if *interval <= 0 {
+		report(os.Stdout, prev, nil)
+		return
+	}
+	for i := 0; *count == 0 || i < *count; i++ {
+		time.Sleep(*interval)
+		cur, err := fetchStats(client, base)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("--- window %v ---\n", interval)
+		report(os.Stdout, cur, &prev)
+		prev = cur
+	}
+}
+
+func fetchStats(client *http.Client, base string) (obs.StatsPayload, error) {
+	var p obs.StatsPayload
+	resp, err := client.Get(base + obs.StatsPath)
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return p, fmt.Errorf("stats endpoint: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return p, fmt.Errorf("stats payload: %w", err)
+	}
+	return p, nil
+}
+
+// report prints one latency table. With prev != nil each histogram is
+// differenced against the previous sample first.
+func report(w io.Writer, cur obs.StatsPayload, prev *obs.StatsPayload) {
+	diff := func(c, p obs.HistJSON) obs.HistSnapshot {
+		s := c.Snapshot()
+		if prev != nil {
+			s = s.Sub(p.Snapshot())
+		}
+		return s
+	}
+	row := func(name string, c, p obs.HistJSON) {
+		s := diff(c, p)
+		if s.Count == 0 {
+			fmt.Fprintf(w, "%-12s %10s\n", name, "-")
+			return
+		}
+		fmt.Fprintf(w, "%-12s %10d  p50<%-10v p99<%-10v max %-10v mean %v\n",
+			name, s.Count,
+			time.Duration(s.Percentile(50)), time.Duration(s.Percentile(99)),
+			time.Duration(s.Max), time.Duration(s.Mean()))
+	}
+
+	fmt.Fprintf(w, "uptime %.1fs\n", cur.UptimeSeconds)
+	fmt.Fprintf(w, "%-12s %10s\n", "histogram", "count")
+	row("epoch", cur.Epoch, prevOr(prev).Epoch)
+	row("txn-exec", cur.TxnExec, prevOr(prev).TxnExec)
+	names := make([]string, 0, len(cur.Phases))
+	for name := range cur.Phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row("  "+name, cur.Phases[name], prevOr(prev).Phases[name])
+	}
+	if cur.Device != nil {
+		d := cur.Device
+		var pd obs.DeviceJSON
+		if p := prevOr(prev).Device; p != nil {
+			pd = *p
+		}
+		row("dev-read", d.Read, pd.Read)
+		row("dev-write", d.Write, pd.Write)
+		row("dev-flush", d.Flush, pd.Flush)
+		row("dev-fence", d.Fence, pd.Fence)
+		stall := d.FenceStallNanos - pd.FenceStallNanos
+		fmt.Fprintf(w, "%-12s %10s  total %v\n", "fence-stall", "", time.Duration(stall))
+	}
+}
+
+// prevOr returns the previous payload or a zero payload for one-shot mode.
+func prevOr(p *obs.StatsPayload) obs.StatsPayload {
+	if p == nil {
+		return obs.StatsPayload{}
+	}
+	return *p
+}
+
+// runSelfcheck validates both endpoints the way the CI smoke needs.
+func runSelfcheck(client *http.Client, base string) error {
+	p, err := fetchStats(client, base)
+	if err != nil {
+		return err
+	}
+	if p.Epoch.Count == 0 {
+		return fmt.Errorf("stats: epoch histogram is empty")
+	}
+	for _, name := range []string{"log", "init", "execute", "persist"} {
+		if p.Phases[name].Count == 0 {
+			return fmt.Errorf("stats: phase %q histogram is empty", name)
+		}
+	}
+	if p.Epoch.P50NS <= 0 || p.Epoch.P99NS < p.Epoch.P50NS {
+		return fmt.Errorf("stats: implausible epoch percentiles: %+v", p.Epoch)
+	}
+
+	resp, err := client.Get(base + obs.TracePath)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace endpoint: HTTP %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("trace payload: %w", err)
+	}
+	spans := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans[ev.Name]++
+		}
+	}
+	for _, name := range []string{"log", "init", "execute", "persist"} {
+		if spans[name] == 0 {
+			return fmt.Errorf("trace: no %q spans (got %v)", name, spans)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvtop:", err)
+	os.Exit(1)
+}

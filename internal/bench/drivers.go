@@ -45,6 +45,7 @@ type sizing struct {
 	pidx      bool // enable the persistent index journal (§7 extension)
 	registry  *nvcaracal.Registry
 	dram      bool // run the device at DRAM speed regardless of Scale
+	obsv      *nvcaracal.Obs
 }
 
 func (s Scale) nvcConfig(z sizing) nvcaracal.Config {
@@ -65,6 +66,7 @@ func (s Scale) nvcConfig(z sizing) nvcaracal.Config {
 		PersistIndex:     z.pidx,
 		Registry:         z.registry,
 		LogBytes:         int64(s.EpochTxns)*256 + (1 << 20),
+		Obs:              z.obsv,
 	}
 	if !z.dram && z.mode != nvcaracal.ModeAllDRAM {
 		cfg.NVMMReadLatency = s.ReadLatency

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nvcaracal"
+	"nvcaracal/internal/obs"
+)
+
+// ObsCell is one observed workload run in BENCH_obs.json: throughput plus
+// the full latency breakdown the obs layer collects — the end-to-end epoch
+// histogram, the per-phase histograms with each phase's share of epoch
+// time, transaction execution latency, and the device instruments.
+type ObsCell struct {
+	Workload   string  `json:"workload"`
+	Contention string  `json:"contention"`
+	Epochs     int64   `json:"epochs"`
+	EpochTxns  int     `json:"epoch_txns"`
+	KTPS       float64 `json:"ktps"`
+
+	Epoch         obs.HistJSON            `json:"epoch"`
+	Phases        map[string]obs.HistJSON `json:"phases"`
+	PhaseSharePct map[string]float64      `json:"phase_share_pct"`
+	TxnExec       obs.HistJSON            `json:"txn_exec"`
+	Device        *obs.DeviceJSON         `json:"device,omitempty"`
+}
+
+// ObsReport is the schema of BENCH_obs.json.
+type ObsReport struct {
+	Benchmark  string    `json:"benchmark"`
+	Go         string    `json:"go"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Scale      string    `json:"scale"`
+	Cells      []ObsCell `json:"cells"`
+}
+
+// RunObsReport runs the YCSB and SmallBank contention cells with the full
+// observability layer attached and folds each run's instruments into an
+// ObsCell. This is the committed phase-breakdown artifact: it shows where
+// epoch time goes (log vs init vs execute vs persist, plus GC) for each
+// workload, so perf changes surface as phase-share shifts in review.
+func RunObsReport(o Options) (ObsReport, error) {
+	s := o.Scale
+	rep := ObsReport{
+		Benchmark:  "obs-phase-breakdown",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      s.Name,
+	}
+
+	newObs := func() *nvcaracal.Obs {
+		return nvcaracal.NewObs(nvcaracal.ObsConfig{Hists: true, Device: true, Cores: s.cores()})
+	}
+	cell := func(workload, contention string, ov *nvcaracal.Obs, m measured) ObsCell {
+		c := ObsCell{
+			Workload:      workload,
+			Contention:    contention,
+			EpochTxns:     s.EpochTxns,
+			KTPS:          kTPS(m),
+			Phases:        map[string]obs.HistJSON{},
+			PhaseSharePct: map[string]float64{},
+		}
+		ep := ov.EpochSnapshot()
+		c.Epochs = ep.Count
+		c.Epoch = ep.JSON()
+		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+			ps := ov.PhaseSnapshot(ph)
+			if ps.Count == 0 {
+				continue
+			}
+			c.Phases[ph.String()] = ps.JSON()
+			if ep.Sum > 0 {
+				c.PhaseSharePct[ph.String()] = 100 * float64(ps.Sum) / float64(ep.Sum)
+			}
+		}
+		c.TxnExec = ov.TxnSnapshot().JSON()
+		c.Device = ov.Device().JSON()
+		return c
+	}
+
+	// YCSB at the paper's three contention levels.
+	for _, hotOps := range []int{0, 4, 8} {
+		ov := newObs()
+		setup, err := s.setupYCSBNVC(s.YCSBRows, hotOps, false, false, sizing{mode: nvcaracal.ModeNVCaracal, obsv: ov})
+		if err != nil {
+			return rep, fmt.Errorf("ycsb %s setup: %w", contentionName(hotOps), err)
+		}
+		// Loading ran under observation too; reset so the cell reports only
+		// the measured epochs.
+		ov.Reset()
+		m, err := s.runYCSBNVC(setup, o.Seed)
+		if err != nil {
+			return rep, fmt.Errorf("ycsb %s run: %w", contentionName(hotOps), err)
+		}
+		rep.Cells = append(rep.Cells, cell("ycsb", contentionName(hotOps), ov, m))
+		o.logf("obs-bench ycsb/%-4s %8.1f ktps, epoch p50 %v", contentionName(hotOps), kTPS(m),
+			histP50(ov.EpochSnapshot()))
+		freeMem()
+	}
+
+	// SmallBank at low and high contention.
+	for _, hc := range []struct {
+		name    string
+		hotspot int
+	}{{"low", s.SBCustomers / s.SBHotLowDiv}, {"high", s.SBHotHigh}} {
+		ov := newObs()
+		setup, err := s.setupSmallBankNVC(s.SBCustomers, hc.hotspot, sizing{mode: nvcaracal.ModeNVCaracal, obsv: ov})
+		if err != nil {
+			return rep, fmt.Errorf("smallbank %s setup: %w", hc.name, err)
+		}
+		ov.Reset()
+		m, err := s.runSmallBankNVC(setup, o.Seed)
+		if err != nil {
+			return rep, fmt.Errorf("smallbank %s run: %w", hc.name, err)
+		}
+		rep.Cells = append(rep.Cells, cell("smallbank", hc.name, ov, m))
+		o.logf("obs-bench smallbank/%-4s %8.1f ktps, epoch p50 %v", hc.name, kTPS(m),
+			histP50(ov.EpochSnapshot()))
+		freeMem()
+	}
+
+	return rep, nil
+}
+
+// histP50 renders an epoch-latency p50 bound for progress lines.
+func histP50(s obs.HistSnapshot) string {
+	return fmt.Sprintf("<%v", time.Duration(s.Percentile(50)))
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"nvcaracal/internal/obs"
 	"nvcaracal/internal/pmem"
 )
 
@@ -120,6 +121,10 @@ type Options struct {
 	// AriaRegistry maps Aria transaction type ids to decoders; required to
 	// recover a crash during an Aria-flavoured epoch (RunEpochAria).
 	AriaRegistry *AriaRegistry
+	// Obs, when non-nil, receives epoch/phase/transaction latency
+	// observations and trace spans. Nil (the default) leaves only nil-check
+	// stubs on the hot paths; see internal/obs.
+	Obs *obs.Obs
 }
 
 func (o *Options) applyDefaults() {

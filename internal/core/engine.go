@@ -11,6 +11,7 @@ import (
 	"nvcaracal/internal/index"
 	"nvcaracal/internal/metrics"
 	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
 	"nvcaracal/internal/pmem"
 	"nvcaracal/internal/wal"
 )
@@ -79,6 +80,10 @@ type DB struct {
 
 	met metrics.Counters
 
+	// obs receives phase spans and latency observations; nil (the default)
+	// reduces every instrumentation site to a nil check.
+	obs *obs.Obs
+
 	// abortFlag, when set by a panicking worker, breaks other workers out
 	// of version-array spin waits so the epoch unwinds instead of hanging.
 	abortFlag atomic.Bool
@@ -127,6 +132,8 @@ func newDB(dev *nvm.Device, opts Options) *DB {
 		evictBuf:  make([][]*rowState, c),
 
 		deferredIndexDeletes: make([][]index.Key, c),
+
+		obs: opts.Obs,
 	}
 	for i := 0; i < c; i++ {
 		db.rowPools[i] = pmem.RowPool(dev, opts.Layout, i)
@@ -253,6 +260,9 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 
 	db.epoch.Store(epoch)
 	db.met.AddEpoch()
+	// The phase durations are already in hand for EpochResult, so recording
+	// them adds no clock reads to the epoch path.
+	db.obs.RecordEpoch(epoch, t0, res.LogTime, res.InitTime, res.ExecTime, res.SyncTime)
 	return res, nil
 }
 
@@ -581,6 +591,11 @@ func (db *DB) executePhase(epoch uint64, batch []*Txn) {
 // declared-but-unperformed writes (covering user aborts and over-declared
 // reconnaissance write sets).
 func (db *DB) executeTxn(epoch uint64, w int, t *Txn) {
+	timed := db.obs.TxnTimed()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	ctx := &Ctx{db: db, txn: t, core: w, wrote: make([]bool, len(t.Ops))}
 	if t.Exec != nil {
 		t.Exec(ctx)
@@ -590,6 +605,9 @@ func (db *DB) executeTxn(epoch uint64, w int, t *Txn) {
 			continue
 		}
 		db.writeIgnore(ctx, index.Key{Table: op.Table, ID: op.Key})
+	}
+	if timed {
+		db.obs.ObserveTxn(w, time.Since(t0))
 	}
 }
 

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"nvcaracal/internal/index"
+	"nvcaracal/internal/obs"
 )
 
 // read resolves a read at the transaction's serial id (§4.1):
@@ -227,7 +229,8 @@ func (db *DB) persistFinal(core int, rs *rowState, sid uint64, data []byte) {
 	replayOverwrite := v2.sid == sid
 	if !replayOverwrite && !v2.isNull() {
 		// v2 is the most recent checkpointed version; move it to v1.
-		if !v1.isNull() {
+		minor := !v1.isNull()
+		if minor {
 			// Minor GC: v1 is the stale version. It must be inline — the
 			// major collector handles non-inline staleness during init.
 			if !v1.isInline() && v1.ptr != ptrNone {
@@ -235,7 +238,15 @@ func (db *DB) persistFinal(core int, rs *rowState, sid uint64, data []byte) {
 			}
 			db.met.At(core).AddMinorGC()
 		}
+		timed := minor && db.obs.On()
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		r.writeVersion(1, v2)
+		if timed {
+			db.obs.Span(core, SIDEpoch(sid), obs.PhaseMinorGC, t0)
+		}
 		v1 = v2
 	}
 

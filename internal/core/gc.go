@@ -1,5 +1,11 @@
 package core
 
+import (
+	"time"
+
+	"nvcaracal/internal/obs"
+)
+
 // majorGC runs the major collector during the initialization phase of an
 // epoch (§4.4, §5.5): every row queued last epoch with a non-inline stale
 // first version has that version's value freed and the checkpointed second
@@ -37,6 +43,14 @@ func (db *DB) majorGC(epoch uint64) {
 			pending = true
 			break
 		}
+	}
+
+	// Only collections that actually rewrite rows get a span: an empty
+	// pending set is a queue check, not a GC.
+	var gcStart time.Time
+	if pending && db.obs.On() {
+		gcStart = time.Now()
+		defer func() { db.obs.Span(obs.CoordinatorCore, epoch, obs.PhaseMajorGC, gcStart) }()
 	}
 
 	// Phase 1: append frees and flush the ring lines.

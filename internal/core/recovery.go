@@ -6,6 +6,7 @@ import (
 
 	"nvcaracal/internal/index"
 	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
 	"nvcaracal/internal/pmem"
 )
 
@@ -223,6 +224,17 @@ func (db *DB) finishRecovery(batch []*Txn, ariaBatch []*AriaTxn, crashed uint64,
 		rep.ReplayedEpoch = crashed
 	}
 	rep.ReplayTime = time.Since(t3)
+	if db.obs.On() {
+		// One recovery span per stage (load, scan/journal, revert, replay),
+		// laid end to end on the coordinator track. Replay of the crashed
+		// epoch also records its own log/init/execute/persist spans via
+		// RunEpoch, nested inside the replay stage's interval.
+		t := time.Now().Add(-rep.Total())
+		for _, d := range []time.Duration{rep.LoadTime, rep.ScanTime, rep.RevertTime, rep.ReplayTime} {
+			db.obs.SpanAt(obs.CoordinatorCore, crashed, obs.PhaseRecovery, t, d)
+			t = t.Add(d)
+		}
+	}
 	return db, rep, nil
 }
 

@@ -9,8 +9,10 @@ package metrics
 
 import "sync/atomic"
 
-// stripes is the number of counter cells. Core IDs index cells modulo this,
-// so any core count works; beyond 64 cores stripes are shared pairwise.
+// stripes is the number of worker counter cells. Core IDs index cells modulo
+// this, so any core count works; beyond 64 cores stripes are shared pairwise.
+// One extra cell beyond the worker stripes belongs to the coordinator, so
+// cold-path updates never share a line with worker core 0.
 const stripes = 64
 
 // Cell is one stripe of the counters: the per-core view a worker updates
@@ -33,10 +35,11 @@ type Cell struct {
 
 // Counters aggregates engine events. All methods are safe for concurrent
 // use. Hot paths should grab the executing core's Cell once via At and
-// update that; the convenience methods on Counters itself hit cell 0 and
-// are fine for cold paths (epoch boundaries, coordinators, tests).
+// update that; the convenience methods on Counters itself go to a dedicated
+// coordinator cell and are fine for cold paths (epoch boundaries,
+// coordinators, tests) even while workers are running.
 type Counters struct {
-	cells [stripes]Cell
+	cells [stripes + 1]Cell
 }
 
 // At returns the counter cell for a worker core. Per-cell totals are
@@ -45,8 +48,16 @@ func (c *Counters) At(core int) *Cell {
 	return &c.cells[uint(core)%stripes]
 }
 
-// Snapshot is an immutable copy of all counters.
-type Snapshot struct {
+// Coordinator returns the cell cold paths update. It is distinct from every
+// worker cell, so coordinator-side accounting (epoch boundaries, eviction,
+// recovery) never contends with worker core 0.
+func (c *Counters) Coordinator() *Cell {
+	return &c.cells[stripes]
+}
+
+// Monotonic holds the counters that only ever increase; interval deltas via
+// Sub are meaningful for every field.
+type Monotonic struct {
 	TxnsCommitted      int64
 	TxnsAborted        int64
 	Epochs             int64
@@ -55,27 +66,48 @@ type Snapshot struct {
 	RowReads           int64
 	CacheHits          int64
 	CacheMisses        int64
-	CacheBytes         int64
-	CacheEntries       int64
 	MinorGCs           int64
 	MajorGCs           int64
 }
 
-// Sub returns s - o field-wise, for interval measurements.
+// Sub returns m - o field-wise.
+func (m Monotonic) Sub(o Monotonic) Monotonic {
+	return Monotonic{
+		TxnsCommitted:      m.TxnsCommitted - o.TxnsCommitted,
+		TxnsAborted:        m.TxnsAborted - o.TxnsAborted,
+		Epochs:             m.Epochs - o.Epochs,
+		TransientVersions:  m.TransientVersions - o.TransientVersions,
+		PersistentVersions: m.PersistentVersions - o.PersistentVersions,
+		RowReads:           m.RowReads - o.RowReads,
+		CacheHits:          m.CacheHits - o.CacheHits,
+		CacheMisses:        m.CacheMisses - o.CacheMisses,
+		MinorGCs:           m.MinorGCs - o.MinorGCs,
+		MajorGCs:           m.MajorGCs - o.MajorGCs,
+	}
+}
+
+// Gauges holds the level-style counters: current values, not accumulations.
+// Differencing them produces nonsense, so Snapshot.Sub carries them through
+// from the newer snapshot unchanged.
+type Gauges struct {
+	CacheBytes   int64
+	CacheEntries int64
+}
+
+// Snapshot is an immutable copy of all counters. The embedded sections keep
+// field access flat (s.TxnsCommitted, s.CacheBytes) while making the
+// monotonic-vs-gauge split explicit for interval arithmetic.
+type Snapshot struct {
+	Monotonic
+	Gauges
+}
+
+// Sub returns the interval s - o: monotonic counters are differenced, gauges
+// are taken from s (the newer snapshot) as-is.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
-		TxnsCommitted:      s.TxnsCommitted - o.TxnsCommitted,
-		TxnsAborted:        s.TxnsAborted - o.TxnsAborted,
-		Epochs:             s.Epochs - o.Epochs,
-		TransientVersions:  s.TransientVersions - o.TransientVersions,
-		PersistentVersions: s.PersistentVersions - o.PersistentVersions,
-		RowReads:           s.RowReads - o.RowReads,
-		CacheHits:          s.CacheHits - o.CacheHits,
-		CacheMisses:        s.CacheMisses - o.CacheMisses,
-		CacheBytes:         s.CacheBytes, // gauges are not differenced
-		CacheEntries:       s.CacheEntries,
-		MinorGCs:           s.MinorGCs - o.MinorGCs,
-		MajorGCs:           s.MajorGCs - o.MajorGCs,
+		Monotonic: s.Monotonic.Sub(o.Monotonic),
+		Gauges:    s.Gauges,
 	}
 }
 
@@ -133,45 +165,46 @@ func (c *Cell) AddMinorGC() { c.minorGCs.Add(1) }
 // AddMajorGC counts a major-collector cleanup.
 func (c *Cell) AddMajorGC() { c.majorGCs.Add(1) }
 
-// Cold-path convenience forwarders on Counters (cell 0).
+// Cold-path convenience forwarders on Counters (coordinator cell).
 
 // AddCommitted adds n committed transactions.
-func (c *Counters) AddCommitted(n int64) { c.cells[0].AddCommitted(n) }
+func (c *Counters) AddCommitted(n int64) { c.Coordinator().AddCommitted(n) }
 
 // AddAborted adds n aborted transactions.
-func (c *Counters) AddAborted(n int64) { c.cells[0].AddAborted(n) }
+func (c *Counters) AddAborted(n int64) { c.Coordinator().AddAborted(n) }
 
 // AddEpoch counts one completed epoch.
-func (c *Counters) AddEpoch() { c.cells[0].AddEpoch() }
+func (c *Counters) AddEpoch() { c.Coordinator().AddEpoch() }
 
 // AddTransient counts a version written only to DRAM.
-func (c *Counters) AddTransient() { c.cells[0].AddTransient() }
+func (c *Counters) AddTransient() { c.Coordinator().AddTransient() }
 
 // AddPersistent counts a final version written to NVMM.
-func (c *Counters) AddPersistent() { c.cells[0].AddPersistent() }
+func (c *Counters) AddPersistent() { c.Coordinator().AddPersistent() }
 
 // AddRowRead counts a persistent-row read from NVMM.
-func (c *Counters) AddRowRead() { c.cells[0].AddRowRead() }
+func (c *Counters) AddRowRead() { c.Coordinator().AddRowRead() }
 
 // AddCacheHit counts a read served by a cached version.
-func (c *Counters) AddCacheHit() { c.cells[0].AddCacheHit() }
+func (c *Counters) AddCacheHit() { c.Coordinator().AddCacheHit() }
 
 // AddCacheMiss counts a read that fell through to NVMM.
-func (c *Counters) AddCacheMiss() { c.cells[0].AddCacheMiss() }
+func (c *Counters) AddCacheMiss() { c.Coordinator().AddCacheMiss() }
 
 // CacheAdd accounts a cached-version creation of n payload bytes.
-func (c *Counters) CacheAdd(n int64) { c.cells[0].CacheAdd(n) }
+func (c *Counters) CacheAdd(n int64) { c.Coordinator().CacheAdd(n) }
 
 // CacheDrop accounts a cached-version eviction of n payload bytes.
-func (c *Counters) CacheDrop(n int64) { c.cells[0].CacheDrop(n) }
+func (c *Counters) CacheDrop(n int64) { c.Coordinator().CacheDrop(n) }
 
 // AddMinorGC counts a minor-collector cleanup.
-func (c *Counters) AddMinorGC() { c.cells[0].AddMinorGC() }
+func (c *Counters) AddMinorGC() { c.Coordinator().AddMinorGC() }
 
 // AddMajorGC counts a major-collector cleanup.
-func (c *Counters) AddMajorGC() { c.cells[0].AddMajorGC() }
+func (c *Counters) AddMajorGC() { c.Coordinator().AddMajorGC() }
 
-// Snapshot returns a copy of all counters, folding the striped cells.
+// Snapshot returns a copy of all counters, folding the striped cells and
+// the coordinator cell.
 func (c *Counters) Snapshot() Snapshot {
 	var s Snapshot
 	for i := range c.cells {

@@ -71,6 +71,86 @@ func TestTransientShare(t *testing.T) {
 	}
 }
 
+// TestCoordinatorCellIsolated pins the fix for cold-path forwarders landing
+// in worker cell 0: Counters-level updates must go to the dedicated
+// coordinator cell, leaving every worker cell untouched.
+func TestCoordinatorCellIsolated(t *testing.T) {
+	var c Counters
+	c.AddEpoch()
+	c.CacheDrop(10)
+	c.AddMajorGC()
+	if got := c.At(0).epochs.Load(); got != 0 {
+		t.Fatalf("forwarder wrote worker cell 0: epochs = %d", got)
+	}
+	if got := c.At(0).cacheBytes.Load(); got != 0 {
+		t.Fatalf("forwarder wrote worker cell 0: cacheBytes = %d", got)
+	}
+	co := c.Coordinator()
+	if co == c.At(0) || co == c.At(stripes) {
+		t.Fatal("coordinator cell aliases a worker cell")
+	}
+	if co.epochs.Load() != 1 || co.cacheBytes.Load() != -10 || co.majorGCs.Load() != 1 {
+		t.Fatal("coordinator cell missed forwarder updates")
+	}
+	s := c.Snapshot()
+	if s.Epochs != 1 || s.CacheBytes != -10 || s.MajorGCs != 1 {
+		t.Fatalf("snapshot must fold the coordinator cell: %+v", s)
+	}
+}
+
+// TestSubGaugeSemantics pins interval arithmetic: monotonic counters are
+// differenced, gauges report the newer snapshot's level.
+func TestSubGaugeSemantics(t *testing.T) {
+	var c Counters
+	c.AddCommitted(3)
+	c.CacheAdd(500)
+	before := c.Snapshot()
+	c.AddCommitted(4)
+	c.CacheAdd(200)
+	after := c.Snapshot()
+	d := after.Sub(before)
+	if d.TxnsCommitted != 4 {
+		t.Fatalf("monotonic delta: %+v", d)
+	}
+	if d.CacheBytes != 700 || d.CacheEntries != 2 {
+		t.Fatalf("gauges must carry the newer level, not a delta: %+v", d)
+	}
+}
+
+// TestCoordinatorWorkerConcurrent drives Counters-level forwarders from a
+// coordinator goroutine while workers hammer their cells — the pattern the
+// engine uses at epoch boundaries. Run under -race in CI.
+func TestCoordinatorWorkerConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cell := c.At(w)
+			for i := 0; i < per; i++ {
+				cell.AddCommitted(1)
+				cell.AddTransient()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < per; i++ {
+			c.AddEpoch()
+			c.CacheDrop(1)
+			c.Snapshot()
+		}
+	}()
+	wg.Wait()
+	s := c.Snapshot()
+	if s.TxnsCommitted != workers*per || s.Epochs != per || s.CacheBytes != -per {
+		t.Fatalf("totals: %+v", s)
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	var c Counters
 	var wg sync.WaitGroup

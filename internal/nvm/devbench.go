@@ -24,9 +24,9 @@ type DeviceBenchResult struct {
 // per-row persist pattern: three small stores and a value store into one
 // row-sized block, a flush of the touched lines, and a periodic fence —
 // the same shape persistFinal issues per final write.
-func RunDeviceBench(cores int, opsPerCore int) DeviceBenchResult {
+func RunDeviceBench(cores int, opsPerCore int, opts ...Option) DeviceBenchResult {
 	const regionPerCore = 1 << 20
-	d := New(int64(cores) * regionPerCore)
+	d := New(int64(cores)*regionPerCore, opts...)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < cores; c++ {

@@ -48,6 +48,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nvcaracal/internal/obs"
 )
 
 // LineSize is the simulated cache line size in bytes, the granularity of
@@ -168,6 +170,16 @@ func WithChaosEviction(denom int, seed int64) Option {
 	}
 }
 
+// WithObserver attaches a device observer recording per-call latency
+// histograms for the read/write/flush/fence paths plus a fence-stall
+// counter. A nil or disabled observer leaves only a single predicate check
+// on each path; see obs.DeviceObs.
+func WithObserver(o *obs.DeviceObs) Option {
+	return func(d *Device) {
+		d.obs = o
+	}
+}
+
 // journalStripe holds one shard of the flushed-line journal: the lines
 // staged since the last fence whose line number maps to this stripe. The
 // two buffers alternate so Fence can drain one while flushes append to the
@@ -239,6 +251,10 @@ type Device struct {
 	// Fence-mark tracing (see TraceFences). Guarded by fenceMu.
 	traceFences bool
 	fenceMarks  []int64
+
+	// obs, when attached and enabled, records per-call latency histograms
+	// and the fence-stall counter. Nil-safe: every path asks obs.On() once.
+	obs *obs.DeviceObs
 }
 
 // New creates a device of the given size in bytes, rounded up to a whole
@@ -315,6 +331,11 @@ func linesSpanned(off, n int64) int64 {
 
 // ReadAt copies len(p) bytes starting at off from the live image into p.
 func (d *Device) ReadAt(p []byte, off int64) {
+	on := d.obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	n := int64(len(p))
 	d.check(off, n)
 	copy(p, d.live[off:off+n])
@@ -323,18 +344,29 @@ func (d *Device) ReadAt(p []byte, off int64) {
 	cell.lineReads.Add(lines)
 	cell.bytesRead.Add(n)
 	d.chargeRead(lines)
+	if on {
+		d.obs.Read.Observe(time.Since(t0))
+	}
 }
 
 // Slice returns a read-only view of the live image. The caller must not
 // mutate it and must not hold it across a Crash. It charges a read for the
 // spanned lines, making it equivalent to ReadAt without the copy.
 func (d *Device) Slice(off, n int64) []byte {
+	on := d.obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	d.check(off, n)
 	lines := linesSpanned(off, n)
 	cell := d.cellFor(lineOf(off))
 	cell.lineReads.Add(lines)
 	cell.bytesRead.Add(n)
 	d.chargeRead(lines)
+	if on {
+		d.obs.Read.Observe(time.Since(t0))
+	}
 	return d.live[off : off+n : off+n]
 }
 
@@ -357,6 +389,11 @@ func chargedWriteLines(lines int64) int64 {
 // WriteAt stores p at off in the live image and marks the spanned lines
 // dirty. The data is not durable until it is flushed and fenced.
 func (d *Device) WriteAt(p []byte, off int64) {
+	on := d.obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	n := int64(len(p))
 	d.check(off, n)
 	copy(d.live[off:off+n], p)
@@ -366,12 +403,20 @@ func (d *Device) WriteAt(p []byte, off int64) {
 	cell.lineWrites.Add(lines)
 	cell.bytesWritten.Add(n)
 	d.chargeWrite(chargedWriteLines(lines))
+	if on {
+		d.obs.Write.Observe(time.Since(t0))
+	}
 }
 
 // Zero clears n bytes at off, with store semantics. Like WriteAt it models
 // a streaming store sequence, so large contiguous zeroing (e.g. pool
 // initialization) gets the same sequential-write latency discount.
 func (d *Device) Zero(off, n int64) {
+	on := d.obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	d.check(off, n)
 	clear(d.live[off : off+n])
 	d.markDirty(off, n)
@@ -380,6 +425,9 @@ func (d *Device) Zero(off, n int64) {
 	cell.lineWrites.Add(lines)
 	cell.bytesWritten.Add(n)
 	d.chargeWrite(chargedWriteLines(lines))
+	if on {
+		d.obs.Write.Observe(time.Since(t0))
+	}
 }
 
 // markDirty transitions the spanned lines to dirty with a lock-free CAS per
@@ -434,6 +482,11 @@ func (d *Device) chaosRoll() bool {
 
 // Load64 reads a little-endian uint64 at off.
 func (d *Device) Load64(off int64) uint64 {
+	on := d.obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	d.check(off, 8)
 	b := d.live[off : off+8]
 	v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
@@ -443,11 +496,19 @@ func (d *Device) Load64(off int64) uint64 {
 	cell.lineReads.Add(lines)
 	cell.bytesRead.Add(8)
 	d.chargeRead(lines)
+	if on {
+		d.obs.Read.Observe(time.Since(t0))
+	}
 	return v
 }
 
 // Store64 writes a little-endian uint64 at off with store semantics.
 func (d *Device) Store64(off int64, v uint64) {
+	on := d.obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	d.check(off, 8)
 	b := d.live[off : off+8]
 	b[0] = byte(v)
@@ -464,10 +525,18 @@ func (d *Device) Store64(off int64, v uint64) {
 	cell.lineWrites.Add(lines)
 	cell.bytesWritten.Add(8)
 	d.chargeWrite(lines)
+	if on {
+		d.obs.Write.Observe(time.Since(t0))
+	}
 }
 
 // Load32 reads a little-endian uint32 at off.
 func (d *Device) Load32(off int64) uint32 {
+	on := d.obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	d.check(off, 4)
 	b := d.live[off : off+4]
 	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
@@ -475,11 +544,19 @@ func (d *Device) Load32(off int64) uint32 {
 	cell.lineReads.Add(1)
 	cell.bytesRead.Add(4)
 	d.chargeRead(1)
+	if on {
+		d.obs.Read.Observe(time.Since(t0))
+	}
 	return v
 }
 
 // Store32 writes a little-endian uint32 at off with store semantics.
 func (d *Device) Store32(off int64, v uint32) {
+	on := d.obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	d.check(off, 4)
 	b := d.live[off : off+4]
 	b[0] = byte(v)
@@ -491,6 +568,9 @@ func (d *Device) Store32(off int64, v uint32) {
 	cell.lineWrites.Add(1)
 	cell.bytesWritten.Add(4)
 	d.chargeWrite(1)
+	if on {
+		d.obs.Write.Observe(time.Since(t0))
+	}
 }
 
 // WriteFields applies a vector of stores, then flushes the given ranges,
@@ -508,6 +588,11 @@ func (d *Device) Store32(off int64, v uint32) {
 // long as the flush ranges do not overlap lines stored by later fields at
 // the original call site (the engine's call sites flush disjoint ranges).
 func (d *Device) WriteFields(fields []FieldWrite, flushes []Range) {
+	on := d.obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	var lines, chargedLines, bytes int64
 	var cell *statCell
 	for _, f := range fields {
@@ -531,6 +616,11 @@ func (d *Device) WriteFields(fields []FieldWrite, flushes []Range) {
 		cell.bytesWritten.Add(bytes)
 		d.chargeWrite(chargedLines)
 	}
+	if on {
+		// Store portion only; the flushes below record into the Flush
+		// histogram themselves.
+		d.obs.Write.Observe(time.Since(t0))
+	}
 	for _, r := range flushes {
 		d.Flush(r.Off, r.N)
 	}
@@ -544,13 +634,25 @@ func (d *Device) Flush(off, n int64) {
 	if n == 0 {
 		return
 	}
+	on := d.obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	d.check(off, n)
+	touched := false
 	first, last := lineOf(off), lineOf(off+n-1)
 	for l := first; l <= last; l++ {
 		if d.state[l].Load()&stDirty == 0 {
 			continue
 		}
 		d.flushLine(l)
+		touched = true
+	}
+	// Clean-range flushes are hardware no-ops; recording them would drown
+	// the histogram in zeros.
+	if on && touched {
+		d.obs.Flush.Observe(time.Since(t0))
 	}
 }
 
@@ -609,6 +711,11 @@ func (d *Device) PersistRange(ranges ...Range) {
 // proportional to the lines flushed since the last fence, not to the
 // device size or a fixed shard count.
 func (d *Device) Fence() {
+	on := d.obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	d.fenceMu.Lock()
 	defer d.fenceMu.Unlock()
 	d.cells[0].fences.Add(1)
@@ -638,6 +745,13 @@ func (d *Device) Fence() {
 		sp.mu.Unlock()
 	}
 	d.cells[0].linesFenced.Add(committed)
+	if on {
+		// Includes the wait for fenceMu: contending fences stall each other,
+		// and that serialization is exactly what the stall counter surfaces.
+		dur := time.Since(t0)
+		d.obs.Fence.Observe(dur)
+		d.obs.AddFenceStall(dur)
+	}
 }
 
 // Crash simulates a power failure: the live image is rebuilt from the

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func testObs() *Obs {
+	o := New(Config{Hists: true, Trace: true, Device: true, Cores: 2})
+	start := time.Now().Add(-10 * time.Millisecond)
+	o.RecordEpoch(3, start, time.Millisecond, 2*time.Millisecond, 5*time.Millisecond, 2*time.Millisecond)
+	o.ObserveTxn(0, 40*time.Microsecond)
+	o.ObserveTxn(1, 60*time.Microsecond)
+	o.Span(0, 3, PhaseMinorGC, time.Now().Add(-time.Microsecond))
+	o.Device().Fence.Observe(time.Microsecond)
+	o.Device().AddFenceStall(time.Microsecond)
+	return o
+}
+
+func TestStatsPayload(t *testing.T) {
+	o := testObs()
+	p := o.Stats()
+	if p.UptimeSeconds <= 0 {
+		t.Fatalf("uptime = %v", p.UptimeSeconds)
+	}
+	if p.Epoch.Count != 1 || p.TxnExec.Count != 2 {
+		t.Fatalf("epoch/txn counts: %+v %+v", p.Epoch, p.TxnExec)
+	}
+	for _, name := range []string{"log", "init", "execute", "persist"} {
+		if p.Phases[name].Count != 1 {
+			t.Fatalf("phase %s count = %d, want 1", name, p.Phases[name].Count)
+		}
+	}
+	if p.Phases["minor-gc"].Count != 1 {
+		t.Fatalf("minor-gc count = %d", p.Phases["minor-gc"].Count)
+	}
+	if p.Device == nil || p.Device.Fence.Count != 1 || p.Device.FenceStallNanos != 1000 {
+		t.Fatalf("device: %+v", p.Device)
+	}
+	// Epoch total must equal the sum of the four epoch phases.
+	if p.Epoch.SumNS != 10_000_000 {
+		t.Fatalf("epoch sum = %d, want 10ms", p.Epoch.SumNS)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	h := NewHandler(testObs())
+	h.AddSource("engine", func() any { return map[string]int{"rows": 42} })
+
+	// Stats endpoint round-trips through the published schema.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", StatsPath, nil))
+	if rec.Code != 200 {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var p StatsPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("stats not schema-valid: %v", err)
+	}
+	if p.Epoch.Count != 1 || len(p.Phases) == 0 {
+		t.Fatalf("payload: %+v", p)
+	}
+	var engine map[string]int
+	if err := json.Unmarshal(p.Extra["engine"], &engine); err != nil || engine["rows"] != 42 {
+		t.Fatalf("extra source: %v %v", engine, err)
+	}
+
+	// Trace endpoint serves a valid trace_event document, filtered.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", TracePath+"?epochs=5", nil))
+	if rec.Code != 200 {
+		t.Fatalf("trace status %d", rec.Code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	// Bad query and unknown path.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", TracePath+"?epochs=x", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad epochs: status %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/nvcaracal/nope", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown path: status %d, want 404", rec.Code)
+	}
+}
+
+func TestHandlerNilObs(t *testing.T) {
+	h := NewHandler(nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", StatsPath, nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil-obs stats status %d", rec.Code)
+	}
+	var p StatsPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", TracePath, nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil-obs trace status %d", rec.Code)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	h := NewHandler(testObs())
+	h.PublishExpvar("nvcaracal-test")
+	h.PublishExpvar("nvcaracal-test") // second publish must not panic
+}
+
+func TestNilObsAccessors(t *testing.T) {
+	var o *Obs
+	if o.On() || o.TxnTimed() {
+		t.Fatal("nil obs reports enabled")
+	}
+	o.ObserveTxn(0, time.Second)
+	o.Span(0, 1, PhaseExec, time.Now())
+	o.RecordEpoch(1, time.Now(), 1, 1, 1, 1)
+	if o.Device() != nil || o.Tracer() != nil {
+		t.Fatal("nil obs returned instruments")
+	}
+	if s := o.Stats(); s.Epoch.Count != 0 {
+		t.Fatalf("nil stats: %+v", s)
+	}
+	if s := o.TxnSnapshot(); s.Count != 0 {
+		t.Fatalf("nil txn snapshot: %+v", s)
+	}
+}

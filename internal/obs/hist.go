@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// nBuckets is the number of power-of-two latency buckets. Bucket 0 holds
+// zero-duration observations; bucket i (i >= 1) holds durations in
+// [2^(i-1), 2^i) nanoseconds. 48 buckets cover up to ~3.9 days, far beyond
+// any latency this engine produces.
+const nBuckets = 48
+
+// histStripes is the number of per-core histogram cells. Like
+// metrics.Counters, observations from a known worker core go to that core's
+// cell (modulo stripes); observations without a core hint pick a cell with a
+// cheap per-thread random so concurrent recorders do not share a cache line.
+const histStripes = 64
+
+// bucketOf maps a duration to its bucket index. The mapping is monotonic
+// non-decreasing, so order statistics of bucketed values equal the buckets
+// of the raw order statistics — the property the percentile tests pin.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= nBuckets {
+		return nBuckets - 1
+	}
+	return b
+}
+
+// BucketLower returns the inclusive lower bound of bucket i in nanoseconds.
+func BucketLower(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i in nanoseconds.
+func BucketUpper(i int) int64 { return 1 << i }
+
+// histCell is one stripe of a histogram.
+type histCell struct {
+	counts [nBuckets]atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+func (c *histCell) observe(ns int64, bucket int) {
+	c.counts[bucket].Add(1)
+	c.sum.Add(ns)
+	for {
+		m := c.max.Load()
+		if ns <= m || c.max.CompareAndSwap(m, ns) {
+			break
+		}
+	}
+}
+
+// Hist is a striped, lock-free latency histogram with power-of-two buckets.
+// All methods are safe for concurrent use and nil-safe: recording into a
+// nil *Hist is a no-op costing a couple of nanoseconds, so instrumentation
+// can stay compiled in and wired while disabled.
+type Hist struct {
+	cells [histStripes]histCell
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{} }
+
+// Observe records one duration, picking a stripe with a cheap per-thread
+// random source. Use ObserveCore when the caller knows its worker core.
+func (h *Hist) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.cells[rand.Uint64N(histStripes)].observe(int64(d), bucketOf(d))
+}
+
+// ObserveCore records one duration into the given core's stripe.
+func (h *Hist) ObserveCore(core int, d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.cells[uint(core)%histStripes].observe(int64(d), bucketOf(d))
+}
+
+// Reset clears every stripe. Not atomic with respect to concurrent
+// Observe calls — observations racing a reset may land on either side —
+// which is fine for its use (discarding a load phase before measuring).
+func (h *Hist) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.cells {
+		c := &h.cells[i]
+		for b := range c.counts {
+			c.counts[b].Store(0)
+		}
+		c.sum.Store(0)
+		c.max.Store(0)
+	}
+}
+
+// Snapshot folds the stripes into an immutable snapshot.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.cells {
+		c := &h.cells[i]
+		for b := 0; b < nBuckets; b++ {
+			n := c.counts[b].Load()
+			s.Buckets[b] += n
+			s.Count += n
+		}
+		s.Sum += c.sum.Load()
+		if m := c.max.Load(); m > s.Max {
+			s.Max = m
+		}
+	}
+	return s
+}
+
+// HistSnapshot is a folded, mergeable copy of a histogram.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64 // nanoseconds
+	Max     int64 // nanoseconds
+	Buckets [nBuckets]int64
+}
+
+// Merge returns the element-wise sum of two snapshots.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	return s
+}
+
+// Sub returns s - o for interval measurement of the monotonic fields. Max
+// is not differentiable; the minuend's value is kept.
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	s.Count -= o.Count
+	s.Sum -= o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] -= o.Buckets[i]
+	}
+	return s
+}
+
+// Percentile returns an upper bound (in nanoseconds) for the p-th
+// percentile (0 < p <= 100): the exclusive upper edge of the bucket holding
+// the rank-ceil(p/100*Count) smallest observation. The true value lies in
+// [BucketLower(b), returned). Returns 0 for an empty snapshot.
+func (s HistSnapshot) Percentile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(float64(s.Count) * p / 100)
+	if float64(rank) < float64(s.Count)*p/100 {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for b := 0; b < nBuckets; b++ {
+		cum += s.Buckets[b]
+		if cum >= rank {
+			return BucketUpper(b)
+		}
+	}
+	return BucketUpper(nBuckets - 1)
+}
+
+// PercentileBucket returns the bucket index holding the p-th percentile,
+// mirroring Percentile's rank convention. Returns -1 for an empty snapshot.
+func (s HistSnapshot) PercentileBucket(p float64) int {
+	if s.Count == 0 {
+		return -1
+	}
+	rank := int64(float64(s.Count) * p / 100)
+	if float64(rank) < float64(s.Count)*p/100 {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for b := 0; b < nBuckets; b++ {
+		cum += s.Buckets[b]
+		if cum >= rank {
+			return b
+		}
+	}
+	return nBuckets - 1
+}
+
+// Mean returns the mean observation in nanoseconds, or 0 when empty.
+func (s HistSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// HistBucket is one non-empty bucket in the JSON form.
+type HistBucket struct {
+	GeNanos int64 `json:"ge_ns"` // inclusive lower bound
+	LtNanos int64 `json:"lt_ns"` // exclusive upper bound
+	N       int64 `json:"n"`
+}
+
+// HistJSON is the serving-surface form of a histogram snapshot. Buckets
+// carry only the non-empty cells so interval reporters (cmd/nvtop) can
+// rebuild and difference full snapshots.
+type HistJSON struct {
+	Count   int64        `json:"count"`
+	SumNS   int64        `json:"sum_ns"`
+	MaxNS   int64        `json:"max_ns"`
+	P50NS   int64        `json:"p50_ns"`
+	P95NS   int64        `json:"p95_ns"`
+	P99NS   int64        `json:"p99_ns"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// JSON converts a snapshot to its serving form.
+func (s HistSnapshot) JSON() HistJSON {
+	j := HistJSON{
+		Count: s.Count,
+		SumNS: s.Sum,
+		MaxNS: s.Max,
+		P50NS: s.Percentile(50),
+		P95NS: s.Percentile(95),
+		P99NS: s.Percentile(99),
+	}
+	for b, n := range s.Buckets {
+		if n != 0 {
+			j.Buckets = append(j.Buckets, HistBucket{GeNanos: BucketLower(b), LtNanos: BucketUpper(b), N: n})
+		}
+	}
+	return j
+}
+
+// Snapshot rebuilds a HistSnapshot from the JSON form (percentile fields
+// are recomputed from the buckets on demand).
+func (j HistJSON) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: j.Count, Sum: j.SumNS, Max: j.MaxNS}
+	for _, b := range j.Buckets {
+		i := bucketOf(time.Duration(b.GeNanos))
+		s.Buckets[i] += b.N
+	}
+	return s
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exactPercentileRank mirrors HistSnapshot.Percentile's rank convention:
+// rank = ceil(p/100 * n), 1-based.
+func exactPercentileRank(n int, p float64) int {
+	rank := int(float64(n) * p / 100)
+	if float64(rank) < float64(n)*p/100 {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank
+}
+
+// TestPercentileMatchesExact cross-checks the bucketed percentiles against
+// exact sorted-slice percentiles on random workloads. Bucketing is a
+// monotonic map, so the bucket of the exact k-th order statistic must equal
+// the bucket the histogram reports for the same rank.
+func TestPercentileMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5000)
+		h := NewHist()
+		vals := make([]time.Duration, n)
+		for i := range vals {
+			// Mix of scales: ns noise, µs txns, ms epochs.
+			switch rng.Intn(3) {
+			case 0:
+				vals[i] = time.Duration(rng.Intn(1000))
+			case 1:
+				vals[i] = time.Duration(rng.Intn(1_000_000))
+			default:
+				vals[i] = time.Duration(rng.Intn(100_000_000))
+			}
+			h.Observe(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		if s.Count != int64(n) {
+			t.Fatalf("count = %d, want %d", s.Count, n)
+		}
+		for _, p := range []float64{50, 95, 99, 100} {
+			exact := vals[exactPercentileRank(n, p)-1]
+			wantBucket := bucketOf(exact)
+			gotBucket := s.PercentileBucket(p)
+			if gotBucket != wantBucket {
+				t.Fatalf("trial %d p%v: bucket %d, want %d (exact %v)", trial, p, gotBucket, wantBucket, exact)
+			}
+			// The reported upper bound must bracket the exact value.
+			upper := s.Percentile(p)
+			if int64(exact) >= upper || int64(exact) < BucketLower(gotBucket) {
+				t.Fatalf("trial %d p%v: exact %d outside [%d, %d)", trial, p, exact, BucketLower(gotBucket), upper)
+			}
+		}
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if got := empty.Percentile(50); got != 0 {
+		t.Fatalf("empty p50 = %d, want 0", got)
+	}
+	if got := empty.PercentileBucket(99); got != -1 {
+		t.Fatalf("empty bucket = %d, want -1", got)
+	}
+	if got := empty.Mean(); got != 0 {
+		t.Fatalf("empty mean = %d, want 0", got)
+	}
+
+	// Single bucket: every observation identical.
+	h := NewHist()
+	for i := 0; i < 100; i++ {
+		h.Observe(700 * time.Nanosecond) // bucket [512, 1024)
+	}
+	s := h.Snapshot()
+	for _, p := range []float64{50, 95, 99, 100} {
+		if got := s.Percentile(p); got != 1024 {
+			t.Fatalf("p%v = %d, want 1024", p, got)
+		}
+	}
+	if s.Max != 700 || s.Sum != 70000 {
+		t.Fatalf("sum/max: %+v", s)
+	}
+
+	// Zero and negative durations land in bucket 0 with upper bound 1.
+	h2 := NewHist()
+	h2.Observe(0)
+	h2.Observe(-5 * time.Nanosecond)
+	s2 := h2.Snapshot()
+	if s2.Buckets[0] != 2 || s2.Percentile(50) != 1 {
+		t.Fatalf("zero bucket: %+v p50=%d", s2.Buckets[:2], s2.Percentile(50))
+	}
+}
+
+func TestMergeAndSub(t *testing.T) {
+	a, b := NewHist(), NewHist()
+	for i := 0; i < 300; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+		b.Observe(time.Duration(i) * time.Millisecond)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	m := sa.Merge(sb)
+	if m.Count != 600 || m.Sum != sa.Sum+sb.Sum || m.Max != sb.Max {
+		t.Fatalf("merge: %+v", m)
+	}
+	// Merge must equal observing everything into one histogram.
+	both := NewHist()
+	for i := 0; i < 300; i++ {
+		both.Observe(time.Duration(i) * time.Microsecond)
+		both.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := both.Snapshot(); got.Buckets != m.Buckets {
+		t.Fatalf("merged buckets diverge:\n got %v\nwant %v", got.Buckets, m.Buckets)
+	}
+	// Sub recovers the other operand's monotonic fields.
+	d := m.Sub(sa)
+	if d.Count != sb.Count || d.Sum != sb.Sum || d.Buckets != sb.Buckets {
+		t.Fatalf("sub: %+v vs %+v", d, sb)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	h := NewHist()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(rng.Intn(10_000_000)))
+	}
+	s := h.Snapshot()
+	back := s.JSON().Snapshot()
+	if back.Count != s.Count || back.Sum != s.Sum || back.Max != s.Max || back.Buckets != s.Buckets {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+func TestNilHistSafe(t *testing.T) {
+	var h *Hist
+	h.Observe(time.Second)
+	h.ObserveCore(3, time.Second)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot: %+v", s)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	h := NewHist()
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveCore(w, time.Duration(i)*time.Nanosecond)
+				h.Observe(time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per*2 {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per*2)
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The disabled-instrumentation budget: a nil Obs / disabled DeviceObs must
+// cost a few ns per call site at most, since the engine and device keep
+// their instrumentation wired unconditionally.
+
+func BenchmarkNilObsObserveTxn(b *testing.B) {
+	var o *Obs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.ObserveTxn(i&63, time.Microsecond)
+	}
+}
+
+func BenchmarkNilObsSpan(b *testing.B) {
+	var o *Obs
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Span(i&63, uint64(i), PhaseExec, now)
+	}
+}
+
+func BenchmarkDeviceObsOffCheck(b *testing.B) {
+	off := NewDeviceObs(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if off.On() {
+			b.Fatal("disabled observer reported on")
+		}
+	}
+}
+
+func BenchmarkNilDeviceObsCheck(b *testing.B) {
+	var o *DeviceObs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if o.On() {
+			b.Fatal("nil observer reported on")
+		}
+	}
+}
+
+// Enabled-path costs, for the docs: striped Observe and a traced span.
+
+func BenchmarkHistObserveCore(b *testing.B) {
+	h := NewHist()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.ObserveCore(i&63, time.Microsecond)
+			i++
+		}
+	})
+}
+
+func BenchmarkHistObserveStriped(b *testing.B) {
+	h := NewHist()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(time.Microsecond)
+		}
+	})
+}
+
+func BenchmarkTracerRecord(b *testing.B) {
+	tr := NewTracer(8, 4096)
+	now := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tr.Record(i&7, uint64(i), PhaseExec, now, time.Microsecond)
+			i++
+		}
+	})
+}
+
+func BenchmarkEnabledObsSpan(b *testing.B) {
+	o := New(Config{Hists: true, Trace: true, Cores: 8})
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Span(i&7, uint64(i), PhaseExec, now)
+	}
+}

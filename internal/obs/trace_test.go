@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordAndFilter(t *testing.T) {
+	tr := NewTracer(2, 16)
+	base := time.Now()
+	for e := uint64(1); e <= 5; e++ {
+		tr.Record(CoordinatorCore, e, PhaseInit, base, time.Millisecond)
+		tr.Record(0, e, PhaseExec, base.Add(time.Millisecond), 2*time.Millisecond)
+		tr.Record(1, e, PhaseExec, base.Add(time.Millisecond), 2*time.Millisecond)
+		base = base.Add(10 * time.Millisecond)
+	}
+	all := tr.Spans(0)
+	if len(all) != 15 {
+		t.Fatalf("spans = %d, want 15", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Start < all[i-1].Start {
+			t.Fatalf("spans not sorted at %d", i)
+		}
+	}
+	last2 := tr.Spans(2)
+	if len(last2) != 6 {
+		t.Fatalf("last-2-epochs spans = %d, want 6", len(last2))
+	}
+	for _, s := range last2 {
+		if s.Epoch < 4 {
+			t.Fatalf("epoch %d leaked into last-2 filter", s.Epoch)
+		}
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(1, 8)
+	for e := uint64(1); e <= 100; e++ {
+		tr.Record(0, e, PhaseExec, time.Now(), time.Microsecond)
+	}
+	spans := tr.Spans(0)
+	if len(spans) != 8 {
+		t.Fatalf("retained %d spans, want ring size 8", len(spans))
+	}
+	for _, s := range spans {
+		if s.Epoch <= 92 {
+			t.Fatalf("ring retained stale epoch %d", s.Epoch)
+		}
+	}
+}
+
+func TestTracerOutOfRangeCoreAndNil(t *testing.T) {
+	tr := NewTracer(2, 8)
+	tr.Record(99, 1, PhaseExec, time.Now(), time.Microsecond) // clamps to coordinator ring
+	tr.Record(CoordinatorCore, 1, PhaseInit, time.Now(), time.Microsecond)
+	if got := len(tr.Spans(0)); got != 2 {
+		t.Fatalf("spans = %d, want 2", got)
+	}
+	var nilTr *Tracer
+	nilTr.Record(0, 1, PhaseExec, time.Now(), time.Microsecond)
+	if s := nilTr.Spans(0); s != nil {
+		t.Fatalf("nil tracer returned spans: %v", s)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(4, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(w, uint64(i), PhaseExec, time.Now(), time.Microsecond)
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Spans(4) // concurrent readers must be safe
+	}
+	wg.Wait()
+	if got := len(tr.Spans(0)); got != 4*64 {
+		t.Fatalf("retained %d spans, want %d", got, 4*64)
+	}
+}
+
+// TestChromeTraceShape validates the exported JSON is a loadable
+// trace_event document: a traceEvents array whose "X" events carry
+// name/ts/dur/pid/tid and whose threads are named via "M" metadata.
+func TestChromeTraceShape(t *testing.T) {
+	tr := NewTracer(2, 16)
+	now := time.Now()
+	tr.Record(CoordinatorCore, 7, PhaseInit, now, time.Millisecond)
+	tr.Record(0, 7, PhaseExec, now.Add(time.Millisecond), 2*time.Millisecond)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans(0)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var xEvents, mEvents int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+			if ev["name"] == "" || ev["ts"] == nil || ev["pid"] == nil || ev["tid"] == nil {
+				t.Fatalf("malformed X event: %v", ev)
+			}
+			args, ok := ev["args"].(map[string]any)
+			if !ok || args["epoch"] != float64(7) {
+				t.Fatalf("X event missing epoch arg: %v", ev)
+			}
+		case "M":
+			mEvents++
+		default:
+			t.Fatalf("unexpected ph %v", ev["ph"])
+		}
+	}
+	if xEvents != 2 || mEvents != 2 {
+		t.Fatalf("events: %d X, %d M; want 2 and 2", xEvents, mEvents)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceEvents == nil || len(doc.TraceEvents) != 0 {
+		t.Fatalf("want empty (non-null) traceEvents, got %v", doc.TraceEvents)
+	}
+}

@@ -48,6 +48,7 @@ import (
 
 	"nvcaracal/internal/core"
 	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
 	"nvcaracal/internal/pmem"
 )
 
@@ -89,6 +90,15 @@ type (
 	AriaRegistry = core.AriaRegistry
 	// AriaResult summarizes an Aria epoch.
 	AriaResult = core.AriaResult
+
+	// Obs is the observability layer: latency histograms, an epoch-phase
+	// tracer, and device-level instruments. Build one with NewObs and pass
+	// it via Config.Obs; serve it with ObsHandler.
+	Obs = obs.Obs
+	// ObsConfig selects which instruments an Obs carries.
+	ObsConfig = obs.Config
+	// ObsHandler serves /debug/nvcaracal/stats and /debug/nvcaracal/trace.
+	ObsHandler = obs.Handler
 )
 
 // Write-set operation kinds.
@@ -199,6 +209,12 @@ type Config struct {
 	// per-transaction-commit engine pays per transaction and an epoch-based
 	// engine amortizes over the whole batch.
 	NVMMFenceLatency time.Duration
+
+	// Obs, when non-nil, attaches the observability layer: epoch/phase/txn
+	// latency histograms and trace spans from the engine, and (when the Obs
+	// was built with Device instrumentation) per-call device latency. Nil
+	// costs a nil check per instrumentation site.
+	Obs *Obs
 }
 
 func (c Config) layout(cores int) (pmem.Layout, error) {
@@ -261,6 +277,7 @@ func (c Config) coreOptions() (core.Options, error) {
 		PersistIndex:     c.PersistIndex,
 		Registry:         c.Registry,
 		AriaRegistry:     c.AriaRegistry,
+		Obs:              c.Obs,
 	}
 	if opts.Registry == nil && c.Mode == ModeNVCaracal {
 		// Logging mode needs a registry for replay; give callers that never
@@ -286,8 +303,20 @@ func (c Config) deviceOptions() []nvm.Option {
 	if c.NVMMFenceLatency > 0 {
 		opts = append(opts, nvm.WithFenceLatency(c.NVMMFenceLatency))
 	}
+	if d := c.Obs.Device(); d != nil {
+		opts = append(opts, nvm.WithObserver(d))
+	}
 	return opts
 }
+
+// NewObs builds an observability layer per the config. Pass the result via
+// Config.Obs (Open wires the device instruments too) and expose it with
+// NewObsHandler.
+func NewObs(cfg ObsConfig) *Obs { return obs.New(cfg) }
+
+// NewObsHandler returns an http.Handler serving o's introspection
+// endpoints: /debug/nvcaracal/stats and /debug/nvcaracal/trace?epochs=N.
+func NewObsHandler(o *Obs) *ObsHandler { return obs.NewHandler(o) }
 
 // Open creates a fresh database on a new simulated NVMM device sized for
 // the configuration.
