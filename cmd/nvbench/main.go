@@ -43,12 +43,21 @@ func main() {
 		devBench  = flag.String("device-bench", "", "run the raw device contention benchmark and write JSON to this file (skips experiments)")
 		devOps    = flag.Int("device-ops", 200000, "device-bench iterations per core")
 		obsBench  = flag.String("obs-bench", "", "run the observed phase-breakdown cells and write BENCH_obs.json-style output to this file (skips experiments)")
+		attrBench = flag.String("attrib-bench", "", "run the NVMM access-attribution cells (dual-version vs persist-every-write) and write BENCH_attrib.json-style output to this file (skips experiments)")
 	)
 	flag.Parse()
 
 	if *obsBench != "" {
 		if err := runObsBench(*obsBench, *scaleName, *seed, *cores); err != nil {
 			fmt.Fprintf(os.Stderr, "nvbench: obs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *attrBench != "" {
+		if err := runAttribBench(*attrBench, *scaleName, *seed, *cores); err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: attrib-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -191,6 +200,36 @@ func runObsBench(path, scaleName string, seed int64, cores int) error {
 		return err
 	}
 	fmt.Printf("wrote %d observed cells to %s\n", len(rep.Cells), path)
+	return nil
+}
+
+// runAttribBench runs the NVMM access-attribution cells and writes the
+// BENCH_attrib.json artifact: per-cause line write-back counters and
+// write-amplification windows for dual-version vs persist-every-write, per
+// workload and contention level.
+func runAttribBench(path, scaleName string, seed int64, cores int) error {
+	var scale bench.Scale
+	switch scaleName {
+	case "quick":
+		scale = bench.QuickScale()
+	case "paper":
+		scale = bench.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q (quick or paper)", scaleName)
+	}
+	scale.Cores = cores
+	rep, err := bench.RunAttribReport(bench.Options{Scale: scale, Out: os.Stdout, Seed: seed})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d attributed cells (%d comparisons) to %s\n", len(rep.Cells), len(rep.Comparisons), path)
 	return nil
 }
 

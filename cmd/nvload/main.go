@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -48,8 +49,9 @@ func main() {
 		submitLag  = flag.Duration("submit-max-delay", 2*time.Millisecond, "batch former max-latency deadline (with -submitters)")
 		readLat    = flag.Duration("nvmm-read-latency", 60*time.Nanosecond, "simulated NVMM read latency per line")
 		writeLat   = flag.Duration("nvmm-write-latency", 250*time.Nanosecond, "simulated NVMM write latency per line")
-		obsAddr    = flag.String("obs-addr", "", "serve /debug/nvcaracal/{stats,trace} on this address (e.g. :8077); also enables instrumentation")
+		obsAddr    = flag.String("obs-addr", "", "serve /debug/nvcaracal/{stats,trace,attrib} on this address (e.g. :8077); also enables instrumentation")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run's epoch phases to this file")
+		attribOut  = flag.String("attrib-out", "", "write the NVMM access-attribution JSON (per-cause counters, heatmap, write-amp) to this file at exit")
 		serveAfter = flag.Duration("serve-after", 0, "keep the -obs-addr server up this long after the run (for scraping)")
 	)
 	flag.Parse()
@@ -66,11 +68,12 @@ func main() {
 		NVMMWriteLatency: *writeLat,
 		Registry:         nvcaracal.NewRegistry(),
 	}
-	if *obsAddr != "" || *traceOut != "" {
+	if *obsAddr != "" || *traceOut != "" || *attribOut != "" {
 		cfg.Obs = nvcaracal.NewObs(nvcaracal.ObsConfig{
 			Hists:  true,
 			Trace:  true,
 			Device: true,
+			Attrib: *obsAddr != "" || *attribOut != "",
 			Cores:  *cores,
 		})
 	}
@@ -233,6 +236,18 @@ func main() {
 			}
 			fmt.Printf("obs: wrote trace to %s (load in https://ui.perfetto.dev)\n", *traceOut)
 		}
+		if a := o.Attrib(); a != nil {
+			j := a.JSON()
+			cum := j.WriteAmp.Cumulative
+			fmt.Printf("attrib: %d line write-backs (%d from row traffic), write-amp %.2fx, persist-all ratio %.2fx\n",
+				cum.TotalLines, cum.RowLines, cum.WriteAmp, cum.PersistAllRatio)
+			if *attribOut != "" {
+				if err := writeAttrib(j, *attribOut); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("attrib: wrote %s\n", *attribOut)
+			}
+		}
 	}
 	if *obsAddr != "" && *serveAfter > 0 {
 		fmt.Printf("obs: serving for another %v...\n", *serveAfter)
@@ -247,6 +262,21 @@ func writeTrace(o *nvcaracal.Obs, path string) error {
 		return err
 	}
 	if err := obs.WriteChromeTrace(f, o.Tracer().Spans(0)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeAttrib exports the attribution payload as indented JSON.
+func writeAttrib(j *obs.AttribJSON, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(j); err != nil {
 		f.Close()
 		return err
 	}

@@ -11,10 +11,18 @@
 //	nvtop -addr 127.0.0.1:8077
 //	nvtop -addr 127.0.0.1:8077 -interval 2s -count 10
 //
-// With -selfcheck it validates the endpoint instead: the stats payload must
-// parse against the schema and carry non-zero epoch counts, and the trace
-// endpoint must serve loadable Chrome trace JSON with at least one span.
-// The CI observability smoke runs exactly this.
+// When the engine serves the attribution endpoint (/debug/nvcaracal/attrib)
+// the report ends with an attribution panel: NVMM line write-backs broken
+// down by logical cause, the per-region spatial rollup, and the
+// write-amplification summary (cumulative; not differenced in -interval
+// mode).
+//
+// With -selfcheck it validates the endpoints instead: the stats payload must
+// parse against the schema and carry non-zero epoch counts, the trace
+// endpoint must serve loadable Chrome trace JSON with at least one span, and
+// the attribution payload must parse with per-cause counters consistent with
+// its write-amplification totals. The CI observability smoke runs exactly
+// this.
 package main
 
 import (
@@ -57,6 +65,7 @@ func main() {
 	}
 	if *interval <= 0 {
 		report(os.Stdout, prev, nil)
+		reportAttrib(os.Stdout, client, base)
 		return
 	}
 	for i := 0; *count == 0 || i < *count; i++ {
@@ -67,6 +76,7 @@ func main() {
 		}
 		fmt.Printf("--- window %v ---\n", interval)
 		report(os.Stdout, cur, &prev)
+		reportAttrib(os.Stdout, client, base)
 		prev = cur
 	}
 }
@@ -136,6 +146,79 @@ func report(w io.Writer, cur obs.StatsPayload, prev *obs.StatsPayload) {
 	}
 }
 
+// fetchAttrib reads the attribution endpoint. A nil payload (served as JSON
+// null when the engine runs without the attribution instrument) is not an
+// error — callers skip the panel.
+func fetchAttrib(client *http.Client, base string) (*obs.AttribJSON, error) {
+	resp, err := client.Get(base + obs.AttribPath)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("attrib endpoint: HTTP %d", resp.StatusCode)
+	}
+	var aj *obs.AttribJSON
+	if err := json.NewDecoder(resp.Body).Decode(&aj); err != nil {
+		return nil, fmt.Errorf("attrib payload: %w", err)
+	}
+	return aj, nil
+}
+
+// reportAttrib prints the attribution panel: per-cause write-backs sorted by
+// volume, the named-region spatial rollup, and the cumulative
+// write-amplification line. Silently absent when the engine does not serve
+// attribution.
+func reportAttrib(w io.Writer, client *http.Client, base string) {
+	aj, err := fetchAttrib(client, base)
+	if err != nil || aj == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nattribution (NVMM traffic by cause)\n")
+	fmt.Fprintf(w, "%-20s %12s %12s %12s %14s\n", "cause", "line-reads", "line-writes", "flushes", "bytes-written")
+	names := make([]string, 0, len(aj.PerCause))
+	for name := range aj.PerCause {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ci, cj := aj.PerCause[names[i]], aj.PerCause[names[j]]
+		if ci.Flushes != cj.Flushes {
+			return ci.Flushes > cj.Flushes
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		c := aj.PerCause[name]
+		fmt.Fprintf(w, "%-20s %12d %12d %12d %14d\n",
+			name, c.LineReads, c.LineWrites, c.Flushes, c.BytesWritten)
+	}
+	if regs := aj.Heatmap.Regions; len(regs) > 0 {
+		var total int64
+		for _, r := range regs {
+			total += r.LineWrites
+		}
+		total += aj.Heatmap.UnmappedWrites
+		fmt.Fprintf(w, "regions:")
+		for _, r := range regs {
+			fmt.Fprintf(w, " %s %.0f%%", r.Name, pct(r.LineWrites, total))
+		}
+		if aj.Heatmap.UnmappedWrites > 0 {
+			fmt.Fprintf(w, " unmapped %.0f%%", pct(aj.Heatmap.UnmappedWrites, total))
+		}
+		fmt.Fprintln(w)
+	}
+	cum := aj.WriteAmp.Cumulative
+	fmt.Fprintf(w, "write-amp %.2fx (row traffic %.2fx), persist-all ratio %.2fx — %d write-backs for %d committed bytes\n",
+		cum.WriteAmp, cum.RowWriteAmp, cum.PersistAllRatio, cum.TotalLines, cum.CommittedBytes)
+}
+
+func pct(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
 // prevOr returns the previous payload or a zero payload for one-shot mode.
 func prevOr(p *obs.StatsPayload) obs.StatsPayload {
 	if p == nil {
@@ -190,6 +273,38 @@ func runSelfcheck(client *http.Client, base string) error {
 		if spans[name] == 0 {
 			return fmt.Errorf("trace: no %q spans (got %v)", name, spans)
 		}
+	}
+
+	// Attribution endpoint: must parse, and when the instrument is attached
+	// (always, under nvload -obs-addr) its counters must be internally
+	// consistent — some cause recorded write-backs, and the cumulative
+	// write-amp window folds those same counters.
+	aj, err := fetchAttrib(client, base)
+	if err != nil {
+		return err
+	}
+	if aj == nil {
+		return fmt.Errorf("attrib: payload is null (instrument not attached)")
+	}
+	if len(aj.PerCause) == 0 {
+		return fmt.Errorf("attrib: no causes recorded")
+	}
+	var flushes int64
+	for _, c := range aj.PerCause {
+		flushes += c.Flushes
+	}
+	if flushes == 0 {
+		return fmt.Errorf("attrib: no write-backs attributed")
+	}
+	cum := aj.WriteAmp.Cumulative
+	if cum.TotalLines != flushes {
+		return fmt.Errorf("attrib: cumulative total_lines %d != per-cause flushes %d", cum.TotalLines, flushes)
+	}
+	if cum.CommittedBytes > 0 && cum.WriteAmp <= 0 {
+		return fmt.Errorf("attrib: implausible write-amp: %+v", cum)
+	}
+	if len(aj.Heatmap.BucketLineWrites) == 0 {
+		return fmt.Errorf("attrib: heatmap has no buckets")
 	}
 	return nil
 }

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"nvcaracal"
+	"nvcaracal/internal/obs"
+)
+
+// AttribCell is one attributed workload run in BENCH_attrib.json: throughput
+// plus the full NVMM access attribution — per-cause line/byte/flush counters
+// and the cumulative write-amplification window for the measured epochs
+// (loading is excluded by an instrument reset).
+type AttribCell struct {
+	Workload   string  `json:"workload"`
+	Contention string  `json:"contention"`
+	Mode       string  `json:"mode"`
+	EpochTxns  int     `json:"epoch_txns"`
+	KTPS       float64 `json:"ktps"`
+
+	PerCause map[string]obs.CauseCounts `json:"per_cause"`
+	WriteAmp obs.WampWindow             `json:"write_amp"`
+	Regions  []obs.RegionJSON           `json:"regions,omitempty"`
+}
+
+// AttribComparison contrasts the dual-version design against
+// persist-every-write for one workload/contention point, two ways: the
+// measured ratio (row-traffic write-backs of an actual hybrid-mode run over
+// the dual-version run's) and the counterfactual ratio the dual-version run
+// computes against itself (lines a persist-every-write design would have
+// written for the same logical writes). Both are > 1 whenever rows see more
+// than one write per epoch — the paper's NVMM write-reduction claim.
+type AttribComparison struct {
+	Workload            string  `json:"workload"`
+	Contention          string  `json:"contention"`
+	DualRowLines        int64   `json:"dual_row_lines"`
+	PersistAllRowLines  int64   `json:"persist_all_row_lines"`
+	MeasuredRatio       float64 `json:"measured_ratio"`
+	CounterfactualRatio float64 `json:"counterfactual_ratio"`
+}
+
+// AttribReport is the schema of BENCH_attrib.json.
+type AttribReport struct {
+	Benchmark   string             `json:"benchmark"`
+	Go          string             `json:"go"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Scale       string             `json:"scale"`
+	LineSize    int                `json:"line_size"`
+	Cells       []AttribCell       `json:"cells"`
+	Comparisons []AttribComparison `json:"comparisons"`
+}
+
+// attribModes maps the report's mode labels to storage modes: the
+// dual-version design under test and the persist-every-write baseline
+// (hybrid mode, which persists every intermediate version in place).
+var attribModes = []struct {
+	label string
+	mode  nvcaracal.StorageMode
+}{
+	{"dual-version", nvcaracal.ModeNVCaracal},
+	{"persist-every-write", nvcaracal.ModeHybrid},
+}
+
+// RunAttribReport runs the YCSB and SmallBank contention cells twice each —
+// dual-version and persist-every-write — with the attribution instrument
+// attached, and folds each run's per-cause counters and write-amplification
+// windows into the committed artifact. The Comparisons section is the
+// paper's headline: how many NVMM line write-backs the dual-version design
+// saves over persisting every write, measured and counterfactual.
+func RunAttribReport(o Options) (AttribReport, error) {
+	s := o.Scale
+	rep := AttribReport{
+		Benchmark:  "nvmm-access-attribution",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      s.Name,
+		LineSize:   obs.AttribLineSize,
+	}
+
+	newObs := func() *nvcaracal.Obs {
+		return nvcaracal.NewObs(nvcaracal.ObsConfig{Attrib: true, Cores: s.cores()})
+	}
+	cell := func(workload, contention, mode string, ov *nvcaracal.Obs, m measured) AttribCell {
+		j := ov.Attrib().JSON()
+		return AttribCell{
+			Workload:   workload,
+			Contention: contention,
+			Mode:       mode,
+			EpochTxns:  s.EpochTxns,
+			KTPS:       kTPS(m),
+			PerCause:   j.PerCause,
+			WriteAmp:   j.WriteAmp.Cumulative,
+			Regions:    j.Heatmap.Regions,
+		}
+	}
+	compare := func(cells []AttribCell) {
+		// cells holds the dual-version run first, then persist-every-write.
+		dual, pall := cells[len(cells)-2], cells[len(cells)-1]
+		cmp := AttribComparison{
+			Workload:            dual.Workload,
+			Contention:          dual.Contention,
+			DualRowLines:        dual.WriteAmp.RowLines,
+			PersistAllRowLines:  pall.WriteAmp.RowLines,
+			CounterfactualRatio: dual.WriteAmp.PersistAllRatio,
+		}
+		if cmp.DualRowLines > 0 {
+			cmp.MeasuredRatio = float64(cmp.PersistAllRowLines) / float64(cmp.DualRowLines)
+		}
+		rep.Comparisons = append(rep.Comparisons, cmp)
+		o.logf("attrib-bench %s/%-4s persist-all ratio: measured %.2fx, counterfactual %.2fx",
+			cmp.Workload, cmp.Contention, cmp.MeasuredRatio, cmp.CounterfactualRatio)
+	}
+
+	// YCSB at the paper's three contention levels, both modes.
+	for _, hotOps := range []int{0, 4, 8} {
+		for _, am := range attribModes {
+			ov := newObs()
+			setup, err := s.setupYCSBNVC(s.YCSBRows, hotOps, false, false, sizing{mode: am.mode, obsv: ov})
+			if err != nil {
+				return rep, fmt.Errorf("ycsb %s %s setup: %w", contentionName(hotOps), am.label, err)
+			}
+			// Loading ran under attribution too; reset so the cell reports
+			// only the measured epochs.
+			ov.Reset()
+			m, err := s.runYCSBNVC(setup, o.Seed)
+			if err != nil {
+				return rep, fmt.Errorf("ycsb %s %s run: %w", contentionName(hotOps), am.label, err)
+			}
+			c := cell("ycsb", contentionName(hotOps), am.label, ov, m)
+			rep.Cells = append(rep.Cells, c)
+			o.logf("attrib-bench ycsb/%-4s %-19s %8.1f ktps, %d row write-backs, write-amp %.2fx",
+				contentionName(hotOps), am.label, kTPS(m), c.WriteAmp.RowLines, c.WriteAmp.WriteAmp)
+			freeMem()
+		}
+		compare(rep.Cells)
+	}
+
+	// SmallBank at low and high contention, both modes.
+	for _, hc := range []struct {
+		name    string
+		hotspot int
+	}{{"low", s.SBCustomers / s.SBHotLowDiv}, {"high", s.SBHotHigh}} {
+		for _, am := range attribModes {
+			ov := newObs()
+			setup, err := s.setupSmallBankNVC(s.SBCustomers, hc.hotspot, sizing{mode: am.mode, obsv: ov})
+			if err != nil {
+				return rep, fmt.Errorf("smallbank %s %s setup: %w", hc.name, am.label, err)
+			}
+			ov.Reset()
+			m, err := s.runSmallBankNVC(setup, o.Seed)
+			if err != nil {
+				return rep, fmt.Errorf("smallbank %s %s run: %w", hc.name, am.label, err)
+			}
+			c := cell("smallbank", hc.name, am.label, ov, m)
+			rep.Cells = append(rep.Cells, c)
+			o.logf("attrib-bench smallbank/%-4s %-19s %8.1f ktps, %d row write-backs, write-amp %.2fx",
+				hc.name, am.label, kTPS(m), c.WriteAmp.RowLines, c.WriteAmp.WriteAmp)
+			freeMem()
+		}
+		compare(rep.Cells)
+	}
+
+	return rep, nil
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nvcaracal/internal/index"
+	"nvcaracal/internal/obs"
 	"nvcaracal/internal/pmem"
 	"nvcaracal/internal/wal"
 )
@@ -291,6 +292,7 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	// commit applies — the Aria analogue of the Caracal execute phase.
 	db.obs.RecordEpoch(epoch, logStart, logTime, initTime,
 		res.ExecTime+res.CommitTime, time.Since(persistStart))
+	db.obs.Attrib().EpochEnd(epoch)
 	return res, nil
 }
 
@@ -310,7 +312,7 @@ func (db *DB) ariaApply(owner int, epoch uint64, key index.Key, sid uint64, w ar
 		if err != nil {
 			panic(fmt.Sprintf("core: aria insert: %v", err))
 		}
-		r := db.rowRef(off)
+		r := db.rowRefTag(off, obs.CauseAlloc)
 		r.writeHeader(key.Table, key.ID)
 		rs = &rowState{nvOff: off, owner: int32(owner)}
 		db.idx.Put(key, rs)

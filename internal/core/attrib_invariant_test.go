@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
+)
+
+// openAttrib opens a database with attribution attached.
+func openAttrib(t *testing.T, cores int, mode StorageMode) (*DB, *nvm.Device, *obs.Attrib) {
+	t.Helper()
+	opts := testOpts(cores)
+	opts.Mode = mode
+	if mode == ModeAllNVMM {
+		opts.CacheEnabled = false
+	}
+	o := obs.New(obs.Config{Attrib: true})
+	opts.Obs = o
+	a := o.Attrib()
+	dev := nvm.New(opts.Layout.TotalBytes(), nvm.WithAttrib(a))
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, dev, a
+}
+
+// multiWriteBatch returns an epoch where every row receives several writes,
+// so a persist-every-write design would pay multiple NVMM writes per row
+// while the dual-version design persists only the final one.
+func multiWriteBatch(rows int, round byte) []*Txn {
+	var batch []*Txn
+	for k := 0; k < rows; k++ {
+		key := uint64(k)
+		batch = append(batch,
+			mkSet(key, smallVal(round)),
+			mkRMW(key, round),
+			mkRMW(key, round+1),
+		)
+	}
+	return batch
+}
+
+// The paper's core claim, as an attribution invariant: in the dual-version
+// modes, intermediate versions never touch NVMM — every one of the
+// multi-write rows attributes exactly zero intermediate-persist line writes.
+func TestInvariantDualVersionZeroIntermediateWrites(t *testing.T) {
+	for _, mode := range []StorageMode{ModeNVCaracal, ModeNoLogging} {
+		t.Run(mode.String(), func(t *testing.T) {
+			db, _, a := openAttrib(t, 2, mode)
+			var inserts []*Txn
+			for k := 0; k < 50; k++ {
+				inserts = append(inserts, mkInsert(uint64(k), smallVal('i')))
+			}
+			mustRun(t, db, inserts)
+			for e := 0; e < 3; e++ {
+				mustRun(t, db, multiWriteBatch(50, byte(e)))
+			}
+			if c := a.Counts(obs.CauseIntermediate); c.LineWrites != 0 || c.BytesWritten != 0 || c.Flushes != 0 {
+				t.Fatalf("dual-version mode persisted intermediates: %+v", c)
+			}
+			// The write-amplification window must still have seen the logical
+			// intermediate writes, or the counterfactual is meaningless.
+			s := a.Snapshot()
+			if s.LogicalWrites <= s.CommittedRows {
+				t.Fatalf("logical writes %d not above committed rows %d for a multi-write workload",
+					s.LogicalWrites, s.CommittedRows)
+			}
+			if s.CounterfactualLines == 0 {
+				t.Fatal("counterfactual line count not accumulated")
+			}
+		})
+	}
+}
+
+// The persist-every-write baselines must, by the same accounting, show
+// nonzero intermediate traffic — otherwise the invariant above is vacuous.
+func TestInvariantBaselinesPersistIntermediates(t *testing.T) {
+	for _, mode := range []StorageMode{ModeHybrid, ModeAllNVMM} {
+		t.Run(mode.String(), func(t *testing.T) {
+			db, _, a := openAttrib(t, 2, mode)
+			var inserts []*Txn
+			for k := 0; k < 50; k++ {
+				inserts = append(inserts, mkInsert(uint64(k), smallVal('i')))
+			}
+			mustRun(t, db, inserts)
+			mustRun(t, db, multiWriteBatch(50, 1))
+			if c := a.Counts(obs.CauseIntermediate); c.LineWrites == 0 {
+				t.Fatalf("baseline %v attributed no intermediate writes", mode)
+			}
+		})
+	}
+}
+
+// PersistAllRatio is the dual-version savings headline: with multiple writes
+// per row per epoch it must exceed 1 (the counterfactual writes strictly
+// more lines than the dual-version row path).
+func TestInvariantPersistAllRatioAboveOne(t *testing.T) {
+	db, _, a := openAttrib(t, 2, ModeNVCaracal)
+	var inserts []*Txn
+	for k := 0; k < 50; k++ {
+		inserts = append(inserts, mkInsert(uint64(k), smallVal('i')))
+	}
+	mustRun(t, db, inserts)
+	a.Reset() // measure steady-state epochs, not the load
+	for e := 0; e < 3; e++ {
+		mustRun(t, db, multiWriteBatch(50, byte(e)))
+	}
+	j := a.JSON()
+	cum := j.WriteAmp.Cumulative
+	if cum.PersistAllRatio <= 1 {
+		t.Fatalf("persist-all ratio = %v, want > 1 (window %+v)", cum.PersistAllRatio, cum)
+	}
+	for _, w := range j.WriteAmp.Epochs {
+		if w.PersistAllRatio <= 1 {
+			t.Fatalf("epoch %d ratio = %v, want > 1", w.Epoch, w.PersistAllRatio)
+		}
+	}
+}

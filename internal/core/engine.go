@@ -110,6 +110,9 @@ func Open(dev *nvm.Device, opts Options) (*DB, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	// Teach the attribution layer the layout's named regions before any
+	// traffic (Format is the first) so the spatial breakdown is complete.
+	opts.Obs.Attrib().SetRegions(opts.Layout.Regions())
 	if err := pmem.Format(dev, opts.Layout); err != nil {
 		return nil, err
 	}
@@ -263,6 +266,7 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	// The phase durations are already in hand for EpochResult, so recording
 	// them adds no clock reads to the epoch path.
 	db.obs.RecordEpoch(epoch, t0, res.LogTime, res.InitTime, res.ExecTime, res.SyncTime)
+	db.obs.Attrib().EpochEnd(epoch)
 	return res, nil
 }
 
@@ -436,7 +440,7 @@ func (db *DB) insertStep(epoch uint64, work [][][]initWork) error {
 					firstErr.CompareAndSwap(nil, &e)
 					return
 				}
-				r := db.rowRef(off)
+				r := db.rowRefTag(off, obs.CauseAlloc)
 				r.writeHeader(it.key.Table, it.key.ID)
 				rs := &rowState{nvOff: off, owner: int32(owner)}
 				db.idx.Put(it.key, rs)
@@ -545,8 +549,9 @@ func (db *DB) buildVersionArray(epoch uint64, owner int, key index.Key, ops []in
 func (db *DB) placeTransient(core int, data []byte) *versionVal {
 	if db.opts.Mode == ModeAllNVMM {
 		off := db.scratchAlloc(core, len(data))
-		db.dev.WriteAt(data, off)
-		db.dev.Flush(off, int64(len(data)))
+		td := db.dev.Tag(obs.CauseIntermediate)
+		td.WriteAt(data, off)
+		td.Flush(off, int64(len(data)))
 		return &versionVal{kind: vkData, nvOff: off, nvLen: len(data)}
 	}
 	return &versionVal{kind: vkData, data: data, nvOff: -1}
@@ -639,8 +644,16 @@ func (db *DB) parallel(f func(core int)) {
 	}
 }
 
+// rowRef returns an unattributed row handle (CauseOther): reads issued by
+// transaction execution, digests, and stats. Paths that know their cause
+// use rowRefTag.
 func (db *DB) rowRef(off int64) rowRef {
-	return rowRef{dev: db.dev, off: off, rowSize: db.layout.RowSize}
+	return db.rowRefTag(off, obs.CauseOther)
+}
+
+// rowRefTag returns a row handle crediting its device traffic to c.
+func (db *DB) rowRefTag(off int64, c obs.Cause) rowRef {
+	return rowRef{dev: db.dev.Tag(c), off: off, rowSize: db.layout.RowSize}
 }
 
 func (db *DB) cacheOn() bool {

@@ -59,6 +59,12 @@ func (db *DB) write(c *Ctx, key index.Key, val []byte) {
 	// versions live (and die) with the epoch.
 	data := db.arenas.Core(c.core).Alloc(len(val))
 	copy(data, val)
+	if a := db.obs.Attrib(); a != nil {
+		// Every logical row write, final or not; the counterfactual charges
+		// the value lines plus one descriptor line, what a persist-every-
+		// write design would pay for this update.
+		a.AddLogicalWrite(c.core, int64(len(val)), int64(len(val)+nvLineSize-1)/nvLineSize+1)
+	}
 	vv := db.placeTransient(c.core, data)
 	isFinal := c.txn.sid == va.maxSID
 	if db.opts.Mode == ModeHybrid && !isFinal {
@@ -67,8 +73,9 @@ func (db *DB) write(c *Ctx, key index.Key, val []byte) {
 		// though reads are served from DRAM — one NVMM write per update,
 		// like Zen or WBL.
 		off := db.scratchAlloc(c.core, len(val))
-		db.dev.WriteAt(val, off)
-		db.dev.Flush(off, int64(len(val)))
+		td := db.dev.Tag(obs.CauseIntermediate)
+		td.WriteAt(val, off)
+		td.Flush(off, int64(len(val)))
 	}
 	va.vals[slot].Store(vv)
 
@@ -83,6 +90,9 @@ func (db *DB) write(c *Ctx, key index.Key, val []byte) {
 func (db *DB) writeDelete(c *Ctx, key index.Key) {
 	rs, va := db.lookupVA(c, key)
 	slot := va.slotOf(c.txn.sid)
+	if a := db.obs.Attrib(); a != nil {
+		a.AddLogicalWrite(c.core, 0, 1) // a persist-all design still writes the descriptor
+	}
 	va.vals[slot].Store(deletedVal)
 	if c.txn.sid == va.maxSID {
 		db.finalize(c.core, rs, va, slot)
@@ -192,7 +202,7 @@ func (db *DB) installCached(core int, rs *rowState, data []byte, epoch uint64) {
 // entry is removed at the epoch boundary so in-flight readers still
 // resolve.
 func (db *DB) dropRow(core int, rs *rowState) {
-	r := db.rowRef(rs.nvOff)
+	r := db.rowRefTag(rs.nvOff, obs.CausePersistFinal)
 	for _, which := range [2]int{1, 2} {
 		v := r.readVersion(which)
 		if !v.isNull() && !v.isInline() && v.ptr != ptrNone {
@@ -222,7 +232,7 @@ func (db *DB) dropRow(core int, rs *rowState) {
 //   - Finally the new version is placed: inline if it fits in the row's
 //     inline heap, otherwise in a slot from the core's value pool.
 func (db *DB) persistFinal(core int, rs *rowState, sid uint64, data []byte) {
-	r := db.rowRef(rs.nvOff)
+	r := db.rowRefTag(rs.nvOff, obs.CausePersistFinal)
 	v1 := r.readVersion(1)
 	v2 := r.readVersion(2)
 
@@ -243,7 +253,11 @@ func (db *DB) persistFinal(core int, rs *rowState, sid uint64, data []byte) {
 		if timed {
 			t0 = time.Now()
 		}
-		r.writeVersion(1, v2)
+		if minor {
+			r.retag(obs.CauseMinorGC).writeVersion(1, v2)
+		} else {
+			r.writeVersion(1, v2)
+		}
 		if timed {
 			db.obs.Span(core, SIDEpoch(sid), obs.PhaseMinorGC, t0)
 		}
@@ -266,6 +280,9 @@ func (db *DB) persistFinal(core int, rs *rowState, sid uint64, data []byte) {
 		ptr = uint64(off)
 	}
 	r.writeFinal(sid, ptr, data)
+	if a := db.obs.Attrib(); a != nil {
+		a.AddCommitted(core, int64(len(data)))
+	}
 
 	// If the stale first version is non-inline, queue the row for the
 	// major collector; if the minor collector is disabled, all stale rows

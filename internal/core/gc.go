@@ -56,7 +56,7 @@ func (db *DB) majorGC(epoch uint64) {
 	// Phase 1: append frees and flush the ring lines.
 	db.parallel(func(owner int) {
 		for _, rs := range byOwner[owner] {
-			r := db.rowRef(rs.nvOff)
+			r := db.rowRefTag(rs.nvOff, obs.CauseMajorGC)
 			v1 := r.readVersion(1)
 			if v1.isNull() || v1.isInline() || v1.ptr == ptrNone {
 				continue // inline staleness frees nothing
@@ -90,7 +90,7 @@ func (db *DB) majorGC(epoch uint64) {
 	// Phase 2: rewrite rows.
 	db.parallel(func(owner int) {
 		for _, rs := range byOwner[owner] {
-			r := db.rowRef(rs.nvOff)
+			r := db.rowRefTag(rs.nvOff, obs.CauseMajorGC)
 			v2 := r.readVersion(2)
 			if v2.isNull() {
 				// Already collected (replay of a crashed collection that

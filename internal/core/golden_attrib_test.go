@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
+)
+
+// Per-cause golden attribution counts. Like TestGoldenAccessCounts, these
+// pin the scientific output — here the *decomposition* of the device traffic
+// by cause — for fixed seeded workloads. Any drift is a bug or a deliberate
+// model change that must update the literals (GOLDEN_PRINT=1 to regenerate).
+
+type attribGoldenCase struct {
+	name     string
+	cores    int
+	mode     StorageMode
+	workload func(*testing.T, *DB)
+	perCause map[obs.Cause]obs.CauseCounts
+}
+
+// ycsbGoldenWorkload is a seeded YCSB-flavoured workload: a uniform-key
+// read/update mix with a hot-key skew component, several updates landing on
+// the same row per epoch so the dual-version design's final-write collapse
+// is visible in the attribution.
+func ycsbGoldenWorkload(t *testing.T, db *DB) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(54321))
+	const rows = 300
+	val := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		return b
+	}
+	var batch []*Txn
+	for k := uint64(0); k < rows; k++ {
+		batch = append(batch, mkInsert(k, val(64+int(k%128))))
+	}
+	mustRun(t, db, batch)
+
+	for e := 0; e < 5; e++ {
+		batch = batch[:0]
+		for i := 0; i < 400; i++ {
+			var k uint64
+			if rng.Intn(10) < 4 {
+				k = uint64(rng.Intn(8)) // hot set: repeated writers per epoch
+			} else {
+				k = uint64(rng.Intn(rows))
+			}
+			if rng.Intn(2) == 0 {
+				batch = append(batch, mkSet(k, val(64+int(k%128))))
+			} else {
+				batch = append(batch, mkRMW(k, byte(i)))
+			}
+		}
+		mustRun(t, db, batch)
+	}
+}
+
+func attribGoldenCases() []attribGoldenCase {
+	return []attribGoldenCase{
+		{
+			name: "kv-nvcaracal-1core", cores: 1, mode: ModeNVCaracal, workload: goldenWorkload,
+			perCause: map[obs.Cause]obs.CauseCounts{
+				obs.CauseOther:        {LineReads: 3347, LineWrites: 63, BytesRead: 22925, BytesWritten: 504, Flushes: 63},
+				obs.CausePersistFinal: {LineReads: 6979, LineWrites: 4265, BytesRead: 46400, BytesWritten: 97337, Flushes: 2549},
+				obs.CauseWALAppend:    {LineReads: 0, LineWrites: 1508, BytesRead: 0, BytesWritten: 96097, Flushes: 1508},
+				obs.CauseMinorGC:      {LineReads: 0, LineWrites: 657, BytesRead: 0, BytesWritten: 4380, Flushes: 219},
+				obs.CauseMajorGC:      {LineReads: 666, LineWrites: 666, BytesRead: 4440, BytesWritten: 4440, Flushes: 222},
+				obs.CauseAlloc:        {LineReads: 123, LineWrites: 514, BytesRead: 984, BytesWritten: 16656, Flushes: 287},
+			},
+		},
+		{
+			name: "kv-hybrid-2core", cores: 2, mode: ModeHybrid, workload: goldenWorkload,
+			perCause: map[obs.Cause]obs.CauseCounts{
+				obs.CauseOther:        {LineReads: 3347, LineWrites: 63, BytesRead: 22925, BytesWritten: 504, Flushes: 63},
+				obs.CausePersistFinal: {LineReads: 6979, LineWrites: 4265, BytesRead: 46400, BytesWritten: 97337, Flushes: 2549},
+				obs.CauseIntermediate: {LineReads: 0, LineWrites: 912, BytesRead: 0, BytesWritten: 31942, Flushes: 912},
+				obs.CauseMinorGC:      {LineReads: 0, LineWrites: 657, BytesRead: 0, BytesWritten: 4380, Flushes: 219},
+				obs.CauseMajorGC:      {LineReads: 666, LineWrites: 666, BytesRead: 4440, BytesWritten: 4440, Flushes: 222},
+				obs.CauseAlloc:        {LineReads: 123, LineWrites: 570, BytesRead: 984, BytesWritten: 17104, Flushes: 324},
+			},
+		},
+		{
+			name: "ycsb-nvcaracal-2core", cores: 2, mode: ModeNVCaracal, workload: ycsbGoldenWorkload,
+			perCause: map[obs.Cause]obs.CauseCounts{
+				obs.CauseOther:        {LineReads: 5496, LineWrites: 54, BytesRead: 37039, BytesWritten: 432, Flushes: 54},
+				obs.CausePersistFinal: {LineReads: 10575, LineWrites: 7221, BytesRead: 70500, BytesWritten: 169565, Flushes: 4285},
+				obs.CauseWALAppend:    {LineReads: 0, LineWrites: 2652, BytesRead: 0, BytesWritten: 169273, Flushes: 2652},
+				obs.CauseMinorGC:      {LineReads: 0, LineWrites: 684, BytesRead: 0, BytesWritten: 4560, Flushes: 228},
+				obs.CauseMajorGC:      {LineReads: 2616, LineWrites: 2616, BytesRead: 17440, BytesWritten: 17440, Flushes: 872},
+				obs.CauseAlloc:        {LineReads: 316, LineWrites: 832, BytesRead: 2528, BytesWritten: 23456, Flushes: 396},
+			},
+		},
+	}
+}
+
+func TestGoldenAttribCounts(t *testing.T) {
+	for _, gc := range attribGoldenCases() {
+		t.Run(gc.name, func(t *testing.T) {
+			opts := testOpts(gc.cores)
+			opts.Mode = gc.mode
+			o := obs.New(obs.Config{Attrib: true})
+			opts.Obs = o
+			a := o.Attrib()
+			dev := nvm.New(opts.Layout.TotalBytes(), nvm.WithAttrib(a))
+			db, err := Open(dev, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev.ResetStats()
+			a.Reset() // exclude Format, like the device goldens
+			gc.workload(t, db)
+
+			snap := a.Snapshot()
+			if os.Getenv("GOLDEN_PRINT") != "" {
+				fmt.Printf("%s:\n", gc.name)
+				for c := obs.Cause(0); c < obs.NumCauses; c++ {
+					cc := snap.PerCause[c]
+					if cc == (obs.CauseCounts{}) {
+						continue
+					}
+					fmt.Printf("  obs.%s: {LineReads: %d, LineWrites: %d, BytesRead: %d, BytesWritten: %d, Flushes: %d},\n",
+						causeIdents[c], cc.LineReads, cc.LineWrites, cc.BytesRead, cc.BytesWritten, cc.Flushes)
+				}
+				return
+			}
+
+			for c := obs.Cause(0); c < obs.NumCauses; c++ {
+				want := gc.perCause[c]
+				if got := snap.PerCause[c]; got != want {
+					t.Errorf("cause %s drifted:\n got  %+v\n want %+v", c, got, want)
+				}
+			}
+			// The decomposition must tile the device's own counters exactly.
+			st := dev.Stats()
+			var rw, rr, bw, br, fl int64
+			for c := obs.Cause(0); c < obs.NumCauses; c++ {
+				cc := snap.PerCause[c]
+				rw += cc.LineWrites
+				rr += cc.LineReads
+				bw += cc.BytesWritten
+				br += cc.BytesRead
+				fl += cc.Flushes
+			}
+			if rw != st.LineWrites || rr != st.LineReads || bw != st.BytesWritten || br != st.BytesRead {
+				t.Errorf("attribution does not tile Stats: r=%d/%d w=%d/%d br=%d/%d bw=%d/%d",
+					rr, st.LineReads, rw, st.LineWrites, br, st.BytesRead, bw, st.BytesWritten)
+			}
+			if fl > st.Flushes {
+				t.Errorf("attributed flushes %d exceed device write-backs %d", fl, st.Flushes)
+			}
+		})
+	}
+}
+
+// causeIdents maps causes to their Go identifiers for GOLDEN_PRINT output.
+var causeIdents = map[obs.Cause]string{
+	obs.CauseOther:        "CauseOther",
+	obs.CausePersistFinal: "CausePersistFinal",
+	obs.CauseIntermediate: "CauseIntermediate",
+	obs.CauseWALAppend:    "CauseWALAppend",
+	obs.CauseIdxJournal:   "CauseIdxJournal",
+	obs.CauseMinorGC:      "CauseMinorGC",
+	obs.CauseMajorGC:      "CauseMajorGC",
+	obs.CauseRecovery:     "CauseRecovery",
+	obs.CauseAlloc:        "CauseAlloc",
+}

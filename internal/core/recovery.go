@@ -52,6 +52,9 @@ func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
 	if err := opts.validate(); err != nil {
 		return nil, nil, err
 	}
+	// Register the layout's region map before any attributed traffic so the
+	// spatial heatmap can resolve recovery reads to named regions.
+	opts.Obs.Attrib().SetRegions(opts.Layout.Regions())
 	if _, err := pmem.Attach(dev, opts.Layout); err != nil {
 		return nil, nil, err
 	}
@@ -151,7 +154,7 @@ func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
 			if _, isFree := free[off]; isFree {
 				continue
 			}
-			r := db.rowRef(off)
+			r := db.rowRefTag(off, obs.CauseRecovery)
 			scanned++
 			if r.repair(crashed) {
 				repaired++
@@ -195,7 +198,7 @@ func (db *DB) finishRecovery(batch []*Txn, ariaBatch []*AriaTxn, crashed uint64,
 	// replay may assign them different keys (§6.2.3).
 	t2 := time.Now()
 	for _, rs := range revertCandidates {
-		r := db.rowRef(rs.nvOff)
+		r := db.rowRefTag(rs.nvOff, obs.CauseRecovery)
 		if r.revertCrashedVersion(crashed) {
 			rep.RowsReverted++
 		}
@@ -293,7 +296,7 @@ func (db *DB) recoverIndexFromJournal(crashed uint64, batch []*Txn, rep *Recover
 	// copies). Execution cannot have touched anything else, and nothing
 	// executes before the input log is durable.
 	for _, rs := range gcRows {
-		r := db.rowRef(rs.nvOff)
+		r := db.rowRefTag(rs.nvOff, obs.CauseRecovery)
 		if r.repair(crashed) {
 			rep.RowsRepaired++
 		}
@@ -321,7 +324,7 @@ func (db *DB) recoverIndexFromJournal(crashed uint64, batch []*Txn, rep *Recover
 			if !ok {
 				continue // row created by the crashed epoch: reverted by the allocators
 			}
-			r := db.rowRef(rs.nvOff)
+			r := db.rowRefTag(rs.nvOff, obs.CauseRecovery)
 			if r.repair(crashed) {
 				rep.RowsRepaired++
 			}

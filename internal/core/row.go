@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
 )
 
 // Persistent row layout (fixed size, default 256 bytes; paper §5.3). The
@@ -39,6 +40,10 @@ const (
 	ptrInlineB = uint64(2)
 )
 
+// nvLineSize aliases the device line size for write-amplification
+// accounting (the persist-every-write counterfactual in exec.go).
+const nvLineSize = nvm.LineSize
+
 // version is the in-DRAM decoding of one persistent version descriptor.
 type version struct {
 	sid  uint64
@@ -49,11 +54,21 @@ type version struct {
 func (v version) isNull() bool   { return v.sid == 0 }
 func (v version) isInline() bool { return v.ptr == ptrInlineA || v.ptr == ptrInlineB }
 
-// rowRef is a handle to one persistent row on the device.
+// rowRef is a handle to one persistent row on the device. The handle
+// carries the attribution cause of the access path that built it (see
+// DB.rowRefTag); all device traffic it issues is credited there.
 type rowRef struct {
-	dev     *nvm.Device
+	dev     nvm.Tagged
 	off     int64
 	rowSize int64
+}
+
+// retag returns the same row handle crediting a different cause — used
+// where one call path does work on behalf of another (persistFinal's
+// inline minor GC).
+func (r rowRef) retag(c obs.Cause) rowRef {
+	r.dev = r.dev.Retag(c)
+	return r
 }
 
 // inlineHalf returns the size of each of the two inline slots.

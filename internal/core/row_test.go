@@ -6,12 +6,13 @@ import (
 	"testing/quick"
 
 	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
 )
 
 func newRowRef(t *testing.T, rowSize int64) (rowRef, *nvm.Device) {
 	t.Helper()
 	dev := nvm.New(rowSize * 4)
-	return rowRef{dev: dev, off: rowSize, rowSize: rowSize}, dev
+	return rowRef{dev: dev.Tag(obs.CauseOther), off: rowSize, rowSize: rowSize}, dev
 }
 
 func TestRowHeaderRoundTrip(t *testing.T) {

@@ -1,0 +1,118 @@
+package crashcheck
+
+import (
+	"testing"
+
+	"nvcaracal/internal/core"
+	"nvcaracal/internal/crashcheck/kit"
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
+)
+
+// The dual-version zero-intermediate invariant must hold across the crash
+// kit's workloads too: through crash injection and recovery, no execution
+// path may attribute an intermediate-version NVMM write, and the recovery
+// traffic must be attributed to the recovery cause.
+func TestAttribZeroIntermediateAcrossCrash(t *testing.T) {
+	opts := kit.Options(1)
+	o := obs.New(obs.Config{Attrib: true})
+	opts.Obs = o
+	a := o.Attrib()
+	dev := nvm.New(opts.Layout.TotalBytes(), nvm.WithAttrib(a))
+	db, err := core.Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	val := func(b byte) []byte { return []byte{b, b, b, b, b, b, b, b} }
+	var load []*core.Txn
+	for k := uint64(0); k < 24; k++ {
+		load = append(load, kit.MkInsert(k, val('a')))
+	}
+	if _, err := db.RunEpoch(load); err != nil {
+		t.Fatal(err)
+	}
+
+	// Multi-writer epochs: several writes per row so intermediates exist.
+	batch := func(round byte) []*core.Txn {
+		var b []*core.Txn
+		for k := uint64(0); k < 24; k++ {
+			b = append(b, kit.MkSet(k, val(round)), kit.MkRMW(k, round), kit.MkTransfer(k, (k+1)%24))
+		}
+		return b
+	}
+	if _, err := db.RunEpoch(batch('b')); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-epoch at a persist boundary, then recover on the same
+	// attribution instrument.
+	dev.SetFailAfter(20)
+	fired, err := kit.RunUntilCrash(db, batch('c'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("fail-point did not fire; deepen the batch or lower the count")
+	}
+	dev.SetFailAfter(0)
+	dev.Crash(nvm.CrashStrict, 1)
+
+	preRecovery := a.Counts(obs.CauseRecovery)
+	rdb, _, err := core.Recover(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rdb.RunEpoch(batch('d')); err != nil {
+		t.Fatal(err)
+	}
+
+	if c := a.Counts(obs.CauseIntermediate); c.LineWrites != 0 || c.Flushes != 0 {
+		t.Fatalf("intermediate NVMM writes attributed across crash/recovery: %+v", c)
+	}
+	post := a.Counts(obs.CauseRecovery)
+	if post.LineReads <= preRecovery.LineReads {
+		t.Fatalf("recovery attributed no reads: pre %+v post %+v", preRecovery, post)
+	}
+}
+
+// Same invariant under an Aria-flavoured crashed epoch, whose recovery path
+// (full scan, Aria replay) differs from the Caracal one.
+func TestAttribZeroIntermediateAriaCrash(t *testing.T) {
+	opts := kit.Options(1)
+	o := obs.New(obs.Config{Attrib: true})
+	opts.Obs = o
+	a := o.Attrib()
+	dev := nvm.New(opts.Layout.TotalBytes(), nvm.WithAttrib(a))
+	db, err := core.Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var load []*core.AriaTxn
+	for k := uint64(0); k < 16; k++ {
+		load = append(load, kit.AriaSet(k, []byte{byte(k), 1, 2, 3}))
+	}
+	if _, err := db.RunEpochAria(load); err != nil {
+		t.Fatal(err)
+	}
+	var work []*core.AriaTxn
+	for k := uint64(0); k < 16; k++ {
+		work = append(work, kit.AriaRMW(k, 'z'), kit.AriaTransfer(k, (k+3)%16))
+	}
+	dev.SetFailAfter(15)
+	fired, err := kit.RunAriaUntilCrash(db, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("fail-point did not fire")
+	}
+	dev.SetFailAfter(0)
+	dev.Crash(nvm.CrashStrict, 2)
+	if _, _, err := core.Recover(dev, opts); err != nil {
+		t.Fatal(err)
+	}
+	if c := a.Counts(obs.CauseIntermediate); c.LineWrites != 0 || c.Flushes != 0 {
+		t.Fatalf("intermediate NVMM writes attributed in aria crash/recovery: %+v", c)
+	}
+}

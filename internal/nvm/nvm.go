@@ -180,6 +180,18 @@ func WithObserver(o *obs.DeviceObs) Option {
 	}
 }
 
+// WithAttrib attaches an access-attribution instrument: every access is
+// credited to the obs.Cause its call site carries (via Tag; untagged calls
+// count as CauseOther), feeding per-cause counters, the spatial heatmap,
+// and write-amplification accounting. Attribution is purely observational:
+// it never changes Stats, durability state, or the latency model. Nil
+// leaves only a pointer check on each path.
+func WithAttrib(a *obs.Attrib) Option {
+	return func(d *Device) {
+		d.attrib = a
+	}
+}
+
 // journalStripe holds one shard of the flushed-line journal: the lines
 // staged since the last fence whose line number maps to this stripe. The
 // two buffers alternate so Fence can drain one while flushes append to the
@@ -255,6 +267,11 @@ type Device struct {
 	// obs, when attached and enabled, records per-call latency histograms
 	// and the fence-stall counter. Nil-safe: every path asks obs.On() once.
 	obs *obs.DeviceObs
+
+	// attrib, when attached, credits every access to its call site's
+	// obs.Cause (see Tag / WithAttrib). Nil-safe: one pointer check per
+	// path.
+	attrib *obs.Attrib
 }
 
 // New creates a device of the given size in bytes, rounded up to a whole
@@ -275,6 +292,7 @@ func New(size int64, opts ...Option) *Device {
 	for _, o := range opts {
 		o(d)
 	}
+	d.attrib.InitSpace(d.nLines)
 	return d
 }
 
@@ -330,7 +348,9 @@ func linesSpanned(off, n int64) int64 {
 }
 
 // ReadAt copies len(p) bytes starting at off from the live image into p.
-func (d *Device) ReadAt(p []byte, off int64) {
+func (d *Device) ReadAt(p []byte, off int64) { d.readAt(p, off, obs.CauseOther) }
+
+func (d *Device) readAt(p []byte, off int64, c obs.Cause) {
 	on := d.obs.On()
 	var t0 time.Time
 	if on {
@@ -343,6 +363,9 @@ func (d *Device) ReadAt(p []byte, off int64) {
 	cell := d.cellFor(lineOf(off))
 	cell.lineReads.Add(lines)
 	cell.bytesRead.Add(n)
+	if a := d.attrib; a != nil {
+		a.RecordRead(c, lineOf(off), lines, n)
+	}
 	d.chargeRead(lines)
 	if on {
 		d.obs.Read.Observe(time.Since(t0))
@@ -352,7 +375,9 @@ func (d *Device) ReadAt(p []byte, off int64) {
 // Slice returns a read-only view of the live image. The caller must not
 // mutate it and must not hold it across a Crash. It charges a read for the
 // spanned lines, making it equivalent to ReadAt without the copy.
-func (d *Device) Slice(off, n int64) []byte {
+func (d *Device) Slice(off, n int64) []byte { return d.slice(off, n, obs.CauseOther) }
+
+func (d *Device) slice(off, n int64, c obs.Cause) []byte {
 	on := d.obs.On()
 	var t0 time.Time
 	if on {
@@ -363,6 +388,9 @@ func (d *Device) Slice(off, n int64) []byte {
 	cell := d.cellFor(lineOf(off))
 	cell.lineReads.Add(lines)
 	cell.bytesRead.Add(n)
+	if a := d.attrib; a != nil {
+		a.RecordRead(c, lineOf(off), lines, n)
+	}
 	d.chargeRead(lines)
 	if on {
 		d.obs.Read.Observe(time.Since(t0))
@@ -388,7 +416,9 @@ func chargedWriteLines(lines int64) int64 {
 
 // WriteAt stores p at off in the live image and marks the spanned lines
 // dirty. The data is not durable until it is flushed and fenced.
-func (d *Device) WriteAt(p []byte, off int64) {
+func (d *Device) WriteAt(p []byte, off int64) { d.writeAt(p, off, obs.CauseOther) }
+
+func (d *Device) writeAt(p []byte, off int64, c obs.Cause) {
 	on := d.obs.On()
 	var t0 time.Time
 	if on {
@@ -402,6 +432,9 @@ func (d *Device) WriteAt(p []byte, off int64) {
 	cell := d.cellFor(lineOf(off))
 	cell.lineWrites.Add(lines)
 	cell.bytesWritten.Add(n)
+	if a := d.attrib; a != nil {
+		a.RecordWrite(c, lineOf(off), lines, n)
+	}
 	d.chargeWrite(chargedWriteLines(lines))
 	if on {
 		d.obs.Write.Observe(time.Since(t0))
@@ -411,7 +444,9 @@ func (d *Device) WriteAt(p []byte, off int64) {
 // Zero clears n bytes at off, with store semantics. Like WriteAt it models
 // a streaming store sequence, so large contiguous zeroing (e.g. pool
 // initialization) gets the same sequential-write latency discount.
-func (d *Device) Zero(off, n int64) {
+func (d *Device) Zero(off, n int64) { d.zero(off, n, obs.CauseOther) }
+
+func (d *Device) zero(off, n int64, c obs.Cause) {
 	on := d.obs.On()
 	var t0 time.Time
 	if on {
@@ -424,6 +459,9 @@ func (d *Device) Zero(off, n int64) {
 	cell := d.cellFor(lineOf(off))
 	cell.lineWrites.Add(lines)
 	cell.bytesWritten.Add(n)
+	if a := d.attrib; a != nil {
+		a.RecordWrite(c, lineOf(off), lines, n)
+	}
 	d.chargeWrite(chargedWriteLines(lines))
 	if on {
 		d.obs.Write.Observe(time.Since(t0))
@@ -481,7 +519,9 @@ func (d *Device) chaosRoll() bool {
 }
 
 // Load64 reads a little-endian uint64 at off.
-func (d *Device) Load64(off int64) uint64 {
+func (d *Device) Load64(off int64) uint64 { return d.load64(off, obs.CauseOther) }
+
+func (d *Device) load64(off int64, c obs.Cause) uint64 {
 	on := d.obs.On()
 	var t0 time.Time
 	if on {
@@ -495,6 +535,9 @@ func (d *Device) Load64(off int64) uint64 {
 	cell := d.cellFor(lineOf(off))
 	cell.lineReads.Add(lines)
 	cell.bytesRead.Add(8)
+	if a := d.attrib; a != nil {
+		a.RecordRead(c, lineOf(off), lines, 8)
+	}
 	d.chargeRead(lines)
 	if on {
 		d.obs.Read.Observe(time.Since(t0))
@@ -503,7 +546,9 @@ func (d *Device) Load64(off int64) uint64 {
 }
 
 // Store64 writes a little-endian uint64 at off with store semantics.
-func (d *Device) Store64(off int64, v uint64) {
+func (d *Device) Store64(off int64, v uint64) { d.store64(off, v, obs.CauseOther) }
+
+func (d *Device) store64(off int64, v uint64, c obs.Cause) {
 	on := d.obs.On()
 	var t0 time.Time
 	if on {
@@ -524,6 +569,9 @@ func (d *Device) Store64(off int64, v uint64) {
 	cell := d.cellFor(lineOf(off))
 	cell.lineWrites.Add(lines)
 	cell.bytesWritten.Add(8)
+	if a := d.attrib; a != nil {
+		a.RecordWrite(c, lineOf(off), lines, 8)
+	}
 	d.chargeWrite(lines)
 	if on {
 		d.obs.Write.Observe(time.Since(t0))
@@ -531,7 +579,9 @@ func (d *Device) Store64(off int64, v uint64) {
 }
 
 // Load32 reads a little-endian uint32 at off.
-func (d *Device) Load32(off int64) uint32 {
+func (d *Device) Load32(off int64) uint32 { return d.load32(off, obs.CauseOther) }
+
+func (d *Device) load32(off int64, c obs.Cause) uint32 {
 	on := d.obs.On()
 	var t0 time.Time
 	if on {
@@ -543,6 +593,9 @@ func (d *Device) Load32(off int64) uint32 {
 	cell := d.cellFor(lineOf(off))
 	cell.lineReads.Add(1)
 	cell.bytesRead.Add(4)
+	if a := d.attrib; a != nil {
+		a.RecordRead(c, lineOf(off), 1, 4)
+	}
 	d.chargeRead(1)
 	if on {
 		d.obs.Read.Observe(time.Since(t0))
@@ -551,7 +604,9 @@ func (d *Device) Load32(off int64) uint32 {
 }
 
 // Store32 writes a little-endian uint32 at off with store semantics.
-func (d *Device) Store32(off int64, v uint32) {
+func (d *Device) Store32(off int64, v uint32) { d.store32(off, v, obs.CauseOther) }
+
+func (d *Device) store32(off int64, v uint32, c obs.Cause) {
 	on := d.obs.On()
 	var t0 time.Time
 	if on {
@@ -567,6 +622,9 @@ func (d *Device) Store32(off int64, v uint32) {
 	cell := d.cellFor(lineOf(off))
 	cell.lineWrites.Add(1)
 	cell.bytesWritten.Add(4)
+	if a := d.attrib; a != nil {
+		a.RecordWrite(c, lineOf(off), 1, 4)
+	}
 	d.chargeWrite(1)
 	if on {
 		d.obs.Write.Observe(time.Since(t0))
@@ -588,6 +646,10 @@ func (d *Device) Store32(off int64, v uint32) {
 // long as the flush ranges do not overlap lines stored by later fields at
 // the original call site (the engine's call sites flush disjoint ranges).
 func (d *Device) WriteFields(fields []FieldWrite, flushes []Range) {
+	d.writeFields(fields, flushes, obs.CauseOther)
+}
+
+func (d *Device) writeFields(fields []FieldWrite, flushes []Range, c obs.Cause) {
 	on := d.obs.On()
 	var t0 time.Time
 	if on {
@@ -595,6 +657,7 @@ func (d *Device) WriteFields(fields []FieldWrite, flushes []Range) {
 	}
 	var lines, chargedLines, bytes int64
 	var cell *statCell
+	a := d.attrib
 	for _, f := range fields {
 		n := int64(len(f.Data))
 		if n == 0 {
@@ -610,6 +673,12 @@ func (d *Device) WriteFields(fields []FieldWrite, flushes []Range) {
 		if cell == nil {
 			cell = d.cellFor(lineOf(f.Off))
 		}
+		if a != nil {
+			// Per field, not per call: a vectored write's fields may land in
+			// different regions of the address space (value heap vs. row
+			// descriptor), and the heatmap wants each span.
+			a.RecordWrite(c, lineOf(f.Off), ln, n)
+		}
 	}
 	if cell != nil {
 		cell.lineWrites.Add(lines)
@@ -622,7 +691,7 @@ func (d *Device) WriteFields(fields []FieldWrite, flushes []Range) {
 		d.obs.Write.Observe(time.Since(t0))
 	}
 	for _, r := range flushes {
-		d.Flush(r.Off, r.N)
+		d.flush(r.Off, r.N, c)
 	}
 }
 
@@ -630,7 +699,9 @@ func (d *Device) WriteFields(fields []FieldWrite, flushes []Range) {
 // line's current content is snapshotted; a subsequent Fence makes the
 // snapshots durable. Flushing a clean line is a no-op (as on hardware) and
 // takes no lock.
-func (d *Device) Flush(off, n int64) {
+func (d *Device) Flush(off, n int64) { d.flush(off, n, obs.CauseOther) }
+
+func (d *Device) flush(off, n int64, c obs.Cause) {
 	if n == 0 {
 		return
 	}
@@ -646,7 +717,11 @@ func (d *Device) Flush(off, n int64) {
 		if d.state[l].Load()&stDirty == 0 {
 			continue
 		}
-		d.flushLine(l)
+		if d.flushLine(l) {
+			if a := d.attrib; a != nil {
+				a.RecordFlush(c, l)
+			}
+		}
 		touched = true
 	}
 	// Clean-range flushes are hardware no-ops; recording them would drown
@@ -662,7 +737,7 @@ func (d *Device) Flush(off, n int64) {
 // can race with a concurrent markDirty — on CAS failure the snapshot is
 // retaken so a dirty marking is only ever cleared by a snapshot that
 // includes its bytes.
-func (d *Device) flushLine(l int64) {
+func (d *Device) flushLine(l int64) bool {
 	sp := d.stripeFor(l)
 	sp.mu.Lock()
 	st := &d.state[l]
@@ -670,7 +745,7 @@ func (d *Device) flushLine(l int64) {
 		s := st.Load()
 		if s&stDirty == 0 {
 			sp.mu.Unlock()
-			return
+			return false
 		}
 		copy(d.staging[l*LineSize:(l+1)*LineSize], d.live[l*LineSize:(l+1)*LineSize])
 		if st.CompareAndSwap(s, s&^stDirty|stStaged|stJournaled) {
@@ -686,6 +761,7 @@ func (d *Device) flushLine(l int64) {
 		panic(ErrInjectedCrash)
 	}
 	sp.mu.Unlock()
+	return true
 }
 
 // Persist is Flush followed by Fence: the range is durable on return.
@@ -694,13 +770,22 @@ func (d *Device) Persist(off, n int64) {
 	d.Fence()
 }
 
+func (d *Device) persist(off, n int64, c obs.Cause) {
+	d.flush(off, n, c)
+	d.Fence()
+}
+
 // PersistRange flushes every given range and issues one fence: a vectored
 // Persist for call sites that previously flushed several regions and
 // fenced once (or fenced per region, where a single trailing fence is
 // equivalent because the final durable state is identical).
 func (d *Device) PersistRange(ranges ...Range) {
+	d.persistRange(obs.CauseOther, ranges...)
+}
+
+func (d *Device) persistRange(c obs.Cause, ranges ...Range) {
 	for _, r := range ranges {
-		d.Flush(r.Off, r.N)
+		d.flush(r.Off, r.N, c)
 	}
 	d.Fence()
 }

@@ -10,10 +10,12 @@ import (
 	"time"
 )
 
-// StatsPath and TracePath are the debug endpoints Handler serves.
+// StatsPath, TracePath, and AttribPath are the debug endpoints Handler
+// serves.
 const (
-	StatsPath = "/debug/nvcaracal/stats"
-	TracePath = "/debug/nvcaracal/trace"
+	StatsPath  = "/debug/nvcaracal/stats"
+	TracePath  = "/debug/nvcaracal/trace"
+	AttribPath = "/debug/nvcaracal/attrib"
 )
 
 // StatsPayload is the JSON schema of the stats endpoint. cmd/nvtop and the
@@ -52,6 +54,8 @@ func (o *Obs) Stats() StatsPayload {
 //	GET /debug/nvcaracal/trace?epochs=N   Chrome trace_event JSON of the
 //	                                      last N epochs (all retained when
 //	                                      omitted or <= 0)
+//	GET /debug/nvcaracal/attrib           JSON AttribJSON snapshot (null
+//	                                      when attribution is off)
 //
 // Hosts register additional snapshot sources (engine counters, memory,
 // device stats) with AddSource; each is marshalled fresh per request.
@@ -117,6 +121,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = WriteChromeTrace(w, h.o.Tracer().Spans(n))
+	case AttribPath:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h.o.Attrib().JSON())
 	default:
 		http.NotFound(w, r)
 	}

@@ -83,6 +83,30 @@ func TestHandlerEndpoints(t *testing.T) {
 		t.Fatal("trace has no events")
 	}
 
+	// Attrib endpoint serves the attribution payload when the instrument is
+	// attached.
+	ao := New(Config{Attrib: true})
+	ao.Attrib().InitSpace(128)
+	ao.Attrib().SetRegions([]Region{{Name: "wal", Off: 0, Len: 64 * 128}})
+	ao.Attrib().RecordWrite(CauseWALAppend, 3, 2, 100)
+	ao.Attrib().RecordFlush(CauseWALAppend, 3)
+	ah := NewHandler(ao)
+	rec = httptest.NewRecorder()
+	ah.ServeHTTP(rec, httptest.NewRequest("GET", AttribPath, nil))
+	if rec.Code != 200 {
+		t.Fatalf("attrib status %d", rec.Code)
+	}
+	var aj AttribJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &aj); err != nil {
+		t.Fatalf("attrib not schema-valid: %v", err)
+	}
+	if aj.PerCause["wal-append"].LineWrites != 2 {
+		t.Fatalf("attrib payload: %+v", aj.PerCause)
+	}
+	if len(aj.Heatmap.Regions) != 1 || aj.Heatmap.Regions[0].LineWrites != 2 {
+		t.Fatalf("attrib heatmap: %+v", aj.Heatmap)
+	}
+
 	// Bad query and unknown path.
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", TracePath+"?epochs=x", nil))
@@ -111,6 +135,16 @@ func TestHandlerNilObs(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", TracePath, nil))
 	if rec.Code != 200 {
 		t.Fatalf("nil-obs trace status %d", rec.Code)
+	}
+	// Attrib endpoint degrades to a null document without the instrument.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", AttribPath, nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil-obs attrib status %d", rec.Code)
+	}
+	var v any
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("nil-obs attrib not valid JSON: %v", err)
 	}
 }
 

@@ -30,6 +30,13 @@ type Config struct {
 	// Device enables device-level latency histograms and the fence-stall
 	// counter; wire the result to the device with nvm.WithObserver.
 	Device bool
+	// Attrib enables NVMM access attribution (per-cause counters, spatial
+	// heatmap, write-amplification accounting); wire the result to the
+	// device with nvm.WithAttrib.
+	Attrib bool
+	// AttribHeatBuckets caps the attribution heatmap resolution
+	// (DefaultHeatBuckets when zero).
+	AttribHeatBuckets int
 	// Cores sizes the tracer's ring set (default GOMAXPROCS).
 	Cores int
 }
@@ -42,6 +49,7 @@ type Obs struct {
 	phases [NumPhases]*Hist
 	tracer *Tracer
 	dev    *DeviceObs
+	attrib *Attrib
 }
 
 // New builds an Obs per the config.
@@ -62,6 +70,9 @@ func New(cfg Config) *Obs {
 	}
 	if cfg.Device {
 		o.dev = NewDeviceObs(true)
+	}
+	if cfg.Attrib {
+		o.attrib = NewAttrib(cfg.AttribHeatBuckets)
 	}
 	return o
 }
@@ -165,6 +176,7 @@ func (o *Obs) Reset() {
 	}
 	o.tracer.Reset()
 	o.dev.Reset()
+	o.attrib.Reset()
 }
 
 // PhaseSnapshot returns the folded histogram of one phase.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
 )
 
 // IndexEntry is one persistent index-journal record.
@@ -45,7 +46,7 @@ const (
 // scanning every persistent row; any validation failure falls back to the
 // scan, so the journal is strictly an accelerator.
 type IndexLog struct {
-	dev  *nvm.Device
+	dev  nvm.Tagged
 	base int64 // region start (control line)
 	size int64 // region size
 
@@ -59,7 +60,7 @@ func NewIndexLog(dev *nvm.Device, l Layout) *IndexLog {
 	if l.IndexLogBytes == 0 {
 		return nil
 	}
-	return &IndexLog{dev: dev, base: l.idxLogOff, size: alignUp(l.IndexLogBytes), writeOff: line}
+	return &IndexLog{dev: dev.Tag(obs.CauseIdxJournal), base: l.idxLogOff, size: alignUp(l.IndexLogBytes), writeOff: line}
 }
 
 // blockBytes returns the encoded size of a block with n entries.
@@ -153,9 +154,12 @@ func (il *IndexLog) Checkpoint(epoch uint64) {
 // returns false — and the caller must fall back to the row scan — when the
 // journal overflowed or any block fails validation.
 func (il *IndexLog) Recover(ckptEpoch uint64, apply func(epoch uint64, e IndexEntry)) bool {
+	// Post-crash journal replay is recovery traffic, not journal-append
+	// traffic, for attribution purposes.
+	rd := il.dev.Retag(obs.CauseRecovery)
 	par := int64(ckptEpoch % 2)
-	il.writeOff = int64(il.dev.Load64(il.base + idxCtlOffEven + par*8))
-	il.overflow = il.dev.Load64(il.base+idxCtlOverflow) != 0
+	il.writeOff = int64(rd.Load64(il.base + idxCtlOffEven + par*8))
+	il.overflow = rd.Load64(il.base+idxCtlOverflow) != 0
 	if il.overflow {
 		return false
 	}
@@ -176,7 +180,7 @@ func (il *IndexLog) Recover(ckptEpoch uint64, apply func(epoch uint64, e IndexEn
 			return false
 		}
 		var hdr [idxBlockHdr]byte
-		il.dev.ReadAt(hdr[:], il.base+pos)
+		rd.ReadAt(hdr[:], il.base+pos)
 		epoch := binary.LittleEndian.Uint64(hdr[0:])
 		count := binary.LittleEndian.Uint64(hdr[8:])
 		sum := binary.LittleEndian.Uint64(hdr[16:])
@@ -185,7 +189,7 @@ func (il *IndexLog) Recover(ckptEpoch uint64, apply func(epoch uint64, e IndexEn
 			return false
 		}
 		payload := make([]byte, count*idxEntrySize)
-		il.dev.ReadAt(payload, il.base+pos+idxBlockHdr)
+		rd.ReadAt(payload, il.base+pos+idxBlockHdr)
 		if idxChecksum(epoch, payload) != sum {
 			return false
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
 )
 
 // Magic identifies a formatted NVCaracal region.
@@ -269,6 +270,47 @@ func (l *Layout) MaxValueSize() int64 {
 	return l.valClasses[len(l.valClasses)-1]
 }
 
+// Regions enumerates the layout's named regions for the attribution
+// layer's spatial heatmap (obs.Attrib.SetRegions). Per-core regions share
+// a name — the exporter merges them — and each pool's control line and
+// free ring are one region, since both are allocator state.
+func (l *Layout) Regions() []obs.Region {
+	if l.total == 0 {
+		l.compute()
+	}
+	rs := []obs.Region{
+		{Name: "header", Off: l.headerOff, Len: 2 * line},
+		{Name: "epoch-record", Off: l.epochOff, Len: line},
+	}
+	if l.Counters > 0 {
+		rs = append(rs, obs.Region{Name: "counters", Off: l.counterOff, Len: alignUp(l.Counters * counterStride)})
+	}
+	rs = append(rs, obs.Region{Name: "wal", Off: l.logOff, Len: alignUp(l.LogBytes)})
+	for c := 0; c < l.Cores; c++ {
+		rs = append(rs,
+			obs.Region{Name: "row-free-ring", Off: l.rowCtlOff[c], Len: line + alignUp(l.RingCap*8)},
+			obs.Region{Name: "row-heap", Off: l.rowDataOff[c], Len: alignUp(l.RowsPerCore * l.RowSize)},
+		)
+	}
+	for k, size := range l.valClasses {
+		for c := 0; c < l.Cores; c++ {
+			rs = append(rs,
+				obs.Region{Name: "val-free-ring", Off: l.valCtlOff[k][c], Len: line + alignUp(l.RingCap*8)},
+				obs.Region{Name: "val-heap", Off: l.valDataOff[k][c], Len: alignUp(l.ValuesPerCore * size)},
+			)
+		}
+	}
+	if l.ScratchPerCore > 0 {
+		for c := 0; c < l.Cores; c++ {
+			rs = append(rs, obs.Region{Name: "scratch", Off: l.scratchOff[c], Len: alignUp(l.ScratchPerCore)})
+		}
+	}
+	if l.IndexLogBytes > 0 {
+		rs = append(rs, obs.Region{Name: "index-journal", Off: l.idxLogOff, Len: alignUp(l.IndexLogBytes)})
+	}
+	return rs
+}
+
 // header field slots (within headerOff region).
 const (
 	hdrMagic   = 0
@@ -297,34 +339,36 @@ func Format(dev *nvm.Device, l Layout) error {
 	if dev.Size() < l.total {
 		return fmt.Errorf("pmem: device %d bytes, layout needs %d", dev.Size(), l.total)
 	}
-	dev.Store64(l.headerOff+hdrMagic, Magic)
-	dev.Store64(l.headerOff+hdrVersion, LayoutVersion)
-	dev.Store64(l.headerOff+hdrScratch, uint64(l.ScratchPerCore))
-	dev.Store64(l.headerOff+hdrIdxLog, uint64(l.IndexLogBytes))
-	dev.Store64(l.headerOff+hdrValClass, l.valueClassHash())
-	dev.Store64(l.headerOff+hdrCores, uint64(l.Cores))
-	dev.Store64(l.headerOff+hdrRowSize, uint64(l.RowSize))
-	dev.Store64(l.headerOff+hdrRowsPC, uint64(l.RowsPerCore))
-	dev.Store64(l.headerOff+hdrValSize, uint64(l.ValueSize))
-	dev.Store64(l.headerOff+hdrValsPC, uint64(l.ValuesPerCore))
-	dev.Store64(l.headerOff+hdrRingCap, uint64(l.RingCap))
-	dev.Store64(l.headerOff+hdrLogBytes, uint64(l.LogBytes))
-	dev.Store64(l.headerOff+hdrCounters, uint64(l.Counters))
-	dev.Zero(l.epochOff, line)
+	// Formatting is allocator traffic for attribution purposes.
+	td := dev.Tag(obs.CauseAlloc)
+	td.Store64(l.headerOff+hdrMagic, Magic)
+	td.Store64(l.headerOff+hdrVersion, LayoutVersion)
+	td.Store64(l.headerOff+hdrScratch, uint64(l.ScratchPerCore))
+	td.Store64(l.headerOff+hdrIdxLog, uint64(l.IndexLogBytes))
+	td.Store64(l.headerOff+hdrValClass, l.valueClassHash())
+	td.Store64(l.headerOff+hdrCores, uint64(l.Cores))
+	td.Store64(l.headerOff+hdrRowSize, uint64(l.RowSize))
+	td.Store64(l.headerOff+hdrRowsPC, uint64(l.RowsPerCore))
+	td.Store64(l.headerOff+hdrValSize, uint64(l.ValueSize))
+	td.Store64(l.headerOff+hdrValsPC, uint64(l.ValuesPerCore))
+	td.Store64(l.headerOff+hdrRingCap, uint64(l.RingCap))
+	td.Store64(l.headerOff+hdrLogBytes, uint64(l.LogBytes))
+	td.Store64(l.headerOff+hdrCounters, uint64(l.Counters))
+	td.Zero(l.epochOff, line)
 	if l.Counters > 0 {
-		dev.Zero(l.counterOff, alignUp(l.Counters*counterStride))
+		td.Zero(l.counterOff, alignUp(l.Counters*counterStride))
 	}
-	dev.Zero(l.logOff, line) // log header only; payload is length-guarded
+	td.Zero(l.logOff, line) // log header only; payload is length-guarded
 	for c := 0; c < l.Cores; c++ {
-		dev.Zero(l.rowCtlOff[c], line)
+		td.Zero(l.rowCtlOff[c], line)
 	}
 	for k := range l.valCtlOff {
 		for c := 0; c < l.Cores; c++ {
-			dev.Zero(l.valCtlOff[k][c], line)
+			td.Zero(l.valCtlOff[k][c], line)
 		}
 	}
 	if l.IndexLogBytes > 0 {
-		dev.Zero(l.idxLogOff, line)
+		td.Zero(l.idxLogOff, line)
 	}
 	// One vectored persist: flush every initialized region, then a single
 	// fence. Formatting used to fence per region — dozens of fences for a
@@ -349,7 +393,7 @@ func Format(dev *nvm.Device, l Layout) error {
 	if l.IndexLogBytes > 0 {
 		ranges = append(ranges, nvm.Range{Off: l.idxLogOff, N: line})
 	}
-	dev.PersistRange(ranges...)
+	td.PersistRange(ranges...)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
 )
 
 // Control-line field offsets (all eight fields share one cache line, which
@@ -34,8 +35,13 @@ var ErrPoolFull = errors.New("pmem: pool out of space")
 // A Pool is owned by a single core: all calls must come from one goroutine
 // at a time. Cross-core offsets may be freed into any pool because ring
 // entries are absolute device offsets.
+//
+// All pool device traffic (ring appends/reads, control-line checkpoints)
+// is attributed to obs.CauseAlloc, including appends made on behalf of GC:
+// the GC causes cover row rewrites only, allocator bookkeeping stays with
+// the allocator.
 type Pool struct {
-	dev      *nvm.Device
+	dev      nvm.Tagged
 	ctlOff   int64
 	ringOff  int64
 	dataOff  int64
@@ -59,7 +65,7 @@ type Pool struct {
 // RowPool returns core c's persistent row pool.
 func RowPool(dev *nvm.Device, l Layout, c int) *Pool {
 	return &Pool{
-		dev:      dev,
+		dev:      dev.Tag(obs.CauseAlloc),
 		ctlOff:   l.rowCtlOff[c],
 		ringOff:  l.rowRingOff[c],
 		dataOff:  l.rowDataOff[c],
@@ -72,7 +78,7 @@ func RowPool(dev *nvm.Device, l Layout, c int) *Pool {
 // ValuePool returns core c's persistent value pool for size class k.
 func ValuePool(dev *nvm.Device, l Layout, k, c int) *Pool {
 	return &Pool{
-		dev:      dev,
+		dev:      dev.Tag(obs.CauseAlloc),
 		ctlOff:   l.valCtlOff[k][c],
 		ringOff:  l.valRingOff[k][c],
 		dataOff:  l.valDataOff[k][c],

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
 )
 
 // Record is one logged transaction input: a workload-registered type id and
@@ -98,11 +99,12 @@ func (l *Log) WriteEpoch(epoch uint64, recs []Record) error {
 	// Payload then header in one vectored call (payload-first order means a
 	// torn append never has a valid header over garbage payload; the
 	// checksum backstops the rest), then the single durability fence.
-	l.dev.WriteFields([]nvm.FieldWrite{
+	td := l.dev.Tag(obs.CauseWALAppend)
+	td.WriteFields([]nvm.FieldWrite{
 		{Off: l.off + headerSize, Data: buf},
 		{Off: l.off, Data: hdr[:]},
 	}, []nvm.Range{{Off: l.off, N: headerSize + int64(len(buf))}})
-	l.dev.Fence()
+	td.Fence()
 	l.lastPayload = int64(len(buf))
 	return nil
 }
@@ -111,8 +113,10 @@ func (l *Log) WriteEpoch(epoch uint64, recs []Record) error {
 // the log does not hold a complete, checksum-valid image of that epoch
 // (e.g. the crash happened before the log fence).
 func (l *Log) ReadEpoch(epoch uint64) ([]Record, bool) {
+	// The log is only read back after a crash: recovery traffic.
+	rd := l.dev.Tag(obs.CauseRecovery)
 	var hdr [32]byte
-	l.dev.ReadAt(hdr[:], l.off)
+	rd.ReadAt(hdr[:], l.off)
 	gotEpoch := binary.LittleEndian.Uint64(hdr[0:])
 	count := binary.LittleEndian.Uint64(hdr[8:])
 	payload := binary.LittleEndian.Uint64(hdr[16:])
@@ -124,7 +128,7 @@ func (l *Log) ReadEpoch(epoch uint64) ([]Record, bool) {
 		return nil, false
 	}
 	data := make([]byte, payload)
-	l.dev.ReadAt(data, l.off+headerSize)
+	rd.ReadAt(data, l.off+headerSize)
 	if fnv1a(epoch*31+count, data) != sum {
 		return nil, false
 	}

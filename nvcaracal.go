@@ -97,7 +97,8 @@ type (
 	Obs = obs.Obs
 	// ObsConfig selects which instruments an Obs carries.
 	ObsConfig = obs.Config
-	// ObsHandler serves /debug/nvcaracal/stats and /debug/nvcaracal/trace.
+	// ObsHandler serves /debug/nvcaracal/stats, /debug/nvcaracal/trace,
+	// and /debug/nvcaracal/attrib.
 	ObsHandler = obs.Handler
 )
 
@@ -305,6 +306,9 @@ func (c Config) deviceOptions() []nvm.Option {
 	}
 	if d := c.Obs.Device(); d != nil {
 		opts = append(opts, nvm.WithObserver(d))
+	}
+	if a := c.Obs.Attrib(); a != nil {
+		opts = append(opts, nvm.WithAttrib(a))
 	}
 	return opts
 }
