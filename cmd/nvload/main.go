@@ -43,6 +43,7 @@ func main() {
 		mode       = flag.String("mode", "nvcaracal", "nvcaracal, no-logging, hybrid, all-nvmm, all-dram")
 		epochTxns  = flag.Int("epoch-txns", 1000, "transactions per epoch")
 		epochs     = flag.Int("epochs", 5, "measured epochs")
+		asyncP     = flag.Bool("async-persist", false, "overlap the epoch-commit tail (checkpoint fence, epoch record) with the next epoch's work")
 		cores      = flag.Int("cores", 0, "worker cores (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
 		submitters = flag.Int("submitters", 0, "concurrent submitter goroutines (0 = hand-batched epochs)")
@@ -64,6 +65,7 @@ func main() {
 	cfg := nvcaracal.Config{
 		Cores:            *cores,
 		Mode:             storageMode,
+		AsyncPersist:     *asyncP,
 		NVMMReadLatency:  *readLat,
 		NVMMWriteLatency: *writeLat,
 		Registry:         nvcaracal.NewRegistry(),
@@ -199,6 +201,11 @@ func main() {
 				res.ExecTime.Round(time.Microsecond), res.SyncTime.Round(time.Microsecond))
 		}
 	}
+
+	// With -async-persist the last epoch's commit tail may still be in
+	// flight; drain it so the reported device stats are final (no-op when
+	// synchronous).
+	db.WaitDurable()
 
 	fmt.Printf("\nthroughput: %.0f txns/s (%d committed, %d aborted in %v)\n",
 		float64(committed+aborted)/total.Seconds(), committed, aborted, total.Round(time.Millisecond))

@@ -289,14 +289,24 @@ func runSelfcheck(client *http.Client, base string) error {
 	if len(aj.PerCause) == 0 {
 		return fmt.Errorf("attrib: no causes recorded")
 	}
-	var flushes int64
+	var flushes, elided, fences int64
 	for _, c := range aj.PerCause {
 		flushes += c.Flushes
+		elided += c.FlushesElided
+		fences += c.Fences
 	}
 	if flushes == 0 {
 		return fmt.Errorf("attrib: no write-backs attributed")
 	}
+	if fences == 0 {
+		return fmt.Errorf("attrib: no fences attributed (committed epochs must order their writes)")
+	}
 	cum := aj.WriteAmp.Cumulative
+	// Elided flushes are skipped write-backs: reported per cause, but they
+	// must stay out of the write-amplification fold.
+	if elided > 0 && cum.TotalLines == flushes+elided {
+		return fmt.Errorf("attrib: %d elided flushes leaked into write-amp total_lines", elided)
+	}
 	if cum.TotalLines != flushes {
 		return fmt.Errorf("attrib: cumulative total_lines %d != per-cause flushes %d", cum.TotalLines, flushes)
 	}

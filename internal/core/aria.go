@@ -158,6 +158,9 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	if err := CheckBatchSize(len(batch)); err != nil {
 		return AriaResult{}, err
 	}
+	// Same commit barrier as RunEpoch: the previous epoch must be durable
+	// before its log region is rewritten or its pools reopened.
+	db.persistBarrier()
 	start := time.Now()
 	epoch := db.epoch.Load() + 1
 	res := AriaResult{Epoch: epoch}
@@ -168,26 +171,32 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 		t.aborted = false
 	}
 
-	// Log inputs, tagged with the Aria marker.
+	// Log inputs, tagged with the Aria marker; the single init fence below
+	// makes them durable before any commit-phase write is visible.
 	logStart := time.Now()
+	logged := false
 	if db.opts.Mode.logs() && !db.replaying {
 		recs := make([]wal.Record, 0, len(batch)+1)
 		recs = append(recs, wal.Record{Type: ariaMarkerType})
 		for _, t := range batch {
 			recs = append(recs, wal.Record{Type: t.TypeID, Data: t.Input})
 		}
-		if err := db.log.WriteEpoch(epoch, recs); err != nil {
+		if err := db.log.WriteEpochNoFence(epoch, recs); err != nil {
 			return res, err
 		}
+		logged = true
 		db.logBytesTotal += db.log.LastPayloadBytes()
 	}
 
 	logTime := time.Since(logStart)
 
 	// Initialization work shared with the Caracal path: collect last
-	// epoch's garbage and evict stale cached versions.
+	// epoch's garbage and evict stale cached versions, with the same
+	// coalesced fence between GC phase 1 and phase 2.
 	initStart := time.Now()
-	db.majorGC(epoch)
+	gc := db.majorGCBegin(epoch)
+	db.initFence(logged, gc.pending)
+	db.majorGCFinish(epoch, gc)
 	db.evictCache(epoch)
 	initTime := time.Since(initStart)
 

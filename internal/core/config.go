@@ -115,6 +115,15 @@ type Options struct {
 	// journal is strictly an accelerator: any validation failure falls
 	// back to the scan.
 	PersistIndex bool
+	// AsyncPersist overlaps the tail of the persist phase — the checkpoint
+	// fence, the epoch-record persist, and the allocator checkpoint release
+	// — with whatever the caller does between epochs. RunEpoch then returns
+	// after the epoch's writes are staged but before they are durable; the
+	// next RunEpoch (or WaitDurable) blocks until the previous epoch has
+	// committed, because the log region is rewritten and the checkpointed
+	// pools are reopened for allocation only once the epoch record is
+	// durable. Recovery replay always persists synchronously. Default off.
+	AsyncPersist bool
 	// Registry maps logged transaction type ids to decoders, required for
 	// recovery replay when Mode logs.
 	Registry *Registry

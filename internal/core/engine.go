@@ -88,6 +88,14 @@ type DB struct {
 	// of version-array spin waits so the epoch unwinds instead of hanging.
 	abortFlag atomic.Bool
 
+	// Async-persist state (Options.AsyncPersist): persistWG tracks the
+	// in-flight commit of the previous epoch, persistPanic carries a panic
+	// (e.g. an injected crash) out of the commit goroutine to the next
+	// barrier, and durableEpoch is the last epoch whose record is durable.
+	persistWG    sync.WaitGroup
+	persistPanic atomic.Pointer[any]
+	durableEpoch atomic.Uint64
+
 	logBytesTotal int64 // cumulative input-log bytes for accounting
 }
 
@@ -213,6 +221,10 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	if err := CheckBatchSize(len(batch)); err != nil {
 		return EpochResult{}, err
 	}
+	// Commit barrier: the previous epoch's (possibly asynchronous) persist
+	// must complete before this epoch rewrites the log region or allocates
+	// from the reopened pools.
+	db.persistBarrier()
 	epoch := db.epoch.Load() + 1
 	res := EpochResult{Epoch: epoch}
 	db.abortFlag.Store(false)
@@ -223,17 +235,20 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 		t.aborted = false
 	}
 
-	// Log transaction inputs and persist them before anything else, so
-	// execution-phase writes may become visible immediately (§4.3).
+	// Log transaction inputs: serialized and flushed here, made durable by
+	// the single initialization fence below, before any execution-phase
+	// write becomes visible (§4.3).
 	t0 := time.Now()
+	logged := false
 	if db.opts.Mode.logs() && !db.replaying {
 		recs := make([]wal.Record, len(batch))
 		for i, t := range batch {
 			recs[i] = wal.Record{Type: t.TypeID, Data: t.Input}
 		}
-		if err := db.log.WriteEpoch(epoch, recs); err != nil {
+		if err := db.log.WriteEpochNoFence(epoch, recs); err != nil {
 			return res, err
 		}
+		logged = true
 		db.logBytesTotal += db.log.LastPayloadBytes()
 	}
 	res.LogTime = time.Since(t0)
@@ -244,7 +259,9 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	if err := db.insertStep(epoch, work); err != nil {
 		return res, err
 	}
-	db.majorGC(epoch)
+	gc := db.majorGCBegin(epoch)
+	db.initFence(logged, gc.pending)
+	db.majorGCFinish(epoch, gc)
 	db.evictCache(epoch)
 	db.appendStep(epoch, work)
 	res.InitTime = time.Since(t1)
@@ -270,9 +287,30 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	return res, nil
 }
 
+// initFence issues the epoch's single initialization fence: one ordering
+// point committing the input log, the insert step's row headers, and the
+// major collector's free-ring entries together, before GC phase 2 or the
+// execution phase overwrites anything they cover. Replacing the per-source
+// fences (log, GC ring, GC tail) with this one barrier is the fence diet's
+// init-phase half; the fence is attributed to the cause that required it.
+// When neither the log nor the collector wrote anything, nothing downstream
+// consumes an ordering guarantee and the fence is skipped entirely.
+func (db *DB) initFence(logged, gcPending bool) {
+	switch {
+	case logged:
+		db.dev.Tag(obs.CauseWALAppend).Fence()
+	case gcPending:
+		db.dev.Tag(obs.CauseMajorGC).Fence()
+	}
+}
+
 // checkpointEpoch persists the epoch: counters, allocator control offsets,
-// index-journal block, one fence covering everything, then the epoch
-// record (which carries its own trailing fence).
+// and the index-journal block are staged synchronously; then one fence
+// covering everything, the epoch record (which carries its own trailing
+// fence), and the allocator checkpoint release commit the epoch. With
+// Options.AsyncPersist the commit tail runs on a background goroutine and
+// overlaps the caller's between-epoch work; persistBarrier at the next
+// RunEpoch entry (or WaitDurable) joins it.
 func (db *DB) checkpointEpoch(epoch uint64) {
 	for i := range db.counters {
 		v := db.counters[i].Load()
@@ -287,15 +325,57 @@ func (db *DB) checkpointEpoch(epoch uint64) {
 		}
 	}
 	db.appendIndexJournal(epoch)
-	db.dev.Fence()
-	db.epochRec.Store(epoch)
-	for c := 0; c < db.opts.Cores; c++ {
-		db.rowPools[c].Checkpointed()
-		for k := range db.valPools {
-			db.valPools[k][c].Checkpointed()
+
+	commit := func() {
+		db.dev.Tag(obs.CausePersistFinal).Fence()
+		db.epochRec.Store(epoch)
+		for c := 0; c < db.opts.Cores; c++ {
+			db.rowPools[c].Checkpointed()
+			for k := range db.valPools {
+				db.valPools[k][c].Checkpointed()
+			}
 		}
+		db.durableEpoch.Store(epoch)
+	}
+	if db.opts.AsyncPersist && !db.replaying {
+		db.persistWG.Add(1)
+		go func() {
+			defer db.persistWG.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					v := r
+					db.persistPanic.CompareAndSwap(nil, &v)
+				}
+			}()
+			commit()
+		}()
+		return
+	}
+	commit()
+}
+
+// persistBarrier joins the previous epoch's asynchronous commit, if one is
+// in flight, and re-raises any panic it captured (an injected crash from
+// the device's fail points, most usefully). The panic is sticky: once the
+// commit goroutine died the device state is not trustworthy and every
+// subsequent epoch attempt fails the same way.
+func (db *DB) persistBarrier() {
+	db.persistWG.Wait()
+	if p := db.persistPanic.Load(); p != nil {
+		panic(*p)
 	}
 }
+
+// WaitDurable blocks until the most recently run epoch's record is durable.
+// With AsyncPersist off it returns immediately. Call it before snapshotting
+// the device, reading fence-exact stats, or handing the device to a crash
+// tester.
+func (db *DB) WaitDurable() { db.persistBarrier() }
+
+// DurableEpoch returns the last epoch whose record is known durable. It
+// trails Epoch() by at most one epoch while an asynchronous commit is in
+// flight and equals it otherwise.
+func (db *DB) DurableEpoch() uint64 { return db.durableEpoch.Load() }
 
 // appendIndexJournal writes the epoch's index-delta block — row creations,
 // deletions, and the rows queued for the next epoch's major collection —

@@ -303,6 +303,18 @@ func (db *DB) freeValue(core int, off int64) {
 	db.valPools[k][core].Free(off)
 }
 
+// freeValueGC returns a persistent value slot to the freeing core's pool as
+// a non-revertible stamped GC entry (see Pool.FreeGC): recovery re-adopts
+// it even though the freeing epoch never checkpointed, because the major
+// collector may already have overwritten the only pointer to the slot.
+func (db *DB) freeValueGC(core int, off int64, epoch uint64) {
+	k := db.layout.ValueClassOfOffset(off)
+	if k < 0 {
+		panic(fmt.Sprintf("core: freeing offset %d outside any value region", off))
+	}
+	db.valPools[k][core].FreeGC(off, epoch)
+}
+
 // v2ReplacedNeedsGC reports whether the stale first version requires the
 // major collector next epoch.
 func v2ReplacedNeedsGC(v1 version, minorEnabled bool) bool {

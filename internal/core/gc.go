@@ -6,27 +6,39 @@ import (
 	"nvcaracal/internal/obs"
 )
 
-// majorGC runs the major collector during the initialization phase of an
-// epoch (§4.4, §5.5): every row queued last epoch with a non-inline stale
-// first version has that version's value freed and the checkpointed second
-// version copied down.
+// majorGCState carries a major collection across the epoch's init fence:
+// majorGCBegin runs phase 1 (frees + ring flushes, no fence of its own),
+// the caller issues the epoch's single initialization fence, and
+// majorGCFinish runs phase 2 (row rewrites).
+type majorGCState struct {
+	byOwner [][]*rowState
+	pending bool
+	start   time.Time
+}
+
+// majorGCBegin runs phase 1 of the major collector during the
+// initialization phase of an epoch (§4.4, §5.5): every row queued last
+// epoch with a non-inline stale first version has that version's value
+// appended to its owner core's free ring as a stamped GC entry
+// (Pool.FreeGC), and the touched ring lines are flushed.
 //
 // The collection is crash-safe in two phases:
 //
-//	Phase 1 appends all value frees to the per-core free-list rings, fences
-//	them durable, and only then persists the non-revertible current-tail
-//	offsets (with a second fence). The order matters: recovery adopts the
-//	ring entries the current-tail slot names, so the slot must never be
-//	durable while the entries it covers are not — a crash between the two
-//	flushes would otherwise let a partial persistence land the pointer
-//	without the data, and recovery would adopt stale ring bytes as free
-//	slots. A crash before the second fence reverts everything (full redo);
-//	a crash after it keeps every free durable.
-//	Phase 2 rewrites the rows (copy v2→v1, reset v2) with the
-//	SID-before-pointer ordering; a crash mid-phase leaves rows that the
-//	recovery scan re-queues, and the duplicate-suppression set (built from
-//	the ring entries beyond the checkpointed tail) prevents double frees.
-func (db *DB) majorGC(epoch uint64) {
+//	Phase 1 appends all value frees to the per-core free-list rings as
+//	self-validating stamped entries and flushes the touched lines. It
+//	issues no fence: the epoch's single init fence (issued by the caller
+//	between Begin and Finish) makes the entries durable before any row is
+//	rewritten. Recovery adopts durably-landed GC entries by verifying
+//	their stamps, so no separate non-revertible current-tail persist (and
+//	no second fence) is needed. A crash before the init fence can land any
+//	subset of entries; the replayed collection's duplicate-suppression set
+//	(built from the adopted entries) prevents double frees.
+//	Phase 2 (majorGCFinish) rewrites the rows (copy v2→v1, reset v2) with
+//	the SID-before-pointer ordering; a crash mid-phase leaves rows that
+//	the recovery scan re-queues. Any row observed collected (v2 null)
+//	implies its free is durable: row rewrites only start after the init
+//	fence, which committed every GC ring entry.
+func (db *DB) majorGCBegin(epoch uint64) majorGCState {
 	// Shard the pending rows to their owner cores so each core frees into
 	// its own value pool.
 	byOwner := make([][]*rowState, db.opts.Cores)
@@ -45,15 +57,17 @@ func (db *DB) majorGC(epoch uint64) {
 		}
 	}
 
+	st := majorGCState{byOwner: byOwner, pending: pending}
 	// Only collections that actually rewrite rows get a span: an empty
 	// pending set is a queue check, not a GC.
-	var gcStart time.Time
 	if pending && db.obs.On() {
-		gcStart = time.Now()
-		defer func() { db.obs.Span(obs.CoordinatorCore, epoch, obs.PhaseMajorGC, gcStart) }()
+		st.start = time.Now()
+	}
+	if !pending {
+		return st
 	}
 
-	// Phase 1: append frees and flush the ring lines.
+	// Phase 1: append frees as stamped GC entries and flush the ring lines.
 	db.parallel(func(owner int) {
 		for _, rs := range byOwner[owner] {
 			r := db.rowRefTag(rs.nvOff, obs.CauseMajorGC)
@@ -66,30 +80,24 @@ func (db *DB) majorGC(epoch uint64) {
 					continue // already durably freed by the crashed epoch
 				}
 			}
-			db.freeValue(owner, int64(v1.ptr))
+			db.freeValueGC(owner, int64(v1.ptr), epoch)
 		}
-		if pending {
-			for k := range db.valPools {
-				db.valPools[k][owner].FlushRing()
-			}
+		for k := range db.valPools {
+			db.valPools[k][owner].FlushRing()
 		}
 	})
-	if pending {
-		// Ring entries must be durable before the current-tail slots that
-		// name them; skipped when nothing was queued (the current-tail
-		// update is then a no-op range and needs no ordering).
-		db.dev.Fence()
+	return st
+}
+
+// majorGCFinish runs phase 2 of the major collector: rewriting the queued
+// rows. The caller must have issued a fence after majorGCBegin — phase 2
+// must never overwrite a stale version whose free is not yet durable.
+func (db *DB) majorGCFinish(epoch uint64, st majorGCState) {
+	if !st.pending {
+		return
 	}
 	db.parallel(func(owner int) {
-		for k := range db.valPools {
-			db.valPools[k][owner].StageCurrentTail(epoch)
-		}
-	})
-	db.dev.Fence()
-
-	// Phase 2: rewrite rows.
-	db.parallel(func(owner int) {
-		for _, rs := range byOwner[owner] {
+		for _, rs := range st.byOwner[owner] {
 			r := db.rowRefTag(rs.nvOff, obs.CauseMajorGC)
 			v2 := r.readVersion(2)
 			if v2.isNull() {
@@ -102,6 +110,9 @@ func (db *DB) majorGC(epoch uint64) {
 			db.met.At(owner).AddMajorGC()
 		}
 	})
+	if !st.start.IsZero() {
+		db.obs.Span(obs.CoordinatorCore, epoch, obs.PhaseMajorGC, st.start)
+	}
 }
 
 // evictCache drops cached versions that have not been created or accessed

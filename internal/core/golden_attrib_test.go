@@ -68,34 +68,34 @@ func attribGoldenCases() []attribGoldenCase {
 		{
 			name: "kv-nvcaracal-1core", cores: 1, mode: ModeNVCaracal, workload: goldenWorkload,
 			perCause: map[obs.Cause]obs.CauseCounts{
-				obs.CauseOther:        {LineReads: 3347, LineWrites: 63, BytesRead: 22925, BytesWritten: 504, Flushes: 63},
-				obs.CausePersistFinal: {LineReads: 6979, LineWrites: 4265, BytesRead: 46400, BytesWritten: 97337, Flushes: 2549},
-				obs.CauseWALAppend:    {LineReads: 0, LineWrites: 1508, BytesRead: 0, BytesWritten: 96097, Flushes: 1508},
+				obs.CauseOther:        {LineReads: 3347, LineWrites: 56, BytesRead: 22925, BytesWritten: 448, Flushes: 56},
+				obs.CausePersistFinal: {LineReads: 6979, LineWrites: 4272, BytesRead: 46400, BytesWritten: 97393, Flushes: 2556, Fences: 14},
+				obs.CauseWALAppend:    {LineReads: 0, LineWrites: 1508, BytesRead: 0, BytesWritten: 96097, Flushes: 1508, Fences: 7},
 				obs.CauseMinorGC:      {LineReads: 0, LineWrites: 657, BytesRead: 0, BytesWritten: 4380, Flushes: 219},
 				obs.CauseMajorGC:      {LineReads: 666, LineWrites: 666, BytesRead: 4440, BytesWritten: 4440, Flushes: 222},
-				obs.CauseAlloc:        {LineReads: 123, LineWrites: 514, BytesRead: 984, BytesWritten: 16656, Flushes: 287},
+				obs.CauseAlloc:        {LineReads: 123, LineWrites: 734, BytesRead: 984, BytesWritten: 18416, Flushes: 307},
 			},
 		},
 		{
 			name: "kv-hybrid-2core", cores: 2, mode: ModeHybrid, workload: goldenWorkload,
 			perCause: map[obs.Cause]obs.CauseCounts{
-				obs.CauseOther:        {LineReads: 3347, LineWrites: 63, BytesRead: 22925, BytesWritten: 504, Flushes: 63},
-				obs.CausePersistFinal: {LineReads: 6979, LineWrites: 4265, BytesRead: 46400, BytesWritten: 97337, Flushes: 2549},
+				obs.CauseOther:        {LineReads: 3347, LineWrites: 56, BytesRead: 22925, BytesWritten: 448, Flushes: 56},
+				obs.CausePersistFinal: {LineReads: 6979, LineWrites: 4272, BytesRead: 46400, BytesWritten: 97393, Flushes: 2556, Fences: 14},
 				obs.CauseIntermediate: {LineReads: 0, LineWrites: 912, BytesRead: 0, BytesWritten: 31942, Flushes: 912},
 				obs.CauseMinorGC:      {LineReads: 0, LineWrites: 657, BytesRead: 0, BytesWritten: 4380, Flushes: 219},
-				obs.CauseMajorGC:      {LineReads: 666, LineWrites: 666, BytesRead: 4440, BytesWritten: 4440, Flushes: 222},
-				obs.CauseAlloc:        {LineReads: 123, LineWrites: 570, BytesRead: 984, BytesWritten: 17104, Flushes: 324},
+				obs.CauseMajorGC:      {LineReads: 666, LineWrites: 666, BytesRead: 4440, BytesWritten: 4440, Flushes: 222, Fences: 5},
+				obs.CauseAlloc:        {LineReads: 123, LineWrites: 776, BytesRead: 984, BytesWritten: 18752, Flushes: 336},
 			},
 		},
 		{
 			name: "ycsb-nvcaracal-2core", cores: 2, mode: ModeNVCaracal, workload: ycsbGoldenWorkload,
 			perCause: map[obs.Cause]obs.CauseCounts{
-				obs.CauseOther:        {LineReads: 5496, LineWrites: 54, BytesRead: 37039, BytesWritten: 432, Flushes: 54},
-				obs.CausePersistFinal: {LineReads: 10575, LineWrites: 7221, BytesRead: 70500, BytesWritten: 169565, Flushes: 4285},
-				obs.CauseWALAppend:    {LineReads: 0, LineWrites: 2652, BytesRead: 0, BytesWritten: 169273, Flushes: 2652},
+				obs.CauseOther:        {LineReads: 5496, LineWrites: 48, BytesRead: 37039, BytesWritten: 384, Flushes: 48},
+				obs.CausePersistFinal: {LineReads: 10575, LineWrites: 7227, BytesRead: 70500, BytesWritten: 169613, Flushes: 4291, Fences: 12},
+				obs.CauseWALAppend:    {LineReads: 0, LineWrites: 2652, BytesRead: 0, BytesWritten: 169273, Flushes: 2652, Fences: 6},
 				obs.CauseMinorGC:      {LineReads: 0, LineWrites: 684, BytesRead: 0, BytesWritten: 4560, Flushes: 228},
 				obs.CauseMajorGC:      {LineReads: 2616, LineWrites: 2616, BytesRead: 17440, BytesWritten: 17440, Flushes: 872},
-				obs.CauseAlloc:        {LineReads: 316, LineWrites: 832, BytesRead: 2528, BytesWritten: 23456, Flushes: 396},
+				obs.CauseAlloc:        {LineReads: 316, LineWrites: 1244, BytesRead: 2528, BytesWritten: 26752, Flushes: 438},
 			},
 		},
 	}
@@ -126,8 +126,8 @@ func TestGoldenAttribCounts(t *testing.T) {
 					if cc == (obs.CauseCounts{}) {
 						continue
 					}
-					fmt.Printf("  obs.%s: {LineReads: %d, LineWrites: %d, BytesRead: %d, BytesWritten: %d, Flushes: %d},\n",
-						causeIdents[c], cc.LineReads, cc.LineWrites, cc.BytesRead, cc.BytesWritten, cc.Flushes)
+					fmt.Printf("  obs.%s: {LineReads: %d, LineWrites: %d, BytesRead: %d, BytesWritten: %d, Flushes: %d, FlushesElided: %d, Fences: %d},\n",
+						causeIdents[c], cc.LineReads, cc.LineWrites, cc.BytesRead, cc.BytesWritten, cc.Flushes, cc.FlushesElided, cc.Fences)
 				}
 				return
 			}
@@ -140,7 +140,7 @@ func TestGoldenAttribCounts(t *testing.T) {
 			}
 			// The decomposition must tile the device's own counters exactly.
 			st := dev.Stats()
-			var rw, rr, bw, br, fl int64
+			var rw, rr, bw, br, fl, el, fe int64
 			for c := obs.Cause(0); c < obs.NumCauses; c++ {
 				cc := snap.PerCause[c]
 				rw += cc.LineWrites
@@ -148,6 +148,8 @@ func TestGoldenAttribCounts(t *testing.T) {
 				bw += cc.BytesWritten
 				br += cc.BytesRead
 				fl += cc.Flushes
+				el += cc.FlushesElided
+				fe += cc.Fences
 			}
 			if rw != st.LineWrites || rr != st.LineReads || bw != st.BytesWritten || br != st.BytesRead {
 				t.Errorf("attribution does not tile Stats: r=%d/%d w=%d/%d br=%d/%d bw=%d/%d",
@@ -155,6 +157,14 @@ func TestGoldenAttribCounts(t *testing.T) {
 			}
 			if fl > st.Flushes {
 				t.Errorf("attributed flushes %d exceed device write-backs %d", fl, st.Flushes)
+			}
+			// Fences and elided flushes are recorded at the device layer with
+			// the issuing cause, so they must tile the device totals exactly.
+			if fe != st.Fences {
+				t.Errorf("attributed fences %d do not tile device fences %d", fe, st.Fences)
+			}
+			if el != st.FlushesElided {
+				t.Errorf("attributed elided flushes %d do not tile device count %d", el, st.FlushesElided)
 			}
 		})
 	}

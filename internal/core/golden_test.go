@@ -40,22 +40,22 @@ func goldenCases() []goldenCase {
 	return []goldenCase{
 		{
 			name: "nvcaracal-1core", cores: 1, mode: ModeNVCaracal,
-			stats: nvm.Stats{LineReads: 11115, LineWrites: 7673, BytesRead: 74749, BytesWritten: 219414, Flushes: 4848, Fences: 33, LinesFenced: 4255},
+			stats: nvm.Stats{LineReads: 11115, LineWrites: 7893, BytesRead: 74749, BytesWritten: 221174, Flushes: 4868, Fences: 21, LinesFenced: 4275},
 			met:   goldenMetrics{TxnsCommitted: 1210, TxnsAborted: 15, Epochs: 7, TransientVersions: 425, PersistentVersions: 786, RowReads: 5, CacheHits: 562, CacheMisses: 5, CacheBytes: 15389, CacheEntries: 126, MinorGCs: 219, MajorGCs: 111},
 		},
 		{
 			name: "nvcaracal-4core", cores: 4, mode: ModeNVCaracal,
-			stats: nvm.Stats{LineReads: 11114, LineWrites: 7841, BytesRead: 74741, BytesWritten: 220758, Flushes: 4942, Fences: 33, LinesFenced: 4349},
+			stats: nvm.Stats{LineReads: 11114, LineWrites: 8019, BytesRead: 74741, BytesWritten: 222182, Flushes: 4937, Fences: 21, LinesFenced: 4344},
 			met:   goldenMetrics{TxnsCommitted: 1210, TxnsAborted: 15, Epochs: 7, TransientVersions: 425, PersistentVersions: 786, RowReads: 5, CacheHits: 562, CacheMisses: 5, CacheBytes: 15389, CacheEntries: 126, MinorGCs: 219, MajorGCs: 111},
 		},
 		{
 			name: "hybrid-2core", cores: 2, mode: ModeHybrid,
-			stats: nvm.Stats{LineReads: 11115, LineWrites: 7133, BytesRead: 74749, BytesWritten: 155707, Flushes: 4289, Fences: 26, LinesFenced: 3289},
+			stats: nvm.Stats{LineReads: 11115, LineWrites: 7339, BytesRead: 74749, BytesWritten: 157355, Flushes: 4301, Fences: 19, LinesFenced: 3101},
 			met:   goldenMetrics{TxnsCommitted: 1210, TxnsAborted: 15, Epochs: 7, TransientVersions: 425, PersistentVersions: 786, RowReads: 5, CacheHits: 562, CacheMisses: 5, CacheBytes: 15389, CacheEntries: 126, MinorGCs: 219, MajorGCs: 111},
 		},
 		{
 			name: "all-nvmm-2core", cores: 2, mode: ModeAllNVMM,
-			stats: nvm.Stats{LineReads: 15283, LineWrites: 10623, BytesRead: 252923, BytesWritten: 300864, Flushes: 7779, Fences: 26, LinesFenced: 5558},
+			stats: nvm.Stats{LineReads: 15283, LineWrites: 10829, BytesRead: 252923, BytesWritten: 302512, Flushes: 7791, Fences: 19, LinesFenced: 5370},
 			met:   goldenMetrics{TxnsCommitted: 1210, TxnsAborted: 15, Epochs: 7, TransientVersions: 425, PersistentVersions: 786, RowReads: 567, CacheHits: 0, CacheMisses: 567, CacheBytes: 0, CacheEntries: 0, MinorGCs: 219, MajorGCs: 111},
 		},
 	}

@@ -8,6 +8,7 @@ import (
 	"nvcaracal/internal/nvm"
 	"nvcaracal/internal/obs"
 	"nvcaracal/internal/pmem"
+	"nvcaracal/internal/wal"
 )
 
 // RecoveryReport breaks down a recovery the way Figure 11 of the paper
@@ -64,15 +65,34 @@ func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
 	ckpt := db.epochRec.Load()
 	rep.CheckpointEpoch = ckpt
 	db.epoch.Store(ckpt)
+	db.durableEpoch.Store(ckpt)
 	crashed := ckpt + 1
+
+	// Peek at the log first: whether the crashed epoch's inputs were fully
+	// persisted — i.e. whether replay will happen — decides whether the
+	// crashed epoch's durable GC frees are adopted below. Decoding is
+	// deferred until allocators and counters are restored: decoders may
+	// consult and mutate engine state (the TPC-C variant re-assigns order
+	// and history IDs from the persistent counters at decode time, §6.2.3),
+	// so they must see exactly the checkpointed state.
+	t0 := time.Now()
+	var recs []wal.Record
+	willReplay := false
+	if opts.Mode.logs() {
+		recs, willReplay = db.log.ReadEpoch(crashed)
+	}
 
 	// Restore allocator state; collect the crashed epoch's durable GC
 	// frees for duplicate suppression when the collection is redone.
+	// Adoption is gated on replay: if the crashed epoch's log never became
+	// durable, its init fence cannot have completed, so no row rewrite
+	// landed and the epoch's landed ring entries must vanish with it (see
+	// Pool.Recover).
 	db.gcDupSet = make(map[int64]struct{})
 	for c := 0; c < opts.Cores; c++ {
-		db.rowPools[c].Recover(ckpt)
+		db.rowPools[c].Recover(ckpt, willReplay)
 		for k := range db.valPools {
-			for _, off := range db.valPools[k][c].Recover(ckpt) {
+			for _, off := range db.valPools[k][c].Recover(ckpt, willReplay) {
 				db.gcDupSet[off] = struct{}{}
 			}
 		}
@@ -85,36 +105,33 @@ func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
 		db.counters[i].Store(pmem.NewCounter(dev, db.layout, int64(i)).Load(ckpt))
 	}
 
-	// Load the crashed epoch's logged inputs, if they were fully persisted.
-	// An Aria marker as the first record selects the Aria replay algorithm.
-	t0 := time.Now()
+	// Decode the replay batch against the restored checkpoint state. An
+	// Aria marker as the first record selects the Aria replay algorithm.
 	var batch []*Txn
 	var ariaBatch []*AriaTxn
 	ariaEpoch := false
-	if opts.Mode.logs() {
-		if recs, ok := db.log.ReadEpoch(crashed); ok {
-			if len(recs) > 0 && recs[0].Type == ariaMarkerType {
-				ariaEpoch = true
-				if opts.AriaRegistry == nil {
-					return nil, nil, fmt.Errorf("core: crashed epoch %d is Aria-flavoured but no AriaRegistry configured", crashed)
+	if willReplay {
+		if len(recs) > 0 && recs[0].Type == ariaMarkerType {
+			ariaEpoch = true
+			if opts.AriaRegistry == nil {
+				return nil, nil, fmt.Errorf("core: crashed epoch %d is Aria-flavoured but no AriaRegistry configured", crashed)
+			}
+			ariaBatch = make([]*AriaTxn, len(recs)-1)
+			for i, rec := range recs[1:] {
+				t, err := opts.AriaRegistry.Decode(rec.Type, rec.Data, db)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: aria recovery decode: %w", err)
 				}
-				ariaBatch = make([]*AriaTxn, len(recs)-1)
-				for i, rec := range recs[1:] {
-					t, err := opts.AriaRegistry.Decode(rec.Type, rec.Data, db)
-					if err != nil {
-						return nil, nil, fmt.Errorf("core: aria recovery decode: %w", err)
-					}
-					ariaBatch[i] = t
+				ariaBatch[i] = t
+			}
+		} else {
+			batch = make([]*Txn, len(recs))
+			for i, rec := range recs {
+				t, err := opts.Registry.Decode(rec.Type, rec.Data, db)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: recovery decode: %w", err)
 				}
-			} else {
-				batch = make([]*Txn, len(recs))
-				for i, rec := range recs {
-					t, err := opts.Registry.Decode(rec.Type, rec.Data, db)
-					if err != nil {
-						return nil, nil, fmt.Errorf("core: recovery decode: %w", err)
-					}
-					batch[i] = t
-				}
+				batch[i] = t
 			}
 		}
 	}

@@ -348,7 +348,9 @@ func OptionsSized(cores int, rowsPerCore, valuesPerCore int64) core.Options {
 
 // RunUntilCrash runs one Caracal-style epoch, converting an injected
 // device crash into a clean return: fired reports whether the fail-point
-// fired before the epoch completed.
+// fired before the epoch completed. The epoch's asynchronous commit tail
+// (if Options.AsyncPersist is on) is drained inside the protected region,
+// so a fail point landing there also reports fired.
 func RunUntilCrash(db *core.DB, batch []*core.Txn) (fired bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -360,6 +362,7 @@ func RunUntilCrash(db *core.DB, batch []*core.Txn) (fired bool, err error) {
 		}
 	}()
 	_, err = db.RunEpoch(batch)
+	db.WaitDurable()
 	return false, err
 }
 
@@ -375,6 +378,7 @@ func RunAriaUntilCrash(db *core.DB, batch []*core.AriaTxn) (fired bool, err erro
 		}
 	}()
 	_, err = db.RunEpochAria(batch)
+	db.WaitDurable()
 	return false, err
 }
 

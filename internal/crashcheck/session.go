@@ -58,6 +58,7 @@ func newSession(spec Spec) (*session, error) {
 	}
 	s.opts.MinorGCEnabled = spec.MinorGC
 	s.opts.PersistIndex = spec.PersistIndex
+	s.opts.AsyncPersist = spec.AsyncPersist
 	if err := s.opts.Layout.Finalize(); err != nil {
 		return nil, fmt.Errorf("crashcheck: layout: %w", err)
 	}
@@ -374,14 +375,22 @@ func (s *session) ariaBatch(le int) []*core.AriaTxn {
 	return out
 }
 
-// runEpoch runs one logical epoch in the spec's flavour.
+// runEpoch runs one logical epoch in the spec's flavour. It drains the
+// asynchronous commit tail before returning so callers can snapshot the
+// device or digest the state immediately (a no-op with AsyncPersist off).
 func (s *session) runEpoch(db *core.DB, le int) error {
 	if s.spec.Aria {
-		_, err := db.RunEpochAria(s.ariaBatch(le))
+		if _, err := db.RunEpochAria(s.ariaBatch(le)); err != nil {
+			return err
+		}
+		db.WaitDurable()
+		return nil
+	}
+	if _, err := db.RunEpoch(s.batch(db, le)); err != nil {
 		return err
 	}
-	_, err := db.RunEpoch(s.batch(db, le))
-	return err
+	db.WaitDurable()
+	return nil
 }
 
 // runEpochUntilCrash is runEpoch with injected-crash conversion.

@@ -57,6 +57,12 @@ type Spec struct {
 	// PersistIndex enables the persistent index journal (§7 extension), so
 	// exploration covers the journal fast path of recovery.
 	PersistIndex bool `json:"persist_index,omitempty"`
+	// AsyncPersist overlaps each epoch's commit tail (checkpoint fence and
+	// epoch record) with the next epoch's work. The checker drains the
+	// in-flight commit (core.DB.WaitDurable) before every digest, snapshot,
+	// or injected crash, so fail points still index a deterministic flush
+	// sequence.
+	AsyncPersist bool `json:"async_persist,omitempty"`
 }
 
 // DefaultSpec returns a small KV spec whose probe epoch exercises final

@@ -1,0 +1,126 @@
+package nvm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Redundant-flush elision tests. The device elides the write-back of a
+// line that is clean since its last snapshot (durable, or staged with the
+// same content a second write-back would produce), and the accounting
+// guarantees every line a Flush visits lands in exactly one of Flushes or
+// FlushesElided. The invariant the crash-consistency of the whole engine
+// rests on: elision may only ever skip a CLEAN line — a line dirtied after
+// its last flush must always be written back again.
+
+func TestFlushElisionCountsCleanSkips(t *testing.T) {
+	d := New(4096)
+	d.WriteAt([]byte("x"), 0)
+
+	base := d.Stats()
+	d.Flush(0, LineSize)
+	s := d.Stats().Sub(base)
+	if s.Flushes != 1 || s.FlushesElided != 0 {
+		t.Fatalf("first flush: flushes=%d elided=%d, want 1/0", s.Flushes, s.FlushesElided)
+	}
+
+	// Same line again before the fence: content already staged, elide.
+	base = d.Stats()
+	d.Flush(0, LineSize)
+	s = d.Stats().Sub(base)
+	if s.Flushes != 0 || s.FlushesElided != 1 {
+		t.Fatalf("redundant flush: flushes=%d elided=%d, want 0/1", s.Flushes, s.FlushesElided)
+	}
+
+	// After the fence the line is durable and still clean: elide again.
+	d.Fence()
+	base = d.Stats()
+	d.Flush(0, LineSize)
+	s = d.Stats().Sub(base)
+	if s.Flushes != 0 || s.FlushesElided != 1 {
+		t.Fatalf("post-fence clean flush: flushes=%d elided=%d, want 0/1", s.Flushes, s.FlushesElided)
+	}
+
+	// Re-dirtied: the write-back is mandatory, not elidable.
+	d.WriteAt([]byte("y"), 0)
+	base = d.Stats()
+	d.Flush(0, LineSize)
+	s = d.Stats().Sub(base)
+	if s.Flushes != 1 || s.FlushesElided != 0 {
+		t.Fatalf("re-dirtied flush: flushes=%d elided=%d, want 1/0", s.Flushes, s.FlushesElided)
+	}
+}
+
+func TestFlushTilesRangeAcrossFlushedAndElided(t *testing.T) {
+	const lines = 8
+	d := New(lines * LineSize)
+	// Dirty every other line; the rest stay clean.
+	for l := int64(0); l < lines; l += 2 {
+		d.WriteAt([]byte{byte(l + 1)}, l*LineSize)
+	}
+	base := d.Stats()
+	d.Flush(0, lines*LineSize)
+	s := d.Stats().Sub(base)
+	if s.Flushes+s.FlushesElided != lines {
+		t.Fatalf("flush visited %d lines but accounted %d+%d", int64(lines), s.Flushes, s.FlushesElided)
+	}
+	if s.Flushes != lines/2 || s.FlushesElided != lines/2 {
+		t.Fatalf("flushes=%d elided=%d, want %d/%d", s.Flushes, s.FlushesElided, lines/2, lines/2)
+	}
+}
+
+// TestFlushElisionNeverSkipsDirtyLine drives a random write/flush/fence
+// history and checks, at every strict crash, that elision never cost us a
+// write-back a dirty line needed: after flush+fence the latest flushed
+// content must be durable even when earlier flushes of the same line were
+// elided.
+func TestFlushElisionNeverSkipsDirtyLine(t *testing.T) {
+	const lines = 16
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 50; round++ {
+		d := New(lines * LineSize)
+		fenced := make(map[int64][]byte) // line -> content guaranteed durable
+		for step := 0; step < 40; step++ {
+			l := int64(rng.Intn(lines))
+			switch rng.Intn(4) {
+			case 0, 1: // write + flush (possibly twice: the second elides)
+				val := make([]byte, LineSize)
+				rng.Read(val)
+				d.WriteAt(val, l*LineSize)
+				d.Flush(l*LineSize, LineSize)
+				if rng.Intn(2) == 0 {
+					d.Flush(l*LineSize, LineSize) // redundant: must be a pure no-op
+				}
+			case 2: // flush a line that may be clean (elision candidate)
+				d.Flush(l*LineSize, LineSize)
+			case 3:
+				d.Fence()
+				// Everything staged so far is durable now.
+				for ln := int64(0); ln < lines; ln++ {
+					buf := make([]byte, LineSize)
+					d.ReadAt(buf, ln*LineSize)
+					if d.state[ln].Load()&stDirty == 0 {
+						fenced[ln] = buf
+					}
+				}
+			}
+		}
+		d.Fence()
+		for ln := int64(0); ln < lines; ln++ {
+			buf := make([]byte, LineSize)
+			d.ReadAt(buf, ln*LineSize)
+			if d.state[ln].Load()&stDirty == 0 {
+				fenced[ln] = buf
+			}
+		}
+		d.Crash(CrashStrict, 0)
+		for ln, want := range fenced {
+			got := make([]byte, LineSize)
+			d.ReadAt(got, ln*LineSize)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d: line %d lost flushed+fenced content after strict crash (elision skipped a dirty line?)", round, ln)
+			}
+		}
+	}
+}

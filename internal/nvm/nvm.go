@@ -108,27 +108,29 @@ type Stats struct {
 	LineWrites   int64 // lines touched by stores
 	BytesRead    int64
 	BytesWritten int64
-	Flushes      int64 // Flush calls (line writebacks issued)
-	Fences       int64 // Fence calls
-	LinesFenced  int64 // lines made durable by fences
+	Flushes       int64 // line write-backs issued (dirty lines snapshotted)
+	FlushesElided int64 // lines a Flush visited but skipped because already clean
+	Fences        int64 // Fence calls
+	LinesFenced   int64 // lines made durable by fences
 }
 
 // Sub returns s - o, useful for measuring an interval.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		LineReads:    s.LineReads - o.LineReads,
-		LineWrites:   s.LineWrites - o.LineWrites,
-		BytesRead:    s.BytesRead - o.BytesRead,
-		BytesWritten: s.BytesWritten - o.BytesWritten,
-		Flushes:      s.Flushes - o.Flushes,
-		Fences:       s.Fences - o.Fences,
-		LinesFenced:  s.LinesFenced - o.LinesFenced,
+		LineReads:     s.LineReads - o.LineReads,
+		LineWrites:    s.LineWrites - o.LineWrites,
+		BytesRead:     s.BytesRead - o.BytesRead,
+		BytesWritten:  s.BytesWritten - o.BytesWritten,
+		Flushes:       s.Flushes - o.Flushes,
+		FlushesElided: s.FlushesElided - o.FlushesElided,
+		Fences:        s.Fences - o.Fences,
+		LinesFenced:   s.LinesFenced - o.LinesFenced,
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("reads=%d writes=%d flushes=%d fences=%d bytesR=%d bytesW=%d",
-		s.LineReads, s.LineWrites, s.Flushes, s.Fences, s.BytesRead, s.BytesWritten)
+	return fmt.Sprintf("reads=%d writes=%d flushes=%d elided=%d fences=%d bytesR=%d bytesW=%d",
+		s.LineReads, s.LineWrites, s.Flushes, s.FlushesElided, s.Fences, s.BytesRead, s.BytesWritten)
 }
 
 // Option configures a Device.
@@ -206,14 +208,14 @@ type journalStripe struct {
 // statCell is one stripe of the access counters. Exactly one cache line so
 // cells do not false-share.
 type statCell struct {
-	lineReads    atomic.Int64
-	lineWrites   atomic.Int64
-	bytesRead    atomic.Int64
-	bytesWritten atomic.Int64
-	flushes      atomic.Int64
-	fences       atomic.Int64
-	linesFenced  atomic.Int64
-	_            [8]byte
+	lineReads     atomic.Int64
+	lineWrites    atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
+	flushes       atomic.Int64
+	flushesElided atomic.Int64
+	fences        atomic.Int64
+	linesFenced   atomic.Int64
 }
 
 // FieldWrite is one store of a vectored multi-field write (WriteFields).
@@ -698,7 +700,8 @@ func (d *Device) writeFields(fields []FieldWrite, flushes []Range, c obs.Cause) 
 // Flush issues a write-back for every line in [off, off+n). Each flushed
 // line's current content is snapshotted; a subsequent Fence makes the
 // snapshots durable. Flushing a clean line is a no-op (as on hardware) and
-// takes no lock.
+// takes no lock; the elision pass counts every such skip, so each line a
+// Flush visits lands in exactly one of Flushes or FlushesElided.
 func (d *Device) Flush(off, n int64) { d.flush(off, n, obs.CauseOther) }
 
 func (d *Device) flush(off, n int64, c obs.Cause) {
@@ -712,17 +715,34 @@ func (d *Device) flush(off, n int64, c obs.Cause) {
 	}
 	d.check(off, n)
 	touched := false
+	var elided int64
 	first, last := lineOf(off), lineOf(off+n-1)
 	for l := first; l <= last; l++ {
 		if d.state[l].Load()&stDirty == 0 {
+			// Clean since the last fence (durable, or staged with the same
+			// content a second write-back would snapshot): elide.
+			elided++
+			if a := d.attrib; a != nil {
+				a.RecordFlushElided(c, l)
+			}
 			continue
 		}
 		if d.flushLine(l) {
 			if a := d.attrib; a != nil {
 				a.RecordFlush(c, l)
 			}
+		} else {
+			// The dirty bit vanished under us (chaos eviction won the race):
+			// the line is durable, the write-back is unnecessary.
+			elided++
+			if a := d.attrib; a != nil {
+				a.RecordFlushElided(c, l)
+			}
 		}
 		touched = true
+	}
+	if elided > 0 {
+		d.cellFor(first).flushesElided.Add(elided)
 	}
 	// Clean-range flushes are hardware no-ops; recording them would drown
 	// the histogram in zeros.
@@ -772,7 +792,7 @@ func (d *Device) Persist(off, n int64) {
 
 func (d *Device) persist(off, n int64, c obs.Cause) {
 	d.flush(off, n, c)
-	d.Fence()
+	d.fence(c)
 }
 
 // PersistRange flushes every given range and issues one fence: a vectored
@@ -787,7 +807,7 @@ func (d *Device) persistRange(c obs.Cause, ranges ...Range) {
 	for _, r := range ranges {
 		d.flush(r.Off, r.N, c)
 	}
-	d.Fence()
+	d.fence(c)
 }
 
 // Fence commits every staged line snapshot to the durable image. It models
@@ -795,7 +815,9 @@ func (d *Device) persistRange(c obs.Cause, ranges ...Range) {
 // persistence domain. Only the journaled lines are visited — the cost is
 // proportional to the lines flushed since the last fence, not to the
 // device size or a fixed shard count.
-func (d *Device) Fence() {
+func (d *Device) Fence() { d.fence(obs.CauseOther) }
+
+func (d *Device) fence(c obs.Cause) {
 	on := d.obs.On()
 	var t0 time.Time
 	if on {
@@ -804,6 +826,9 @@ func (d *Device) Fence() {
 	d.fenceMu.Lock()
 	defer d.fenceMu.Unlock()
 	d.cells[0].fences.Add(1)
+	if a := d.attrib; a != nil {
+		a.RecordFence(c)
+	}
 	if d.traceFences {
 		d.fenceMarks = append(d.fenceMarks, d.foldFlushes())
 	}
@@ -917,6 +942,7 @@ func (d *Device) Stats() Stats {
 		s.BytesRead += c.bytesRead.Load()
 		s.BytesWritten += c.bytesWritten.Load()
 		s.Flushes += c.flushes.Load()
+		s.FlushesElided += c.flushesElided.Load()
 		s.Fences += c.fences.Load()
 		s.LinesFenced += c.linesFenced.Load()
 	}
@@ -932,6 +958,7 @@ func (d *Device) ResetStats() {
 		c.bytesRead.Store(0)
 		c.bytesWritten.Store(0)
 		c.flushes.Store(0)
+		c.flushesElided.Store(0)
 		c.fences.Store(0)
 		c.linesFenced.Store(0)
 	}

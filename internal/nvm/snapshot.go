@@ -25,7 +25,7 @@ type Snapshot struct {
 
 	journals [stripeCount][]int64
 
-	cells [statStripes][7]int64
+	cells [statStripes][8]int64
 
 	chaosDenom int
 	chaosState uint64
@@ -68,10 +68,11 @@ func (d *Device) Snapshot() *Snapshot {
 	}
 	for i := range d.cells {
 		c := &d.cells[i]
-		s.cells[i] = [7]int64{
+		s.cells[i] = [8]int64{
 			c.lineReads.Load(), c.lineWrites.Load(),
 			c.bytesRead.Load(), c.bytesWritten.Load(),
-			c.flushes.Load(), c.fences.Load(), c.linesFenced.Load(),
+			c.flushes.Load(), c.flushesElided.Load(),
+			c.fences.Load(), c.linesFenced.Load(),
 		}
 	}
 	return s
@@ -108,8 +109,9 @@ func (d *Device) Restore(s *Snapshot) {
 		c.bytesRead.Store(s.cells[i][2])
 		c.bytesWritten.Store(s.cells[i][3])
 		c.flushes.Store(s.cells[i][4])
-		c.fences.Store(s.cells[i][5])
-		c.linesFenced.Store(s.cells[i][6])
+		c.flushesElided.Store(s.cells[i][5])
+		c.fences.Store(s.cells[i][6])
+		c.linesFenced.Store(s.cells[i][7])
 	}
 	d.chaosDenom = s.chaosDenom
 	d.chaosState.Store(s.chaosState)

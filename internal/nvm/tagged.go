@@ -72,6 +72,8 @@ func (t Tagged) Persist(off, n int64) { t.d.persist(off, n, t.cause) }
 // PersistRange is Device.PersistRange attributed to the view's cause.
 func (t Tagged) PersistRange(ranges ...Range) { t.d.persistRange(t.cause, ranges...) }
 
-// Fence forwards to Device.Fence. Fences drain previously issued
-// write-backs from many causes at once, so they are not attributed.
-func (t Tagged) Fence() { t.d.Fence() }
+// Fence is Device.Fence attributed to the view's cause. A fence drains
+// previously issued write-backs from every cause at once, so the
+// attribution records who *ordered* (paid for) the fence, not whose lines
+// it happened to commit — which is exactly the ledger a fence diet needs.
+func (t Tagged) Fence() { t.d.fence(t.cause) }

@@ -83,12 +83,14 @@ const maxEpochWindows = 64
 // causeCell is one stripe's counters for one cause, padded to a cache line
 // so stripes don't false-share.
 type causeCell struct {
-	lineReads    atomic.Int64
-	lineWrites   atomic.Int64
-	bytesRead    atomic.Int64
-	bytesWritten atomic.Int64
-	flushes      atomic.Int64
-	_            [3]int64
+	lineReads     atomic.Int64
+	lineWrites    atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
+	flushes       atomic.Int64
+	flushesElided atomic.Int64
+	fences        atomic.Int64
+	_             [1]int64
 }
 
 // wampCell is one core stripe of the logical-write accounting the engine
@@ -234,6 +236,24 @@ func (a *Attrib) RecordFlush(c Cause, line int64) {
 		return
 	}
 	a.cells[line%attribStripes][c].flushes.Add(1)
+}
+
+// RecordFlushElided attributes one line a Flush visited but skipped because
+// the durability state machine showed it already clean — a write-back the
+// cause would have paid for without the elision pass.
+func (a *Attrib) RecordFlushElided(c Cause, line int64) {
+	if a == nil {
+		return
+	}
+	a.cells[line%attribStripes][c].flushesElided.Add(1)
+}
+
+// RecordFence attributes one fence to the cause that ordered it.
+func (a *Attrib) RecordFence(c Cause) {
+	if a == nil {
+		return
+	}
+	a.cells[0][c].fences.Add(1)
 }
 
 func (a *Attrib) recordSpace(firstLine, lines int64) {
@@ -406,6 +426,8 @@ func (a *Attrib) Reset() {
 			cell.bytesRead.Store(0)
 			cell.bytesWritten.Store(0)
 			cell.flushes.Store(0)
+			cell.flushesElided.Store(0)
+			cell.fences.Store(0)
 		}
 	}
 	for s := range a.wamp {
@@ -433,11 +455,13 @@ func (a *Attrib) Reset() {
 
 // CauseCounts is the folded counters of one cause.
 type CauseCounts struct {
-	LineReads    int64 `json:"line_reads"`
-	LineWrites   int64 `json:"line_writes"`
-	BytesRead    int64 `json:"bytes_read"`
-	BytesWritten int64 `json:"bytes_written"`
-	Flushes      int64 `json:"flushes"`
+	LineReads     int64 `json:"line_reads"`
+	LineWrites    int64 `json:"line_writes"`
+	BytesRead     int64 `json:"bytes_read"`
+	BytesWritten  int64 `json:"bytes_written"`
+	Flushes       int64 `json:"flushes"`
+	FlushesElided int64 `json:"flushes_elided,omitempty"`
+	Fences        int64 `json:"fences,omitempty"`
 }
 
 // AttribSnapshot is a consistent-enough (per-counter atomic) fold of the
@@ -465,6 +489,8 @@ func (a *Attrib) Snapshot() AttribSnapshot {
 			s.PerCause[c].BytesRead += cell.bytesRead.Load()
 			s.PerCause[c].BytesWritten += cell.bytesWritten.Load()
 			s.PerCause[c].Flushes += cell.flushes.Load()
+			s.PerCause[c].FlushesElided += cell.flushesElided.Load()
+			s.PerCause[c].Fences += cell.fences.Load()
 		}
 	}
 	for st := range a.wamp {
@@ -491,6 +517,8 @@ func (a *Attrib) Counts(c Cause) CauseCounts {
 		out.BytesRead += cell.bytesRead.Load()
 		out.BytesWritten += cell.bytesWritten.Load()
 		out.Flushes += cell.flushes.Load()
+		out.FlushesElided += cell.flushesElided.Load()
+		out.Fences += cell.fences.Load()
 	}
 	return out
 }

@@ -17,7 +17,9 @@ import (
 const Magic = uint64(0x4e56434152414341) // "NVCARACA"
 
 // LayoutVersion guards against attaching to an incompatible format.
-const LayoutVersion = uint64(4)
+// Version 5 widened free-ring entries from 8 to 16 bytes (offset + stamp)
+// and retired the pool control line's current-tail stage slots.
+const LayoutVersion = uint64(5)
 
 const line = int64(nvm.LineSize)
 
@@ -179,7 +181,7 @@ func (l *Layout) compute() {
 		l.rowCtlOff[c] = off
 		off += line
 		l.rowRingOff[c] = off
-		off += alignUp(l.RingCap * 8)
+		off += alignUp(l.RingCap * ringStride)
 		l.rowDataOff[c] = off
 		off += alignUp(l.RowsPerCore * l.RowSize)
 	}
@@ -194,7 +196,7 @@ func (l *Layout) compute() {
 			l.valCtlOff[k][c] = off
 			off += line
 			l.valRingOff[k][c] = off
-			off += alignUp(l.RingCap * 8)
+			off += alignUp(l.RingCap * ringStride)
 			l.valDataOff[k][c] = off
 			off += alignUp(l.ValuesPerCore * size)
 		}
@@ -288,14 +290,14 @@ func (l *Layout) Regions() []obs.Region {
 	rs = append(rs, obs.Region{Name: "wal", Off: l.logOff, Len: alignUp(l.LogBytes)})
 	for c := 0; c < l.Cores; c++ {
 		rs = append(rs,
-			obs.Region{Name: "row-free-ring", Off: l.rowCtlOff[c], Len: line + alignUp(l.RingCap*8)},
+			obs.Region{Name: "row-free-ring", Off: l.rowCtlOff[c], Len: line + alignUp(l.RingCap*ringStride)},
 			obs.Region{Name: "row-heap", Off: l.rowDataOff[c], Len: alignUp(l.RowsPerCore * l.RowSize)},
 		)
 	}
 	for k, size := range l.valClasses {
 		for c := 0; c < l.Cores; c++ {
 			rs = append(rs,
-				obs.Region{Name: "val-free-ring", Off: l.valCtlOff[k][c], Len: line + alignUp(l.RingCap*8)},
+				obs.Region{Name: "val-free-ring", Off: l.valCtlOff[k][c], Len: line + alignUp(l.RingCap*ringStride)},
 				obs.Region{Name: "val-heap", Off: l.valDataOff[k][c], Len: alignUp(l.ValuesPerCore * size)},
 			)
 		}
@@ -468,10 +470,12 @@ func (e *EpochRecord) Load() uint64 { return e.dev.Load64(e.off) }
 
 // Store persists the checkpointed epoch number. Per Algorithm 1, the caller
 // must already have fenced the epoch's data writes; Store issues its own
-// trailing persist so the record itself is durable on return.
+// trailing persist so the record itself is durable on return. The record
+// commits the epoch's persist phase, so its traffic is attributed there.
 func (e *EpochRecord) Store(epoch uint64) {
-	e.dev.Store64(e.off, epoch)
-	e.dev.Persist(e.off, 8)
+	td := e.dev.Tag(obs.CausePersistFinal)
+	td.Store64(e.off, epoch)
+	td.Persist(e.off, 8)
 }
 
 // counterStride is the per-counter footprint: two parity slots, so the

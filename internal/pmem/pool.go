@@ -8,11 +8,18 @@ import (
 	"nvcaracal/internal/obs"
 )
 
-// Control-line field offsets (all eight fields share one cache line, which
-// is safe: a checkpoint modifies only the current-parity slots and then
+// Control-line field offsets (all fields share one cache line, which is
+// safe: a checkpoint modifies only the current-parity slots and then
 // persists the line; an un-fenced crash reverts the whole line to the
 // previous checkpoint's content, in which the other-parity slots are the
 // ones recovery reads).
+//
+// Offsets 48 and 56 held layout v4's non-revertible current-tail stage
+// (epoch stamp + tail), persisted with its own fence after major GC. Layout
+// v5 replaced that mechanism with self-validating stamped ring entries (see
+// Free/FreeGC): recovery now identifies the crashed epoch's GC frees from
+// the entries themselves, so the slots are unused and the stage fence is
+// gone.
 const (
 	ctlBump0 = 0  // bump offset, even-epoch checkpoint
 	ctlBump1 = 8  // bump offset, odd-epoch checkpoint
@@ -20,9 +27,39 @@ const (
 	ctlHead1 = 24 // free-list head, odd
 	ctlTail0 = 32 // free-list tail, even
 	ctlTail1 = 40 // free-list tail, odd
-	ctlCTEp  = 48 // epoch stamp of the non-revertible current-tail slot
-	ctlCT    = 56 // current tail (persisted after major GC, before execution)
 )
+
+// ringStride is the byte footprint of one free-ring entry: the freed slot
+// offset plus its validation stamp. Entries never straddle a cache line
+// (64/16 divides evenly), so an entry is all-or-nothing under any crash
+// mode.
+const ringStride = 16
+
+// Ring-entry kinds, mixed into the stamp. A transaction free ('T') is
+// revertible: a crash before the epoch checkpoints must un-free the slot,
+// so recovery never adopts it. A major-GC free ('G') is non-revertible:
+// recovery must adopt it if the freeing epoch's phase-2 row rewrites could
+// have reached NVMM, or the slot would leak.
+const (
+	entryTxn = 'T'
+	entryGC  = 'G'
+)
+
+// entryStamp hashes an entry's identity — kind, monotonic logical ring
+// position, freeing epoch, and the freed offset — so Recover can tell a
+// durably-landed entry of the crashed epoch from stale ring bytes of an
+// earlier epoch (or of an earlier wrap of the same ring slot) without any
+// separately-persisted extent pointer.
+func entryStamp(kind byte, pos int64, epoch uint64, off int64) uint64 {
+	h := uint64(idxFnvOffset)
+	for _, v := range [4]uint64{uint64(kind), uint64(pos), epoch, uint64(off)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= idxFnvPrime
+		}
+	}
+	return h
+}
 
 // ErrPoolFull is returned when neither the free list nor the bump region
 // can satisfy an allocation.
@@ -105,7 +142,7 @@ func (p *Pool) FreeCount() int64 { return p.tail - p.head }
 func (p *Pool) UsedBytes() int64 { return p.bump * p.slotSize }
 
 func (p *Pool) ringSlotOff(pos int64) int64 {
-	return p.ringOff + (pos%p.ringCap)*8
+	return p.ringOff + (pos%p.ringCap)*ringStride
 }
 
 // Alloc returns the device offset of a free slot. It prefers the free list
@@ -127,17 +164,29 @@ func (p *Pool) Alloc() (int64, error) {
 	return 0, fmt.Errorf("%w (cap %d slots of %d bytes)", ErrPoolFull, p.capSlots, p.slotSize)
 }
 
-// Free appends the slot at off to the free list. The ring entry is written
-// to NVMM but not flushed; FlushRing batches the writeback. The entry
-// becomes allocatable only after the next checkpoint.
-func (p *Pool) Free(off int64) {
+// Free appends the slot at off to the free list as a revertible
+// transaction free. The ring entry is written to NVMM but not flushed;
+// FlushRing batches the writeback. The entry becomes allocatable only after
+// the next checkpoint.
+func (p *Pool) Free(off int64) { p.appendEntry(entryTxn, 0, off) }
+
+// FreeGC appends the slot at off to the free list as a non-revertible
+// major-GC free of the given epoch. The entry's stamp is what recovery
+// validates when it adopts the crashed epoch's GC frees, so the caller must
+// make all GC entries durable (FlushRing + one fence) before rewriting any
+// row in phase 2 — that single fence is the only ordering major GC needs.
+func (p *Pool) FreeGC(off int64, epoch uint64) { p.appendEntry(entryGC, epoch, off) }
+
+func (p *Pool) appendEntry(kind byte, epoch uint64, off int64) {
 	if p.tail-p.headCkpt >= p.ringCap {
 		// The ring must retain every entry from the last checkpointed head
 		// onward so a crash can revert consumption; running out means the
 		// pool was sized too small for the workload's churn.
 		panic(fmt.Sprintf("pmem: free-list ring overflow (cap %d)", p.ringCap))
 	}
-	p.dev.Store64(p.ringSlotOff(p.tail), uint64(off))
+	slot := p.ringSlotOff(p.tail)
+	p.dev.Store64(slot, uint64(off))
+	p.dev.Store64(slot+8, entryStamp(kind, p.tail, epoch, off))
 	p.tail++
 }
 
@@ -178,42 +227,58 @@ func (p *Pool) Checkpointed() {
 	p.tailCkpt = p.tail
 }
 
-// StageCurrentTail writes and flushes the third, non-revertible tail offset
-// (paper §5.5) after major GC appends its frees and before the execution
-// phase. The caller must issue one fence covering all pools before
-// execution begins; after that fence the GC frees are durable and survive a
-// crash during execution, while frees appended later (by transaction
-// deletes) will be reverted.
-func (p *Pool) StageCurrentTail(epoch uint64) {
-	p.FlushRing()
-	p.dev.Store64(p.ctlOff+ctlCT, uint64(p.tail))
-	p.dev.Store64(p.ctlOff+ctlCTEp, epoch)
-	p.dev.Flush(p.ctlOff, line)
-}
-
-// Recover restores the DRAM state from the checkpoint of ckptEpoch. If the
-// crashed epoch (ckptEpoch+1) had persisted a current-tail slot, the tail
-// adopts it: those frees came from major GC and are non-revertible.
-// It returns the offsets freed non-revertibly in the crashed epoch, which
-// recovery uses as the duplicate-suppression set when it re-runs major GC.
-func (p *Pool) Recover(ckptEpoch uint64) []int64 {
+// Recover restores the DRAM state from the checkpoint of ckptEpoch and,
+// when adoptGC is set, adopts the crashed epoch's (ckptEpoch+1's) major-GC
+// frees by scanning the ring past the checkpointed tail while entries carry
+// a valid GC stamp for that epoch. Those frees are non-revertible: they
+// came from phase 1 of major GC, which fences them durable before phase 2
+// rewrites any row, so
+//
+//   - if any collected row landed in NVMM, the fence preceding phase 2 has
+//     completed and every GC entry is durable — the scan adopts them all
+//     and no freed slot leaks;
+//   - if the crash hit before that fence, entries may have landed partially
+//     (cache evictions), but then no row was collected: the adopted prefix
+//     is a subset of frees the replayed GC re-issues, and the returned
+//     duplicate-suppression set prevents the double free.
+//
+// Both arms assume the crashed epoch is REPLAYED, which is why the caller
+// gates adoption: adoptGC must be set only when the crashed epoch's logged
+// inputs are durable. When they are not, the epoch's single init fence —
+// which orders the input log before any GC phase-2 rewrite — cannot have
+// completed, so no row was collected, every queued row still references its
+// stale slot, and the epoch's landed entries must vanish with the rest of
+// the epoch (they are overwritten when the ring tail advances again).
+// Adopting them without the replay's re-issued collection would free slots
+// that live rows still point to.
+//
+// Transaction frees ('T' stamps, appended only after the GC phase of the
+// epoch) and stale bytes from earlier epochs or earlier ring wraps fail the
+// stamp check and stop the scan. It returns the offsets freed
+// non-revertibly in the crashed epoch, which recovery uses as the
+// duplicate-suppression set when it re-runs major GC.
+func (p *Pool) Recover(ckptEpoch uint64, adoptGC bool) []int64 {
 	par := int64(ckptEpoch % 2)
 	p.bump = int64(p.dev.Load64(p.ctlOff + ctlBump0 + par*8))
 	p.head = int64(p.dev.Load64(p.ctlOff + ctlHead0 + par*8))
 	p.tail = int64(p.dev.Load64(p.ctlOff + ctlTail0 + par*8))
 	ckptTail := p.tail
 	var gcFrees []int64
-	if p.dev.Load64(p.ctlOff+ctlCTEp) == ckptEpoch+1 {
-		ct := int64(p.dev.Load64(p.ctlOff + ctlCT))
-		for pos := ckptTail; pos < ct; pos++ {
-			gcFrees = append(gcFrees, int64(p.dev.Load64(p.ringSlotOff(pos))))
+	if adoptGC {
+		for pos := ckptTail; pos-ckptTail < p.ringCap; pos++ {
+			slot := p.ringSlotOff(pos)
+			off := int64(p.dev.Load64(slot))
+			if p.dev.Load64(slot+8) != entryStamp(entryGC, pos, ckptEpoch+1, off) {
+				break
+			}
+			gcFrees = append(gcFrees, off)
 		}
-		p.tail = ct
 	}
+	p.tail = ckptTail + int64(len(gcFrees))
 	p.headCkpt = p.head
-	// Invariant 2 uses the checkpointed tail, not the adopted current tail:
-	// slots freed by the crashed epoch's GC must not be reallocated while
-	// that epoch is replayed.
+	// Invariant 2 uses the checkpointed tail, not the adopted tail: slots
+	// freed by the crashed epoch's GC must not be reallocated while that
+	// epoch is replayed.
 	p.tailCkpt = ckptTail
 	p.flushFrom = p.tail
 	return gcFrees

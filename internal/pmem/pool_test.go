@@ -179,7 +179,7 @@ func TestCrashRevertsUncheckpointedAllocations(t *testing.T) {
 		t.Fatalf("checkpointed epoch = %d, want 1", ckpt)
 	}
 	p2 := RowPool(dev, l, 0)
-	gc := p2.Recover(ckpt)
+	gc := p2.Recover(ckpt, true)
 	if len(gc) != 0 {
 		t.Fatalf("unexpected GC frees: %v", gc)
 	}
@@ -210,7 +210,7 @@ func TestCrashPreservesCheckpointedFrees(t *testing.T) {
 	dev.Crash(nvm.CrashStrict, 7)
 
 	p2 := RowPool(dev, l, 0)
-	p2.Recover(rec.Load())
+	p2.Recover(rec.Load(), true)
 	// The consume must be reverted: both entries back on the list.
 	if p2.FreeCount() != 2 {
 		t.Fatalf("free count = %d, want 2", p2.FreeCount())
@@ -224,7 +224,7 @@ func TestCrashPreservesCheckpointedFrees(t *testing.T) {
 	}
 }
 
-func TestCurrentTailAdoptedAfterCrash(t *testing.T) {
+func TestGCEntriesAdoptedAfterCrash(t *testing.T) {
 	l, dev := testLayout(t)
 	rec := NewEpochRecord(dev, l)
 	p := ValuePool(dev, l, 0, 0)
@@ -234,17 +234,18 @@ func TestCurrentTailAdoptedAfterCrash(t *testing.T) {
 	c, _ := p.Alloc()
 	runCheckpoint(dev, rec, 1, p)
 
-	// Epoch 2: major GC frees a and b, persists the current tail; then a
-	// transaction frees c (revertible); then crash during execution.
-	p.Free(a)
-	p.Free(b)
-	p.StageCurrentTail(2)
+	// Epoch 2: major GC frees a and b as stamped entries and fences them
+	// durable (the init fence); then a transaction frees c (revertible);
+	// then crash during execution.
+	p.FreeGC(a, 2)
+	p.FreeGC(b, 2)
+	p.FlushRing()
 	dev.Fence()
 	p.Free(c)
 	dev.Crash(nvm.CrashStrict, 9)
 
 	p2 := ValuePool(dev, l, 0, 0)
-	gc := p2.Recover(rec.Load())
+	gc := p2.Recover(rec.Load(), true)
 	if len(gc) != 2 || gc[0] != a || gc[1] != b {
 		t.Fatalf("gc frees = %v, want [%d %d]", gc, a, b)
 	}
@@ -269,24 +270,95 @@ func TestCurrentTailAdoptedAfterCrash(t *testing.T) {
 	}
 }
 
-func TestCurrentTailIgnoredWhenStale(t *testing.T) {
+func TestGCEntriesNotAdoptedWithoutReplay(t *testing.T) {
+	// Same durable GC entries as above, but the recovery decides the
+	// crashed epoch will not be replayed (its log never became durable):
+	// the entries must be reverted, not adopted, because the rows that
+	// referenced the freed slots were never rewritten.
 	l, dev := testLayout(t)
 	rec := NewEpochRecord(dev, l)
 	p := ValuePool(dev, l, 0, 0)
 	a, _ := p.Alloc()
-	p.Free(a)
-	p.StageCurrentTail(1) // GC in epoch 1
+	b, _ := p.Alloc()
+	runCheckpoint(dev, rec, 1, p)
+	p.FreeGC(a, 2)
+	p.FreeGC(b, 2)
+	p.FlushRing()
+	dev.Fence()
+	dev.Crash(nvm.CrashStrict, 11)
+
+	p2 := ValuePool(dev, l, 0, 0)
+	gc := p2.Recover(rec.Load(), false)
+	if len(gc) != 0 {
+		t.Fatalf("gc frees adopted without replay: %v", gc)
+	}
+	if p2.FreeCount() != 0 {
+		t.Fatalf("free count = %d, want 0 (frees of the vanished epoch reverted)", p2.FreeCount())
+	}
+}
+
+func TestGCEntriesPartialLandingAdoptsPrefix(t *testing.T) {
+	// Only the fenced prefix of the crashed epoch's GC entries survives a
+	// strict crash; the scan must adopt exactly that prefix.
+	l, dev := testLayout(t)
+	rec := NewEpochRecord(dev, l)
+	p := ValuePool(dev, l, 0, 0)
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	runCheckpoint(dev, rec, 1, p)
+	p.FreeGC(a, 2)
+	p.FlushRing()
+	dev.Fence()
+	p.FreeGC(b, 2) // written but never flushed: lost in a strict crash
+	dev.Crash(nvm.CrashStrict, 13)
+
+	p2 := ValuePool(dev, l, 0, 0)
+	gc := p2.Recover(rec.Load(), true)
+	if len(gc) != 1 || gc[0] != a {
+		t.Fatalf("gc frees = %v, want [%d]", gc, a)
+	}
+}
+
+func TestGCEntriesIgnoredWhenStale(t *testing.T) {
+	l, dev := testLayout(t)
+	rec := NewEpochRecord(dev, l)
+	p := ValuePool(dev, l, 0, 0)
+	a, _ := p.Alloc()
+	// Epoch 1's GC entry, durable and then consumed by epoch 1's
+	// checkpoint: the recovery scan for epoch 2's entries starts past it.
+	p.FreeGC(a, 1)
+	p.FlushRing()
 	dev.Fence()
 	runCheckpoint(dev, rec, 1, p)
-	// Crash in epoch 2 before its GC persists a current tail.
+	// Crash in epoch 2 before its GC appends anything.
 	dev.Crash(nvm.CrashStrict, 3)
 	p2 := ValuePool(dev, l, 0, 0)
-	gc := p2.Recover(rec.Load())
+	gc := p2.Recover(rec.Load(), true)
 	if len(gc) != 0 {
-		t.Fatalf("stale current tail adopted: %v", gc)
+		t.Fatalf("stale GC entries adopted: %v", gc)
 	}
 	if p2.FreeCount() != 1 {
 		t.Fatalf("free count = %d, want 1", p2.FreeCount())
+	}
+}
+
+func TestGCEntryWrongEpochNotAdopted(t *testing.T) {
+	// A durable GC entry stamped for the wrong epoch (here: the already
+	// checkpointed epoch 1, sitting beyond the checkpointed tail after a
+	// torn checkpoint sequence) must fail the stamp check.
+	l, dev := testLayout(t)
+	rec := NewEpochRecord(dev, l)
+	p := ValuePool(dev, l, 0, 0)
+	a, _ := p.Alloc()
+	runCheckpoint(dev, rec, 1, p)
+	p.FreeGC(a, 1) // stamped epoch 1; recovery of ckpt=1 adopts only epoch-2 stamps
+	p.FlushRing()
+	dev.Fence()
+	dev.Crash(nvm.CrashStrict, 5)
+	p2 := ValuePool(dev, l, 0, 0)
+	gc := p2.Recover(rec.Load(), true)
+	if len(gc) != 0 {
+		t.Fatalf("wrong-epoch GC entry adopted: %v", gc)
 	}
 }
 
@@ -439,7 +511,7 @@ func TestQuickCrashRecoverMatchesModel(t *testing.T) {
 		}
 		dev.Crash(nvm.CrashStrict, seed)
 		p2 := RowPool(dev, l, 0)
-		p2.Recover(rec.Load())
+		p2.Recover(rec.Load(), true)
 		if p2.Bump() != ckpt.bump {
 			t.Logf("seed %d: bump %d, model %d", seed, p2.Bump(), ckpt.bump)
 			return false

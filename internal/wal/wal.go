@@ -72,6 +72,19 @@ func fnv1a(seed uint64, data []byte) uint64 {
 // persists everything with a single fence. On return the epoch's inputs are
 // durable and the execution phase may make writes visible immediately.
 func (l *Log) WriteEpoch(epoch uint64, recs []Record) error {
+	if err := l.WriteEpochNoFence(epoch, recs); err != nil {
+		return err
+	}
+	l.dev.Tag(obs.CauseWALAppend).Fence()
+	return nil
+}
+
+// WriteEpochNoFence is WriteEpoch without the trailing durability fence: it
+// serializes, writes, and flushes the epoch's inputs but leaves ordering to
+// the caller. An engine coalescing the log append with the rest of its
+// initialization phase under one fence uses this; the inputs are NOT
+// guaranteed durable until the caller fences.
+func (l *Log) WriteEpochNoFence(epoch uint64, recs []Record) error {
 	need := 0
 	for _, r := range recs {
 		need += 2 + 4 + len(r.Data)
@@ -98,13 +111,12 @@ func (l *Log) WriteEpoch(epoch uint64, recs []Record) error {
 
 	// Payload then header in one vectored call (payload-first order means a
 	// torn append never has a valid header over garbage payload; the
-	// checksum backstops the rest), then the single durability fence.
+	// checksum backstops the rest). The durability fence is the caller's.
 	td := l.dev.Tag(obs.CauseWALAppend)
 	td.WriteFields([]nvm.FieldWrite{
 		{Off: l.off + headerSize, Data: buf},
 		{Off: l.off, Data: hdr[:]},
 	}, []nvm.Range{{Off: l.off, N: headerSize + int64(len(buf))}})
-	td.Fence()
 	l.lastPayload = int64(len(buf))
 	return nil
 }

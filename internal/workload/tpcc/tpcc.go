@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"nvcaracal/internal/core"
 )
@@ -118,6 +119,11 @@ func decInt64(b []byte, i int) int64 {
 // counters make generation stateful).
 type Workload struct {
 	cfg Config
+
+	// genMu serializes GenBatch: counterSnap is batch-scoped state, and
+	// callers like the crashcheck sweep generate the same batch from many
+	// worker goroutines against one shared Workload.
+	genMu sync.Mutex
 
 	// counterSnap holds the district order-id counters as of the start of
 	// the current batch. Delivery reconnaissance must not observe ids
@@ -255,6 +261,8 @@ func (w *Workload) Gen(rng *rand.Rand, db *core.DB) *core.Txn {
 // GenBatch produces an epoch's worth of transactions, snapshotting the
 // order-id counters first (see Workload.counterSnap).
 func (w *Workload) GenBatch(rng *rand.Rand, db *core.DB, n int) []*core.Txn {
+	w.genMu.Lock()
+	defer w.genMu.Unlock()
 	w.snapshotCounters(db)
 	batch := make([]*core.Txn, n)
 	for i := range batch {

@@ -25,6 +25,7 @@ import (
 
 	"nvcaracal/internal/index"
 	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
 )
 
 // Tuple slot layout.
@@ -261,22 +262,25 @@ func (db *DB) writeTuple(table uint32, key uint64, version uint64, val []byte, d
 	if err != nil {
 		return 0, err
 	}
-	db.dev.Store32(off+tupTable, table)
-	db.dev.Store32(off+tupFlags, 0)
-	db.dev.Store64(off+tupKey, key)
-	db.dev.Store64(off+tupVersion, version)
-	db.dev.Store32(off+tupSize, uint32(len(val)))
+	// Every Zen tuple write is a committed final version: attribute the
+	// whole protocol to the persist-final cause through the tagged-op API.
+	td := db.dev.Tag(obs.CausePersistFinal)
+	td.Store32(off+tupTable, table)
+	td.Store32(off+tupFlags, 0)
+	td.Store64(off+tupKey, key)
+	td.Store64(off+tupVersion, version)
+	td.Store32(off+tupSize, uint32(len(val)))
 	if len(val) > 0 {
-		db.dev.WriteAt(val, off+tupPayload)
+		td.WriteAt(val, off+tupPayload)
 	}
-	db.dev.Flush(off, tupPayload+int64(len(val)))
+	td.Flush(off, tupPayload+int64(len(val)))
 	// Commit flag last: a torn tuple is never considered committed.
 	flags := uint32(flagCommitted)
 	if deleted {
 		flags |= flagDeleted
 	}
-	db.dev.Store32(off+tupFlags, flags)
-	db.dev.Flush(off, 64)
+	td.Store32(off+tupFlags, flags)
+	td.Flush(off, 64)
 	db.stats.nvmmWrites.Add(1)
 	return off, nil
 }
@@ -387,7 +391,10 @@ func (t *Txn) Commit() error {
 			oldSlots = append(oldSlots, old)
 		}
 	}
-	t.db.dev.Fence()
+	// The commit fence orders the tuple writes this transaction paid for:
+	// route it through the tagged-op API so fence attribution tiles (a raw
+	// Device.Fence here would land in the catch-all "other" bucket).
+	t.db.dev.Tag(obs.CausePersistFinal).Fence()
 	// Only after the fence are superseded tuples safe to recycle: the new
 	// versions are durable, so losing the old slots cannot lose data.
 	for _, off := range oldSlots {
@@ -423,18 +430,21 @@ func Recover(dev *nvm.Device, cfg Config) (*DB, error) {
 	latest := make(map[index.Key]best)
 	var maxVersion uint64
 
+	// Both heap scans are recovery traffic in the attribution ledger.
+	rd := dev.Tag(obs.CauseRecovery)
+
 	// Pass 1: latest committed version per key.
 	for i := int64(0); i < cfg.Capacity; i++ {
 		off := i * cfg.TupleSize
-		flags := dev.Load32(off + tupFlags)
+		flags := rd.Load32(off + tupFlags)
 		if flags&flagCommitted == 0 {
 			continue
 		}
-		k := index.Key{Table: dev.Load32(off + tupTable), ID: dev.Load64(off + tupKey)}
+		k := index.Key{Table: rd.Load32(off + tupTable), ID: rd.Load64(off + tupKey)}
 		if k.Table == 0 {
 			continue // never-written slot
 		}
-		v := dev.Load64(off + tupVersion)
+		v := rd.Load64(off + tupVersion)
 		if v > maxVersion {
 			maxVersion = v
 		}
@@ -461,8 +471,8 @@ func Recover(dev *nvm.Device, cfg Config) (*DB, error) {
 	var bump int64
 	for i := int64(0); i < cfg.Capacity; i++ {
 		off := i * cfg.TupleSize
-		flags := dev.Load32(off + tupFlags)
-		table := dev.Load32(off + tupTable)
+		flags := rd.Load32(off + tupFlags)
+		table := rd.Load32(off + tupTable)
 		inUse := flags&flagCommitted != 0 && table != 0
 		if inUse {
 			bump = i + 1

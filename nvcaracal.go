@@ -194,6 +194,12 @@ type Config struct {
 	// IndexJournalBytes sizes the journal region; auto-sized from the row
 	// pools when zero and PersistIndex is set.
 	IndexJournalBytes int64
+	// AsyncPersist overlaps the tail of the persist phase — the checkpoint
+	// fence, the epoch record, and the durable-epoch publish — with the
+	// caller's between-epoch work. RunEpoch drains the previous epoch's
+	// tail before starting, and DB.WaitDurable drains it explicitly
+	// (DB.DurableEpoch reports the last epoch whose record landed).
+	AsyncPersist bool
 
 	// Registry supplies replay decoders; required for crash recovery.
 	Registry *Registry
@@ -276,6 +282,7 @@ func (c Config) coreOptions() (core.Options, error) {
 		MinorGCEnabled:   !c.DisableMinorGC,
 		RevertOnRecovery: c.RevertOnRecovery,
 		PersistIndex:     c.PersistIndex,
+		AsyncPersist:     c.AsyncPersist,
 		Registry:         c.Registry,
 		AriaRegistry:     c.AriaRegistry,
 		Obs:              c.Obs,
