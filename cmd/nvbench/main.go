@@ -44,6 +44,7 @@ func main() {
 		devOps    = flag.Int("device-ops", 200000, "device-bench iterations per core")
 		obsBench  = flag.String("obs-bench", "", "run the observed phase-breakdown cells and write BENCH_obs.json-style output to this file (skips experiments)")
 		attrBench = flag.String("attrib-bench", "", "run the NVMM access-attribution cells (dual-version vs persist-every-write) and write BENCH_attrib.json-style output to this file (skips experiments)")
+		pipeBench = flag.String("pipeline-bench", "", "run the serial/async/pipeline epoch-commit sweep and write BENCH_pipeline.json-style output to this file (skips experiments)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,14 @@ func main() {
 	if *attrBench != "" {
 		if err := runAttribBench(*attrBench, *scaleName, *seed, *cores); err != nil {
 			fmt.Fprintf(os.Stderr, "nvbench: attrib-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *pipeBench != "" {
+		if err := runPipelineBench(*pipeBench, *scaleName, *seed, *epochTxns, *epochs); err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: pipeline-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -177,6 +186,37 @@ type deviceBenchReport struct {
 // runObsBench runs the observed phase-breakdown cells and writes the
 // BENCH_obs.json artifact: where epoch time goes (log/init/execute/persist
 // plus GC shares) per workload and contention level.
+func runPipelineBench(path, scaleName string, seed int64, epochTxns, epochs int) error {
+	var scale bench.Scale
+	switch scaleName {
+	case "quick":
+		scale = bench.QuickScale()
+	case "paper":
+		scale = bench.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q (quick or paper)", scaleName)
+	}
+	if epochTxns > 0 {
+		scale.EpochTxns = epochTxns
+	}
+	if epochs > 0 {
+		scale.Epochs = epochs
+	}
+	rep, err := bench.RunPipelineReport(bench.Options{Scale: scale, Out: os.Stdout, Seed: seed})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d pipeline cells to %s\n", len(rep.Cells), path)
+	return nil
+}
+
 func runObsBench(path, scaleName string, seed int64, cores int) error {
 	var scale bench.Scale
 	switch scaleName {

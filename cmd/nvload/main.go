@@ -44,6 +44,7 @@ func main() {
 		epochTxns  = flag.Int("epoch-txns", 1000, "transactions per epoch")
 		epochs     = flag.Int("epochs", 5, "measured epochs")
 		asyncP     = flag.Bool("async-persist", false, "overlap the epoch-commit tail (checkpoint fence, epoch record) with the next epoch's work")
+		pipeline   = flag.Bool("pipeline", false, "depth-1 epoch pipeline: overlap the entire checkpoint (staging, counters, fence, record) with the next epoch")
 		cores      = flag.Int("cores", 0, "worker cores (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
 		submitters = flag.Int("submitters", 0, "concurrent submitter goroutines (0 = hand-batched epochs)")
@@ -66,6 +67,7 @@ func main() {
 		Cores:            *cores,
 		Mode:             storageMode,
 		AsyncPersist:     *asyncP,
+		Pipeline:         *pipeline,
 		NVMMReadLatency:  *readLat,
 		NVMMWriteLatency: *writeLat,
 		Registry:         nvcaracal.NewRegistry(),

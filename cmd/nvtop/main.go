@@ -21,8 +21,11 @@
 // parse against the schema and carry non-zero epoch counts, the trace
 // endpoint must serve loadable Chrome trace JSON with at least one span, and
 // the attribution payload must parse with per-cause counters consistent with
-// its write-amplification totals. The CI observability smoke runs exactly
-// this.
+// its write-amplification totals. The selfcheck expects an engine running an
+// asynchronous commit mode (nvload -pipeline or -async-persist): the
+// committer's "commit" phase must be populated alongside the four epoch
+// phases. The CI observability smoke runs exactly this against a pipelined
+// nvload.
 package main
 
 import (
@@ -131,6 +134,17 @@ func report(w io.Writer, cur obs.StatsPayload, prev *obs.StatsPayload) {
 	for _, name := range names {
 		row("  "+name, cur.Phases[name], prevOr(prev).Phases[name])
 	}
+	// Durable lag: epochs completed while the previous epoch's commit was
+	// still in flight. All-zero (and omitted) unless an async or pipelined
+	// commit mode ran; a lag beyond 1 should never appear with the depth-1
+	// pipeline.
+	if lag := diffLag(cur.DurableLag, prevOr(prev).DurableLag); lagTotal(lag) > 0 {
+		fmt.Fprintf(w, "%-12s %10d ", "durable-lag", lagTotal(lag))
+		for i, n := range lag {
+			fmt.Fprintf(w, " lag%d=%d", i, n)
+		}
+		fmt.Fprintln(w)
+	}
 	if cur.Device != nil {
 		d := cur.Device
 		var pd obs.DeviceJSON
@@ -212,6 +226,27 @@ func reportAttrib(w io.Writer, client *http.Client, base string) {
 		cum.WriteAmp, cum.RowWriteAmp, cum.PersistAllRatio, cum.TotalLines, cum.CommittedBytes)
 }
 
+// diffLag subtracts the previous durable-lag sample bucket-wise (counters
+// are cumulative) for interval mode; prev is empty in one-shot mode.
+func diffLag(cur, prev []uint64) []uint64 {
+	out := make([]uint64, len(cur))
+	for i, n := range cur {
+		if i < len(prev) && prev[i] <= n {
+			n -= prev[i]
+		}
+		out[i] = n
+	}
+	return out
+}
+
+func lagTotal(lag []uint64) uint64 {
+	var t uint64
+	for _, n := range lag {
+		t += n
+	}
+	return t
+}
+
 func pct(part, total int64) float64 {
 	if total == 0 {
 		return 0
@@ -236,7 +271,7 @@ func runSelfcheck(client *http.Client, base string) error {
 	if p.Epoch.Count == 0 {
 		return fmt.Errorf("stats: epoch histogram is empty")
 	}
-	for _, name := range []string{"log", "init", "execute", "persist"} {
+	for _, name := range []string{"log", "init", "execute", "persist", "commit"} {
 		if p.Phases[name].Count == 0 {
 			return fmt.Errorf("stats: phase %q histogram is empty", name)
 		}
@@ -269,7 +304,7 @@ func runSelfcheck(client *http.Client, base string) error {
 			spans[ev.Name]++
 		}
 	}
-	for _, name := range []string{"log", "init", "execute", "persist"} {
+	for _, name := range []string{"log", "init", "execute", "persist", "commit"} {
 		if spans[name] == 0 {
 			return fmt.Errorf("trace: no %q spans (got %v)", name, spans)
 		}

@@ -26,6 +26,13 @@ func (s Scale) cores() int {
 // requires.
 func alignRow(n int64) int64 { return (n + 63) / 64 * 64 }
 
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // inlineRowSize returns the row size that inlines both versions of values
 // up to valueSize (the "optimal row size" of Table 4).
 func inlineRowSize(valueSize int64) int64 { return alignRow(64 + 2*valueSize) }
@@ -46,6 +53,13 @@ type sizing struct {
 	registry  *nvcaracal.Registry
 	dram      bool // run the device at DRAM speed regardless of Scale
 	obsv      *nvcaracal.Obs
+	asyncP    bool // AsyncPersist: background checkpoint fence + epoch record
+	pipeline  bool // Pipeline: depth-1 epoch pipeline (implies AsyncPersist)
+	// logPerTxn overrides the default 256-byte per-transaction WAL budget
+	// for workloads whose inputs carry large values (the region is split in
+	// two so consecutive epochs can be in flight; size for the biggest
+	// single batch).
+	logPerTxn int64
 }
 
 func (s Scale) nvcConfig(z sizing) nvcaracal.Config {
@@ -65,8 +79,10 @@ func (s Scale) nvcConfig(z sizing) nvcaracal.Config {
 		RevertOnRecovery: z.revert,
 		PersistIndex:     z.pidx,
 		Registry:         z.registry,
-		LogBytes:         int64(s.EpochTxns)*256 + (1 << 20),
+		LogBytes:         int64(s.EpochTxns)*max64(z.logPerTxn, 256) + (1 << 20),
 		Obs:              z.obsv,
+		AsyncPersist:     z.asyncP,
+		Pipeline:         z.pipeline,
 	}
 	if !z.dram && z.mode != nvcaracal.ModeAllDRAM {
 		cfg.NVMMReadLatency = s.ReadLatency

@@ -158,9 +158,15 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	if err := CheckBatchSize(len(batch)); err != nil {
 		return AriaResult{}, err
 	}
-	// Same commit barrier as RunEpoch: the previous epoch must be durable
-	// before its log region is rewritten or its pools reopened.
-	db.persistBarrier()
+	// Same commit barrier as RunEpoch: outside the pipeline the previous
+	// epoch must be durable before its log region is rewritten or its pools
+	// reopened; the pipeline defers the join to the pre-init-fence barrier
+	// below and only surfaces a committer that died.
+	if db.opts.Pipeline && !db.replaying {
+		db.raisePersistPanic()
+	} else {
+		db.persistBarrier()
+	}
 	start := time.Now()
 	epoch := db.epoch.Load() + 1
 	res := AriaResult{Epoch: epoch}
@@ -195,6 +201,11 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	// coalesced fence between GC phase 1 and phase 2.
 	initStart := time.Now()
 	gc := db.majorGCBegin(epoch)
+	// Commit join (see RunEpoch): rows are dual-version, so no row write of
+	// this epoch may land before the previous epoch's record is durable. The
+	// Aria apply phase allocates and rewrites rows strictly after this
+	// point. A no-op outside the pipeline.
+	db.persistBarrier()
 	db.initFence(logged, gc.pending)
 	db.majorGCFinish(epoch, gc)
 	db.evictCache(epoch)

@@ -124,6 +124,23 @@ type Options struct {
 	// pools are reopened for allocation only once the epoch record is
 	// durable. Recovery replay always persists synchronously. Default off.
 	AsyncPersist bool
+	// Pipeline deepens AsyncPersist into a depth-1 epoch pipeline: a
+	// background committer stage owns epoch N's *entire* checkpoint — the
+	// per-core pool checkpoints (staged in parallel across the pool cores),
+	// the counter parity-slot stores, the index-journal block, the
+	// checkpoint fence, and the epoch record — while the caller's next
+	// RunEpoch proceeds straight into epoch N+1's log serialization, insert
+	// step, and major-GC phase 1. N+1 synchronizes only where correctness
+	// requires it: each init worker waits for the committer to finish
+	// staging its own core's pools before allocating or freeing from them
+	// (the per-pool staging token), and N+1's init fence waits for N's
+	// commit to retire entirely — rows are dual-version, not epoch-parity,
+	// so no row write of N+1 may land before N's record is durable, and the
+	// wait also keeps N+1's fences out of N's staged flush groups. Implies
+	// AsyncPersist's return semantics (WaitDurable before snapshotting the
+	// device); dual WAL parity slots make the overlapped log append safe.
+	// Recovery replay always persists synchronously. Default off.
+	Pipeline bool
 	// Registry maps logged transaction type ids to decoders, required for
 	// recovery replay when Mode logs.
 	Registry *Registry
@@ -148,6 +165,11 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Mode == ModeAllNVMM {
 		o.CacheEnabled = false
+	}
+	if o.Pipeline {
+		// The pipeline subsumes the async tail; a single flag selects the
+		// commit path in the engine.
+		o.AsyncPersist = true
 	}
 }
 

@@ -62,33 +62,8 @@ func (h *fnv64a) u32(v uint32) {
 // while the logical state, the descriptor SIDs, and every per-pool total
 // stay deterministic.
 func (db *DB) StateDigest() uint64 {
-	var sum, xor, count uint64
-	db.idx.Range(func(k index.Key, rs *rowState) bool {
-		r := db.rowRef(rs.nvOff)
-		h := fnvOffset64
-		h.u32(k.Table)
-		h.u64(k.ID)
-		for _, which := range [2]int{1, 2} {
-			v := r.readVersion(which)
-			h.u64(v.sid)
-			h.u32(v.size)
-			if !v.isNull() && v.size > 0 {
-				h.bytes(r.readValue(v))
-			}
-		}
-		sum += uint64(h)
-		xor ^= uint64(h)
-		count++
-		return true
-	})
-
 	h := fnvOffset64
-	h.u64(sum)
-	h.u64(xor)
-	h.u64(count)
-	for i := range db.counters {
-		h.u64(db.counters[i].Load())
-	}
+	db.logicalDigest(&h)
 	for c := range db.rowPools {
 		h.u64(uint64(db.rowPools[c].Bump()))
 		h.u64(uint64(db.rowPools[c].FreeCount()))
@@ -100,6 +75,52 @@ func (db *DB) StateDigest() uint64 {
 		}
 	}
 	return uint64(h)
+}
+
+// LogicalDigest is StateDigest without the per-pool allocation totals:
+// rows, version descriptors, value bytes, and persistent counters only.
+//
+// Under the epoch pipeline (Options.Pipeline) the totals are not
+// replay-deterministic: freed ring slots become adoptable only once the
+// previous epoch's checkpoint fence publishes the ring tail, so whether an
+// overlapped allocation adopts a slot or bumps depends on how the
+// committer interleaves with the front. The logical state is unaffected —
+// crash checkers comparing pipelined runs digest with this and lean on
+// CheckInvariants for allocator accounting.
+func (db *DB) LogicalDigest() uint64 {
+	h := fnvOffset64
+	db.logicalDigest(&h)
+	return uint64(h)
+}
+
+// logicalDigest folds the placement-independent state into h: every live
+// row combined order-independently, then the persistent counters.
+func (db *DB) logicalDigest(h *fnv64a) {
+	var sum, xor, count uint64
+	db.idx.Range(func(k index.Key, rs *rowState) bool {
+		r := db.rowRef(rs.nvOff)
+		rh := fnvOffset64
+		rh.u32(k.Table)
+		rh.u64(k.ID)
+		for _, which := range [2]int{1, 2} {
+			v := r.readVersion(which)
+			rh.u64(v.sid)
+			rh.u32(v.size)
+			if !v.isNull() && v.size > 0 {
+				rh.bytes(r.readValue(v))
+			}
+		}
+		sum += uint64(rh)
+		xor ^= uint64(rh)
+		count++
+		return true
+	})
+	h.u64(sum)
+	h.u64(xor)
+	h.u64(count)
+	for i := range db.counters {
+		h.u64(db.counters[i].Load())
+	}
 }
 
 // CheckInvariants verifies the structural invariants of the between-epoch

@@ -96,6 +96,18 @@ type DB struct {
 	persistPanic atomic.Pointer[any]
 	durableEpoch atomic.Uint64
 
+	// Pipeline state (Options.Pipeline): commitTokens[c] is closed once the
+	// in-flight committer has finished staging core c's pools, letting epoch
+	// N+1's init workers reopen them per core instead of joining the whole
+	// commit. Written only by the epoch coordinator between epochs (the
+	// spawn of the worker goroutines orders the write before their reads)
+	// and never cleared: a retired commit leaves closed channels behind, so
+	// the steady-state wait is one closed-channel receive. commitDur is the
+	// duration of the most recently retired commit stage, reported through
+	// EpochResult.CommitTime.
+	commitTokens []chan struct{}
+	commitDur    atomic.Int64
+
 	logBytesTotal int64 // cumulative input-log bytes for accounting
 }
 
@@ -200,16 +212,28 @@ type EpochResult struct {
 	Epoch     uint64
 	Committed int
 	Aborted   int
-	// Durations of the epoch's stages.
-	LogTime  time.Duration
-	InitTime time.Duration
-	ExecTime time.Duration
-	SyncTime time.Duration
+	// Durations of the epoch's stages. SyncTime is the synchronous
+	// (caller-side) part of the persist phase; CommitTime is the commit
+	// stage — the checkpoint fence, the epoch record, the allocator
+	// checkpoint release, and (under Options.Pipeline) the checkpoint
+	// staging the committer took off the critical path. Under AsyncPersist
+	// or Pipeline the commit runs in the background, so CommitTime reports
+	// the most recently *retired* commit — trailing the epoch by one — which
+	// keeps Total() an honest account of work performed instead of silently
+	// dropping the overlapped stage.
+	LogTime    time.Duration
+	InitTime   time.Duration
+	ExecTime   time.Duration
+	SyncTime   time.Duration
+	CommitTime time.Duration
 }
 
-// Total returns the wall-clock total of the epoch stages.
+// Total returns the wall-clock total of the epoch stages. Under an
+// asynchronous commit mode the commit stage overlaps the next epoch, so
+// Total() can exceed the epoch's critical-path latency — it measures work,
+// not wall clock between RunEpoch calls.
 func (r EpochResult) Total() time.Duration {
-	return r.LogTime + r.InitTime + r.ExecTime + r.SyncTime
+	return r.LogTime + r.InitTime + r.ExecTime + r.SyncTime + r.CommitTime
 }
 
 // RunEpoch processes one batch of transactions as an epoch: logs the
@@ -221,10 +245,18 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	if err := CheckBatchSize(len(batch)); err != nil {
 		return EpochResult{}, err
 	}
-	// Commit barrier: the previous epoch's (possibly asynchronous) persist
-	// must complete before this epoch rewrites the log region or allocates
-	// from the reopened pools.
-	db.persistBarrier()
+	// Commit barrier. Outside the pipeline the previous epoch's (possibly
+	// asynchronous) persist must complete before this epoch rewrites the log
+	// region or allocates from the reopened pools. The pipeline removes both
+	// dependencies — the log has dual epoch-parity slots and the pools hand
+	// out per-core staging tokens — so entry only surfaces a committer that
+	// died; the real join is the commit barrier before this epoch's init
+	// fence.
+	if db.opts.Pipeline && !db.replaying {
+		db.raisePersistPanic()
+	} else {
+		db.persistBarrier()
+	}
 	epoch := db.epoch.Load() + 1
 	res := EpochResult{Epoch: epoch}
 	db.abortFlag.Store(false)
@@ -260,6 +292,14 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 		return res, err
 	}
 	gc := db.majorGCBegin(epoch)
+	// Commit join: persistent rows are dual-version (older/newer), not
+	// epoch-parity, so no row write of this epoch — GC phase 2 rewrites or
+	// execution finals — may land before the previous epoch's record is
+	// durable; a crash would otherwise replay on top of half-new state. The
+	// join also keeps this epoch's init fence from committing the previous
+	// commit's staged lines early. A no-op outside the pipeline, where the
+	// entry barrier already joined.
+	db.persistBarrier()
 	db.initFence(logged, gc.pending)
 	db.majorGCFinish(epoch, gc)
 	db.evictCache(epoch)
@@ -276,13 +316,28 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	t3 := time.Now()
 	db.checkpointEpoch(epoch)
 	db.finishEpoch(epoch, batch, &res)
-	res.SyncTime = time.Since(t3)
+	async := db.opts.AsyncPersist && !db.replaying
+	res.CommitTime = time.Duration(db.commitDur.Load())
+	if async {
+		// The commit runs in the background: SyncTime is the caller-side
+		// handoff only, and CommitTime reports the last retired commit.
+		res.SyncTime = time.Since(t3)
+	} else {
+		res.SyncTime = time.Since(t3) - res.CommitTime
+	}
 
 	db.epoch.Store(epoch)
 	db.met.AddEpoch()
+	db.obs.ObserveDurableLag(epoch - db.durableEpoch.Load())
 	// The phase durations are already in hand for EpochResult, so recording
-	// them adds no clock reads to the epoch path.
-	db.obs.RecordEpoch(epoch, t0, res.LogTime, res.InitTime, res.ExecTime, res.SyncTime)
+	// them adds no clock reads to the epoch path. Under an asynchronous
+	// commit the committer records its own PhaseCommit span; synchronously
+	// the commit stays inside the persist span as before.
+	persistSpan := res.SyncTime
+	if !async {
+		persistSpan += res.CommitTime
+	}
+	db.obs.RecordEpoch(epoch, t0, res.LogTime, res.InitTime, res.ExecTime, persistSpan)
 	db.obs.Attrib().EpochEnd(epoch)
 	return res, nil
 }
@@ -309,9 +364,20 @@ func (db *DB) initFence(logged, gcPending bool) {
 // covering everything, the epoch record (which carries its own trailing
 // fence), and the allocator checkpoint release commit the epoch. With
 // Options.AsyncPersist the commit tail runs on a background goroutine and
-// overlaps the caller's between-epoch work; persistBarrier at the next
-// RunEpoch entry (or WaitDurable) joins it.
+// overlaps the caller's between-epoch work; with Options.Pipeline the
+// entire checkpoint — staging included — moves to the committer (see
+// checkpointEpochPipelined). persistBarrier (at the next epoch's
+// pre-init-fence join, or WaitDurable) joins the background stage.
+//
+// The synchronous staging order below — counters, then pools in core order
+// (row pool first, then value classes), then the index journal — is part of
+// the crash-test contract: committed reproducers index the device's flush
+// sequence with FailAfter counts, so the serial path must not reorder ops.
 func (db *DB) checkpointEpoch(epoch uint64) {
+	if db.opts.Pipeline && !db.replaying {
+		db.checkpointEpochPipelined(epoch)
+		return
+	}
 	for i := range db.counters {
 		v := db.counters[i].Load()
 		c := pmem.NewCounter(db.dev, db.layout, int64(i))
@@ -327,6 +393,7 @@ func (db *DB) checkpointEpoch(epoch uint64) {
 	db.appendIndexJournal(epoch)
 
 	commit := func() {
+		start := time.Now()
 		db.dev.Tag(obs.CausePersistFinal).Fence()
 		db.epochRec.Store(epoch)
 		for c := 0; c < db.opts.Cores; c++ {
@@ -336,10 +403,12 @@ func (db *DB) checkpointEpoch(epoch uint64) {
 			}
 		}
 		db.durableEpoch.Store(epoch)
+		db.commitDur.Store(int64(time.Since(start)))
 	}
 	if db.opts.AsyncPersist && !db.replaying {
 		db.persistWG.Add(1)
 		go func() {
+			start := time.Now()
 			defer db.persistWG.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -348,10 +417,135 @@ func (db *DB) checkpointEpoch(epoch uint64) {
 				}
 			}()
 			commit()
+			db.obs.RecordCommit(epoch, start, time.Duration(db.commitDur.Load()))
 		}()
 		return
 	}
 	commit()
+}
+
+// checkpointEpochPipelined hands epoch N's entire checkpoint to the
+// background committer and returns as soon as the handoff state is
+// captured, letting the caller proceed into epoch N+1's log serialization
+// and init phase. Only state the next epoch consumes or mutates is captured
+// synchronously:
+//
+//   - counter values (the caller may CounterAdd between epochs);
+//   - the index-journal delta block's entries (idxPuts is drained here,
+//     deferred deletions are applied by finishEpoch, gcPending is consumed
+//     by N+1's major collector);
+//   - when the delta block does not fit, the compaction itself — it walks
+//     the live index, which N+1 mutates — and the journal checkpoint.
+//
+// Everything else — the parallel per-core pool staging, counter stores, the
+// journal append, the checkpoint fence, the epoch record, and the allocator
+// release — runs on the committer (commitEpoch).
+func (db *DB) checkpointEpochPipelined(epoch uint64) {
+	counterVals := make([]uint64, len(db.counters))
+	for i := range db.counters {
+		counterVals[i] = db.counters[i].Load()
+	}
+	var idxEntries []pmem.IndexEntry
+	idxAsync := false
+	if db.idxLog != nil {
+		idxEntries = db.collectIndexEntries()
+		if db.idxLog.Fits(len(idxEntries)) {
+			idxAsync = true
+		} else {
+			db.compactIndexJournal(epoch)
+			db.idxLog.Checkpoint(epoch)
+		}
+	}
+	tokens := make([]chan struct{}, db.opts.Cores)
+	for c := range tokens {
+		tokens[c] = make(chan struct{})
+	}
+	db.commitTokens = tokens
+	db.persistWG.Add(1)
+	go db.commitEpoch(epoch, tokens, counterVals, idxEntries, idxAsync)
+}
+
+// commitEpoch is the pipelined committer stage: it stages epoch N's
+// checkpoint — per-core pool checkpoints in parallel across the pool cores,
+// counter parity-slot stores, and the index-journal block — then issues the
+// checkpoint fence, persists the epoch record, and reopens the pools. Each
+// core's staging token is closed as soon as that core's pools are staged,
+// so epoch N+1's init workers resume per core without waiting for the
+// fence. A panic anywhere (an injected crash, most usefully) still closes
+// every token — N+1's workers must not deadlock — and surfaces, sticky, at
+// the next persistBarrier.
+func (db *DB) commitEpoch(epoch uint64, tokens []chan struct{}, counterVals []uint64, idxEntries []pmem.IndexEntry, idxAsync bool) {
+	start := time.Now()
+	defer db.persistWG.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			v := r
+			db.persistPanic.CompareAndSwap(nil, &v)
+		}
+	}()
+	var failed atomic.Pointer[any]
+	var wg sync.WaitGroup
+	// The staging join must survive a committer panic: if the counter or
+	// journal flushes below hit an injected fail point, unwinding without
+	// joining would leak staging goroutines that keep accessing the device
+	// after persistWG reports the engine quiescent — racing a crash tester's
+	// Device.Crash, its recovery, and even its next snapshot restore.
+	defer wg.Wait()
+	for c := 0; c < db.opts.Cores; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer close(tokens[c])
+			defer func() {
+				if r := recover(); r != nil {
+					v := r
+					failed.CompareAndSwap(nil, &v)
+				}
+			}()
+			db.rowPools[c].Checkpoint(epoch)
+			for k := range db.valPools {
+				db.valPools[k][c].Checkpoint(epoch)
+			}
+		}(c)
+	}
+	for i, v := range counterVals {
+		c := pmem.NewCounter(db.dev, db.layout, int64(i))
+		c.Store(v, epoch)
+		c.Flush()
+	}
+	if idxAsync {
+		// Fits was checked at handoff and nothing else appends, so this
+		// cannot fail; if it somehow does, the sticky overflow flag is
+		// checkpointed below and recovery falls back to the row scan.
+		db.idxLog.AppendEpoch(epoch, idxEntries)
+		db.idxLog.Checkpoint(epoch)
+	}
+	wg.Wait()
+	if p := failed.Load(); p != nil {
+		panic(*p)
+	}
+	db.dev.Tag(obs.CausePersistFinal).Fence()
+	db.epochRec.Store(epoch)
+	for c := 0; c < db.opts.Cores; c++ {
+		db.rowPools[c].Checkpointed()
+		for k := range db.valPools {
+			db.valPools[k][c].Checkpointed()
+		}
+	}
+	db.durableEpoch.Store(epoch)
+	dur := time.Since(start)
+	db.commitDur.Store(int64(dur))
+	db.obs.RecordCommit(epoch, start, dur)
+}
+
+// waitPoolStaged blocks until the in-flight committer, if any, has finished
+// staging core c's pools, making Alloc, FreeGC, and ring appends on them
+// safe again. Retired commits leave closed channels behind, so outside the
+// overlap window this is one closed-channel receive.
+func (db *DB) waitPoolStaged(c int) {
+	if t := db.commitTokens; t != nil {
+		<-t[c]
+	}
 }
 
 // persistBarrier joins the previous epoch's asynchronous commit, if one is
@@ -361,15 +555,23 @@ func (db *DB) checkpointEpoch(epoch uint64) {
 // subsequent epoch attempt fails the same way.
 func (db *DB) persistBarrier() {
 	db.persistWG.Wait()
+	db.raisePersistPanic()
+}
+
+// raisePersistPanic re-raises a sticky committer panic without joining an
+// in-flight commit. The pipeline's RunEpoch entry uses it: a healthy commit
+// may legitimately overlap this epoch's front, but a committer that died
+// must surface immediately, not at the mid-epoch join.
+func (db *DB) raisePersistPanic() {
 	if p := db.persistPanic.Load(); p != nil {
 		panic(*p)
 	}
 }
 
 // WaitDurable blocks until the most recently run epoch's record is durable.
-// With AsyncPersist off it returns immediately. Call it before snapshotting
-// the device, reading fence-exact stats, or handing the device to a crash
-// tester.
+// With AsyncPersist and Pipeline off it returns immediately. Call it before
+// snapshotting the device, reading fence-exact stats, or handing the device
+// to a crash tester.
 func (db *DB) WaitDurable() { db.persistBarrier() }
 
 // DurableEpoch returns the last epoch whose record is known durable. It
@@ -387,6 +589,23 @@ func (db *DB) appendIndexJournal(epoch uint64) {
 	if db.idxLog == nil {
 		return
 	}
+	entries := db.collectIndexEntries()
+	if !db.idxLog.AppendEpoch(epoch, entries) {
+		// Compact: replace the journal's history with a snapshot of the
+		// live index plus this epoch's pending GC rows. The deltas above
+		// are already reflected in the index (and deferred deletions are
+		// excluded below), so the snapshot subsumes them.
+		db.compactIndexJournal(epoch)
+	}
+	db.idxLog.Checkpoint(epoch)
+}
+
+// collectIndexEntries drains the epoch's index deltas into one block: row
+// creations (idxPuts is consumed), deferred deletions, and the rows queued
+// for the next epoch's major collection. All three sources are consumed or
+// mutated by the next epoch, so the pipelined checkpoint collects them
+// synchronously before handing the block to the committer.
+func (db *DB) collectIndexEntries() []pmem.IndexEntry {
 	var entries []pmem.IndexEntry
 	for c := range db.idxPuts {
 		entries = append(entries, db.idxPuts[c]...)
@@ -402,14 +621,7 @@ func (db *DB) appendIndexJournal(epoch uint64) {
 			entries = append(entries, pmem.IndexEntry{Kind: pmem.IdxGC, RowOff: rs.nvOff})
 		}
 	}
-	if !db.idxLog.AppendEpoch(epoch, entries) {
-		// Compact: replace the journal's history with a snapshot of the
-		// live index plus this epoch's pending GC rows. The deltas above
-		// are already reflected in the index (and deferred deletions are
-		// excluded below), so the snapshot subsumes them.
-		db.compactIndexJournal(epoch)
-	}
-	db.idxLog.Checkpoint(epoch)
+	return entries
 }
 
 func (db *DB) compactIndexJournal(epoch uint64) {
@@ -505,6 +717,10 @@ func (db *DB) ownerOf(k index.Key) int {
 func (db *DB) insertStep(epoch uint64, work [][][]initWork) error {
 	var firstErr atomic.Pointer[error]
 	db.parallel(func(owner int) {
+		// Under the pipeline the previous epoch's committer may still be
+		// staging this core's pools; allocation reopens per core as soon as
+		// its own staging token closes.
+		db.waitPoolStaged(owner)
 		pool := db.rowPools[owner]
 		for w := 0; w < db.opts.Cores; w++ {
 			for _, it := range work[w][owner] {

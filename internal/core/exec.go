@@ -244,7 +244,8 @@ func (db *DB) persistFinal(core int, rs *rowState, sid uint64, data []byte) {
 			// Minor GC: v1 is the stale version. It must be inline — the
 			// major collector handles non-inline staleness during init.
 			if !v1.isInline() && v1.ptr != ptrNone {
-				panic("core: non-inline stale version reached the execution phase")
+				panic(fmt.Sprintf("core: non-inline stale version reached the execution phase (row off=%d key=%d/%d v1{sid=%x ptr=%d} v2{sid=%x ptr=%d inline=%v} sid=%x)",
+					rs.nvOff, r.table(), r.key(), v1.sid, v1.ptr, v2.sid, v2.ptr, v2.isInline(), sid))
 			}
 			db.met.At(core).AddMinorGC()
 		}

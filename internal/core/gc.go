@@ -69,6 +69,10 @@ func (db *DB) majorGCBegin(epoch uint64) majorGCState {
 
 	// Phase 1: append frees as stamped GC entries and flush the ring lines.
 	db.parallel(func(owner int) {
+		// Under the pipeline the previous epoch's committer may still be
+		// staging this core's pools; frees reopen per core as soon as its
+		// own staging token closes.
+		db.waitPoolStaged(owner)
 		for _, rs := range byOwner[owner] {
 			r := db.rowRefTag(rs.nvOff, obs.CauseMajorGC)
 			v1 := r.readVersion(1)

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
+)
+
+// The depth-1 epoch pipeline (Options.Pipeline) hands epoch N's entire
+// checkpoint — parallel pool staging, counters, index journal, checkpoint
+// fence, epoch record — to a background committer while the caller runs
+// epoch N+1. These tests pin the pipeline's contract: logical-state
+// equivalence with the serial path, the staging-token and commit-join
+// handoffs never reordering durability, recovery after WaitDurable, and an
+// injected crash inside the committer surfacing (stickily) at the next
+// barrier.
+
+func pipelineOpts(cores int) Options {
+	opts := testOpts(cores)
+	opts.Pipeline = true
+	return opts
+}
+
+// pipelineBatch exercises the allocator paths the pipeline overlaps:
+// inserts (insertStep allocation behind the staging token), updates of
+// pooled values (dual-version rewrites feeding major GC), and deletes
+// (ring frees the committer stages and the next epoch adopts).
+func pipelineBatch(e int) []*Txn {
+	val := func(k uint64, tag byte) []byte {
+		v := make([]byte, 200) // pooled (beyond the inline half), so GC runs
+		v[0], v[1], v[2] = byte(k), byte(k>>8), tag
+		return v
+	}
+	var b []*Txn
+	for i := 0; i < 12; i++ {
+		k := uint64(e*100 + i)
+		b = append(b, mkInsert(k, val(k, byte(e))))
+	}
+	if e > 0 {
+		for i := 0; i < 8; i++ {
+			k := uint64((e-1)*100 + i)
+			b = append(b, mkSet(k, val(k, byte(e)+1)))
+		}
+		for i := 8; i < 10; i++ {
+			b = append(b, mkDelete(uint64((e-1)*100+i)))
+		}
+	}
+	return b
+}
+
+func TestPipelineMatchesSerialState(t *testing.T) {
+	run := func(opts Options) (uint64, uint64) {
+		dev := nvm.New(opts.Layout.TotalBytes())
+		db, err := Open(dev, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 6; e++ {
+			mustRun(t, db, pipelineBatch(e))
+		}
+		db.WaitDurable()
+		return db.LogicalDigest(), db.DurableEpoch()
+	}
+	serialDig, serialDur := run(testOpts(2))
+	pipeDig, pipeDur := run(pipelineOpts(2))
+	if serialDig != pipeDig {
+		t.Fatalf("pipeline diverged from serial: %016x != %016x", pipeDig, serialDig)
+	}
+	if serialDur != pipeDur {
+		t.Fatalf("durable epoch diverged: pipeline %d, serial %d", pipeDur, serialDur)
+	}
+}
+
+func TestPipelineDurableEpochLagsAtMostOne(t *testing.T) {
+	opts := pipelineOpts(2)
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 5; e++ {
+		mustRun(t, db, pipelineBatch(e))
+		ep, dur := db.Epoch(), db.DurableEpoch()
+		if dur > ep || ep-dur > 1 {
+			t.Fatalf("epoch %d: durable epoch %d out of [epoch-1, epoch]", ep, dur)
+		}
+	}
+	db.WaitDurable()
+	if ep, dur := db.Epoch(), db.DurableEpoch(); dur != ep {
+		t.Fatalf("after WaitDurable: durable epoch %d != epoch %d", dur, ep)
+	}
+}
+
+func TestPipelineRecoversAfterWaitDurable(t *testing.T) {
+	opts := pipelineOpts(2)
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 4; e++ {
+		mustRun(t, db, pipelineBatch(e))
+	}
+	db.WaitDurable()
+	want := db.LogicalDigest()
+
+	snap := dev.Snapshot()
+	d2 := snap.NewDevice()
+	d2.Crash(nvm.CrashStrict, 0)
+	rdb, rep, err := Recover(d2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CheckpointEpoch != db.Epoch() {
+		t.Fatalf("recovered checkpoint %d, want %d", rep.CheckpointEpoch, db.Epoch())
+	}
+	if got := rdb.LogicalDigest(); got != want {
+		t.Fatalf("recovered digest %016x != %016x", got, want)
+	}
+	if err := rdb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineMidFlightRecovery crashes the device while epoch N's commit
+// genuinely overlaps epoch N+1: after submitting N+1 without draining, the
+// snapshot is taken post-WaitDurable and recovery must land on N+1 exactly.
+func TestPipelineMidFlightRecovery(t *testing.T) {
+	opts := pipelineOpts(1)
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		mustRun(t, db, pipelineBatch(e))
+	}
+	// Two back-to-back epochs with no barrier between: 3's checkpoint runs
+	// behind 4's front.
+	mustRun(t, db, pipelineBatch(3))
+	mustRun(t, db, pipelineBatch(4))
+	db.WaitDurable()
+	want := db.LogicalDigest()
+
+	rdb, rep, err := Recover(dev.Snapshot().NewDevice(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rdb.LogicalDigest(); got != want {
+		t.Fatalf("recovered digest %016x != %016x (ckpt=%d replayed=%d)",
+			got, want, rep.CheckpointEpoch, rep.ReplayedEpoch)
+	}
+}
+
+func TestPipelineCrashInCommitSurfacesAtBarrier(t *testing.T) {
+	opts := pipelineOpts(1)
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, db, asyncBatch(0))
+	db.WaitDurable()
+
+	// Shape-identical epochs issue identical flush sequences; the last
+	// flush of an epoch is the epoch record's write-back, issued by the
+	// background committer.
+	mustRun(t, db, asyncBatch(1))
+	db.WaitDurable()
+	dev.ResetStats()
+	mustRun(t, db, asyncBatch(2))
+	db.WaitDurable()
+	flushesPerEpoch := dev.Stats().Flushes
+
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		dev.SetFailAfter(flushesPerEpoch) // dies on the epoch record flush
+		if _, err := db.RunEpoch(asyncBatch(3)); err != nil {
+			t.Fatal(err)
+		}
+		db.WaitDurable()
+		return nil
+	}()
+	dev.SetFailAfter(0)
+	if caught == nil {
+		t.Fatal("injected crash never surfaced")
+	}
+	err, ok := caught.(error)
+	if !ok || !errors.Is(err, nvm.ErrInjectedCrash) {
+		t.Fatalf("surfaced panic %v, want ErrInjectedCrash", caught)
+	}
+	// Sticky: every later barrier re-raises.
+	second := func() (r any) {
+		defer func() { r = recover() }()
+		db.WaitDurable()
+		return nil
+	}()
+	if second == nil {
+		t.Fatal("persist panic was not sticky")
+	}
+}
+
+// TestPipelineRaceStress drives many overlapped epochs across cores so the
+// race detector can watch the handoffs: staging tokens vs insertStep/major
+// GC allocation, the commit join vs initFence, and the committer's
+// counter/journal stores vs the front's WAL writes. Run under -race in CI.
+func TestPipelineRaceStress(t *testing.T) {
+	opts := pipelineOpts(4)
+	ov := obs.New(obs.Config{Cores: 4})
+	opts.Obs = ov
+	dev := nvm.New(opts.Layout.TotalBytes())
+	db, err := Open(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := 30
+	if testing.Short() {
+		epochs = 10
+	}
+	for e := 0; e < epochs; e++ {
+		mustRun(t, db, pipelineBatch(e))
+	}
+	db.WaitDurable()
+	if err := db.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent read-side observers must also be race-free against the
+	// committer: stats and durable-epoch polling mirror what nvtop does.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = db.DurableEpoch()
+				_ = ov.Stats()
+			}
+		}
+	}()
+	for e := epochs; e < epochs+6; e++ {
+		mustRun(t, db, pipelineBatch(e))
+	}
+	db.WaitDurable()
+	close(stop)
+	wg.Wait()
+}

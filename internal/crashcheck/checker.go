@@ -118,7 +118,10 @@ func (c Config) logf(format string, args ...any) {
 type Report struct {
 	Spec       Spec   `json:"spec"`
 	ProbeEpoch uint64 `json:"probe_epoch"`
-	// FlushPoints is the number of explicit line flushes the probe epoch
+	// WindowEpochs is how many engine epochs the probe window spans: one
+	// normally, two under Spec.Pipeline (the overlapped commit/front pair).
+	WindowEpochs int `json:"window_epochs"`
+	// FlushPoints is the number of explicit line flushes the probe window
 	// issues when run after recovery from the probe-boundary snapshot —
 	// the space the fail-points index into.
 	FlushPoints int64 `json:"flush_points"`
@@ -132,27 +135,33 @@ type Report struct {
 	Deterministic bool `json:"deterministic"`
 	// Exhaustive reports that every fail-point in [1, FlushPoints] was
 	// planned (no sampling).
-	Exhaustive     bool        `json:"exhaustive"`
-	PointsPlanned  int         `json:"points_planned"`
-	PointsExplored int         `json:"points_explored"`
-	DigestPre      string      `json:"digest_pre"`
-	DigestPost     string      `json:"digest_post"`
-	Violations     []Violation `json:"violations,omitempty"`
-	ElapsedMS      int64       `json:"elapsed_ms"`
+	Exhaustive     bool   `json:"exhaustive"`
+	PointsPlanned  int    `json:"points_planned"`
+	PointsExplored int    `json:"points_explored"`
+	DigestPre      string `json:"digest_pre"`
+	// DigestMid is the digest after the first window epoch alone — the
+	// state a crash between the two pipelined commits must recover to.
+	// Present only when the window spans more than one epoch.
+	DigestMid  string      `json:"digest_mid,omitempty"`
+	DigestPost string      `json:"digest_post"`
+	Violations []Violation `json:"violations,omitempty"`
+	ElapsedMS  int64       `json:"elapsed_ms"`
 }
 
 // oracle holds the crash-free reference: a device snapshot at the probe
-// boundary, the digests on either side of the probe epoch, and the shape
-// of the probe epoch's flush sequence.
+// boundary, the digests at every committed state the probe window passes
+// through, and the shape of the window's flush sequence.
 type oracle struct {
 	sess       *session
 	snap       *nvm.Snapshot
-	probeEpoch uint64 // engine epoch number of the probe epoch
+	probeEpoch uint64 // engine epoch number of the first window epoch
+	windowLast uint64 // engine epoch number of the last window epoch
 	probeLE    int    // logical epoch index fed to the generator
 	digestPre  uint64
+	digestMid  uint64 // after the first window epoch (== digestPost when the window is one epoch)
 	digestPost uint64
 	flushes    int64
-	fenceMarks []int64 // flush counts (relative to probe start) at each fence
+	fenceMarks []int64 // flush counts (relative to window start) at each fence
 	determin   bool
 }
 
@@ -183,20 +192,34 @@ func buildOracle(sess *session) (*oracle, error) {
 		epochs++
 	}
 	o.probeEpoch = uint64(epochs + 1)
-	o.digestPre = db.StateDigest()
+	o.windowLast = o.probeEpoch + uint64(sess.windowEpochs()-1)
+	o.digestPre = sess.digest(db)
 	if err := db.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("crashcheck: invariants broken before probe (spec unusable): %w", err)
 	}
 	o.snap = dev.Snapshot()
+	// The main run executes the window epochs drained one at a time even
+	// under Pipeline: the digests describe logical committed state, which
+	// the deterministic engine reaches identically whether the window ran
+	// overlapped or serial, and draining after the first epoch is the only
+	// way to capture the mid-window digest a crash landing between the two
+	// commits must recover to.
 	if err := sess.runEpoch(db, o.probeLE); err != nil {
 		return nil, fmt.Errorf("crashcheck: probe epoch: %w", err)
 	}
-	o.digestPost = db.StateDigest()
+	o.digestMid = sess.digest(db)
+	for i := 1; i < sess.windowEpochs(); i++ {
+		if err := sess.runEpoch(db, o.probeLE+i); err != nil {
+			return nil, fmt.Errorf("crashcheck: window epoch %d: %w", o.probeLE+i, err)
+		}
+	}
+	o.digestPost = sess.digest(db)
 	if err := db.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("crashcheck: invariants broken after probe (spec unusable): %w", err)
 	}
-	if o.digestPre == o.digestPost {
-		return nil, fmt.Errorf("crashcheck: probe epoch left the digest unchanged; the spec cannot detect lost epochs")
+	if o.digestPre == o.digestMid || o.digestPre == o.digestPost ||
+		(o.windowLast > o.probeEpoch && o.digestMid == o.digestPost) {
+		return nil, fmt.Errorf("crashcheck: a window epoch left the digest unchanged; the spec cannot detect lost epochs")
 	}
 
 	// Replica runs: measure the flush sequence on the path workers take.
@@ -218,21 +241,22 @@ func buildOracle(sess *session) (*oracle, error) {
 }
 
 // replicaProbe recovers a fresh replica of the snapshot and runs the probe
-// epoch crash-free with fence tracing, returning the flush count, the
-// relative fence marks, and the resulting digest.
+// window crash-free with fence tracing — overlapped, on the exact path the
+// checker workers take — returning the flush count, the relative fence
+// marks, and the resulting digest.
 func (o *oracle) replicaProbe() (int64, []int64, uint64, error) {
 	dev := o.snap.NewDevice()
 	db, _, err := core.Recover(dev, o.sess.opts)
 	if err != nil {
 		return 0, nil, 0, fmt.Errorf("crashcheck: clean recovery of the probe-boundary snapshot failed: %w", err)
 	}
-	if got := db.StateDigest(); got != o.digestPre {
+	if got := o.sess.digest(db); got != o.digestPre {
 		return 0, nil, 0, fmt.Errorf("crashcheck: clean recovery changed the digest: %016x != %016x", got, o.digestPre)
 	}
 	base := dev.Stats().Flushes
 	dev.TraceFences(true)
-	if err := o.sess.runEpoch(db, o.probeLE); err != nil {
-		return 0, nil, 0, fmt.Errorf("crashcheck: replica probe epoch: %w", err)
+	if err := o.sess.probeWindow(db, o.probeLE); err != nil {
+		return 0, nil, 0, fmt.Errorf("crashcheck: replica probe window: %w", err)
 	}
 	marksAbs := dev.FenceMarks()
 	dev.TraceFences(false)
@@ -243,7 +267,7 @@ func (o *oracle) replicaProbe() (int64, []int64, uint64, error) {
 			marks = append(marks, rel)
 		}
 	}
-	return flushes, marks, db.StateDigest(), nil
+	return flushes, marks, o.sess.digest(db), nil
 }
 
 // explore runs one crash point on the worker's device replica and returns
@@ -260,7 +284,7 @@ func (o *oracle) explore(dev *nvm.Device, pt Point) *Violation {
 	}
 
 	dev.SetFailAfter(pt.FailAfter)
-	fired, err := o.sess.runEpochUntilCrash(db, o.probeLE)
+	fired, err := o.sess.probeWindowUntilCrash(db, o.probeLE)
 	dev.SetFailAfter(0)
 	if err != nil {
 		return &Violation{Point: pt, Kind: KindEpochError, Detail: err.Error()}
@@ -293,17 +317,31 @@ func (o *oracle) explore(dev *nvm.Device, pt Point) *Violation {
 			Detail: fmt.Sprintf("recovered checkpoint epoch %d but epochs through %d were committed before the crash",
 				rep.CheckpointEpoch, o.probeEpoch-1)}
 	}
-	if rep.CheckpointEpoch > o.probeEpoch {
+	// The effective recovered epoch is the youngest state the recovery
+	// reconstructed, by checkpoint or WAL replay. The window admits three:
+	// nothing committed (pre), the first window epoch committed (mid — only
+	// distinct from post under the two-epoch pipeline window), or the whole
+	// window committed (post).
+	eff := rep.CheckpointEpoch
+	if rep.ReplayedEpoch > eff {
+		eff = rep.ReplayedEpoch
+	}
+	if eff > o.windowLast {
 		return &Violation{Point: pt, Kind: KindRecoverError,
-			Detail: fmt.Sprintf("recovered checkpoint epoch %d is beyond the probe epoch %d", rep.CheckpointEpoch, o.probeEpoch)}
+			Detail: fmt.Sprintf("recovered epoch %d (ckpt=%d replayed=%d) is beyond the probe window end %d",
+				eff, rep.CheckpointEpoch, rep.ReplayedEpoch, o.windowLast)}
 	}
-
-	committed := rep.CheckpointEpoch >= o.probeEpoch || rep.ReplayedEpoch == o.probeEpoch
-	want, side := o.digestPre, "pre-probe (epoch not committed: lost uncommitted data must vanish entirely)"
-	if committed {
-		want, side = o.digestPost, "post-probe (epoch committed or replayed)"
+	var want uint64
+	var side string
+	switch {
+	case eff < o.probeEpoch:
+		want, side = o.digestPre, "pre-window (no window epoch committed: lost uncommitted data must vanish entirely)"
+	case eff == o.probeEpoch && o.windowLast > o.probeEpoch:
+		want, side = o.digestMid, "mid-window (first window epoch committed or replayed)"
+	default:
+		want, side = o.digestPost, "post-window (whole window committed or replayed)"
 	}
-	if got := db2.StateDigest(); got != want {
+	if got := o.sess.digest(db2); got != want {
 		return &Violation{Point: pt, Kind: KindDigestMismatch,
 			Detail: fmt.Sprintf("recovered digest %016x != %s oracle %016x (fired=%v ckpt=%d replayed=%d)",
 				got, side, want, fired, rep.CheckpointEpoch, rep.ReplayedEpoch)}
@@ -328,8 +366,8 @@ func Run(spec Spec, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	pts, exhaustive := plan(o, cfg)
-	cfg.logf("probe epoch %d: %d flushes, %d fences; %d points planned (exhaustive=%v deterministic=%v)",
-		o.probeEpoch, o.flushes, len(o.fenceMarks), len(pts), exhaustive, o.determin)
+	cfg.logf("probe epoch %d (+%d window): %d flushes, %d fences; %d points planned (exhaustive=%v deterministic=%v)",
+		o.probeEpoch, o.windowLast-o.probeEpoch, o.flushes, len(o.fenceMarks), len(pts), exhaustive, o.determin)
 
 	var deadline time.Time
 	if cfg.Budget > 0 {
@@ -380,9 +418,10 @@ func Run(spec Spec, cfg Config) (*Report, error) {
 		}
 		return a.DoubleFailAfter < b.DoubleFailAfter
 	})
-	return &Report{
+	rep := &Report{
 		Spec:           spec,
 		ProbeEpoch:     o.probeEpoch,
+		WindowEpochs:   int(o.windowLast-o.probeEpoch) + 1,
 		FlushPoints:    o.flushes,
 		FenceCount:     len(o.fenceMarks),
 		Deterministic:  o.determin,
@@ -393,5 +432,9 @@ func Run(spec Spec, cfg Config) (*Report, error) {
 		DigestPost:     fmt.Sprintf("%016x", o.digestPost),
 		Violations:     violations,
 		ElapsedMS:      time.Since(start).Milliseconds(),
-	}, nil
+	}
+	if o.windowLast > o.probeEpoch {
+		rep.DigestMid = fmt.Sprintf("%016x", o.digestMid)
+	}
+	return rep, nil
 }

@@ -90,6 +90,47 @@ func TestSweepAsyncPersist(t *testing.T) {
 	}
 }
 
+// TestSweepPipeline explores the two-epoch overlapped window of the depth-1
+// epoch pipeline: fail points land inside epoch P's background commit
+// (parallel pool staging, counters, index journal, checkpoint fence, epoch
+// record) while epoch P+1's front serializes, inits, and executes — and
+// vice versa. The committer interleaves with the front nondeterministically
+// even on one core, so the sweep does not assert Deterministic; every
+// recovered state must still land on exactly the pre-, mid-, or post-window
+// oracle digest.
+func TestSweepPipeline(t *testing.T) {
+	s := smallSpec()
+	s.Pipeline = true
+	rep := mustRun(t, s, Config{})
+	assertClean(t, rep)
+	if rep.WindowEpochs != 2 {
+		t.Errorf("pipeline window spans %d epochs, want 2", rep.WindowEpochs)
+	}
+	if rep.DigestMid == "" || rep.DigestMid == rep.DigestPost || rep.DigestMid == rep.DigestPre {
+		t.Errorf("mid-window digest %q not distinct from pre %q / post %q", rep.DigestMid, rep.DigestPre, rep.DigestPost)
+	}
+}
+
+// TestSweepPipelinePersistIndex adds the index journal, so the committer's
+// delta-block append and journal checkpoint run inside the overlap (or the
+// front compacts inline when the block would not fit).
+func TestSweepPipelinePersistIndex(t *testing.T) {
+	s := smallSpec()
+	s.Pipeline = true
+	s.PersistIndex = true
+	rep := mustRun(t, s, Config{MaxPoints: 300})
+	assertClean(t, rep)
+}
+
+// TestSweepPipelineAria covers the Aria flavour's pre-init commit join.
+func TestSweepPipelineAria(t *testing.T) {
+	s := smallSpec()
+	s.Pipeline = true
+	s.Aria = true
+	rep := mustRun(t, s, Config{MaxPoints: 300})
+	assertClean(t, rep)
+}
+
 // TestSweepMajorGCHeavy pins the single-fence major-GC protocol: with the
 // minor collector off and every value pooled, each probe epoch carries ring
 // appends, phase-1 frees, and phase-2 row rewrites, all ordered by the one

@@ -366,6 +366,39 @@ func RunUntilCrash(db *core.DB, batch []*core.Txn) (fired bool, err error) {
 	return false, err
 }
 
+// RunFuncUntilCrash runs f with injected-crash conversion: a device
+// fail-point panic raised on the calling goroutine — or re-raised there by
+// a durability barrier joining the engine's background committer — reports
+// fired instead of propagating. It generalizes RunUntilCrash to multi-epoch
+// windows, e.g. the pipelined probe window of two overlapped epochs.
+func RunFuncUntilCrash(f func() error) (fired bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r != nvm.ErrInjectedCrash {
+				panic(r)
+			}
+			fired = true
+			err = nil
+		}
+	}()
+	return false, f()
+}
+
+// Quiesce drains the engine's background commit stage, swallowing the
+// sticky re-raised injected crash if the committer was the side that hit
+// the fail-point. Call it after a caught injected crash and before
+// nvm.Device.Crash: the fail-point fires on exactly one goroutine, and
+// under an overlapped commit the surviving side keeps issuing device
+// accesses until joined.
+func Quiesce(db *core.DB) {
+	defer func() {
+		if r := recover(); r != nil && r != nvm.ErrInjectedCrash {
+			panic(r)
+		}
+	}()
+	db.WaitDurable()
+}
+
 // RunAriaUntilCrash is RunUntilCrash for an Aria-flavoured epoch.
 func RunAriaUntilCrash(db *core.DB, batch []*core.AriaTxn) (fired bool, err error) {
 	defer func() {

@@ -59,6 +59,7 @@ func newSession(spec Spec) (*session, error) {
 	s.opts.MinorGCEnabled = spec.MinorGC
 	s.opts.PersistIndex = spec.PersistIndex
 	s.opts.AsyncPersist = spec.AsyncPersist
+	s.opts.Pipeline = spec.Pipeline
 	if err := s.opts.Layout.Finalize(); err != nil {
 		return nil, fmt.Errorf("crashcheck: layout: %w", err)
 	}
@@ -399,4 +400,72 @@ func (s *session) runEpochUntilCrash(db *core.DB, le int) (bool, error) {
 		return kit.RunAriaUntilCrash(db, s.ariaBatch(le))
 	}
 	return kit.RunUntilCrash(db, s.batch(db, le))
+}
+
+// windowEpochs is how many engine epochs the probe window spans: one
+// normally, two under Pipeline, where the point of the sweep is the overlap
+// between epoch P's background commit and epoch P+1's front.
+func (s *session) windowEpochs() int {
+	if s.spec.Pipeline {
+		return 2
+	}
+	return 1
+}
+
+// probeWindow runs the probe window crash-free starting at logical epoch
+// le. Under Pipeline it submits both epochs back to back — epoch le's
+// checkpoint overlaps epoch le+1's front — and drains only at the end;
+// otherwise it is runEpoch.
+func (s *session) probeWindow(db *core.DB, le int) error {
+	if !s.spec.Pipeline {
+		return s.runEpoch(db, le)
+	}
+	if err := s.submitEpoch(db, le); err != nil {
+		return err
+	}
+	if err := s.submitEpoch(db, le+1); err != nil {
+		return err
+	}
+	db.WaitDurable()
+	return nil
+}
+
+// submitEpoch runs one engine epoch without draining the commit pipeline.
+func (s *session) submitEpoch(db *core.DB, le int) error {
+	if s.spec.Aria {
+		_, err := db.RunEpochAria(s.ariaBatch(le))
+		return err
+	}
+	_, err := db.RunEpoch(s.batch(db, le))
+	return err
+}
+
+// digest summarizes db's committed state for oracle comparison. Under
+// Pipeline it excludes per-pool allocation totals: whether an overlapped
+// allocation adopts a freed ring slot or bumps depends on how the
+// committer's checkpoint fence interleaves with the front, so the totals
+// are not replay-deterministic even though the logical state is (allocator
+// accounting is still covered by CheckInvariants on every recovered
+// state). Elsewhere the full digest keeps pinning the totals.
+func (s *session) digest(db *core.DB) uint64 {
+	if s.spec.Pipeline {
+		return db.LogicalDigest()
+	}
+	return db.StateDigest()
+}
+
+// probeWindowUntilCrash is probeWindow with injected-crash conversion.
+// Under Pipeline the fail point fires on exactly one goroutine — the front
+// or the background committer — and the survivor keeps issuing device
+// accesses; the window therefore quiesces the engine before returning, so
+// the caller may crash the device (nvm.Device.Crash requires no in-flight
+// accesses). The drained survivor's flushes land before the cut, the same
+// state a chaos eviction could reach, so the checks stay sound.
+func (s *session) probeWindowUntilCrash(db *core.DB, le int) (bool, error) {
+	if !s.spec.Pipeline {
+		return s.runEpochUntilCrash(db, le)
+	}
+	fired, err := kit.RunFuncUntilCrash(func() error { return s.probeWindow(db, le) })
+	kit.Quiesce(db)
+	return fired, err
 }

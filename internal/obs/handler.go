@@ -26,7 +26,11 @@ type StatsPayload struct {
 	TxnExec       HistJSON            `json:"txn_exec"`
 	Epoch         HistJSON            `json:"epoch"`
 	Phases        map[string]HistJSON `json:"phases"`
-	Device        *DeviceJSON         `json:"device,omitempty"`
+	// DurableLag counts completed epochs by Epoch()−DurableEpoch() at
+	// completion time; index i is a lag of i epochs (last bucket folds
+	// overflows). All zero unless an async/pipelined commit mode ran.
+	DurableLag []uint64    `json:"durable_lag,omitempty"`
+	Device     *DeviceJSON `json:"device,omitempty"`
 	// Extra carries host-registered sources (engine counters, memory
 	// breakdown, raw device stats) keyed by source name.
 	Extra map[string]json.RawMessage `json:"extra,omitempty"`
@@ -44,6 +48,8 @@ func (o *Obs) Stats() StatsPayload {
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		p.Phases[ph.String()] = o.phases[ph].Snapshot().JSON()
 	}
+	lag := o.DurableLagCounts()
+	p.DurableLag = lag[:]
 	p.Device = o.dev.JSON()
 	return p
 }

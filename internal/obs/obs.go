@@ -14,6 +14,7 @@ package obs
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,6 +42,11 @@ type Config struct {
 	Cores int
 }
 
+// MaxDurableLag bounds the durable-lag distribution: lags of MaxDurableLag
+// or more epochs fold into the last bucket. A depth-1 pipeline never lags
+// more than one epoch, so anything beyond is itself a finding.
+const MaxDurableLag = 4
+
 // Obs bundles the instruments of one engine instance.
 type Obs struct {
 	start  time.Time
@@ -50,6 +56,12 @@ type Obs struct {
 	tracer *Tracer
 	dev    *DeviceObs
 	attrib *Attrib
+
+	// durableLag counts completed epochs by Epoch()−DurableEpoch() at
+	// completion time: bucket 0 when the commit retired in line, bucket 1
+	// while an asynchronous or pipelined commit was still in flight.
+	durableLag [MaxDurableLag]atomic.Uint64
+	lagOn      bool
 }
 
 // New builds an Obs per the config.
@@ -64,6 +76,7 @@ func New(cfg Config) *Obs {
 		for i := range o.phases {
 			o.phases[i] = NewHist()
 		}
+		o.lagOn = true
 	}
 	if cfg.Trace {
 		o.tracer = NewTracer(cfg.Cores, cfg.TraceSpansPerCore)
@@ -160,6 +173,41 @@ func (o *Obs) RecordEpoch(epoch uint64, start time.Time, log, init, exec, persis
 	o.epoch.Observe(log + init + exec + persist)
 }
 
+// RecordCommit records one retired asynchronous commit stage — a committer
+// span plus the commit-phase histogram. Safe to call from the committer
+// goroutine concurrently with the coordinator's RecordEpoch.
+func (o *Obs) RecordCommit(epoch uint64, start time.Time, dur time.Duration) {
+	if o == nil {
+		return
+	}
+	o.spanAt(CoordinatorCore, epoch, PhaseCommit, start, dur)
+}
+
+// ObserveDurableLag records one completed epoch's durable lag — the
+// engine's Epoch()−DurableEpoch() sampled right after the epoch completed.
+func (o *Obs) ObserveDurableLag(lag uint64) {
+	if o == nil || !o.lagOn {
+		return
+	}
+	if lag >= MaxDurableLag {
+		lag = MaxDurableLag - 1
+	}
+	o.durableLag[lag].Add(1)
+}
+
+// DurableLagCounts returns the durable-lag distribution: index i counts
+// epochs that completed with a lag of i (the last bucket folds overflows).
+func (o *Obs) DurableLagCounts() [MaxDurableLag]uint64 {
+	var c [MaxDurableLag]uint64
+	if o == nil {
+		return c
+	}
+	for i := range c {
+		c[i] = o.durableLag[i].Load()
+	}
+	return c
+}
+
 // Reset clears every attached instrument and restarts the uptime clock.
 // Hosts use it to discard a data-loading phase before a measured run
 // (internal/bench's obs report). Racing recorders are tolerated, not
@@ -173,6 +221,9 @@ func (o *Obs) Reset() {
 	o.epoch.Reset()
 	for _, h := range o.phases {
 		h.Reset()
+	}
+	for i := range o.durableLag {
+		o.durableLag[i].Store(0)
 	}
 	o.tracer.Reset()
 	o.dev.Reset()

@@ -22,6 +22,11 @@ const (
 	PhaseMinorGC
 	PhaseMajorGC
 	PhaseRecovery
+	// PhaseCommit is the asynchronous committer stage of a pipelined epoch:
+	// parallel pool-checkpoint staging, counter and index-journal stores,
+	// the checkpoint fence, and the epoch record. Under a synchronous
+	// commit this work is inside PhasePersist instead.
+	PhaseCommit
 	// NumPhases bounds phase-indexed iteration: valid phases are
 	// Phase(0) <= p < NumPhases.
 	NumPhases
@@ -29,7 +34,7 @@ const (
 
 // PhaseNames lists every phase label in enum order, the schema the stats
 // payload and cmd/nvtop report against.
-var PhaseNames = []string{"log", "init", "execute", "persist", "minor-gc", "major-gc", "recovery"}
+var PhaseNames = []string{"log", "init", "execute", "persist", "minor-gc", "major-gc", "recovery", "commit"}
 
 func (p Phase) String() string {
 	if int(p) < len(PhaseNames) {

@@ -69,6 +69,14 @@ func blockBytes(n int) int64 { return idxBlockHdr + int64(n)*idxEntrySize }
 // Remaining returns the bytes left before the journal overflows.
 func (il *IndexLog) Remaining() int64 { return il.size - il.writeOff }
 
+// Fits reports whether a block of n entries can be appended now. The
+// pipelined engine decides synchronously — before handing the block to the
+// background committer — whether the append can run off the critical path
+// or compaction (which walks the live index) must run inline first.
+func (il *IndexLog) Fits(n int) bool {
+	return !il.overflow && blockBytes(n) <= il.Remaining()
+}
+
 // Overflowed reports whether the journal gave up; recovery must scan.
 func (il *IndexLog) Overflowed() bool { return il.overflow }
 
@@ -117,11 +125,17 @@ func (il *IndexLog) AppendEpoch(epoch uint64, entries []IndexEntry) (ok bool) {
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(entries)))
 	binary.LittleEndian.PutUint64(hdr[16:], idxChecksum(epoch, payload))
 	off := il.base + il.writeOff
-	il.dev.WriteAt(hdr[:], off)
+	// One vectored write for the whole block, payload before header (a torn
+	// append never leaves a checksummed header over garbage entries), with
+	// the flush batched into the same call.
+	fields := []nvm.FieldWrite{{Off: off, Data: hdr[:]}}
 	if len(payload) > 0 {
-		il.dev.WriteAt(payload, off+idxBlockHdr)
+		fields = []nvm.FieldWrite{
+			{Off: off + idxBlockHdr, Data: payload},
+			{Off: off, Data: hdr[:]},
+		}
 	}
-	il.dev.Flush(off, need)
+	il.dev.WriteFields(fields, []nvm.Range{{Off: off, N: need}})
 	il.writeOff += need
 	return true
 }
@@ -134,6 +148,12 @@ func (il *IndexLog) AppendEpoch(epoch uint64, entries []IndexEntry) (ok bool) {
 // the row scan.
 func (il *IndexLog) ResetForSnapshot() {
 	il.writeOff = line
+	// The rewind logically discards every prior block, so a delta that
+	// failed to fit no longer counts against the journal: clear the overflow
+	// flag and let the snapshot append re-set it if even the snapshot does
+	// not fit. Without this the engine's compaction could never succeed —
+	// the failed delta append had already latched the sticky flag.
+	il.overflow = false
 }
 
 // Checkpoint persists the write offset into the epoch-parity slot and the

@@ -18,8 +18,11 @@ const Magic = uint64(0x4e56434152414341) // "NVCARACA"
 
 // LayoutVersion guards against attaching to an incompatible format.
 // Version 5 widened free-ring entries from 8 to 16 bytes (offset + stamp)
-// and retired the pool control line's current-tail stage slots.
-const LayoutVersion = uint64(5)
+// and retired the pool control line's current-tail stage slots. Version 6
+// split the input-log region into two epoch-parity slots so a pipelined
+// epoch can serialize its inputs while the previous epoch's checkpoint is
+// still committing.
+const LayoutVersion = uint64(6)
 
 const line = int64(nvm.LineSize)
 
@@ -360,7 +363,9 @@ func Format(dev *nvm.Device, l Layout) error {
 	if l.Counters > 0 {
 		td.Zero(l.counterOff, alignUp(l.Counters*counterStride))
 	}
-	td.Zero(l.logOff, line) // log header only; payload is length-guarded
+	// Log slot headers only (both parity slots); payload is length-guarded.
+	td.Zero(l.logOff, line)
+	td.Zero(l.logOff+l.LogBytes/2/line*line, line)
 	for c := 0; c < l.Cores; c++ {
 		td.Zero(l.rowCtlOff[c], line)
 	}
@@ -380,6 +385,7 @@ func Format(dev *nvm.Device, l Layout) error {
 		{Off: l.headerOff, N: 2 * line},
 		{Off: l.epochOff, N: line},
 		{Off: l.logOff, N: line},
+		{Off: l.logOff + l.LogBytes/2/line*line, N: line},
 	}
 	if l.Counters > 0 {
 		ranges = append(ranges, nvm.Range{Off: l.counterOff, N: alignUp(l.Counters * counterStride)})

@@ -3,6 +3,7 @@ package pmem
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"nvcaracal/internal/nvm"
 	"nvcaracal/internal/obs"
@@ -91,9 +92,19 @@ type Pool struct {
 	head int64 // logical free-list consume position (monotonic)
 	tail int64 // logical free-list append position (monotonic)
 
-	// Checkpoint barriers.
-	headCkpt int64 // head at last checkpoint: entries >= headCkpt must survive a crash
-	tailCkpt int64 // tail at last checkpoint: allocations must not cross it (invariant 2)
+	// Checkpoint barriers. Atomic because a pipelined committer publishes
+	// them (Checkpointed) while the owner core already allocates inside the
+	// next epoch: Alloc reads tailCkpt, appendEntry reads headCkpt. A stale
+	// read is conservative in both places — Alloc falls back to the bump
+	// region, the overflow check trips early.
+	headCkpt atomic.Int64 // head at last checkpoint: entries >= headCkpt must survive a crash
+	tailCkpt atomic.Int64 // tail at last checkpoint: allocations must not cross it (invariant 2)
+
+	// Control values captured by Checkpoint for the epoch being committed.
+	// Checkpointed publishes these, not the live offsets: under a pipelined
+	// commit the next epoch may already have advanced head/tail, and those
+	// moves belong to its own future checkpoint.
+	stagedHead, stagedTail int64
 
 	// Ring-flush bookkeeping: appends since the last flush.
 	flushFrom int64
@@ -151,7 +162,7 @@ func (p *Pool) ringSlotOff(pos int64) int64 {
 // checkpointed, so their deletion can be reverted). Allocation never writes
 // NVMM: only the DRAM head or bump offset moves.
 func (p *Pool) Alloc() (int64, error) {
-	if p.head < p.tailCkpt {
+	if p.head < p.tailCkpt.Load() {
 		off := int64(p.dev.Load64(p.ringSlotOff(p.head)))
 		p.head++
 		return off, nil
@@ -178,7 +189,7 @@ func (p *Pool) Free(off int64) { p.appendEntry(entryTxn, 0, off) }
 func (p *Pool) FreeGC(off int64, epoch uint64) { p.appendEntry(entryGC, epoch, off) }
 
 func (p *Pool) appendEntry(kind byte, epoch uint64, off int64) {
-	if p.tail-p.headCkpt >= p.ringCap {
+	if p.tail-p.headCkpt.Load() >= p.ringCap {
 		// The ring must retain every entry from the last checkpointed head
 		// onward so a crash can revert consumption; running out means the
 		// pool was sized too small for the workload's churn.
@@ -210,7 +221,10 @@ func (p *Pool) FlushRing() {
 
 // Checkpoint writes the DRAM bump/head/tail into the parity slots for the
 // given epoch and flushes the ring and control line. The caller issues the
-// fence (one fence covers all pools), then calls Checkpointed.
+// fence (one fence covers all pools), then calls Checkpointed. Under a
+// pipelined commit the committer must call Checkpoint before the owner core
+// enters the next epoch's init phase for this pool (the engine's per-pool
+// staging token), so the values read here are still end-of-epoch values.
 func (p *Pool) Checkpoint(epoch uint64) {
 	p.FlushRing()
 	par := int64(epoch % 2)
@@ -218,13 +232,16 @@ func (p *Pool) Checkpoint(epoch uint64) {
 	p.dev.Store64(p.ctlOff+ctlHead0+par*8, uint64(p.head))
 	p.dev.Store64(p.ctlOff+ctlTail0+par*8, uint64(p.tail))
 	p.dev.Flush(p.ctlOff, line)
+	p.stagedHead, p.stagedTail = p.head, p.tail
 }
 
 // Checkpointed commits the checkpoint barriers after the caller's fence
-// made the epoch durable: entries freed last epoch become allocatable.
+// made the epoch durable: entries freed last epoch become allocatable. It
+// publishes the values Checkpoint staged, which under a pipelined commit
+// may trail the live offsets by the next epoch's own frees.
 func (p *Pool) Checkpointed() {
-	p.headCkpt = p.head
-	p.tailCkpt = p.tail
+	p.headCkpt.Store(p.stagedHead)
+	p.tailCkpt.Store(p.stagedTail)
 }
 
 // Recover restores the DRAM state from the checkpoint of ckptEpoch and,
@@ -275,11 +292,11 @@ func (p *Pool) Recover(ckptEpoch uint64, adoptGC bool) []int64 {
 		}
 	}
 	p.tail = ckptTail + int64(len(gcFrees))
-	p.headCkpt = p.head
+	p.headCkpt.Store(p.head)
 	// Invariant 2 uses the checkpointed tail, not the adopted tail: slots
 	// freed by the crashed epoch's GC must not be reallocated while that
 	// epoch is replayed.
-	p.tailCkpt = ckptTail
+	p.tailCkpt.Store(ckptTail)
 	p.flushFrom = p.tail
 	return gcFrees
 }

@@ -426,3 +426,83 @@ func TestMaxDelayFlushesPartialBatch(t *testing.T) {
 		t.Fatalf("solo txn: %+v", r)
 	}
 }
+
+// TestPipelineSubmitStress is the submit-front counterpart of the engine's
+// pipeline race test: concurrent submitters keep the batch former full
+// while the depth-1 epoch pipeline overlaps every epoch's checkpoint with
+// the next epoch's work, so the race detector watches the staging-token
+// and commit-join handoffs under real front-end concurrency. Run under
+// -race in CI.
+func TestPipelineSubmitStress(t *testing.T) {
+	const (
+		submitters = 8
+		perWorker  = 200
+		maxBatch   = 64
+	)
+	cfg := testConfig()
+	cfg.AsyncPersist = true
+	cfg.Pipeline = true
+	db, err := nvcaracal.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nvcaracal.NewSubmitter(db, nvcaracal.SubmitterConfig{
+		MaxBatch: maxBatch,
+		MaxDelay: 200 * time.Microsecond,
+	})
+
+	var wg sync.WaitGroup
+	futs := make([][]*nvcaracal.Future, submitters)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			futs[w] = make([]*nvcaracal.Future, perWorker)
+			for i := 0; i < perWorker; i++ {
+				k := key(w, i)
+				var f *nvcaracal.Future
+				var err error
+				if i%2 == 0 {
+					f, err = s.Submit(mkInsert(k, binary.LittleEndian.AppendUint64(nil, k)))
+				} else {
+					// Overwrite the worker's previous insert: dual-version
+					// rewrites feed major GC into the overlapped window.
+					f, err = s.Submit(mkSet(key(w, i-1), binary.LittleEndian.AppendUint64(nil, k)))
+				}
+				if err != nil {
+					t.Errorf("worker %d submit %d: %v", w, i, err)
+					return
+				}
+				futs[w][i] = f
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	db.WaitDurable()
+	if ep, dur := db.Epoch(), db.DurableEpoch(); dur != ep {
+		t.Fatalf("after WaitDurable: durable epoch %d != epoch %d", dur, ep)
+	}
+
+	for w := range futs {
+		for i, f := range futs[w] {
+			if f == nil {
+				t.Fatalf("worker %d future %d missing", w, i)
+			}
+			if r := f.Wait(); r.Err != nil || !r.Committed {
+				t.Fatalf("worker %d txn %d: err=%v committed=%v", w, i, r.Err, r.Committed)
+			}
+		}
+	}
+	for w := 0; w < submitters; w++ {
+		for i := 1; i < perWorker; i += 2 {
+			k := key(w, i-1)
+			v, ok := db.Get(tblKV, k)
+			if !ok || binary.LittleEndian.Uint64(v) != key(w, i) {
+				t.Fatalf("key %d: ok=%v val=%v", k, ok, v)
+			}
+		}
+	}
+}

@@ -6,7 +6,11 @@
 // persists them before the execution phase begins, and replays them
 // deterministically after a crash. Only the in-flight epoch's log is ever
 // needed (earlier epochs are covered by the checkpoint), so the log region
-// is rewritten from its base every epoch at sequential NVMM bandwidth.
+// holds just two epoch slots, selected by epoch parity and each rewritten
+// from its base at sequential NVMM bandwidth. Two slots instead of one is
+// what lets an epoch pipeline overlap: epoch N+1 serializes its inputs into
+// slot (N+1)%2 while epoch N's checkpoint — whose replay inputs live in
+// slot N%2 — is still being committed in the background.
 package wal
 
 import (
@@ -46,13 +50,22 @@ type Log struct {
 	buf         []byte
 }
 
-// New returns a log over [off, off+size) of the device.
+// New returns a log over [off, off+size) of the device. The region is split
+// into two line-aligned epoch-parity slots.
 func New(dev *nvm.Device, off, size int64) *Log {
-	if size <= headerSize {
+	l := &Log{dev: dev, off: off, size: size}
+	if l.slotCap() <= headerSize {
 		panic("wal: log region too small")
 	}
-	return &Log{dev: dev, off: off, size: size}
+	return l
 }
+
+// slotCap is the byte capacity of one epoch-parity slot (half the region,
+// aligned down to a line so both slots start line-aligned).
+func (l *Log) slotCap() int64 { return l.size / 2 / headerSize * headerSize }
+
+// slotOff returns the base offset of the slot holding the given epoch.
+func (l *Log) slotOff(epoch uint64) int64 { return l.off + int64(epoch%2)*l.slotCap() }
 
 const (
 	fnvOffset = 14695981039346656037
@@ -89,8 +102,8 @@ func (l *Log) WriteEpochNoFence(epoch uint64, recs []Record) error {
 	for _, r := range recs {
 		need += 2 + 4 + len(r.Data)
 	}
-	if int64(need) > l.size-headerSize {
-		return fmt.Errorf("%w: need %d, have %d", ErrLogFull, need, l.size-headerSize)
+	if int64(need) > l.slotCap()-headerSize {
+		return fmt.Errorf("%w: need %d, have %d", ErrLogFull, need, l.slotCap()-headerSize)
 	}
 	if cap(l.buf) < need {
 		l.buf = make([]byte, need)
@@ -112,11 +125,12 @@ func (l *Log) WriteEpochNoFence(epoch uint64, recs []Record) error {
 	// Payload then header in one vectored call (payload-first order means a
 	// torn append never has a valid header over garbage payload; the
 	// checksum backstops the rest). The durability fence is the caller's.
+	base := l.slotOff(epoch)
 	td := l.dev.Tag(obs.CauseWALAppend)
 	td.WriteFields([]nvm.FieldWrite{
-		{Off: l.off + headerSize, Data: buf},
-		{Off: l.off, Data: hdr[:]},
-	}, []nvm.Range{{Off: l.off, N: headerSize + int64(len(buf))}})
+		{Off: base + headerSize, Data: buf},
+		{Off: base, Data: hdr[:]},
+	}, []nvm.Range{{Off: base, N: headerSize + int64(len(buf))}})
 	l.lastPayload = int64(len(buf))
 	return nil
 }
@@ -126,9 +140,10 @@ func (l *Log) WriteEpochNoFence(epoch uint64, recs []Record) error {
 // (e.g. the crash happened before the log fence).
 func (l *Log) ReadEpoch(epoch uint64) ([]Record, bool) {
 	// The log is only read back after a crash: recovery traffic.
+	base := l.slotOff(epoch)
 	rd := l.dev.Tag(obs.CauseRecovery)
 	var hdr [32]byte
-	rd.ReadAt(hdr[:], l.off)
+	rd.ReadAt(hdr[:], base)
 	gotEpoch := binary.LittleEndian.Uint64(hdr[0:])
 	count := binary.LittleEndian.Uint64(hdr[8:])
 	payload := binary.LittleEndian.Uint64(hdr[16:])
@@ -136,11 +151,11 @@ func (l *Log) ReadEpoch(epoch uint64) ([]Record, bool) {
 	if gotEpoch != epoch {
 		return nil, false
 	}
-	if int64(payload) > l.size-headerSize {
+	if int64(payload) > l.slotCap()-headerSize {
 		return nil, false
 	}
 	data := make([]byte, payload)
-	rd.ReadAt(data, l.off+headerSize)
+	rd.ReadAt(data, base+headerSize)
 	if fnv1a(epoch*31+count, data) != sum {
 		return nil, false
 	}

@@ -87,11 +87,21 @@ func TestOverwritePreviousEpoch(t *testing.T) {
 	l, _ := newLog(t, 1<<16)
 	l.WriteEpoch(1, []Record{{Type: 1, Data: []byte("one")}})
 	l.WriteEpoch(2, []Record{{Type: 2, Data: []byte("two!")}})
-	if _, ok := l.ReadEpoch(1); ok {
-		t.Fatal("stale epoch still readable")
+	// Consecutive epochs occupy different parity slots, so epoch 1 stays
+	// readable while epoch 2 appends — the pipeline may still be committing
+	// epoch 1 at that point.
+	if got, ok := l.ReadEpoch(1); !ok || got[0].Type != 1 {
+		t.Fatal("previous-parity epoch unreadable")
 	}
-	got, ok := l.ReadEpoch(2)
-	if !ok || got[0].Type != 2 {
+	// Epoch 3 reuses epoch 1's slot: only then is epoch 1 gone.
+	l.WriteEpoch(3, []Record{{Type: 3, Data: []byte("three")}})
+	if _, ok := l.ReadEpoch(1); ok {
+		t.Fatal("stale epoch still readable after slot reuse")
+	}
+	if got, ok := l.ReadEpoch(2); !ok || got[0].Type != 2 {
+		t.Fatal("previous epoch unreadable")
+	}
+	if got, ok := l.ReadEpoch(3); !ok || got[0].Type != 3 {
 		t.Fatal("current epoch unreadable")
 	}
 }

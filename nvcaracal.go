@@ -200,6 +200,13 @@ type Config struct {
 	// tail before starting, and DB.WaitDurable drains it explicitly
 	// (DB.DurableEpoch reports the last epoch whose record landed).
 	AsyncPersist bool
+	// Pipeline deepens AsyncPersist into a depth-1 epoch pipeline: a
+	// background committer owns the whole checkpoint (parallel per-core
+	// pool staging, counters, index journal, checkpoint fence, epoch
+	// record) while the caller runs the next epoch's log/init/execute.
+	// Implies AsyncPersist; DurableEpoch lags the current epoch by at most
+	// one until WaitDurable.
+	Pipeline bool
 
 	// Registry supplies replay decoders; required for crash recovery.
 	Registry *Registry
@@ -283,6 +290,7 @@ func (c Config) coreOptions() (core.Options, error) {
 		RevertOnRecovery: c.RevertOnRecovery,
 		PersistIndex:     c.PersistIndex,
 		AsyncPersist:     c.AsyncPersist,
+		Pipeline:         c.Pipeline,
 		Registry:         c.Registry,
 		AriaRegistry:     c.AriaRegistry,
 		Obs:              c.Obs,
