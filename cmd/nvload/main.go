@@ -55,6 +55,13 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run's epoch phases to this file")
 		attribOut  = flag.String("attrib-out", "", "write the NVMM access-attribution JSON (per-cause counters, heatmap, write-amp) to this file at exit")
 		serveAfter = flag.Duration("serve-after", 0, "keep the -obs-addr server up this long after the run (for scraping)")
+
+		txnSample   = flag.Int("txn-sample", 0, "sample 1-in-N transactions for lifecycle tracing (0 = off; also enables instrumentation)")
+		watch       = flag.Bool("watch", false, "arm the anomaly watchdog (durable lag, epoch outliers, committer/fence stalls)")
+		watchStall  = flag.Duration("watch-stall-after", 0, "watchdog committer-stall threshold (0 = default 2s)")
+		watchEvery  = flag.Duration("watch-interval", 0, "watchdog evaluation interval (0 = default 250ms)")
+		incidentDir = flag.String("incident-dir", "", "directory for watchdog incident JSON files (with -watch)")
+		commitStall = flag.Duration("inject-commit-stall", 0, "fault injection: stall every commit (persist-final) fence by this much during the measured phase")
 	)
 	flag.Parse()
 
@@ -72,14 +79,26 @@ func main() {
 		NVMMWriteLatency: *writeLat,
 		Registry:         nvcaracal.NewRegistry(),
 	}
-	if *obsAddr != "" || *traceOut != "" || *attribOut != "" {
-		cfg.Obs = nvcaracal.NewObs(nvcaracal.ObsConfig{
+	if *obsAddr != "" || *traceOut != "" || *attribOut != "" || *txnSample > 0 || *watch {
+		ocfg := nvcaracal.ObsConfig{
 			Hists:  true,
 			Trace:  true,
 			Device: true,
-			Attrib: *obsAddr != "" || *attribOut != "",
+			Attrib: *obsAddr != "" || *attribOut != "" || *watch,
 			Cores:  *cores,
-		})
+		}
+		if *txnSample > 0 {
+			ocfg.TxnTrace = true
+			ocfg.TxnSampleEvery = *txnSample
+		}
+		if *watch {
+			ocfg.Watch = &nvcaracal.WatchConfig{
+				IncidentDir: *incidentDir,
+				StallAfter:  *watchStall,
+				Interval:    *watchEvery,
+			}
+		}
+		cfg.Obs = nvcaracal.NewObs(ocfg)
 	}
 	if storageMode == nvcaracal.ModeAllDRAM {
 		cfg.NVMMReadLatency, cfg.NVMMWriteLatency = 0, 0
@@ -181,6 +200,21 @@ func main() {
 	}
 	fmt.Printf("loaded %d rows in %v\n", db.RowCount(), time.Since(loadStart).Round(time.Millisecond))
 
+	// Fault injection and the watchdog arm after the load phase so they see
+	// only the measured epochs.
+	if *commitStall > 0 {
+		db.Device().SetCommitStall(*commitStall)
+		fmt.Printf("inject: stalling every commit fence by %v\n", *commitStall)
+	}
+	var wd *nvcaracal.Watchdog
+	if *watch {
+		wd = cfg.Obs.StartWatch(nvcaracal.WatchTargets{
+			Epoch:        db.Epoch,
+			DurableEpoch: db.DurableEpoch,
+		})
+		fmt.Printf("watch: armed (incidents -> %q)\n", *incidentDir)
+	}
+
 	var committed, aborted int
 	var total time.Duration
 	if *submitters > 0 {
@@ -208,6 +242,12 @@ func main() {
 	// flight; drain it so the reported device stats are final (no-op when
 	// synchronous).
 	db.WaitDurable()
+	if wd != nil {
+		// One last synchronous evaluation so short runs still get their
+		// verdict, then stop the background loop.
+		wd.Tick(time.Now())
+		wd.Stop()
+	}
 
 	fmt.Printf("\nthroughput: %.0f txns/s (%d committed, %d aborted in %v)\n",
 		float64(committed+aborted)/total.Seconds(), committed, aborted, total.Round(time.Millisecond))
@@ -239,6 +279,18 @@ func main() {
 		ep := o.EpochSnapshot()
 		fmt.Printf("obs: epoch p50 %v p99 %v over %d epochs\n",
 			time.Duration(ep.Percentile(50)), time.Duration(ep.Percentile(99)), ep.Count)
+		if tt := o.TxnTrace(); tt != nil {
+			b := obs.Breakdown(tt.Spans())
+			fmt.Printf("txns: %d spans retained (%d sampled 1-in-%d, %d published)\n",
+				b.Spans, tt.SampledCount(), tt.SampleEvery(), tt.PublishedCount())
+			for _, p := range append(b.Phases, b.Total) {
+				fmt.Printf("txns: %-11s mean %-12v p50 %-12v p99 %-12v max %v\n",
+					p.Phase, time.Duration(p.MeanNS).Round(time.Microsecond),
+					time.Duration(p.P50NS).Round(time.Microsecond),
+					time.Duration(p.P99NS).Round(time.Microsecond),
+					time.Duration(p.MaxNS).Round(time.Microsecond))
+			}
+		}
 		if *traceOut != "" {
 			if err := writeTrace(o, *traceOut); err != nil {
 				fatal(err)
@@ -258,21 +310,39 @@ func main() {
 			}
 		}
 	}
+	if wd != nil {
+		incs := wd.Incidents()
+		fmt.Printf("watch: %d incident(s)\n", len(incs))
+		for _, inc := range incs {
+			loc := inc.File
+			if loc == "" {
+				loc = "(not written)"
+			}
+			fmt.Printf("watch: [%s] %s — %s\n", inc.Reason, inc.Detail, loc)
+		}
+	}
 	if *obsAddr != "" && *serveAfter > 0 {
 		fmt.Printf("obs: serving for another %v...\n", *serveAfter)
 		time.Sleep(*serveAfter)
 	}
 }
 
-// writeTrace exports the retained epoch-phase spans as Chrome trace JSON.
+// writeTrace exports the retained epoch-phase spans — and, when txn tracing
+// is on, the sampled transaction lifecycles — as Chrome trace JSON.
 func writeTrace(o *nvcaracal.Obs, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := obs.WriteChromeTrace(f, o.Tracer().Spans(0)); err != nil {
+	var werr error
+	if tt := o.TxnTrace(); tt != nil {
+		werr = obs.WriteChromeTraceWithTxns(f, o.Tracer().Spans(0), tt.Spans())
+	} else {
+		werr = obs.WriteChromeTrace(f, o.Tracer().Spans(0))
+	}
+	if werr != nil {
 		f.Close()
-		return err
+		return werr
 	}
 	return f.Close()
 }

@@ -33,7 +33,9 @@ func main() {
 	flag.Parse()
 
 	reg := nvcaracal.NewRegistry()
-	cfg := nvcaracal.Config{Registry: reg}
+	// A minimal Obs attaches the always-on flight recorder, so the recovery
+	// run leaves a per-stage progress log we can print afterwards.
+	cfg := nvcaracal.Config{Registry: reg, Obs: nvcaracal.NewObs(nvcaracal.ObsConfig{})}
 	rng := rand.New(rand.NewSource(*seed))
 	var gen func() []*nvcaracal.Txn
 	var loadBatches [][]*nvcaracal.Txn
@@ -132,9 +134,16 @@ func main() {
 	}
 	fmt.Printf("  rows scanned:       %d (repaired %d torn descriptors, reverted %d)\n",
 		rep.RowsScanned, rep.RowsRepaired, rep.RowsReverted)
+	fmt.Printf("  counters restored:  %d\n", rep.CountersRestored)
 	fmt.Printf("  breakdown: load %v | scan+rebuild %v | revert %v | replay %v\n",
 		rep.LoadTime.Round(time.Microsecond), rep.ScanTime.Round(time.Microsecond),
 		rep.RevertTime.Round(time.Microsecond), rep.ReplayTime.Round(time.Microsecond))
+	if stages := recoveryStages(cfg.Obs); len(stages) > 0 {
+		fmt.Println("  flight log:")
+		for _, s := range stages {
+			fmt.Printf("    %s\n", s)
+		}
+	}
 
 	if err := verify(db2); err != nil {
 		fatal(fmt.Errorf("verification failed: %w", err))
@@ -144,6 +153,18 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("post-recovery epoch %d committed.\n", db2.Epoch())
+}
+
+// recoveryStages pulls the recovery-stage events out of the flight recorder,
+// oldest first, already rendered by the event's own describer.
+func recoveryStages(o *nvcaracal.Obs) []string {
+	var out []string
+	for _, ev := range o.Flight().JSON(0).Events {
+		if ev.Type == "recovery-stage" {
+			out = append(out, ev.Detail)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

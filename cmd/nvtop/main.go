@@ -17,11 +17,21 @@
 // write-amplification summary (cumulative; not differenced in -interval
 // mode).
 //
+// When the engine samples transaction lifecycles (nvload -txn-sample) the
+// report adds a tail-latency breakdown panel: where sampled transactions
+// spend their time across queue, epoch-wait, execute, epoch-tail, and
+// commit-lag (from /debug/nvcaracal/txns).
+//
 // With -selfcheck it validates the endpoints instead: the stats payload must
 // parse against the schema and carry non-zero epoch counts, the trace
 // endpoint must serve loadable Chrome trace JSON with at least one span, and
 // the attribution payload must parse with per-cause counters consistent with
-// its write-amplification totals. The selfcheck expects an engine running an
+// its write-amplification totals. It further checks the flight recorder
+// (/flight must retain epoch-start/epoch-end/durable-publish events), the
+// txn-lifecycle endpoint (/txns span counts must be consistent with the
+// txn-exec histogram totals at the advertised sampling rate), and the
+// Prometheus endpoint (/metrics must golden-parse as text exposition with
+// the core families present). The selfcheck expects an engine running an
 // asynchronous commit mode (nvload -pipeline or -async-persist): the
 // committer's "commit" phase must be populated alongside the four epoch
 // phases. The CI observability smoke runs exactly this against a pipelined
@@ -36,6 +46,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"nvcaracal/internal/obs"
@@ -68,6 +80,7 @@ func main() {
 	}
 	if *interval <= 0 {
 		report(os.Stdout, prev, nil)
+		reportTxns(os.Stdout, client, base)
 		reportAttrib(os.Stdout, client, base)
 		return
 	}
@@ -79,6 +92,7 @@ func main() {
 		}
 		fmt.Printf("--- window %v ---\n", interval)
 		report(os.Stdout, cur, &prev)
+		reportTxns(os.Stdout, client, base)
 		reportAttrib(os.Stdout, client, base)
 		prev = cur
 	}
@@ -226,6 +240,60 @@ func reportAttrib(w io.Writer, client *http.Client, base string) {
 		cum.WriteAmp, cum.RowWriteAmp, cum.PersistAllRatio, cum.TotalLines, cum.CommittedBytes)
 }
 
+// fetchTxns reads the txn-lifecycle endpoint. An engine without txn tracing
+// serves the zero payload (sample_every 0), which callers treat as absent.
+func fetchTxns(client *http.Client, base string) (obs.TxnsJSON, error) {
+	var tj obs.TxnsJSON
+	resp, err := client.Get(base + obs.TxnsPath)
+	if err != nil {
+		return tj, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return tj, fmt.Errorf("txns endpoint: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tj); err != nil {
+		return tj, fmt.Errorf("txns payload: %w", err)
+	}
+	return tj, nil
+}
+
+// fetchFlight reads the flight-recorder endpoint.
+func fetchFlight(client *http.Client, base string) (obs.FlightJSON, error) {
+	var fj obs.FlightJSON
+	resp, err := client.Get(base + obs.FlightPath)
+	if err != nil {
+		return fj, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fj, fmt.Errorf("flight endpoint: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fj); err != nil {
+		return fj, fmt.Errorf("flight payload: %w", err)
+	}
+	return fj, nil
+}
+
+// reportTxns prints the sampled-transaction tail-latency breakdown panel.
+// Silently absent when the engine runs without txn tracing.
+func reportTxns(w io.Writer, client *http.Client, base string) {
+	tj, err := fetchTxns(client, base)
+	if err != nil || tj.SampleEvery == 0 || tj.Breakdown.Spans == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ntxn lifecycle (1 in %d sampled; %d spans retained)\n",
+		tj.SampleEvery, tj.Breakdown.Spans)
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s\n", "phase", "mean", "p50", "p99", "max")
+	for _, p := range append(tj.Breakdown.Phases, tj.Breakdown.Total) {
+		fmt.Fprintf(w, "%-12s %12v %12v %12v %12v\n", p.Phase,
+			time.Duration(p.MeanNS).Round(time.Microsecond),
+			time.Duration(p.P50NS).Round(time.Microsecond),
+			time.Duration(p.P99NS).Round(time.Microsecond),
+			time.Duration(p.MaxNS).Round(time.Microsecond))
+	}
+}
+
 // diffLag subtracts the previous durable-lag sample bucket-wise (counters
 // are cumulative) for interval mode; prev is empty in one-shot mode.
 func diffLag(cur, prev []uint64) []uint64 {
@@ -351,7 +419,116 @@ func runSelfcheck(client *http.Client, base string) error {
 	if len(aj.Heatmap.BucketLineWrites) == 0 {
 		return fmt.Errorf("attrib: heatmap has no buckets")
 	}
+
+	// Flight recorder: the always-on ring must have retained the run's epoch
+	// transitions and durable publishes.
+	fj, err := fetchFlight(client, base)
+	if err != nil {
+		return err
+	}
+	if len(fj.Events) == 0 {
+		return fmt.Errorf("flight: no events retained")
+	}
+	kinds := map[string]int{}
+	for _, ev := range fj.Events {
+		kinds[ev.Type]++
+	}
+	for _, k := range []string{"epoch-start", "epoch-end", "durable-publish"} {
+		if kinds[k] == 0 {
+			return fmt.Errorf("flight: no %q events (got %v)", k, kinds)
+		}
+	}
+
+	// Txn lifecycle: when the engine samples (nvload -txn-sample) the span
+	// counts must be consistent with the txn-exec histogram at the advertised
+	// rate. Loose 4x bounds: ring eviction, aborted re-runs, and edge batches
+	// blur the exact ratio.
+	tj, err := fetchTxns(client, base)
+	if err != nil {
+		return err
+	}
+	if tj.SampleEvery > 0 {
+		if tj.Published == 0 {
+			return fmt.Errorf("txns: sampling on (1 in %d) but no spans published", tj.SampleEvery)
+		}
+		if tj.Published > tj.Sampled {
+			return fmt.Errorf("txns: published %d > sampled %d", tj.Published, tj.Sampled)
+		}
+		if n := p.TxnExec.Count; n > 0 {
+			expect := uint64(n) / tj.SampleEvery
+			if expect >= 4 && (tj.Sampled > 4*expect+4 || 4*tj.Sampled+4 < expect) {
+				return fmt.Errorf("txns: sampled %d spans for %d executed txns at 1-in-%d (expected ~%d)",
+					tj.Sampled, n, tj.SampleEvery, expect)
+			}
+		}
+		if tj.Breakdown.Spans == 0 {
+			return fmt.Errorf("txns: %d published spans but empty breakdown", tj.Published)
+		}
+		if tj.Breakdown.Total.P50NS <= 0 {
+			return fmt.Errorf("txns: implausible breakdown total: %+v", tj.Breakdown.Total)
+		}
+	}
+
+	// Prometheus endpoint: the text exposition must golden-parse (every
+	// sample line is "name[{labels}] value") and carry the core families.
+	body, err := fetchMetrics(client, base)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"# TYPE nvcaracal_epoch_seconds histogram",
+		"nvcaracal_epoch_seconds_count",
+		"nvcaracal_uptime_seconds",
+		"nvcaracal_flight_events_retained",
+	} {
+		if !strings.Contains(body, want) {
+			return fmt.Errorf("metrics: missing %q", want)
+		}
+	}
+	if tj.SampleEvery > 0 && !strings.Contains(body, "nvcaracal_txn_spans_published_total") {
+		return fmt.Errorf("metrics: txn sampling on but no nvcaracal_txn_spans_published_total")
+	}
+	samples := 0
+	for i, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("metrics: line %d not 'name value': %q", i+1, line)
+		}
+		if !strings.HasPrefix(fields[0], "nvcaracal_") {
+			return fmt.Errorf("metrics: line %d outside the nvcaracal namespace: %q", i+1, line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("metrics: line %d value: %v", i+1, err)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return fmt.Errorf("metrics: no samples")
+	}
 	return nil
+}
+
+// fetchMetrics reads the Prometheus text-exposition endpoint.
+func fetchMetrics(client *http.Client, base string) (string, error) {
+	resp, err := client.Get(base + obs.MetricsPath)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metrics endpoint: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		return "", fmt.Errorf("metrics endpoint: content-type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 func fatal(err error) {

@@ -190,6 +190,9 @@ func replay(path string, quiet bool) int {
 		return 0
 	}
 	fmt.Printf("nvtorture: %s: reproduced: %s\n", path, v)
+	if !quiet && v.FlightTail != "" {
+		fmt.Printf("flight recorder (crash-recover-check cycle):\n%s", v.FlightTail)
+	}
 	return 1
 }
 

@@ -25,6 +25,11 @@ type ObsCell struct {
 	PhaseSharePct map[string]float64      `json:"phase_share_pct"`
 	TxnExec       obs.HistJSON            `json:"txn_exec"`
 	Device        *obs.DeviceJSON         `json:"device,omitempty"`
+	// TxnBreakdown is the sampled per-transaction lifecycle breakdown
+	// (queue/epoch-wait/execute/epoch-tail/commit-lag); the obs-bench cells
+	// run hand-batched epochs, so the pre-assignment phases read as zero and
+	// the interesting split is execute vs epoch-tail vs commit-lag.
+	TxnBreakdown *obs.TxnBreakdownJSON `json:"txn_breakdown,omitempty"`
 }
 
 // ObsReport is the schema of BENCH_obs.json.
@@ -51,7 +56,7 @@ func RunObsReport(o Options) (ObsReport, error) {
 	}
 
 	newObs := func() *nvcaracal.Obs {
-		return nvcaracal.NewObs(nvcaracal.ObsConfig{Hists: true, Device: true, Cores: s.cores()})
+		return nvcaracal.NewObs(nvcaracal.ObsConfig{Hists: true, Device: true, TxnTrace: true, Cores: s.cores()})
 	}
 	cell := func(workload, contention string, ov *nvcaracal.Obs, m measured) ObsCell {
 		c := ObsCell{
@@ -77,6 +82,10 @@ func RunObsReport(o Options) (ObsReport, error) {
 		}
 		c.TxnExec = ov.TxnSnapshot().JSON()
 		c.Device = ov.Device().JSON()
+		if spans := ov.TxnTrace().Spans(); len(spans) > 0 {
+			b := obs.Breakdown(spans)
+			c.TxnBreakdown = &b
+		}
 		return c
 	}
 

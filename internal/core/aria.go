@@ -206,7 +206,7 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	// Aria apply phase allocates and rewrites rows strictly after this
 	// point. A no-op outside the pipeline.
 	db.persistBarrier()
-	db.initFence(logged, gc.pending)
+	db.initFence(epoch, logged, gc.pending)
 	db.majorGCFinish(epoch, gc)
 	db.evictCache(epoch)
 	initTime := time.Since(initStart)
@@ -301,7 +301,10 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	res.CommitTime = time.Since(t2)
 
 	persistStart := time.Now()
-	db.checkpointEpoch(epoch)
+	// Aria epochs carry no lifecycle spans: transactions enter via
+	// SubmitAria's snapshot path and the breakdown's stage model (seal ->
+	// assign -> execute) does not fit the execute-then-detect flow.
+	db.checkpointEpoch(epoch, nil)
 	db.releaseEpochState(epoch)
 	db.met.AddCommitted(int64(res.Committed))
 	db.met.AddAborted(int64(res.UserAborted + res.ConflictAborted))

@@ -194,6 +194,11 @@ func (db *DB) Device() *nvm.Device { return db.dev }
 // Metrics returns a snapshot of the engine counters.
 func (db *DB) Metrics() metrics.Snapshot { return db.met.Snapshot() }
 
+// Obs returns the attached observability layer (nil when none). Front-ends
+// (internal/submit) use it to stamp txn lifecycle spans and record flight
+// events of their own.
+func (db *DB) Obs() *obs.Obs { return db.obs }
+
 // RowCount returns the number of live rows in the index.
 func (db *DB) RowCount() int { return db.idx.Len() }
 
@@ -260,11 +265,25 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	epoch := db.epoch.Load() + 1
 	res := EpochResult{Epoch: epoch}
 	db.abortFlag.Store(false)
+	db.obs.Flight().Record(obs.EvEpochStart, obs.CoordinatorCore, epoch, int64(len(batch)), 0)
 
 	// Assign serial ids in batch order: the predetermined serial order.
+	// Transactions that arrived without a lifecycle span (hand-batched
+	// loads that bypassed internal/submit) are sampled here, so every entry
+	// path produces a tail-latency breakdown; replay re-runs old inputs and
+	// is never sampled.
+	tt := db.obs.TxnTrace()
+	var spans []*obs.TxnSpan
 	for i, t := range batch {
 		t.sid = MakeSID(epoch, uint64(i+1))
 		t.aborted = false
+		if t.span == nil && !t.spanConsidered && tt != nil && !db.replaying {
+			t.span = tt.Sample()
+		}
+		if t.span != nil {
+			t.span.MarkAssign(epoch, t.sid)
+			spans = append(spans, t.span)
+		}
 	}
 
 	// Log transaction inputs: serialized and flushed here, made durable by
@@ -300,7 +319,7 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	// commit's staged lines early. A no-op outside the pipeline, where the
 	// entry barrier already joined.
 	db.persistBarrier()
-	db.initFence(logged, gc.pending)
+	db.initFence(epoch, logged, gc.pending)
 	db.majorGCFinish(epoch, gc)
 	db.evictCache(epoch)
 	db.appendStep(epoch, work)
@@ -314,7 +333,7 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	// Checkpoint: fence all epoch writes, persist the epoch number, fence
 	// again (inside Store), then release transient state.
 	t3 := time.Now()
-	db.checkpointEpoch(epoch)
+	db.checkpointEpoch(epoch, spans)
 	db.finishEpoch(epoch, batch, &res)
 	async := db.opts.AsyncPersist && !db.replaying
 	res.CommitTime = time.Duration(db.commitDur.Load())
@@ -339,6 +358,10 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	}
 	db.obs.RecordEpoch(epoch, t0, res.LogTime, res.InitTime, res.ExecTime, persistSpan)
 	db.obs.Attrib().EpochEnd(epoch)
+	// The epoch-end event carries the critical-path duration (excluding any
+	// overlapped commit); the watchdog's outlier detector feeds on it.
+	db.obs.Flight().Record(obs.EvEpochEnd, obs.CoordinatorCore, epoch,
+		int64(res.LogTime+res.InitTime+res.ExecTime+res.SyncTime), int64(res.Committed))
 	return res, nil
 }
 
@@ -350,11 +373,13 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 // init-phase half; the fence is attributed to the cause that required it.
 // When neither the log nor the collector wrote anything, nothing downstream
 // consumes an ordering guarantee and the fence is skipped entirely.
-func (db *DB) initFence(logged, gcPending bool) {
+func (db *DB) initFence(epoch uint64, logged, gcPending bool) {
 	switch {
 	case logged:
+		db.obs.Flight().Record(obs.EvFence, obs.CoordinatorCore, epoch, int64(obs.CauseWALAppend), 0)
 		db.dev.Tag(obs.CauseWALAppend).Fence()
 	case gcPending:
+		db.obs.Flight().Record(obs.EvFence, obs.CoordinatorCore, epoch, int64(obs.CauseMajorGC), 0)
 		db.dev.Tag(obs.CauseMajorGC).Fence()
 	}
 }
@@ -373,9 +398,9 @@ func (db *DB) initFence(logged, gcPending bool) {
 // (row pool first, then value classes), then the index journal — is part of
 // the crash-test contract: committed reproducers index the device's flush
 // sequence with FailAfter counts, so the serial path must not reorder ops.
-func (db *DB) checkpointEpoch(epoch uint64) {
+func (db *DB) checkpointEpoch(epoch uint64, spans []*obs.TxnSpan) {
 	if db.opts.Pipeline && !db.replaying {
-		db.checkpointEpochPipelined(epoch)
+		db.checkpointEpochPipelined(epoch, spans)
 		return
 	}
 	for i := range db.counters {
@@ -391,9 +416,11 @@ func (db *DB) checkpointEpoch(epoch uint64) {
 		}
 	}
 	db.appendIndexJournal(epoch)
+	stampStaged(spans)
 
 	commit := func() {
 		start := time.Now()
+		db.obs.Flight().Record(obs.EvFence, obs.CoordinatorCore, epoch, int64(obs.CausePersistFinal), 0)
 		db.dev.Tag(obs.CausePersistFinal).Fence()
 		db.epochRec.Store(epoch)
 		for c := 0; c < db.opts.Cores; c++ {
@@ -404,6 +431,8 @@ func (db *DB) checkpointEpoch(epoch uint64) {
 		}
 		db.durableEpoch.Store(epoch)
 		db.commitDur.Store(int64(time.Since(start)))
+		db.obs.Flight().Record(obs.EvDurablePublish, obs.CoordinatorCore, epoch, db.commitDur.Load(), 0)
+		db.publishSpans(spans)
 	}
 	if db.opts.AsyncPersist && !db.replaying {
 		db.persistWG.Add(1)
@@ -414,6 +443,7 @@ func (db *DB) checkpointEpoch(epoch uint64) {
 				if r := recover(); r != nil {
 					v := r
 					db.persistPanic.CompareAndSwap(nil, &v)
+					db.obs.Flight().DumpOnCrash(fmt.Sprintf("async commit of epoch %d: %v", epoch, r))
 				}
 			}()
 			commit()
@@ -422,6 +452,33 @@ func (db *DB) checkpointEpoch(epoch uint64) {
 		return
 	}
 	commit()
+}
+
+// stampStaged marks the checkpoint-staged instant on every sampled span of
+// the epoch: all engine state is staged and only the checkpoint fence and
+// epoch record separate the transactions from durability.
+func stampStaged(spans []*obs.TxnSpan) {
+	if len(spans) == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for _, s := range spans {
+		s.StagedNS = now
+	}
+}
+
+// publishSpans stamps durability and retires the epoch's sampled spans into
+// the txn-trace rings.
+func (db *DB) publishSpans(spans []*obs.TxnSpan) {
+	tt := db.obs.TxnTrace()
+	if tt == nil || len(spans) == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for _, s := range spans {
+		s.DurableNS = now
+		tt.Publish(s)
+	}
 }
 
 // checkpointEpochPipelined hands epoch N's entire checkpoint to the
@@ -440,7 +497,7 @@ func (db *DB) checkpointEpoch(epoch uint64) {
 // Everything else — the parallel per-core pool staging, counter stores, the
 // journal append, the checkpoint fence, the epoch record, and the allocator
 // release — runs on the committer (commitEpoch).
-func (db *DB) checkpointEpochPipelined(epoch uint64) {
+func (db *DB) checkpointEpochPipelined(epoch uint64, spans []*obs.TxnSpan) {
 	counterVals := make([]uint64, len(db.counters))
 	for i := range db.counters {
 		counterVals[i] = db.counters[i].Load()
@@ -462,7 +519,8 @@ func (db *DB) checkpointEpochPipelined(epoch uint64) {
 	}
 	db.commitTokens = tokens
 	db.persistWG.Add(1)
-	go db.commitEpoch(epoch, tokens, counterVals, idxEntries, idxAsync)
+	db.obs.Flight().Record(obs.EvCommitHandoff, obs.CoordinatorCore, epoch, 0, 0)
+	go db.commitEpoch(epoch, tokens, counterVals, idxEntries, idxAsync, spans)
 }
 
 // commitEpoch is the pipelined committer stage: it stages epoch N's
@@ -474,13 +532,14 @@ func (db *DB) checkpointEpochPipelined(epoch uint64) {
 // fence. A panic anywhere (an injected crash, most usefully) still closes
 // every token — N+1's workers must not deadlock — and surfaces, sticky, at
 // the next persistBarrier.
-func (db *DB) commitEpoch(epoch uint64, tokens []chan struct{}, counterVals []uint64, idxEntries []pmem.IndexEntry, idxAsync bool) {
+func (db *DB) commitEpoch(epoch uint64, tokens []chan struct{}, counterVals []uint64, idxEntries []pmem.IndexEntry, idxAsync bool, spans []*obs.TxnSpan) {
 	start := time.Now()
 	defer db.persistWG.Done()
 	defer func() {
 		if r := recover(); r != nil {
 			v := r
 			db.persistPanic.CompareAndSwap(nil, &v)
+			db.obs.Flight().DumpOnCrash(fmt.Sprintf("committer of epoch %d: %v", epoch, r))
 		}
 	}()
 	var failed atomic.Pointer[any]
@@ -524,6 +583,8 @@ func (db *DB) commitEpoch(epoch uint64, tokens []chan struct{}, counterVals []ui
 	if p := failed.Load(); p != nil {
 		panic(*p)
 	}
+	stampStaged(spans)
+	db.obs.Flight().Record(obs.EvFence, obs.CoordinatorCore, epoch, int64(obs.CausePersistFinal), 0)
 	db.dev.Tag(obs.CausePersistFinal).Fence()
 	db.epochRec.Store(epoch)
 	for c := 0; c < db.opts.Cores; c++ {
@@ -535,6 +596,8 @@ func (db *DB) commitEpoch(epoch uint64, tokens []chan struct{}, counterVals []ui
 	db.durableEpoch.Store(epoch)
 	dur := time.Since(start)
 	db.commitDur.Store(int64(dur))
+	db.obs.Flight().Record(obs.EvDurablePublish, obs.CoordinatorCore, epoch, int64(dur), 0)
+	db.publishSpans(spans)
 	db.obs.RecordCommit(epoch, start, dur)
 }
 
@@ -554,7 +617,17 @@ func (db *DB) waitPoolStaged(c int) {
 // commit goroutine died the device state is not trustworthy and every
 // subsequent epoch attempt fails the same way.
 func (db *DB) persistBarrier() {
-	db.persistWG.Wait()
+	if db.obs.On() {
+		t := time.Now()
+		db.persistWG.Wait()
+		// Only joins that actually blocked are evidence; sub-microsecond
+		// returns are the steady-state no-op.
+		if wait := time.Since(t); wait > time.Microsecond {
+			db.obs.Flight().Record(obs.EvCommitJoin, obs.CoordinatorCore, db.epoch.Load(), int64(wait), 0)
+		}
+	} else {
+		db.persistWG.Wait()
+	}
 	db.raisePersistPanic()
 }
 
@@ -657,6 +730,11 @@ func (db *DB) finishEpoch(epoch uint64, batch []*Txn, res *EpochResult) {
 		} else {
 			res.Committed++
 		}
+		// The span pointer now lives on in the checkpoint's spans slice;
+		// detaching it here keeps a re-submitted Txn value from dragging a
+		// retired span (or a stale sampling decision) into a later epoch.
+		t.span = nil
+		t.spanConsidered = false
 	}
 	db.met.AddCommitted(int64(res.Committed))
 	db.met.AddAborted(int64(res.Aborted))
@@ -892,7 +970,7 @@ func (db *DB) executePhase(epoch uint64, batch []*Txn) {
 // declared-but-unperformed writes (covering user aborts and over-declared
 // reconnaissance write sets).
 func (db *DB) executeTxn(epoch uint64, w int, t *Txn) {
-	timed := db.obs.TxnTimed()
+	timed := db.obs.TxnTimed() || t.span != nil
 	var t0 time.Time
 	if timed {
 		t0 = time.Now()
@@ -908,7 +986,9 @@ func (db *DB) executeTxn(epoch uint64, w int, t *Txn) {
 		db.writeIgnore(ctx, index.Key{Table: op.Table, ID: op.Key})
 	}
 	if timed {
-		db.obs.ObserveTxn(w, time.Since(t0))
+		d := time.Since(t0)
+		db.obs.ObserveTxn(w, d)
+		t.span.MarkExec(w, t0, d, t.aborted)
 	}
 }
 

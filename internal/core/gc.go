@@ -62,6 +62,11 @@ func (db *DB) majorGCBegin(epoch uint64) majorGCState {
 	// pending set is a queue check, not a GC.
 	if pending && db.obs.On() {
 		st.start = time.Now()
+		n := 0
+		for _, l := range byOwner {
+			n += len(l)
+		}
+		db.obs.Flight().Record(obs.EvGCBegin, obs.CoordinatorCore, epoch, int64(n), 0)
 	}
 	if !pending {
 		return st
@@ -116,6 +121,7 @@ func (db *DB) majorGCFinish(epoch uint64, st majorGCState) {
 	})
 	if !st.start.IsZero() {
 		db.obs.Span(obs.CoordinatorCore, epoch, obs.PhaseMajorGC, st.start)
+		db.obs.Flight().Record(obs.EvGCEnd, obs.CoordinatorCore, epoch, int64(time.Since(st.start)), 0)
 	}
 }
 

@@ -16,13 +16,14 @@ import (
 // rebuilding the index, reverting crashed-epoch changes (TPC-C variant),
 // and replaying the failed epoch.
 type RecoveryReport struct {
-	CheckpointEpoch uint64
-	ReplayedEpoch   uint64 // 0 when there was nothing to replay
-	TxnsReplayed    int
-	RowsScanned     int
-	RowsRepaired    int // torn dual-version descriptors fixed (§4.5)
-	RowsReverted    int // crashed-epoch versions reset (TPC-C, §6.2.3)
-	GCListRebuilt   int // rows re-queued for the major collector
+	CheckpointEpoch  uint64
+	ReplayedEpoch    uint64 // 0 when there was nothing to replay
+	TxnsReplayed     int
+	RowsScanned      int
+	RowsRepaired     int // torn dual-version descriptors fixed (§4.5)
+	RowsReverted     int // crashed-epoch versions reset (TPC-C, §6.2.3)
+	GCListRebuilt    int // rows re-queued for the major collector
+	CountersRestored int // persistent counter slots restored from parity
 
 	// UsedIndexJournal reports that the index was rebuilt from the
 	// persistent index journal (§7 extension) instead of the row scan;
@@ -104,6 +105,7 @@ func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
 	for i := range db.counters {
 		db.counters[i].Store(pmem.NewCounter(dev, db.layout, int64(i)).Load(ckpt))
 	}
+	rep.CountersRestored = len(db.counters)
 
 	// Decode the replay batch against the restored checkpoint state. An
 	// Aria marker as the first record selects the Aria replay algorithm.
@@ -136,6 +138,10 @@ func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
 		}
 	}
 	rep.LoadTime = time.Since(t0)
+	// Per-stage flight events make long recoveries observable while they
+	// run; B carries each stage's progress count.
+	db.obs.Flight().Record(obs.EvRecoveryStage, obs.CoordinatorCore, crashed,
+		int64(obs.RecoveryLoad), int64(len(recs)))
 
 	// Fast path: rebuild the index from the persistent index journal (§7
 	// extension) when it is enabled and validates; otherwise scan. An Aria
@@ -146,6 +152,8 @@ func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
 	if !ariaEpoch {
 		if reverts, ok := db.recoverIndexFromJournal(crashed, batch, rep); ok {
 			rep.ScanTime = time.Since(t1)
+			db.obs.Flight().Record(obs.EvRecoveryStage, obs.CoordinatorCore, crashed,
+				int64(obs.RecoveryScan), int64(rep.JournalEntries))
 			return db.finishRecovery(batch, ariaBatch, crashed, rep, reverts, t1)
 		}
 	}
@@ -204,6 +212,8 @@ func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
 		db.scanMu.Unlock()
 	})
 	rep.ScanTime = time.Since(t1)
+	db.obs.Flight().Record(obs.EvRecoveryStage, obs.CoordinatorCore, crashed,
+		int64(obs.RecoveryScan), int64(rep.RowsScanned))
 	return db.finishRecovery(batch, ariaBatch, crashed, rep, revertCandidates, t1)
 }
 
@@ -221,6 +231,8 @@ func (db *DB) finishRecovery(batch []*Txn, ariaBatch []*AriaTxn, crashed uint64,
 		}
 	}
 	rep.RevertTime = time.Since(t2)
+	db.obs.Flight().Record(obs.EvRecoveryStage, obs.CoordinatorCore, crashed,
+		int64(obs.RecoveryRevert), int64(rep.RowsReverted))
 
 	// Replay the crashed epoch deterministically.
 	t3 := time.Now()
@@ -244,6 +256,8 @@ func (db *DB) finishRecovery(batch []*Txn, ariaBatch []*AriaTxn, crashed uint64,
 		rep.ReplayedEpoch = crashed
 	}
 	rep.ReplayTime = time.Since(t3)
+	db.obs.Flight().Record(obs.EvRecoveryStage, obs.CoordinatorCore, crashed,
+		int64(obs.RecoveryReplay), int64(rep.TxnsReplayed))
 	if db.obs.On() {
 		// One recovery span per stage (load, scan/journal, revert, replay),
 		// laid end to end on the coordinator track. Replay of the crashed

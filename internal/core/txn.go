@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nvcaracal/internal/index"
+	"nvcaracal/internal/obs"
 )
 
 // OpKind classifies a declared write-set operation.
@@ -61,7 +62,31 @@ type Txn struct {
 
 	sid     uint64
 	aborted bool
+
+	// span, when non-nil, is the sampled lifecycle record travelling with
+	// the transaction. internal/submit attaches it at enqueue; unsampled
+	// transactions (the vast majority) carry nil. The engine clears it when
+	// the epoch finishes so re-submitted Txn values start fresh.
+	span *obs.TxnSpan
+	// spanConsidered means an entry path already offered this transaction
+	// to the sampler (and may have lost the 1-in-N draw). Without it the
+	// engine's hand-batch fallback would draw a second time for every
+	// unsampled submit-path transaction, silently inflating the effective
+	// sampling rate.
+	spanConsidered bool
 }
+
+// SetSpan attaches a sampled lifecycle span — or records, when s is nil,
+// that the sampler already declined this transaction. internal/submit calls
+// it either way so the engine samples only transactions that truly bypassed
+// a sampling entry path.
+func (t *Txn) SetSpan(s *obs.TxnSpan) {
+	t.span = s
+	t.spanConsidered = true
+}
+
+// Span returns the attached lifecycle span (nil for unsampled txns).
+func (t *Txn) Span() *obs.TxnSpan { return t.span }
 
 // SID returns the serial id assigned for the current epoch (valid during
 // and after RunEpoch).

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"nvcaracal/internal/core"
 	"nvcaracal/internal/crashcheck/kit"
 	"nvcaracal/internal/nvm"
+	"nvcaracal/internal/obs"
 )
 
 // Violation kinds.
@@ -62,6 +64,11 @@ type Violation struct {
 	Point  Point  `json:"point"`
 	Kind   string `json:"kind"`
 	Detail string `json:"detail"`
+	// FlightTail is the engine's flight-recorder dump across the failing
+	// point's crash-recover-check cycle: epoch transitions, fences, GC,
+	// recovery stages. Populated when the explorer ran with a flight
+	// recorder attached (always, from Run and Replay).
+	FlightTail string `json:"flight_tail,omitempty"`
 }
 
 func (v Violation) String() string {
@@ -270,15 +277,36 @@ func (o *oracle) replicaProbe() (int64, []int64, uint64, error) {
 	return flushes, marks, o.sess.digest(db), nil
 }
 
+// newFlightObs builds the minimal per-worker observability attachment: just
+// a flight recorder, small enough to reset per point, so a violation can
+// carry the event trail of its crash-recover-check cycle.
+func newFlightObs() *obs.Obs {
+	return obs.New(obs.Config{FlightPerStripe: 512})
+}
+
 // explore runs one crash point on the worker's device replica and returns
-// the first violated check, or nil.
-func (o *oracle) explore(dev *nvm.Device, pt Point) *Violation {
+// the first violated check, or nil. fobs (optional) records the engine's
+// flight events across the cycle; on a violation its dump is attached.
+func (o *oracle) explore(dev *nvm.Device, pt Point, fobs *obs.Obs) *Violation {
+	opts := o.sess.opts
+	opts.Obs = fobs
+	fobs.Reset()
+	v := o.explorePoint(dev, pt, opts)
+	if v != nil && fobs != nil {
+		var b strings.Builder
+		fobs.Flight().Dump(&b, 0)
+		v.FlightTail = b.String()
+	}
+	return v
+}
+
+func (o *oracle) explorePoint(dev *nvm.Device, pt Point, opts core.Options) *Violation {
 	mode, err := crashModeOf(pt.Mode)
 	if err != nil {
 		return &Violation{Point: pt, Kind: KindEpochError, Detail: err.Error()}
 	}
 	dev.Restore(o.snap)
-	db, _, err := core.Recover(dev, o.sess.opts)
+	db, _, err := core.Recover(dev, opts)
 	if err != nil {
 		return &Violation{Point: pt, Kind: KindRecoverError, Detail: fmt.Sprintf("pre-probe recovery: %v", err)}
 	}
@@ -293,7 +321,7 @@ func (o *oracle) explore(dev *nvm.Device, pt Point) *Violation {
 
 	if pt.DoubleFailAfter > 0 {
 		dev.SetFailAfter(pt.DoubleFailAfter)
-		_, _, refired, rerr := kit.RecoverUntilCrash(dev, o.sess.opts)
+		_, _, refired, rerr := kit.RecoverUntilCrash(dev, opts)
 		dev.SetFailAfter(0)
 		if rerr != nil {
 			return &Violation{Point: pt, Kind: KindRecoverError, Detail: fmt.Sprintf("first recovery attempt: %v", rerr)}
@@ -305,7 +333,7 @@ func (o *oracle) explore(dev *nvm.Device, pt Point) *Violation {
 		}
 	}
 
-	db2, rep, err := core.Recover(dev, o.sess.opts)
+	db2, rep, err := core.Recover(dev, opts)
 	if err != nil {
 		return &Violation{Point: pt, Kind: KindRecoverError, Detail: err.Error()}
 	}
@@ -385,11 +413,12 @@ func Run(spec Spec, cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			dev := o.snap.NewDevice()
+			fobs := newFlightObs()
 			for pt := range ch {
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					continue // budget exhausted: drain without exploring
 				}
-				v := o.explore(dev, pt)
+				v := o.explore(dev, pt, fobs)
 				mu.Lock()
 				explored++
 				if v != nil {

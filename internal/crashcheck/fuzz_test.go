@@ -63,8 +63,8 @@ func FuzzRecover(f *testing.F) {
 			pt.DoubleFailAfter = 1 + int64(refail)%97
 		}
 		dev := o.snap.NewDevice()
-		if v := o.explore(dev, pt); v != nil {
-			t.Fatalf("crash-consistency violation: %s", v)
+		if v := o.explore(dev, pt, newFlightObs()); v != nil {
+			t.Fatalf("crash-consistency violation: %s\n%s", v, v.FlightTail)
 		}
 	})
 }

@@ -57,7 +57,7 @@ func Replay(r Repro) (*Violation, error) {
 		return nil, err
 	}
 	dev := o.snap.NewDevice()
-	return o.explore(dev, r.Point), nil
+	return o.explore(dev, r.Point, newFlightObs()), nil
 }
 
 // Minimize greedily shrinks the spec while a bounded exploration still

@@ -254,6 +254,12 @@ type Device struct {
 	// zero panics with ErrInjectedCrash. Disabled when zero or negative.
 	failAfter atomic.Int64
 
+	// commitStall, when positive, adds that many nanoseconds of spin to
+	// every fence tagged CausePersistFinal — the checkpoint fence — without
+	// touching any other fence. A stall fail-point for the anomaly watchdog:
+	// the committer slows, durable lag persists, and nothing crashes.
+	commitStall atomic.Int64
+
 	// Chaos eviction state (see WithChaosEviction).
 	chaosDenom int
 	chaosState atomic.Uint64
@@ -833,6 +839,11 @@ func (d *Device) fence(c obs.Cause) {
 		d.fenceMarks = append(d.fenceMarks, d.foldFlushes())
 	}
 	spin(d.fenceLatency)
+	if c == obs.CausePersistFinal {
+		if stall := d.commitStall.Load(); stall > 0 {
+			spin(time.Duration(stall))
+		}
+	}
 	var committed int64
 	for i := range d.stripes {
 		sp := &d.stripes[i]
@@ -930,6 +941,14 @@ func (d *Device) Crash(mode CrashMode, seed int64) {
 // CLWB sequence permits on real hardware. A fail-point therefore never
 // splits an individual field store, only the flush sequence.
 func (d *Device) SetFailAfter(n int64) { d.failAfter.Store(n) }
+
+// SetCommitStall is a runtime fault-injection knob: every subsequent fence
+// tagged CausePersistFinal (the epoch's checkpoint fence) spins an extra d
+// on top of the configured fence latency, while all other fences run at
+// normal speed. It slows the committer without crashing anything, so the
+// durable epoch lags and the anomaly watchdog's committer-stall and
+// durable-lag detectors can be exercised deterministically. Zero disables.
+func (d *Device) SetCommitStall(stall time.Duration) { d.commitStall.Store(int64(stall)) }
 
 // Stats returns a snapshot of the cumulative access counters, folding the
 // striped cells.

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecordAndEvents(t *testing.T) {
+	f := NewFlight(16)
+	f.Record(EvEpochStart, CoordinatorCore, 1, 100, 0)
+	f.Record(EvFence, CoordinatorCore, 1, int64(CausePersistFinal), 0)
+	f.Record(EvEpochEnd, CoordinatorCore, 1, 12345, 99)
+	f.Record(EvGCBegin, 3, 2, 7, 0)
+
+	evs := f.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("events not sorted by timestamp: %v then %v", evs[i-1].TS, evs[i].TS)
+		}
+	}
+	byType := map[EventType]FlightEvent{}
+	for _, e := range evs {
+		byType[e.Type] = e
+	}
+	if e := byType[EvEpochEnd]; e.Epoch != 1 || e.A != 12345 || e.B != 99 {
+		t.Fatalf("epoch-end payload mangled: %+v", e)
+	}
+	if e := byType[EvGCBegin]; e.Core != 3 || e.Epoch != 2 || e.A != 7 {
+		t.Fatalf("gc-begin payload mangled: %+v", e)
+	}
+}
+
+// TestFlightEventsSince checks the incremental read path the watchdog uses.
+func TestFlightEventsSince(t *testing.T) {
+	f := NewFlight(16)
+	f.Record(EvEpochEnd, CoordinatorCore, 1, 10, 0)
+	first := f.Events(0)
+	if len(first) != 1 {
+		t.Fatalf("got %d events, want 1", len(first))
+	}
+	f.Record(EvEpochEnd, CoordinatorCore, 2, 20, 0)
+	later := f.Events(first[0].TS + 1)
+	if len(later) != 1 || later[0].Epoch != 2 {
+		t.Fatalf("incremental read returned %+v, want just epoch 2", later)
+	}
+}
+
+// TestFlightWraparound overflows one stripe and checks the ring keeps the
+// newest events.
+func TestFlightWraparound(t *testing.T) {
+	const per = 8
+	f := NewFlight(per)
+	// CoordinatorCore always lands in stripe 0.
+	for i := 0; i < 3*per; i++ {
+		f.Record(EvEpochStart, CoordinatorCore, uint64(i), 0, 0)
+	}
+	evs := f.Events(0)
+	if len(evs) != per {
+		t.Fatalf("retained %d events, want the stripe cap %d", len(evs), per)
+	}
+	for i, e := range evs {
+		want := uint64(2*per + i)
+		if e.Epoch != want {
+			t.Fatalf("slot %d holds epoch %d, want %d (oldest must be evicted)", i, e.Epoch, want)
+		}
+	}
+}
+
+// TestFlightDumpUnderLoad hammers every stripe from concurrent writers while
+// readers drain Dump and JSON; the race detector is the assertion.
+func TestFlightDumpUnderLoad(t *testing.T) {
+	f := NewFlight(64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Record(EventType(i%int(NumEvents)), w, uint64(i), int64(i), 0)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var sb strings.Builder
+				f.Dump(&sb, time.Second)
+				_ = f.JSON(time.Second)
+				_ = f.Events(0)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if len(f.Events(0)) == 0 {
+		t.Fatal("no events retained after load")
+	}
+}
+
+func TestFlightDumpOnCrash(t *testing.T) {
+	f := NewFlight(32)
+	var sb strings.Builder
+	f.SetCrashWriter(&sb)
+	f.Record(EvEpochStart, CoordinatorCore, 9, 0, 0)
+	f.DumpOnCrash("committer of epoch 9: boom")
+
+	out := sb.String()
+	if !strings.Contains(out, "committer of epoch 9: boom") {
+		t.Fatalf("crash dump lacks the reason:\n%s", out)
+	}
+	if !strings.Contains(out, "epoch-start") {
+		t.Fatalf("crash dump lacks the recorded events:\n%s", out)
+	}
+	var panics int
+	for _, e := range f.Events(0) {
+		if e.Type == EvPanic {
+			panics++
+		}
+	}
+	if panics != 1 {
+		t.Fatalf("DumpOnCrash recorded %d panic events, want 1", panics)
+	}
+}
+
+func TestFlightJSONPayload(t *testing.T) {
+	f := NewFlight(32)
+	f.Record(EvDurablePublish, CoordinatorCore, 4, 1000, 0)
+	j := f.JSON(0)
+	if len(j.Events) != 1 {
+		t.Fatalf("got %d JSON events, want 1", len(j.Events))
+	}
+	e := j.Events[0]
+	if e.Type != "durable-publish" || e.Epoch != 4 || e.TSNanos == 0 {
+		t.Fatalf("JSON event mangled: %+v", e)
+	}
+	if e.Detail == "" {
+		t.Fatal("JSON event has no rendered detail")
+	}
+}
+
+// TestNilFlight pins the nil-safety contract every engine call site relies
+// on.
+func TestNilFlight(t *testing.T) {
+	var f *Flight
+	f.Record(EvEpochStart, 0, 1, 0, 0)
+	f.Reset()
+	f.DumpOnCrash("nothing")
+	if evs := f.Events(0); evs != nil {
+		t.Fatalf("nil flight returned events: %v", evs)
+	}
+	var sb strings.Builder
+	f.Dump(&sb, time.Second)
+	if j := f.JSON(0); len(j.Events) != 0 {
+		t.Fatalf("nil flight JSON has events: %+v", j)
+	}
+}
+
+// BenchmarkNilFlightRecord is part of the disabled-overhead CI budget: the
+// nil path must stay a few nanoseconds.
+func BenchmarkNilFlightRecord(b *testing.B) {
+	var f *Flight
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(EvEpochStart, 0, 1, 0, 0)
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlight(2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(EvEpochStart, 0, uint64(i), 0, 0)
+	}
+}

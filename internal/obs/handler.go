@@ -10,12 +10,14 @@ import (
 	"time"
 )
 
-// StatsPath, TracePath, and AttribPath are the debug endpoints Handler
-// serves.
+// The debug endpoints Handler serves.
 const (
-	StatsPath  = "/debug/nvcaracal/stats"
-	TracePath  = "/debug/nvcaracal/trace"
-	AttribPath = "/debug/nvcaracal/attrib"
+	StatsPath   = "/debug/nvcaracal/stats"
+	TracePath   = "/debug/nvcaracal/trace"
+	AttribPath  = "/debug/nvcaracal/attrib"
+	TxnsPath    = "/debug/nvcaracal/txns"
+	FlightPath  = "/debug/nvcaracal/flight"
+	MetricsPath = "/debug/nvcaracal/metrics"
 )
 
 // StatsPayload is the JSON schema of the stats endpoint. cmd/nvtop and the
@@ -62,6 +64,14 @@ func (o *Obs) Stats() StatsPayload {
 //	                                      omitted or <= 0)
 //	GET /debug/nvcaracal/attrib           JSON AttribJSON snapshot (null
 //	                                      when attribution is off)
+//	GET /debug/nvcaracal/txns             JSON TxnsJSON: sampled txn
+//	                                      lifecycle spans + tail-latency
+//	                                      breakdown
+//	GET /debug/nvcaracal/flight?last=5s   JSON FlightJSON: flight-recorder
+//	                                      events of the last duration (all
+//	                                      retained when omitted)
+//	GET /debug/nvcaracal/metrics          Prometheus text exposition of the
+//	                                      obs-owned instruments
 //
 // Hosts register additional snapshot sources (engine counters, memory,
 // device stats) with AddSource; each is marshalled fresh per request.
@@ -132,6 +142,28 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(h.o.Attrib().JSON())
+	case TxnsPath:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h.o.TxnTrace().JSON())
+	case FlightPath:
+		d := time.Duration(0)
+		if q := r.URL.Query().Get("last"); q != "" {
+			v, err := time.ParseDuration(q)
+			if err != nil {
+				http.Error(w, "last must be a duration (e.g. 5s)", http.StatusBadRequest)
+				return
+			}
+			d = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h.o.Flight().JSON(d))
+	case MetricsPath:
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		h.o.WritePromMetrics(w)
 	default:
 		http.NotFound(w, r)
 	}

@@ -38,6 +38,19 @@ type Config struct {
 	// AttribHeatBuckets caps the attribution heatmap resolution
 	// (DefaultHeatBuckets when zero).
 	AttribHeatBuckets int
+	// TxnTrace enables sampled per-transaction lifecycle tracing.
+	TxnTrace bool
+	// TxnSampleEvery traces 1-in-N transactions (default
+	// DefaultTxnSampleEvery; 1 traces everything).
+	TxnSampleEvery int
+	// TxnSpansPerCore caps each per-core txn-span ring (default 1024).
+	TxnSpansPerCore int
+	// FlightPerStripe caps each flight-recorder stripe (default 2048). The
+	// flight recorder itself is always on: any Obs carries one.
+	FlightPerStripe int
+	// Watch arms the anomaly watchdog once a host calls StartWatch; nil
+	// (the default) leaves it off.
+	Watch *WatchConfig
 	// Cores sizes the tracer's ring set (default GOMAXPROCS).
 	Cores int
 }
@@ -56,6 +69,13 @@ type Obs struct {
 	tracer *Tracer
 	dev    *DeviceObs
 	attrib *Attrib
+
+	// flight is the always-on event recorder; txns the sampled lifecycle
+	// tracer (nil unless Config.TxnTrace); watchCfg the armed-but-idle
+	// watchdog configuration consumed by StartWatch.
+	flight   *Flight
+	txns     *TxnTrace
+	watchCfg *WatchConfig
 
 	// durableLag counts completed epochs by Epoch()−DurableEpoch() at
 	// completion time: bucket 0 when the commit retired in line, bucket 1
@@ -87,7 +107,30 @@ func New(cfg Config) *Obs {
 	if cfg.Attrib {
 		o.attrib = NewAttrib(cfg.AttribHeatBuckets)
 	}
+	o.flight = NewFlight(cfg.FlightPerStripe)
+	if cfg.TxnTrace {
+		o.txns = NewTxnTrace(cfg.Cores, cfg.TxnSampleEvery, cfg.TxnSpansPerCore)
+	}
+	o.watchCfg = cfg.Watch
 	return o
+}
+
+// Flight returns the flight recorder (nil only when o is nil: every built
+// Obs carries one).
+func (o *Obs) Flight() *Flight {
+	if o == nil {
+		return nil
+	}
+	return o.flight
+}
+
+// TxnTrace returns the sampled transaction lifecycle tracer (nil when txn
+// tracing is off or o is nil).
+func (o *Obs) TxnTrace() *TxnTrace {
+	if o == nil {
+		return nil
+	}
+	return o.txns
 }
 
 // On reports whether any instrumentation is attached. The nil receiver
@@ -228,6 +271,8 @@ func (o *Obs) Reset() {
 	o.tracer.Reset()
 	o.dev.Reset()
 	o.attrib.Reset()
+	o.flight.Reset()
+	o.txns.Reset()
 }
 
 // PhaseSnapshot returns the folded histogram of one phase.

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4) of the obs-owned
+// instruments, so the future network serving layer is scrapeable out of the
+// box. The endpoint renders only what the Obs itself owns — histograms,
+// durable lag, attribution causes, device latency, txn-trace and flight
+// counters — not host-registered Extra sources, which stay JSON-only on the
+// stats endpoint. Histograms keep their native power-of-two bucket bounds,
+// converted to cumulative `le` seconds as the exposition format requires.
+
+// promHist writes one histogram family in exposition format.
+func promHist(w io.Writer, name, help string, j HistJSON) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for _, b := range j.Buckets {
+		cum += b.N
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+			name, strconv.FormatFloat(float64(b.LtNanos)/1e9, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, j.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(float64(j.SumNS)/1e9, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, j.Count)
+}
+
+func promCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func promGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// WritePromMetrics renders the full exposition. Safe on a nil Obs (serves
+// only the uptime-free constant families, i.e. nothing).
+func (o *Obs) WritePromMetrics(w io.Writer) {
+	if o == nil {
+		return
+	}
+	s := o.Stats()
+	promGauge(w, "nvcaracal_uptime_seconds", "Seconds since the obs layer started or was reset.", s.UptimeSeconds)
+	promHist(w, "nvcaracal_txn_exec_seconds", "Per-transaction execution latency.", s.TxnExec)
+	promHist(w, "nvcaracal_epoch_seconds", "Epoch end-to-end latency.", s.Epoch)
+
+	phases := make([]string, 0, len(s.Phases))
+	for ph := range s.Phases {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	fmt.Fprintf(w, "# HELP nvcaracal_phase_seconds Per-phase epoch latency.\n# TYPE nvcaracal_phase_seconds histogram\n")
+	for _, ph := range phases {
+		j := s.Phases[ph]
+		var cum int64
+		for _, b := range j.Buckets {
+			cum += b.N
+			fmt.Fprintf(w, "nvcaracal_phase_seconds_bucket{phase=%q,le=\"%s\"} %d\n",
+				ph, strconv.FormatFloat(float64(b.LtNanos)/1e9, 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(w, "nvcaracal_phase_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", ph, j.Count)
+		fmt.Fprintf(w, "nvcaracal_phase_seconds_sum{phase=%q} %s\n", ph, strconv.FormatFloat(float64(j.SumNS)/1e9, 'g', -1, 64))
+		fmt.Fprintf(w, "nvcaracal_phase_seconds_count{phase=%q} %d\n", ph, j.Count)
+	}
+
+	fmt.Fprintf(w, "# HELP nvcaracal_durable_lag_epochs Completed epochs by durable lag at completion.\n# TYPE nvcaracal_durable_lag_epochs counter\n")
+	for i, n := range s.DurableLag {
+		fmt.Fprintf(w, "nvcaracal_durable_lag_epochs{lag=\"%d\"} %d\n", i, n)
+	}
+
+	if s.Device != nil {
+		promHist(w, "nvcaracal_device_read_seconds", "NVMM device read latency.", s.Device.Read)
+		promHist(w, "nvcaracal_device_write_seconds", "NVMM device write latency.", s.Device.Write)
+		promHist(w, "nvcaracal_device_flush_seconds", "NVMM device line-flush latency.", s.Device.Flush)
+		promHist(w, "nvcaracal_device_fence_seconds", "NVMM device fence latency.", s.Device.Fence)
+		promCounter(w, "nvcaracal_device_fence_stall_nanoseconds_total", "Cumulative time spent stalled in fences.", s.Device.FenceStallNanos)
+	}
+
+	if a := o.Attrib(); a != nil {
+		snap := a.Snapshot()
+		fmt.Fprintf(w, "# HELP nvcaracal_nvmm_line_writes_total NVMM line writes by attributed cause.\n# TYPE nvcaracal_nvmm_line_writes_total counter\n")
+		for c := Cause(0); c < NumCauses; c++ {
+			fmt.Fprintf(w, "nvcaracal_nvmm_line_writes_total{cause=%q} %d\n", c.String(), snap.PerCause[c].LineWrites)
+		}
+		fmt.Fprintf(w, "# HELP nvcaracal_nvmm_flushes_total NVMM line flushes by attributed cause.\n# TYPE nvcaracal_nvmm_flushes_total counter\n")
+		for c := Cause(0); c < NumCauses; c++ {
+			fmt.Fprintf(w, "nvcaracal_nvmm_flushes_total{cause=%q} %d\n", c.String(), snap.PerCause[c].Flushes)
+		}
+		fmt.Fprintf(w, "# HELP nvcaracal_nvmm_fences_total NVMM fences by attributed cause.\n# TYPE nvcaracal_nvmm_fences_total counter\n")
+		for c := Cause(0); c < NumCauses; c++ {
+			fmt.Fprintf(w, "nvcaracal_nvmm_fences_total{cause=%q} %d\n", c.String(), snap.PerCause[c].Fences)
+		}
+		promCounter(w, "nvcaracal_nvmm_logical_bytes_total", "Logical bytes written by transactions.", snap.LogicalBytes)
+		promCounter(w, "nvcaracal_nvmm_committed_bytes_total", "Bytes of committed row payloads.", snap.CommittedBytes)
+	}
+
+	if tt := o.TxnTrace(); tt != nil {
+		promCounter(w, "nvcaracal_txn_spans_sampled_total", "Transactions selected for lifecycle tracing.", int64(tt.SampledCount()))
+		promCounter(w, "nvcaracal_txn_spans_published_total", "Lifecycle spans retired into the rings.", int64(tt.PublishedCount()))
+	}
+	promCounter(w, "nvcaracal_flight_events_retained", "Flight-recorder events currently retained.", int64(len(o.Flight().Events(0))))
+}

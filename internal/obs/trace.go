@@ -228,6 +228,10 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 			Args: map[string]any{"epoch": s.Epoch},
 		})
 	}
+	return writeChrome(w, tr)
+}
+
+func writeChrome(w io.Writer, tr chromeTrace) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(tr)
 }

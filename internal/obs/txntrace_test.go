@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTxnTraceSamplingRatio(t *testing.T) {
+	tt := NewTxnTrace(2, 4, 64)
+	var hits int
+	for i := 0; i < 100; i++ {
+		if sp := tt.Sample(); sp != nil {
+			hits++
+			tt.Publish(sp)
+		}
+	}
+	if hits != 25 {
+		t.Fatalf("sampled %d of 100 at 1-in-4, want 25", hits)
+	}
+	if got := tt.SampledCount(); got != 25 {
+		t.Fatalf("SampledCount = %d, want 25", got)
+	}
+	if got := tt.PublishedCount(); got != 25 {
+		t.Fatalf("PublishedCount = %d, want 25", got)
+	}
+}
+
+// TestTxnSpanPhases pins the decomposition and the zero-timestamp
+// inheritance rule: a hand-batched txn with no submitter stamps must read
+// zero queue/epoch-wait cost, not garbage.
+func TestTxnSpanPhases(t *testing.T) {
+	base := time.Now().UnixNano()
+	s := TxnSpan{
+		SubmitNS:  base,
+		SealNS:    base + 10,
+		AssignNS:  base + 30,
+		ExecStart: base + 50,
+		ExecEnd:   base + 150,
+		StagedNS:  base + 250,
+		DurableNS: base + 400,
+	}
+	ph := s.Phases()
+	want := [NumTxnPhases]int64{10, 40, 100, 100, 150}
+	if ph != want {
+		t.Fatalf("phases = %v, want %v", ph, want)
+	}
+	if got := s.Total(); got != 400 {
+		t.Fatalf("total = %d, want 400", got)
+	}
+
+	// Hand-batched: no submit/seal stamps. queue and the submit-side of
+	// epoch-wait collapse to zero.
+	h := TxnSpan{AssignNS: base, ExecStart: base + 20, ExecEnd: base + 70, StagedNS: base + 90, DurableNS: base + 100}
+	hp := h.Phases()
+	if hp[TxnQueue] != 0 {
+		t.Fatalf("hand-batched queue phase = %d, want 0", hp[TxnQueue])
+	}
+	// epoch-wait must measure assign -> exec start, never exec-start minus
+	// a zero seal stamp (that reads as a raw wall-clock timestamp and
+	// overflows the breakdown's mean accumulator).
+	if hp[TxnEpochWait] != 20 {
+		t.Fatalf("hand-batched epoch-wait = %d, want 20", hp[TxnEpochWait])
+	}
+	if hp[TxnExecute] != 50 || hp[TxnEpochTail] != 20 || hp[TxnCommitLag] != 10 {
+		t.Fatalf("hand-batched phases = %v", hp)
+	}
+	if got := h.Total(); got != 100 {
+		t.Fatalf("hand-batched total = %d, want 100", got)
+	}
+
+	// A backwards timestamp (cross-core clock skew) clamps, never negative.
+	b := TxnSpan{AssignNS: base, ExecStart: base - 5, ExecEnd: base + 10}
+	for i, d := range b.Phases() {
+		if d < 0 {
+			t.Fatalf("phase %d negative under skew: %d", i, d)
+		}
+	}
+}
+
+func TestTxnTraceSpansOrderAndRings(t *testing.T) {
+	tt := NewTxnTrace(2, 1, 4)
+	for i := 0; i < 6; i++ {
+		sp := tt.Sample()
+		if sp == nil {
+			t.Fatal("1-in-1 sampling returned nil")
+		}
+		sp.MarkAssign(uint64(1+i/3), uint64(i%3))
+		sp.MarkExec(i%2, time.Now(), time.Microsecond, false)
+		tt.Publish(sp)
+	}
+	spans := tt.Spans()
+	if len(spans) != 6 {
+		t.Fatalf("retained %d spans, want 6", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		a, b := spans[i-1], spans[i]
+		if a.Epoch > b.Epoch || (a.Epoch == b.Epoch && a.SID > b.SID) {
+			t.Fatalf("spans out of (epoch, sid) order: %+v before %+v", a, b)
+		}
+	}
+}
+
+// TestTxnTraceConcurrent publishes from concurrent submitters while a reader
+// drains the serving surface; the race detector is the assertion.
+func TestTxnTraceConcurrent(t *testing.T) {
+	tt := NewTxnTrace(4, 2, 32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sp := tt.Sample()
+				sp.MarkSubmit()
+				sp.MarkSeal()
+				sp.MarkAssign(uint64(i), uint64(w))
+				sp.MarkExec(w, time.Now(), time.Microsecond, i%7 == 0)
+				tt.Publish(sp)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			j := tt.JSON()
+			if j.Published < uint64(len(j.Spans)) {
+				t.Errorf("published %d < served spans %d", j.Published, len(j.Spans))
+				return
+			}
+			_ = Breakdown(tt.Spans())
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if tt.PublishedCount() == 0 {
+		t.Fatal("nothing published under load")
+	}
+}
+
+func TestBreakdownPercentiles(t *testing.T) {
+	base := time.Now().UnixNano()
+	var spans []TxnSpan
+	for i := 1; i <= 100; i++ {
+		spans = append(spans, TxnSpan{
+			AssignNS:  base,
+			ExecStart: base,
+			ExecEnd:   base + int64(i)*1000, // 1µs..100µs execute
+			StagedNS:  base + int64(i)*1000,
+			DurableNS: base + int64(i)*1000,
+		})
+	}
+	b := Breakdown(spans)
+	if b.Spans != 100 {
+		t.Fatalf("breakdown spans = %d, want 100", b.Spans)
+	}
+	exec := b.Phases[TxnExecute]
+	if exec.Phase != "execute" {
+		t.Fatalf("phase order broken: %+v", b.Phases)
+	}
+	if exec.P50NS != 50_000 || exec.MaxNS != 100_000 {
+		t.Fatalf("execute stats off: %+v", exec)
+	}
+	if b.Total.P99NS < b.Total.P50NS {
+		t.Fatalf("total percentiles inverted: %+v", b.Total)
+	}
+}
+
+func TestTxnsJSONServingCap(t *testing.T) {
+	tt := NewTxnTrace(1, 1, maxServedSpans*2)
+	for i := 0; i < maxServedSpans+10; i++ {
+		sp := tt.Sample()
+		sp.MarkAssign(1, uint64(i))
+		sp.MarkExec(0, time.Now(), time.Microsecond, false)
+		tt.Publish(sp)
+	}
+	j := tt.JSON()
+	if len(j.Spans) != maxServedSpans {
+		t.Fatalf("served %d spans, want the cap %d", len(j.Spans), maxServedSpans)
+	}
+	if j.Breakdown.Spans != maxServedSpans+10 {
+		t.Fatalf("breakdown folded %d spans, want all %d", j.Breakdown.Spans, maxServedSpans+10)
+	}
+}
+
+func TestWriteChromeTraceWithTxns(t *testing.T) {
+	base := time.Now()
+	spans := []Span{{Core: CoordinatorCore, Epoch: 1, Phase: PhaseExec, Start: base.UnixNano(), Dur: int64(time.Millisecond)}}
+	txns := []TxnSpan{{
+		SID: 3, Epoch: 1, Core: 1,
+		SubmitNS:  base.UnixNano(),
+		SealNS:    base.Add(10 * time.Microsecond).UnixNano(),
+		AssignNS:  base.Add(20 * time.Microsecond).UnixNano(),
+		ExecStart: base.Add(30 * time.Microsecond).UnixNano(),
+		ExecEnd:   base.Add(80 * time.Microsecond).UnixNano(),
+		StagedNS:  base.Add(100 * time.Microsecond).UnixNano(),
+		DurableNS: base.Add(200 * time.Microsecond).UnixNano(),
+	}}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceWithTxns(&buf, spans, txns); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Tid  int     `json:"tid"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var txnEvents, epochEvents, metas int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M":
+			metas++
+		case ev.Ph == "X" && ev.Name == "txn-execute":
+			txnEvents++
+			if ev.Tid != 1001 {
+				t.Fatalf("txn lane tid = %d, want 1001 (1000+core)", ev.Tid)
+			}
+		case ev.Ph == "X" && ev.Name == PhaseExec.String():
+			epochEvents++
+		}
+	}
+	if txnEvents != 1 || epochEvents != 1 || metas == 0 {
+		t.Fatalf("trace shape off: txn=%d epoch=%d metas=%d\n%s", txnEvents, epochEvents, metas, buf.String())
+	}
+}
+
+func TestNilTxnTrace(t *testing.T) {
+	var tt *TxnTrace
+	if sp := tt.Sample(); sp != nil {
+		t.Fatal("nil tracer sampled")
+	}
+	tt.Publish(&TxnSpan{})
+	tt.Publish(nil)
+	tt.Reset()
+	if tt.SampledCount() != 0 || tt.PublishedCount() != 0 || tt.SampleEvery() != 0 {
+		t.Fatal("nil tracer counters non-zero")
+	}
+	if s := tt.Spans(); s != nil {
+		t.Fatalf("nil tracer returned spans: %v", s)
+	}
+	var sp *TxnSpan
+	sp.MarkSubmit()
+	sp.MarkSeal()
+	sp.MarkAssign(1, 2)
+	sp.MarkExec(0, time.Now(), time.Second, true)
+}
+
+// BenchmarkNilTxnTraceSample is part of the disabled-overhead CI budget.
+func BenchmarkNilTxnTraceSample(b *testing.B) {
+	var tt *TxnTrace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sp := tt.Sample(); sp != nil {
+			b.Fatal("nil tracer sampled")
+		}
+	}
+}
+
+func BenchmarkTxnTraceSampleMiss(b *testing.B) {
+	tt := NewTxnTrace(4, 64, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sp := tt.Sample(); sp != nil {
+			tt.Publish(sp)
+		}
+	}
+}

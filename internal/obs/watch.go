@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// The anomaly watchdog is the third leg of the diagnosis stack: the flight
+// recorder captures what happened, txn tracing captures where latency went,
+// and the watchdog decides — while the process is still alive — that
+// something is wrong and snapshots both, plus the histograms and NVMM
+// attribution, into a JSON incident file. It is off by default
+// (Config.Watch) and runs as one background goroutine sampling cheap
+// engine-published gauges; it never touches the epoch hot path.
+
+// Watch reasons, the stable `reason` strings of incident files.
+const (
+	ReasonDurableLag     = "durable-lag"
+	ReasonCommitterStall = "committer-stall"
+	ReasonEpochOutlier   = "epoch-outlier"
+	ReasonFenceStall     = "fence-stall"
+)
+
+// WatchConfig arms the anomaly watchdog. The zero value of each field picks
+// the documented default; a nil *WatchConfig in Config leaves the watchdog
+// off entirely.
+type WatchConfig struct {
+	// Interval between evaluations (default 250ms).
+	Interval time.Duration
+	// MaxDurableLag is the durable-lag ceiling in epochs: an observed
+	// Epoch()-DurableEpoch() at or above it triggers ReasonDurableLag
+	// (default MaxDurableLag-1, i.e. 3 — beyond any healthy depth-1
+	// pipeline).
+	MaxDurableLag uint64
+	// StallAfter triggers ReasonCommitterStall when the durable epoch has
+	// not advanced for this long while at least one epoch is waiting to
+	// become durable (default 2s).
+	StallAfter time.Duration
+	// EpochOutlierFactor triggers ReasonEpochOutlier when an epoch's
+	// duration exceeds factor x the rolling median of recent epochs
+	// (default 16; needs MinEpochSamples priors).
+	EpochOutlierFactor float64
+	// MinEpochSamples is the minimum rolling-window population before
+	// outlier detection arms (default 16).
+	MinEpochSamples int
+	// FenceStallCeiling triggers ReasonFenceStall when the device's
+	// cumulative fence-stall time grows by more than this much during one
+	// interval (default 0: disabled; needs device observability).
+	FenceStallCeiling time.Duration
+	// IncidentDir receives incident JSON files; empty disables file output
+	// (OnIncident still fires).
+	IncidentDir string
+	// Cooldown suppresses repeat incidents of the same reason (default 10s).
+	Cooldown time.Duration
+	// OnIncident, when non-nil, observes every incident (tests; hosts that
+	// want to page instead of writing files).
+	OnIncident func(Incident)
+}
+
+func (c WatchConfig) withDefaults() WatchConfig {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.MaxDurableLag == 0 {
+		c.MaxDurableLag = MaxDurableLag - 1
+	}
+	if c.StallAfter <= 0 {
+		c.StallAfter = 2 * time.Second
+	}
+	if c.EpochOutlierFactor <= 0 {
+		c.EpochOutlierFactor = 16
+	}
+	if c.MinEpochSamples <= 0 {
+		c.MinEpochSamples = 16
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	return c
+}
+
+// WatchTargets are the engine gauges the watchdog samples. Hosts wire the
+// engine's Epoch and DurableEpoch accessors here.
+type WatchTargets struct {
+	Epoch        func() uint64
+	DurableEpoch func() uint64
+}
+
+// Incident is one watchdog trigger with its evidence snapshot.
+type Incident struct {
+	TSNanos      int64             `json:"ts_ns"`
+	Seq          uint64            `json:"seq"`
+	Reason       string            `json:"reason"`
+	Detail       string            `json:"detail"`
+	Epoch        uint64            `json:"epoch"`
+	DurableEpoch uint64            `json:"durable_epoch"`
+	DurableLag   []uint64          `json:"durable_lag"`
+	EpochHist    *HistJSON         `json:"epoch_hist,omitempty"`
+	TxnHist      *HistJSON         `json:"txn_hist,omitempty"`
+	Attrib       *AttribJSON       `json:"attrib,omitempty"`
+	Breakdown    *TxnBreakdownJSON `json:"txn_breakdown,omitempty"`
+	Flight       []FlightEventJSON `json:"flight"`
+	File         string            `json:"-"` // where the incident was written
+}
+
+// Watchdog is a running anomaly monitor. Obtain one via Obs.StartWatch.
+type Watchdog struct {
+	o       *Obs
+	cfg     WatchConfig
+	targets WatchTargets
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu        sync.Mutex
+	seq       uint64
+	lastFire  map[string]time.Time
+	incidents []Incident
+
+	// committer-stall tracking
+	lastDurable   uint64
+	durableSince  time.Time
+	lastFenceNS   int64
+	lastEpochTS   int64 // newest EvEpochEnd timestamp already considered
+	epochDursNS   []int64
+	epochDursNext int
+	epochDursFull bool
+}
+
+// StartWatch arms the watchdog configured by Config.Watch against the given
+// targets and starts its background loop. It returns nil — and arms nothing
+// — when o is nil, no watch config was given, or targets are incomplete.
+func (o *Obs) StartWatch(targets WatchTargets) *Watchdog {
+	if o == nil || o.watchCfg == nil || targets.Epoch == nil || targets.DurableEpoch == nil {
+		return nil
+	}
+	w := o.NewWatchdog(*o.watchCfg, targets)
+	go w.run()
+	return w
+}
+
+// NewWatchdog builds a watchdog without starting its loop; tests drive it
+// synchronously via Tick.
+func (o *Obs) NewWatchdog(cfg WatchConfig, targets WatchTargets) *Watchdog {
+	return &Watchdog{
+		o:        o,
+		cfg:      cfg.withDefaults(),
+		targets:  targets,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		lastFire: map[string]time.Time{},
+	}
+}
+
+func (w *Watchdog) run() {
+	defer close(w.done)
+	t := time.NewTicker(w.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case now := <-t.C:
+			w.Tick(now)
+		}
+	}
+}
+
+// Stop terminates the background loop (nil-safe; idempotent; a Watchdog
+// built by NewWatchdog and never started stops immediately too).
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+}
+
+// Incidents returns the incidents fired so far, oldest first.
+func (w *Watchdog) Incidents() []Incident {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Incident(nil), w.incidents...)
+}
+
+// Tick evaluates every armed detector once at the given instant. Exported so
+// tests can drive the watchdog deterministically.
+func (w *Watchdog) Tick(now time.Time) {
+	if w == nil {
+		return
+	}
+	epoch := w.targets.Epoch()
+	durable := w.targets.DurableEpoch()
+
+	// Durable-lag ceiling.
+	if epoch > durable {
+		if lag := epoch - durable; lag >= w.cfg.MaxDurableLag {
+			w.fire(now, ReasonDurableLag, epoch, durable,
+				fmt.Sprintf("durable lag %d epochs >= ceiling %d", lag, w.cfg.MaxDurableLag))
+		}
+	}
+
+	// Committer stall: the durable epoch stopped advancing while work is
+	// waiting to become durable.
+	w.mu.Lock()
+	if durable != w.lastDurable || w.durableSince.IsZero() {
+		w.lastDurable = durable
+		w.durableSince = now
+	}
+	stalled := epoch > durable && now.Sub(w.durableSince) >= w.cfg.StallAfter
+	stallFor := now.Sub(w.durableSince)
+	w.mu.Unlock()
+	if stalled {
+		w.fire(now, ReasonCommitterStall, epoch, durable,
+			fmt.Sprintf("durable epoch %d unchanged for %v with epoch %d complete", durable, stallFor.Round(time.Millisecond), epoch))
+	}
+
+	// Epoch-duration outliers against a rolling median of recent epochs,
+	// fed from the flight recorder's EvEpochEnd durations.
+	if out, dur, med := w.scanEpochDurations(); out {
+		w.fire(now, ReasonEpochOutlier, epoch, durable,
+			fmt.Sprintf("epoch took %v vs rolling median %v (factor %.0f)", time.Duration(dur), time.Duration(med), w.cfg.EpochOutlierFactor))
+	}
+
+	// Fence-stall growth per interval.
+	if w.cfg.FenceStallCeiling > 0 {
+		if dev := w.o.Device(); dev != nil {
+			cur := dev.FenceStallNanos()
+			w.mu.Lock()
+			delta := cur - w.lastFenceNS
+			w.lastFenceNS = cur
+			w.mu.Unlock()
+			if delta > int64(w.cfg.FenceStallCeiling) {
+				w.fire(now, ReasonFenceStall, epoch, durable,
+					fmt.Sprintf("fence stall grew %v in one interval (ceiling %v)", time.Duration(delta), w.cfg.FenceStallCeiling))
+			}
+		}
+	}
+}
+
+// scanEpochDurations folds EvEpochEnd events newer than the last scan into
+// the rolling window and reports whether the newest duration is an outlier
+// against the window median.
+func (w *Watchdog) scanEpochDurations() (outlier bool, durNS, medianNS int64) {
+	fl := w.o.Flight()
+	if fl == nil {
+		return false, 0, 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.epochDursNS == nil {
+		w.epochDursNS = make([]int64, 64)
+	}
+	evs := fl.Events(w.lastEpochTS + 1)
+	for _, e := range evs {
+		if e.Type != EvEpochEnd {
+			continue
+		}
+		w.lastEpochTS = e.TS
+		n := 0
+		if w.epochDursFull {
+			n = len(w.epochDursNS)
+		} else {
+			n = w.epochDursNext
+		}
+		if n >= w.cfg.MinEpochSamples {
+			med := medianOf(w.epochDursNS, n)
+			if med > 0 && float64(e.A) > w.cfg.EpochOutlierFactor*float64(med) {
+				outlier, durNS, medianNS = true, e.A, med
+			}
+		}
+		w.epochDursNS[w.epochDursNext] = e.A
+		w.epochDursNext++
+		if w.epochDursNext == len(w.epochDursNS) {
+			w.epochDursNext = 0
+			w.epochDursFull = true
+		}
+	}
+	return outlier, durNS, medianNS
+}
+
+func medianOf(ring []int64, n int) int64 {
+	tmp := make([]int64, n)
+	copy(tmp, ring[:n])
+	// insertion sort: n <= 64
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	return tmp[len(tmp)/2]
+}
+
+// fire builds the incident (histograms + attribution + txn breakdown +
+// flight tail), honors the per-reason cooldown, records an EvWatchTrigger
+// flight event, writes the JSON file, and invokes the hook.
+func (w *Watchdog) fire(now time.Time, reason string, epoch, durable uint64, detail string) {
+	w.mu.Lock()
+	if last, ok := w.lastFire[reason]; ok && now.Sub(last) < w.cfg.Cooldown {
+		w.mu.Unlock()
+		return
+	}
+	w.lastFire[reason] = now
+	w.seq++
+	seq := w.seq
+	w.mu.Unlock()
+
+	w.o.Flight().Record(EvWatchTrigger, CoordinatorCore, epoch, int64(seq), 0)
+
+	inc := Incident{
+		TSNanos:      now.UnixNano(),
+		Seq:          seq,
+		Reason:       reason,
+		Detail:       detail,
+		Epoch:        epoch,
+		DurableEpoch: durable,
+		Flight:       w.o.Flight().JSON(10 * time.Second).Events,
+	}
+	lag := w.o.DurableLagCounts()
+	inc.DurableLag = lag[:]
+	if s := w.o.EpochSnapshot(); s.Count > 0 {
+		j := s.JSON()
+		inc.EpochHist = &j
+	}
+	if s := w.o.TxnSnapshot(); s.Count > 0 {
+		j := s.JSON()
+		inc.TxnHist = &j
+	}
+	if a := w.o.Attrib(); a != nil {
+		inc.Attrib = a.JSON()
+	}
+	if tt := w.o.TxnTrace(); tt != nil {
+		b := Breakdown(tt.Spans())
+		inc.Breakdown = &b
+	}
+
+	if w.cfg.IncidentDir != "" {
+		name := fmt.Sprintf("incident-%s-%03d-%s.json",
+			now.Format("20060102T150405.000"), seq, reason)
+		path := filepath.Join(w.cfg.IncidentDir, name)
+		if data, err := json.MarshalIndent(inc, "", "  "); err == nil {
+			if err := os.WriteFile(path, data, 0o644); err == nil {
+				inc.File = path
+			} else {
+				fmt.Fprintf(os.Stderr, "watchdog: writing incident: %v\n", err)
+			}
+		}
+	}
+
+	w.mu.Lock()
+	w.incidents = append(w.incidents, inc)
+	w.mu.Unlock()
+
+	if w.cfg.OnIncident != nil {
+		w.cfg.OnIncident(inc)
+	}
+}

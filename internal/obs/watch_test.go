@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeTargets returns watch targets reading from the given pointers.
+func fakeTargets(epoch, durable *uint64) WatchTargets {
+	return WatchTargets{
+		Epoch:        func() uint64 { return *epoch },
+		DurableEpoch: func() uint64 { return *durable },
+	}
+}
+
+func TestWatchdogDurableLag(t *testing.T) {
+	o := New(Config{Hists: true})
+	epoch, durable := uint64(10), uint64(6)
+	wd := o.NewWatchdog(WatchConfig{MaxDurableLag: 3, Cooldown: time.Hour}, fakeTargets(&epoch, &durable))
+	wd.Tick(time.Now())
+
+	incs := wd.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("got %d incidents, want 1", len(incs))
+	}
+	inc := incs[0]
+	if inc.Reason != ReasonDurableLag {
+		t.Fatalf("reason = %q, want %q", inc.Reason, ReasonDurableLag)
+	}
+	if inc.Epoch != 10 || inc.DurableEpoch != 6 {
+		t.Fatalf("incident epochs %d/%d, want 10/6", inc.Epoch, inc.DurableEpoch)
+	}
+	// The trigger itself must land in the flight recorder.
+	var triggers int
+	for _, e := range o.Flight().Events(0) {
+		if e.Type == EvWatchTrigger {
+			triggers++
+		}
+	}
+	if triggers != 1 {
+		t.Fatalf("flight has %d watch-trigger events, want 1", triggers)
+	}
+	// Healthy lag: no second incident even past the cooldown.
+	durable = 9
+	wd2 := o.NewWatchdog(WatchConfig{MaxDurableLag: 3}, fakeTargets(&epoch, &durable))
+	wd2.Tick(time.Now())
+	if n := len(wd2.Incidents()); n != 0 {
+		t.Fatalf("healthy lag fired %d incidents", n)
+	}
+}
+
+func TestWatchdogCommitterStall(t *testing.T) {
+	o := New(Config{})
+	epoch, durable := uint64(5), uint64(3)
+	cfg := WatchConfig{
+		MaxDurableLag: 100, // keep the lag detector quiet
+		StallAfter:    2 * time.Second,
+		Cooldown:      time.Minute,
+	}
+	wd := o.NewWatchdog(cfg, fakeTargets(&epoch, &durable))
+
+	t0 := time.Now()
+	wd.Tick(t0) // establishes durableSince
+	wd.Tick(t0.Add(time.Second))
+	if n := len(wd.Incidents()); n != 0 {
+		t.Fatalf("stall fired after 1s with a 2s threshold (%d incidents)", n)
+	}
+	wd.Tick(t0.Add(3 * time.Second))
+	incs := wd.Incidents()
+	if len(incs) != 1 || incs[0].Reason != ReasonCommitterStall {
+		t.Fatalf("incidents = %+v, want one committer-stall", incs)
+	}
+
+	// The durable epoch advancing resets the stall clock: no fire right
+	// after the advance, a second fire once it sticks again past the
+	// cooldown, and none at all once the committer catches up.
+	durable = 4
+	wd.Tick(t0.Add(4 * time.Second))
+	wd.Tick(t0.Add(100 * time.Second))
+	durable = 5
+	epoch = 5
+	wd.Tick(t0.Add(200 * time.Second))
+	if n := len(wd.Incidents()); n != 2 {
+		t.Fatalf("got %d incidents, want 2", n)
+	}
+}
+
+func TestWatchdogEpochOutlier(t *testing.T) {
+	o := New(Config{})
+	epoch, durable := uint64(30), uint64(30)
+	cfg := WatchConfig{
+		MaxDurableLag:      100,
+		EpochOutlierFactor: 10,
+		MinEpochSamples:    16,
+		Cooldown:           time.Hour,
+	}
+	wd := o.NewWatchdog(cfg, fakeTargets(&epoch, &durable))
+
+	for i := 0; i < 20; i++ {
+		o.Flight().Record(EvEpochEnd, CoordinatorCore, uint64(i), int64(time.Millisecond), 100)
+	}
+	wd.Tick(time.Now())
+	if n := len(wd.Incidents()); n != 0 {
+		t.Fatalf("uniform epochs fired %d incidents", n)
+	}
+
+	o.Flight().Record(EvEpochEnd, CoordinatorCore, 21, int64(100*time.Millisecond), 100)
+	wd.Tick(time.Now())
+	incs := wd.Incidents()
+	if len(incs) != 1 || incs[0].Reason != ReasonEpochOutlier {
+		t.Fatalf("incidents = %+v, want one epoch-outlier", incs)
+	}
+}
+
+// TestWatchdogIncidentFile checks the JSON evidence snapshot on disk: the
+// histograms, breakdown, and flight tail must parse back.
+func TestWatchdogIncidentFile(t *testing.T) {
+	dir := t.TempDir()
+	o := New(Config{Hists: true, TxnTrace: true, TxnSampleEvery: 1})
+	o.ObserveTxn(0, time.Millisecond)
+	o.RecordEpoch(7, time.Now().Add(-time.Millisecond), 100*time.Microsecond, 100*time.Microsecond, 700*time.Microsecond, 100*time.Microsecond)
+	sp := o.TxnTrace().Sample()
+	sp.MarkAssign(7, 0)
+	sp.MarkExec(0, time.Now(), time.Millisecond, false)
+	o.TxnTrace().Publish(sp)
+	o.Flight().Record(EvEpochStart, CoordinatorCore, 7, 10, 0)
+
+	var hooked []Incident
+	epoch, durable := uint64(9), uint64(2)
+	cfg := WatchConfig{
+		MaxDurableLag: 3,
+		IncidentDir:   dir,
+		OnIncident:    func(i Incident) { hooked = append(hooked, i) },
+	}
+	wd := o.NewWatchdog(cfg, fakeTargets(&epoch, &durable))
+	wd.Tick(time.Now())
+
+	incs := wd.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("got %d incidents, want 1", len(incs))
+	}
+	if len(hooked) != 1 || hooked[0].Reason != incs[0].Reason {
+		t.Fatalf("OnIncident hook saw %+v", hooked)
+	}
+	if incs[0].File == "" {
+		t.Fatal("incident not written to a file")
+	}
+	if filepath.Dir(incs[0].File) != dir {
+		t.Fatalf("incident written to %s, want under %s", incs[0].File, dir)
+	}
+
+	data, err := os.ReadFile(incs[0].File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Incident
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("incident file is not valid JSON: %v", err)
+	}
+	if got.Reason != ReasonDurableLag || got.Epoch != 9 || got.DurableEpoch != 2 {
+		t.Fatalf("incident payload mangled: %+v", got)
+	}
+	if got.EpochHist == nil || got.EpochHist.Count != 1 {
+		t.Fatalf("epoch hist missing from evidence: %+v", got.EpochHist)
+	}
+	if got.TxnHist == nil || got.TxnHist.Count != 1 {
+		t.Fatalf("txn hist missing from evidence: %+v", got.TxnHist)
+	}
+	if got.Breakdown == nil || got.Breakdown.Spans != 1 {
+		t.Fatalf("txn breakdown missing from evidence: %+v", got.Breakdown)
+	}
+	if len(got.Flight) == 0 {
+		t.Fatal("flight tail missing from evidence")
+	}
+	if len(got.DurableLag) != MaxDurableLag {
+		t.Fatalf("durable lag distribution has %d buckets, want %d", len(got.DurableLag), MaxDurableLag)
+	}
+}
+
+func TestWatchdogCooldown(t *testing.T) {
+	o := New(Config{})
+	epoch, durable := uint64(10), uint64(1)
+	// StallAfter is pushed out so only the lag detector speaks; the
+	// cooldown is per reason, and a stall firing here would muddy the count.
+	cfg := WatchConfig{MaxDurableLag: 3, Cooldown: time.Hour, StallAfter: 1000 * time.Hour}
+	wd := o.NewWatchdog(cfg, fakeTargets(&epoch, &durable))
+	t0 := time.Now()
+	wd.Tick(t0)
+	wd.Tick(t0.Add(time.Minute))
+	if n := len(wd.Incidents()); n != 1 {
+		t.Fatalf("cooldown let %d incidents through, want 1", n)
+	}
+	wd.Tick(t0.Add(2 * time.Hour))
+	if n := len(wd.Incidents()); n != 2 {
+		t.Fatalf("after cooldown expiry got %d incidents, want 2", n)
+	}
+}
+
+// TestStartWatchGuards pins the nil/arming contract: StartWatch arms only
+// with a config and complete targets, and Stop is safe everywhere.
+func TestStartWatchGuards(t *testing.T) {
+	var nilObs *Obs
+	e := func() uint64 { return 0 }
+	if wd := nilObs.StartWatch(WatchTargets{Epoch: e, DurableEpoch: e}); wd != nil {
+		t.Fatal("nil obs armed a watchdog")
+	}
+	o := New(Config{}) // no Watch config
+	if wd := o.StartWatch(WatchTargets{Epoch: e, DurableEpoch: e}); wd != nil {
+		t.Fatal("watchdog armed without a watch config")
+	}
+	ow := New(Config{Watch: &WatchConfig{}})
+	if wd := ow.StartWatch(WatchTargets{Epoch: e}); wd != nil {
+		t.Fatal("watchdog armed with incomplete targets")
+	}
+	wd := ow.StartWatch(WatchTargets{Epoch: e, DurableEpoch: e})
+	if wd == nil {
+		t.Fatal("watchdog did not arm")
+	}
+	wd.Stop()
+	wd.Stop() // idempotent
+	var nilWd *Watchdog
+	nilWd.Stop()
+	nilWd.Tick(time.Now())
+	if nilWd.Incidents() != nil {
+		t.Fatal("nil watchdog returned incidents")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"nvcaracal/internal/core"
+	"nvcaracal/internal/obs"
 )
 
 // Errors returned by the submitter.
@@ -196,8 +197,20 @@ func (s *Submitter) Submit(t *core.Txn) (*Future, error) {
 	if t == nil {
 		return nil, errors.New("submit: nil txn")
 	}
+	// Lifecycle sampling starts here: a sampled transaction's span rides the
+	// Txn through seal, epoch assignment, execution, and commit, giving the
+	// breakdown its queue phase. Sample() is a single atomic increment for
+	// the unsampled majority and a no-op when tracing is off.
+	sp := s.db.Obs().TxnTrace().Sample()
+	if sp != nil {
+		sp.MarkSubmit()
+	}
+	// Attach even a nil span: that records the sampling decision, so the
+	// engine's hand-batch fallback does not draw a second time.
+	t.SetSpan(sp)
 	f := newFuture()
 	if err := s.enqueue(pending{txn: t, fut: f}); err != nil {
+		t.SetSpan(nil)
 		return nil, err
 	}
 	return f, nil
@@ -254,8 +267,17 @@ func (s *Submitter) enqueue(p pending) error {
 		case s.queue <- p:
 			return nil
 		default:
+			s.db.Obs().Flight().Record(obs.EvBackpressure, obs.CoordinatorCore, 0, int64(cap(s.queue)), 0)
 			return ErrOverloaded
 		}
+	}
+	select {
+	case s.queue <- p:
+		return nil
+	default:
+		// The queue is full and this client is about to block: record the
+		// backpressure once, then wait.
+		s.db.Obs().Flight().Record(obs.EvBackpressure, obs.CoordinatorCore, 0, int64(cap(s.queue)), 0)
 	}
 	select {
 	case s.queue <- p:
@@ -329,6 +351,13 @@ func (s *Submitter) formLoop() {
 		b := cur
 		cur = nil
 		disarmTimer()
+		// The batch is sealed: stamp the sampled spans' seal time, ending
+		// their queue phase. MarkSeal is a no-op on the unsampled majority.
+		for i := range b {
+			if b[i].txn != nil {
+				b[i].txn.Span().MarkSeal()
+			}
+		}
 		for {
 			select {
 			case s.runq <- b:

@@ -1,0 +1,121 @@
+package submit_test
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nvcaracal"
+	"nvcaracal/internal/obs"
+)
+
+// TestSubmitTxnTraceStress drives concurrent submitters with lifecycle
+// tracing on while a reader drains the serving surface the whole time; the
+// race detector checks the publish/drain paths, and the deterministic
+// 1-in-N counter pins the sampled and published counts exactly.
+func TestSubmitTxnTraceStress(t *testing.T) {
+	const (
+		submitters  = 4
+		perWorker   = 200
+		sampleEvery = 4
+	)
+	cfg := testConfig()
+	o := nvcaracal.NewObs(nvcaracal.ObsConfig{Hists: true, TxnTrace: true, TxnSampleEvery: sampleEvery})
+	cfg.Obs = o
+	db, _, err := nvcaracal.OpenWithDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nvcaracal.NewSubmitter(db, nvcaracal.SubmitterConfig{
+		MaxBatch: 32,
+		MaxDelay: 100 * time.Microsecond,
+	})
+
+	var submitting atomic.Bool
+	submitting.Store(true)
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for submitting.Load() {
+			j := o.TxnTrace().JSON()
+			if j.Published < uint64(len(j.Spans)) {
+				t.Errorf("served %d spans with only %d published", len(j.Spans), j.Published)
+				return
+			}
+			_ = obs.Breakdown(o.TxnTrace().Spans())
+			_ = o.Flight().Events(0)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	futs := make([][]*nvcaracal.Future, submitters)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			futs[w] = make([]*nvcaracal.Future, perWorker)
+			for i := 0; i < perWorker; i++ {
+				k := key(w, i)
+				f, err := s.Submit(mkInsert(k, binary.LittleEndian.AppendUint64(nil, k)))
+				if err != nil {
+					t.Errorf("worker %d submit %d: %v", w, i, err)
+					return
+				}
+				futs[w][i] = f
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	db.WaitDurable()
+	submitting.Store(false)
+	readers.Wait()
+
+	for w := range futs {
+		for i, f := range futs[w] {
+			if f == nil {
+				continue // submit error already reported
+			}
+			if r := f.Wait(); r.Err != nil || !r.Committed {
+				t.Fatalf("worker %d txn %d: err=%v committed=%v", w, i, r.Err, r.Committed)
+			}
+		}
+	}
+
+	tt := o.TxnTrace()
+	const total = submitters * perWorker
+	if got := tt.SampledCount(); got != total/sampleEvery {
+		t.Fatalf("sampled %d of %d at 1-in-%d, want %d", got, total, sampleEvery, total/sampleEvery)
+	}
+	if got := tt.PublishedCount(); got != tt.SampledCount() {
+		t.Fatalf("published %d != sampled %d: spans lost between seal and durable", got, tt.SampledCount())
+	}
+
+	// Submitted spans ran the full queue: every phase of the decomposition
+	// must be populated, including the submit-side queue time that
+	// hand-batched epochs never accrue.
+	spans := tt.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans retained")
+	}
+	for _, sp := range spans {
+		if sp.SubmitNS == 0 || sp.SealNS == 0 || sp.DurableNS == 0 {
+			t.Fatalf("span missing queue stamps: %+v", sp)
+		}
+		if sp.Total() <= 0 {
+			t.Fatalf("span with non-positive total: %+v", sp)
+		}
+	}
+	b := obs.Breakdown(spans)
+	if b.Phases[obs.TxnQueue].MaxNS <= 0 {
+		t.Fatalf("queued submissions accrued no queue time: %+v", b.Phases[obs.TxnQueue])
+	}
+	if b.Phases[obs.TxnExecute].MaxNS <= 0 {
+		t.Fatalf("no execute time recorded: %+v", b.Phases[obs.TxnExecute])
+	}
+}

@@ -100,6 +100,16 @@ type (
 	// ObsHandler serves /debug/nvcaracal/stats, /debug/nvcaracal/trace,
 	// and /debug/nvcaracal/attrib.
 	ObsHandler = obs.Handler
+	// WatchConfig arms the anomaly watchdog; set it on ObsConfig.Watch and
+	// start it with Obs.StartWatch.
+	WatchConfig = obs.WatchConfig
+	// WatchTargets supplies the engine gauges the watchdog samples
+	// (DB.Epoch and DB.DurableEpoch).
+	WatchTargets = obs.WatchTargets
+	// Watchdog is a running anomaly monitor returned by Obs.StartWatch.
+	Watchdog = obs.Watchdog
+	// Incident is one watchdog trigger with its evidence snapshot.
+	Incident = obs.Incident
 )
 
 // Write-set operation kinds.
