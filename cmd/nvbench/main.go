@@ -25,8 +25,21 @@ import (
 	"time"
 
 	"nvcaracal/internal/bench"
+	"nvcaracal/internal/bench/regress"
 	"nvcaracal/internal/nvm"
 )
+
+// flagWasSet reports whether a flag was explicitly passed (distinguishing
+// -regress-history= meaning "disable" from the flag's absence).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
 
 func main() {
 	var (
@@ -45,8 +58,33 @@ func main() {
 		obsBench  = flag.String("obs-bench", "", "run the observed phase-breakdown cells and write BENCH_obs.json-style output to this file (skips experiments)")
 		attrBench = flag.String("attrib-bench", "", "run the NVMM access-attribution cells (dual-version vs persist-every-write) and write BENCH_attrib.json-style output to this file (skips experiments)")
 		pipeBench = flag.String("pipeline-bench", "", "run the serial/async/pipeline epoch-commit sweep and write BENCH_pipeline.json-style output to this file (skips experiments)")
+
+		checkRegress   = flag.Bool("check-regress", false, "re-run the committed bench baselines and compare with noise-aware tolerance bands (skips experiments; exit 1 on a gating regression)")
+		regressRepeats = flag.Int("regress-repeats", 3, "repeats per report for -check-regress; the per-metric median is compared")
+		regressDir     = flag.String("regress-dir", ".", "directory holding the committed BENCH_*.json baselines")
+		regressHistory = flag.String("regress-history", "", "append the comparison to this JSONL trend file (default <regress-dir>/BENCH_history.jsonl; empty string after explicit -regress-history= disables)")
+		regressReports = flag.String("regress-reports", "obs,attrib", "comma-separated baselines to check: obs, attrib, pipeline, device")
+		regressStall   = flag.Duration("inject-commit-stall", 0, "fault injection for -check-regress: stall every commit fence of the observed runs by this much (proves the gate trips)")
+		regressVerbose = flag.Bool("regress-verbose", false, "print every compared metric, not just non-ok ones")
 	)
 	flag.Parse()
+
+	if *checkRegress {
+		hist := *regressHistory
+		if hist == "" && !flagWasSet("regress-history") {
+			hist = *regressDir + "/BENCH_history.jsonl"
+		}
+		failed, err := runCheckRegress(*scaleName, *seed, *regressRepeats, *regressDir,
+			hist, *regressReports, *regressStall, *regressVerbose)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvbench: check-regress: %v\n", err)
+			os.Exit(1)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *obsBench != "" {
 		if err := runObsBench(*obsBench, *scaleName, *seed, *cores); err != nil {
@@ -271,6 +309,145 @@ func runAttribBench(path, scaleName string, seed int64, cores int) error {
 	}
 	fmt.Printf("wrote %d attributed cells (%d comparisons) to %s\n", len(rep.Cells), len(rep.Comparisons), path)
 	return nil
+}
+
+// runCheckRegress re-runs the requested bench reports against the committed
+// BENCH_*.json baselines in dir and compares with regress's per-class
+// tolerance bands: shares and ratios (the paper's shape claims) gate,
+// wall-clock metrics only trend. Each report runs `repeats` times and the
+// per-metric median is compared, so single-run scheduler noise cannot trip
+// the gate. The outcome is appended to the JSONL history file (when set),
+// gating or not — the history is the trend record.
+func runCheckRegress(scaleName string, seed int64, repeats int, dir, history, reports string,
+	stall time.Duration, verbose bool) (failed bool, err error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var scale bench.Scale
+	switch scaleName {
+	case "quick":
+		scale = bench.QuickScale()
+	case "paper":
+		scale = bench.PaperScale()
+	default:
+		return false, fmt.Errorf("unknown scale %q (quick or paper)", scaleName)
+	}
+
+	entry := regress.HistoryEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale.Name,
+		Repeats:    repeats,
+	}
+	if stall > 0 {
+		fmt.Printf("check-regress: injecting %v commit-fence stall into observed runs\n", stall)
+	}
+
+	runReport := func(name string, base []regress.Metric, baseScale string,
+		run func() ([]regress.Metric, error)) error {
+		if baseScale != "" && baseScale != scale.Name {
+			return fmt.Errorf("%s: baseline is scale %q, this run is %q — compare like with like", name, baseScale, scale.Name)
+		}
+		runs := make([][]regress.Metric, 0, repeats)
+		for i := 0; i < repeats; i++ {
+			fmt.Printf("check-regress: %s run %d/%d...\n", name, i+1, repeats)
+			ms, err := run()
+			if err != nil {
+				return fmt.Errorf("%s run %d: %w", name, i+1, err)
+			}
+			runs = append(runs, ms)
+		}
+		med := regress.MedianOfRuns(runs)
+		rep := regress.Compare(name, base, med, nil)
+		rep.Format(os.Stdout, verbose)
+		entry.Fold(rep)
+		entry.Metrics = append(entry.Metrics, med...)
+		if rep.Failed() {
+			failed = true
+		}
+		return nil
+	}
+
+	for _, name := range strings.Split(reports, ",") {
+		switch strings.TrimSpace(name) {
+		case "obs":
+			base, baseRep, err := regress.LoadObsBaseline(dir + "/BENCH_obs.json")
+			if err != nil {
+				return false, err
+			}
+			s := scale
+			s.Cores = baseRep.GOMAXPROCS // pin engine cores to the baseline's
+			if err := runReport("BENCH_obs.json", base, baseRep.Scale, func() ([]regress.Metric, error) {
+				r, err := bench.RunObsReport(bench.Options{Scale: s, Seed: seed, CommitStall: stall})
+				if err != nil {
+					return nil, err
+				}
+				return regress.FromObsReport(r), nil
+			}); err != nil {
+				return false, err
+			}
+		case "attrib":
+			base, baseRep, err := regress.LoadAttribBaseline(dir + "/BENCH_attrib.json")
+			if err != nil {
+				return false, err
+			}
+			s := scale
+			s.Cores = baseRep.GOMAXPROCS
+			if err := runReport("BENCH_attrib.json", base, baseRep.Scale, func() ([]regress.Metric, error) {
+				r, err := bench.RunAttribReport(bench.Options{Scale: s, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				return regress.FromAttribReport(r), nil
+			}); err != nil {
+				return false, err
+			}
+		case "pipeline":
+			base, baseRep, err := regress.LoadPipelineBaseline(dir + "/BENCH_pipeline.json")
+			if err != nil {
+				return false, err
+			}
+			if err := runReport("BENCH_pipeline.json", base, baseRep.Scale, func() ([]regress.Metric, error) {
+				r, err := bench.RunPipelineReport(bench.Options{Scale: scale, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				return regress.FromPipelineReport(r), nil
+			}); err != nil {
+				return false, err
+			}
+		case "device":
+			base, baseRep, err := regress.LoadDeviceBaseline(dir + "/BENCH_device.json")
+			if err != nil {
+				return false, err
+			}
+			if err := runReport("BENCH_device.json", base, "", func() ([]regress.Metric, error) {
+				rep := regress.DeviceBenchReport{OpsCore: baseRep.OpsCore}
+				for _, r := range baseRep.Results {
+					rep.Results = append(rep.Results, nvm.RunDeviceBench(r.Cores, baseRep.OpsCore))
+				}
+				return regress.FromDeviceReport(rep), nil
+			}); err != nil {
+				return false, err
+			}
+		default:
+			return false, fmt.Errorf("unknown regress report %q (obs, attrib, pipeline, device)", name)
+		}
+	}
+
+	if history != "" {
+		if err := regress.AppendHistory(history, entry); err != nil {
+			return false, fmt.Errorf("history: %w", err)
+		}
+		fmt.Printf("check-regress: appended to %s\n", history)
+	}
+	if failed {
+		fmt.Println("check-regress: FAIL (gating regression)")
+	} else {
+		fmt.Println("check-regress: ok")
+	}
+	return failed, nil
 }
 
 // runDeviceBench measures device-op throughput at 1/4/8 worker goroutines

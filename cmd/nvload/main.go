@@ -29,6 +29,7 @@ import (
 
 	"nvcaracal"
 	"nvcaracal/internal/obs"
+	"nvcaracal/internal/prof"
 	"nvcaracal/internal/workload/smallbank"
 	"nvcaracal/internal/workload/tpcc"
 	"nvcaracal/internal/workload/ycsb"
@@ -62,6 +63,12 @@ func main() {
 		watchEvery  = flag.Duration("watch-interval", 0, "watchdog evaluation interval (0 = default 250ms)")
 		incidentDir = flag.String("incident-dir", "", "directory for watchdog incident JSON files (with -watch)")
 		commitStall = flag.Duration("inject-commit-stall", 0, "fault injection: stall every commit (persist-final) fence by this much during the measured phase")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the measured phase to this file (read with nvprof or go tool pprof)")
+		profEpochs = flag.Int("prof-epochs", 0, "with -cpuprofile: bound the capture to the first N measured epochs instead of the whole phase")
+		rtTrace    = flag.String("runtime-trace", "", "write a runtime execution trace of the measured phase to this file (view with go tool trace; phase regions included)")
+		mutexFrac  = flag.Int("mutex-profile-frac", 0, "runtime mutex profile fraction (for /debug/nvcaracal/pprof/mutex)")
+		blockRate  = flag.Int("block-profile-rate", 0, "runtime block profile rate in ns (for /debug/nvcaracal/pprof/block)")
 	)
 	flag.Parse()
 
@@ -79,6 +86,17 @@ func main() {
 		NVMMWriteLatency: *writeLat,
 		Registry:         nvcaracal.NewRegistry(),
 	}
+	// The profiler rides along whenever anything wants profiles: the debug
+	// server (pprof endpoints), explicit capture flags, or the watchdog
+	// (incident profile attachments).
+	var pr *nvcaracal.Profiler
+	if *obsAddr != "" || *cpuProfile != "" || *rtTrace != "" || *watch {
+		pr = nvcaracal.NewProfiler(nvcaracal.ProfConfig{
+			MutexFraction:    *mutexFrac,
+			BlockProfileRate: *blockRate,
+		})
+		cfg.Prof = pr
+	}
 	if *obsAddr != "" || *traceOut != "" || *attribOut != "" || *txnSample > 0 || *watch {
 		ocfg := nvcaracal.ObsConfig{
 			Hists:  true,
@@ -93,9 +111,10 @@ func main() {
 		}
 		if *watch {
 			ocfg.Watch = &nvcaracal.WatchConfig{
-				IncidentDir: *incidentDir,
-				StallAfter:  *watchStall,
-				Interval:    *watchEvery,
+				IncidentDir:    *incidentDir,
+				StallAfter:     *watchStall,
+				Interval:       *watchEvery,
+				CaptureProfile: pr.CaptureCPUBytes,
 			}
 		}
 		cfg.Obs = nvcaracal.NewObs(ocfg)
@@ -183,13 +202,15 @@ func main() {
 		h.PublishExpvar("nvcaracal")
 		mux := http.NewServeMux()
 		mux.Handle("/debug/nvcaracal/", h)
+		// More specific pattern: pprof endpoints win over the obs prefix.
+		mux.Handle(prof.PprofPath, nvcaracal.NewProfHandler(pr))
 		mux.Handle("/debug/vars", expvar.Handler())
 		go func() {
 			if err := http.ListenAndServe(*obsAddr, mux); err != nil {
 				fatal(fmt.Errorf("obs server: %w", err))
 			}
 		}()
-		fmt.Printf("obs: serving http://%s%s and %s\n", *obsAddr, obs.StatsPath, obs.TracePath)
+		fmt.Printf("obs: serving http://%s%s and %s\n", *obsAddr, obs.StatsPath, prof.PprofPath)
 	}
 	fmt.Printf("loading %s (%d batches)...\n", *workload, len(loadBatches))
 	loadStart := time.Now()
@@ -213,6 +234,51 @@ func main() {
 			DurableEpoch: db.DurableEpoch,
 		})
 		fmt.Printf("watch: armed (incidents -> %q)\n", *incidentDir)
+	}
+
+	// Profile captures bracket the measured phase only: the load phase and
+	// reporting tail would otherwise dominate short runs.
+	var profWG sync.WaitGroup
+	var profFiles []*os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if *profEpochs > 0 {
+			// Windowed: a background capture bounded by the committed-epoch
+			// gauge, joined after the run.
+			profWG.Add(1)
+			go func() {
+				defer profWG.Done()
+				win, err := pr.CaptureCPUEpochs(f, *profEpochs, 10*time.Minute)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "nvload: cpu profile:", err)
+					return
+				}
+				fmt.Printf("prof: wrote %s (epochs %d..%d, %v)\n",
+					*cpuProfile, win.StartEpoch, win.EndEpoch, win.Elapsed.Round(time.Millisecond))
+			}()
+		} else {
+			if err := pr.StartCPU(f); err != nil {
+				fatal(fmt.Errorf("cpu profile: %w", err))
+			}
+			profFiles = append(profFiles, f)
+		}
+	}
+	var traceFile *os.File
+	if *rtTrace != "" {
+		f, err := os.Create(*rtTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pr.StartTrace(f); err != nil {
+			fatal(fmt.Errorf("runtime trace: %w", err))
+		}
+		traceFile = f
 	}
 
 	var committed, aborted int
@@ -242,6 +308,23 @@ func main() {
 	// flight; drain it so the reported device stats are final (no-op when
 	// synchronous).
 	db.WaitDurable()
+	if len(profFiles) > 0 {
+		pr.StopCPU()
+		for _, f := range profFiles {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("prof: wrote %s\n", *cpuProfile)
+	}
+	profWG.Wait()
+	if traceFile != nil {
+		pr.StopTrace()
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("prof: wrote %s\n", *rtTrace)
+	}
 	if wd != nil {
 		// One last synchronous evaluation so short runs still get their
 		// verdict, then stop the background loop.

@@ -1,0 +1,259 @@
+// nvprof is the profiling companion to nvtop: it captures profiles from a
+// running engine's /debug/nvcaracal/pprof endpoints and reads pprof files
+// without external tooling (the repo-local pprof decoder in internal/prof).
+//
+//	nvprof capture [-addr HOST:PORT] [-kind cpu|trace|heap|...] \
+//	        [-seconds F] [-epochs N] [-o FILE]
+//	    capture a profile; -epochs N bounds the CPU/trace window by the
+//	    engine's committed-epoch gauge instead of wall clock
+//	nvprof top [-n 20] [-type NAME] [-phase NAME] FILE
+//	    symbolized flat/cum hotspots, optionally restricted to one engine
+//	    phase's samples
+//	nvprof diff [-n 20] [-type NAME] OLD NEW
+//	    largest per-function flat deltas between two profiles
+//	nvprof phases [-n 5] [-type NAME] [-json] FILE
+//	    phase-attribution report: profile value split by the engine's
+//	    "phase" goroutine labels, with each phase's device-model share
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"nvcaracal/internal/prof"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "capture":
+		err = runCapture(os.Args[2:])
+	case "top":
+		err = runTop(os.Args[2:])
+	case "diff":
+		err = runDiff(os.Args[2:])
+	case "phases":
+		err = runPhases(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "nvprof: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvprof %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  nvprof capture [-addr 127.0.0.1:8077] [-kind cpu|trace|heap|allocs|mutex|block|goroutine] [-seconds F] [-epochs N] [-max-wait D] [-o FILE]
+  nvprof top [-n 20] [-type NAME] [-phase NAME] FILE
+  nvprof diff [-n 20] [-type NAME] OLD NEW
+  nvprof phases [-n 5] [-type NAME] [-json] FILE
+`)
+}
+
+func runCapture(args []string) error {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "engine debug address")
+	kind := fs.String("kind", "cpu", "profile kind: cpu, trace, heap, allocs, mutex, block, goroutine, threadcreate")
+	seconds := fs.Float64("seconds", 2, "wall-clock capture window (cpu/trace)")
+	epochs := fs.Int("epochs", 0, "bound the cpu/trace window by N committed epochs instead of wall clock")
+	maxWait := fs.Duration("max-wait", 30*time.Second, "epoch-window upper bound")
+	out := fs.String("o", "", "output file (default <kind>.pb.gz, trace.out for traces)")
+	fs.Parse(args)
+
+	endpoint := *kind
+	if endpoint == "cpu" {
+		endpoint = "profile"
+	}
+	q := url.Values{}
+	if *epochs > 0 {
+		q.Set("epochs", fmt.Sprint(*epochs))
+		q.Set("max-wait", maxWait.String())
+	} else if endpoint == "profile" || endpoint == "trace" {
+		q.Set("seconds", fmt.Sprint(*seconds))
+	}
+	u := url.URL{Scheme: "http", Host: *addr, Path: prof.PprofPath + endpoint, RawQuery: q.Encode()}
+
+	client := &http.Client{Timeout: *maxWait + time.Duration(*seconds*float64(time.Second)) + 30*time.Second}
+	resp, err := client.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", u.String(), resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	file := *out
+	if file == "" {
+		if endpoint == "trace" {
+			file = "trace.out"
+		} else {
+			file = *kind + ".pb.gz"
+		}
+	}
+	if err := os.WriteFile(file, body, 0o644); err != nil {
+		return err
+	}
+	msg := fmt.Sprintf("wrote %s (%d bytes)", file, len(body))
+	if s, e := resp.Header.Get("X-Prof-Epoch-Start"), resp.Header.Get("X-Prof-Epoch-End"); s != "" && s != e {
+		msg += fmt.Sprintf(", epochs %s..%s", s, e)
+	}
+	if el := resp.Header.Get("X-Prof-Elapsed"); el != "" {
+		msg += ", elapsed " + el
+	}
+	fmt.Println(msg)
+	return nil
+}
+
+func loadProfile(path string) (*prof.Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := prof.Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	n := fs.Int("n", 20, "entries to print")
+	typ := fs.String("type", "", "sample type (default: last column, the pprof default)")
+	phase := fs.String("phase", "", "restrict to samples of one engine phase (log, init, execute, persist, commit, ...)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one profile file, got %d", fs.NArg())
+	}
+	p, err := loadProfile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	idx, err := p.SampleIndex(*typ)
+	if err != nil {
+		return err
+	}
+	unit := p.SampleTypes[idx].Unit
+	labelKey := ""
+	if *phase != "" {
+		labelKey = prof.LabelPhase
+	}
+	entries := prof.Top(p, idx, *n, labelKey, *phase)
+	total := prof.Total(p, idx)
+	fmt.Printf("%s %s, total %s", p.SampleTypes[idx].Type, unit, prof.FormatValue(total, unit))
+	if *phase != "" {
+		fmt.Printf(", phase %s", *phase)
+	}
+	fmt.Println()
+	fmt.Printf("%12s %7s %12s  %s\n", "flat", "flat%", "cum", "function")
+	for _, e := range entries {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(e.Flat) / float64(total)
+		}
+		fmt.Printf("%12s %6.2f%% %12s  %s\n",
+			prof.FormatValue(e.Flat, unit), pct, prof.FormatValue(e.Cum, unit), e.Name)
+	}
+	return nil
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	n := fs.Int("n", 20, "entries to print")
+	typ := fs.String("type", "", "sample type (default: last column)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("want OLD and NEW profile files, got %d args", fs.NArg())
+	}
+	a, err := loadProfile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := loadProfile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	ia, err := a.SampleIndex(*typ)
+	if err != nil {
+		return err
+	}
+	ib, err := b.SampleIndex(*typ)
+	if err != nil {
+		return err
+	}
+	unit := a.SampleTypes[ia].Unit
+	fmt.Printf("%s %s: total %s -> %s (durations %s -> %s)\n",
+		a.SampleTypes[ia].Type, unit,
+		prof.FormatValue(prof.Total(a, ia), unit), prof.FormatValue(prof.Total(b, ib), unit),
+		time.Duration(a.DurationNanos), time.Duration(b.DurationNanos))
+	fmt.Printf("%12s %12s %12s  %s\n", "old", "new", "delta", "function")
+	for _, e := range prof.Diff(a, b, ia, ib, *n) {
+		sign := "+"
+		if e.Delta < 0 {
+			sign = ""
+		}
+		fmt.Printf("%12s %12s %s%11s  %s\n",
+			prof.FormatValue(e.A, unit), prof.FormatValue(e.B, unit),
+			sign, prof.FormatValue(e.Delta, unit), e.Name)
+	}
+	return nil
+}
+
+func runPhases(args []string) error {
+	fs := flag.NewFlagSet("phases", flag.ExitOnError)
+	n := fs.Int("n", 5, "hotspot functions per phase")
+	typ := fs.String("type", "", "sample type (default: last column)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one profile file, got %d", fs.NArg())
+	}
+	p, err := loadProfile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	idx, err := p.SampleIndex(*typ)
+	if err != nil {
+		return err
+	}
+	rep := prof.Phases(p, idx, *n)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	unit := rep.SampleType.Unit
+	fmt.Printf("%s %s, total %s, unlabeled %.1f%% (runtime, submitters, capture overhead)\n",
+		rep.SampleType.Type, unit, prof.FormatValue(rep.Total, unit), rep.UnlabeledPct)
+	for _, c := range rep.Phases {
+		fmt.Printf("\n%-9s %6.2f%% of samples, %s; %.1f%% in device model (internal/nvm, internal/pmem)\n",
+			c.Phase, c.SharePct, prof.FormatValue(c.Value, unit), c.DeviceSharePct)
+		for _, e := range c.Top {
+			fmt.Printf("    %12s  %s\n", prof.FormatValue(e.Flat, unit), e.Name)
+		}
+	}
+	return nil
+}

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"nvcaracal/internal/obs"
+	"nvcaracal/internal/prof"
 )
 
 func main() {
@@ -507,6 +508,40 @@ func runSelfcheck(client *http.Client, base string) error {
 	}
 	if samples == 0 {
 		return fmt.Errorf("metrics: no samples")
+	}
+
+	// Profiling endpoints: a 100ms CPU capture must come back as a valid
+	// pprof profile (the repo-local decoder must parse it and find the
+	// cpu/nanoseconds column), and bad parameters must be rejected.
+	resp, err = client.Get(base + prof.PprofPath + "profile?seconds=0.1")
+	if err != nil {
+		return err
+	}
+	body2, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pprof profile: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body2)))
+	}
+	pp, err := prof.Parse(body2)
+	if err != nil {
+		return fmt.Errorf("pprof profile: not a valid pprof encoding: %w", err)
+	}
+	if _, err := pp.SampleIndex("cpu"); err != nil {
+		return fmt.Errorf("pprof profile: %v (types %+v)", err, pp.SampleTypes)
+	}
+	if pp.DurationNanos <= 0 {
+		return fmt.Errorf("pprof profile: missing duration_nanos")
+	}
+	resp, err = client.Get(base + prof.PprofPath + "profile?epochs=abc")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("pprof profile?epochs=abc: HTTP %d, want 400", resp.StatusCode)
 	}
 	return nil
 }

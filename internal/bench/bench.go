@@ -132,6 +132,11 @@ type Options struct {
 	Out     io.Writer // progress and result rows; nil silences output
 	Seed    int64
 	Verbose bool
+	// CommitStall injects a fault into observed runs: every commit
+	// (persist-final) fence of the measured phase stalls by this much.
+	// nvbench -check-regress uses it to prove the regression gate trips;
+	// zero (the default) injects nothing.
+	CommitStall time.Duration
 }
 
 func (o Options) logf(format string, args ...any) {

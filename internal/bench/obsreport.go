@@ -97,8 +97,12 @@ func RunObsReport(o Options) (ObsReport, error) {
 			return rep, fmt.Errorf("ycsb %s setup: %w", contentionName(hotOps), err)
 		}
 		// Loading ran under observation too; reset so the cell reports only
-		// the measured epochs.
+		// the measured epochs. Fault injection arms after the load for the
+		// same reason.
 		ov.Reset()
+		if o.CommitStall > 0 {
+			setup.db.Device().SetCommitStall(o.CommitStall)
+		}
 		m, err := s.runYCSBNVC(setup, o.Seed)
 		if err != nil {
 			return rep, fmt.Errorf("ycsb %s run: %w", contentionName(hotOps), err)
@@ -120,6 +124,9 @@ func RunObsReport(o Options) (ObsReport, error) {
 			return rep, fmt.Errorf("smallbank %s setup: %w", hc.name, err)
 		}
 		ov.Reset()
+		if o.CommitStall > 0 {
+			setup.db.Device().SetCommitStall(o.CommitStall)
+		}
 		m, err := s.runSmallBankNVC(setup, o.Seed)
 		if err != nil {
 			return rep, fmt.Errorf("smallbank %s run: %w", hc.name, err)

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"nvcaracal"
+	"nvcaracal/internal/obs"
+	"nvcaracal/internal/prof"
+)
+
+// TestKVAsync1WorkerProfile is an investigation harness, not an assertion:
+// it reproduces the BENCH_pipeline.json kv/async/1w cell next to kv/serial/1w
+// under the CPU profiler and prints both, so `go test -run KVAsync1Worker -v`
+// regenerates the profiles behind the EXPERIMENTS.md anomaly writeup.
+// Skipped unless NVC_ANOMALY_PROFILE=1.
+func TestKVAsync1WorkerProfile(t *testing.T) {
+	if os.Getenv("NVC_ANOMALY_PROFILE") != "1" {
+		t.Skip("set NVC_ANOMALY_PROFILE=1 to run the anomaly reproduction")
+	}
+	s := QuickScale()
+	s.Cores = 1
+	p := prof.New(prof.Config{})
+	for _, mode := range []struct {
+		name  string
+		async bool
+		out   string
+	}{
+		{"serial", false, "/tmp/kv_serial_1w.pb.gz"},
+		{"async", true, "/tmp/kv_async_1w.pb.gz"},
+	} {
+		f, err := os.Create(mode.out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.StartCPU(f); err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.runPipelineCell("kv", mode.async, false, 42)
+		p.StopCPU()
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("kv/%s/1w: %.1f ktps, epoch %.2fms (%d epochs) -> %s",
+			mode.name, m.tps/1000, m.epochMS, m.epochs, mode.out)
+	}
+
+	// Second angle: instrumented runs of both modes. The flight recorder's
+	// commit-join events carry the persist-barrier waits (epoch N+1's init
+	// joining epoch N's commit); the phase histograms show which phase the
+	// extra wall time lands in.
+	for _, asyncP := range []bool{false, true} {
+		ov := nvcaracal.NewObs(nvcaracal.ObsConfig{Hists: true, Cores: 1})
+		z := sizing{mode: nvcaracal.ModeNVCaracal, asyncP: asyncP, obsv: ov}
+		db, gen, err := s.setupPipelineKV(z, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov.Reset()
+		start := time.Now()
+		epochs := 20
+		for e := 0; e < epochs; e++ {
+			if _, err := db.RunEpoch(gen(e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.WaitDurable()
+		wall := time.Since(start)
+		var joinWait, commitDur time.Duration
+		var joins int
+		for _, ev := range ov.Flight().Events(0) {
+			switch ev.Type {
+			case obs.EvCommitJoin:
+				joins++
+				joinWait += time.Duration(ev.A)
+			case obs.EvDurablePublish:
+				commitDur += time.Duration(ev.A)
+			}
+		}
+		name := "serial"
+		if asyncP {
+			name = "async"
+		}
+		t.Logf("kv/%s/1w instrumented: wall %v over %d epochs; %d barrier joins blocking %v (%.0f%% of wall); commit stages sum %v",
+			name, wall.Round(time.Millisecond), epochs, joins, joinWait.Round(time.Millisecond),
+			100*float64(joinWait)/float64(wall), commitDur.Round(time.Millisecond))
+		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+			s := ov.PhaseSnapshot(ph)
+			if s.Count == 0 {
+				continue
+			}
+			t.Logf("  %-9s sum %8v over %d", ph, time.Duration(s.Sum).Round(time.Millisecond), s.Count)
+		}
+	}
+}

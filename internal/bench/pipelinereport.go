@@ -35,7 +35,18 @@ type PipelineCell struct {
 	// SpeedupVsSerial is this cell's serial-mode EpochMS divided by its
 	// own, for the same workload and worker count (1.0 for serial cells).
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// Note annotates known-anomalous cells so the committed artifact is not
+	// misread as a regression (see EXPERIMENTS.md).
+	Note string `json:"note,omitempty"`
 }
+
+// lowWorkerOverlapNote explains sub-1.0 speedups at low worker counts —
+// profiled in EXPERIMENTS.md ("The async-at-1-worker anomaly"): the commit
+// tail is too short to hide at this scale, and the background committer's
+// busy-wait device accesses interfere with the next epoch's workers.
+const lowWorkerOverlapNote = "expected at low worker counts: the commit tail is " +
+	"shorter than the overlap machinery costs, and the committer's busy-wait device " +
+	"model contends with the next epoch's workers (EXPERIMENTS.md: async-at-1-worker anomaly)"
 
 // PipelineReport is the schema of BENCH_pipeline.json.
 type PipelineReport struct {
@@ -92,6 +103,9 @@ func RunPipelineReport(o Options) (PipelineReport, error) {
 				if serialMS > 0 {
 					c.SpeedupVsSerial = serialMS / m.epochMS
 				}
+				if mode.name != "serial" && workers <= 2 && c.SpeedupVsSerial < 1 {
+					c.Note = lowWorkerOverlapNote
+				}
 				rep.Cells = append(rep.Cells, c)
 				o.logf("pipeline-bench %-9s %dw %-8s %8.1f ktps, epoch %6.2fms (%.2fx serial)",
 					workload, workers, mode.name, c.KTPS, c.EpochMS, c.SpeedupVsSerial)
@@ -121,12 +135,25 @@ func (s Scale) runPipelineCell(workload string, async, pipeline bool, seed int64
 	if err != nil {
 		return pipelineMeasured{}, err
 	}
+	// Two unmeasured warmup epochs: the first epochs after a load pay
+	// one-off allocator and major-GC ramp costs that otherwise skew
+	// whichever cell of the sweep runs first (profiling showed the skew
+	// reached tens of percent on the 1-worker cells). The epoch-index
+	// cursor advances through the warmup so churn-keyed generators never
+	// see a reused index.
+	const warmup = 2
+	for e := 0; e < warmup; e++ {
+		if _, err := db.RunEpoch(gen(e)); err != nil {
+			return pipelineMeasured{}, err
+		}
+	}
+	db.WaitDurable()
 	var total time.Duration
 	committed, ran := 0, 0
 	for round := 0; round == 0 || (total < minMeasure && round < 50); round++ {
 		batches := make([][]*nvcaracal.Txn, s.Epochs)
 		for i := range batches {
-			batches[i] = gen(ran + i)
+			batches[i] = gen(warmup + ran + i)
 		}
 		start := time.Now()
 		for _, b := range batches {

@@ -1,0 +1,90 @@
+package regress
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// HistoryEntry is one append-only record in BENCH_history.jsonl: the
+// environment, the comparison summary with every non-ok delta, and the
+// medianed metric set of the run (so trends — especially the non-gating
+// time class — can be read across commits without re-running anything).
+type HistoryEntry struct {
+	Time       string `json:"time"` // RFC3339
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Scale      string `json:"scale"`
+	Repeats    int    `json:"repeats"`
+
+	Reports     []string `json:"reports"`
+	Compared    int      `json:"compared"`
+	Warns       int      `json:"warns"`
+	Fails       int      `json:"fails"`
+	GatingFails int      `json:"gating_fails"`
+	// Deltas keeps only non-ok comparisons, bounding entry growth.
+	Deltas []Delta `json:"deltas,omitempty"`
+	// Metrics is the run's medianed metric set.
+	Metrics []Metric `json:"metrics"`
+}
+
+// Fold accumulates one report's outcome into the entry.
+func (e *HistoryEntry) Fold(r Report) {
+	e.Reports = append(e.Reports, r.Baseline)
+	e.Compared += r.Compared
+	e.Warns += r.Warns
+	e.Fails += r.Fails
+	e.GatingFails += r.GatingFails
+	for _, d := range r.Deltas {
+		if d.Verdict != VerdictOK {
+			e.Deltas = append(e.Deltas, d)
+		}
+	}
+}
+
+// AppendHistory appends one entry as a single JSON line. The file is
+// opened O_APPEND so concurrent writers interleave whole lines, and it is
+// never rewritten — the history is the audit trail.
+func AppendHistory(path string, e HistoryEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// ReadHistory parses a BENCH_history.jsonl file. Blank lines are skipped;
+// a malformed line is an error (the file is append-only and
+// machine-written, so corruption should be loud).
+func ReadHistory(path string) ([]HistoryEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []HistoryEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, ln, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,285 @@
+// Package regress compares freshly-run bench reports against the committed
+// BENCH_*.json baselines with noise-aware tolerance bands, so perf and
+// shape regressions surface in CI instead of in review archaeology.
+//
+// The core problem with gating on benchmark output is that most of it is
+// wall-clock and therefore machine- and load-dependent. The package solves
+// this by classing every metric:
+//
+//   - count: deterministic event counts — tight bands, gating
+//   - share: percentage splits (phase shares, cause shares) — absolute
+//     point bands, gating; these encode the paper's shape claims
+//   - ratio: scale-free ratios (write-amp, pipeline speedup) — relative
+//     bands, gating; mostly machine-independent
+//   - time: wall-clock (ktps, latencies) — wide bands, NON-gating by
+//     default; tracked as a trend in the history file, never a CI failure
+//
+// Noise is further reduced by running each report several times and taking
+// the per-metric median (MedianOfRuns) before comparing, and by an absolute
+// slack floor per class so microscopic baselines cannot trip on rounding.
+package regress
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Class is a metric's noise/semantics class; it selects the tolerance band
+// and whether a failure gates.
+type Class string
+
+const (
+	ClassCount Class = "count"
+	ClassShare Class = "share"
+	ClassRatio Class = "ratio"
+	ClassTime  Class = "time"
+)
+
+// Direction says which way a metric is allowed to move freely.
+type Direction string
+
+const (
+	// HigherBetter gates only on decreases (throughput, speedups).
+	HigherBetter Direction = "higher"
+	// LowerBetter gates only on increases (latencies, write-amp).
+	LowerBetter Direction = "lower"
+	// Exact gates on movement in either direction — the metric encodes a
+	// shape claim (a phase share, a deterministic count), and drift either
+	// way means the shape changed.
+	Exact Direction = "exact"
+)
+
+// Metric is one comparable scalar extracted from a bench report.
+type Metric struct {
+	Key    string    `json:"key"`
+	Value  float64   `json:"value"`
+	Class  Class     `json:"class"`
+	Better Direction `json:"better"`
+}
+
+// Band is one class's tolerance: Warn and Fail thresholds (relative
+// fractions of the baseline for count/ratio/time; absolute percentage
+// points for share), an absolute slack floor below which a delta never
+// trips, and whether a Fail gates the check.
+type Band struct {
+	Warn     float64
+	Fail     float64
+	AbsFloor float64
+	Gate     bool
+}
+
+// DefaultBands returns the per-class tolerances used by nvbench
+// -check-regress. Time is deliberately non-gating: wall-clock numbers in
+// the committed baselines describe the reference machine, and CI machines
+// differ; the history file carries the trend instead.
+func DefaultBands() map[Class]Band {
+	return map[Class]Band{
+		ClassCount: {Warn: 0.05, Fail: 0.20, AbsFloor: 64, Gate: true},
+		ClassShare: {Warn: 8, Fail: 20, AbsFloor: 3, Gate: true},
+		ClassRatio: {Warn: 0.15, Fail: 0.35, AbsFloor: 0.05, Gate: true},
+		ClassTime:  {Warn: 0.25, Fail: 0.60, AbsFloor: 0, Gate: false},
+	}
+}
+
+// Verdict values for one compared metric.
+const (
+	VerdictOK   = "ok"
+	VerdictWarn = "warn"
+	VerdictFail = "fail"
+	// VerdictGone marks a baseline metric the current run no longer
+	// produces — a schema or coverage regression, gating when its class is.
+	VerdictGone = "gone"
+	// VerdictNew marks a current metric absent from the baseline —
+	// informational only (the baseline predates the metric).
+	VerdictNew = "new"
+)
+
+// Delta is one compared metric.
+type Delta struct {
+	Key     string  `json:"key"`
+	Class   Class   `json:"class"`
+	Base    float64 `json:"base"`
+	Cur     float64 `json:"cur"`
+	Delta   float64 `json:"delta"`
+	RelPct  float64 `json:"rel_pct"`
+	Verdict string  `json:"verdict"`
+	Gating  bool    `json:"gating"`
+}
+
+// Report is the outcome of one baseline comparison.
+type Report struct {
+	Baseline    string  `json:"baseline"`
+	Compared    int     `json:"compared"`
+	Warns       int     `json:"warns"`
+	Fails       int     `json:"fails"`
+	GatingFails int     `json:"gating_fails"`
+	Deltas      []Delta `json:"deltas"`
+}
+
+// Failed reports whether the comparison should fail the check.
+func (r Report) Failed() bool { return r.GatingFails > 0 }
+
+// Compare evaluates current metrics against a baseline under the given
+// bands (DefaultBands when nil). Baseline metrics missing from cur become
+// VerdictGone; cur metrics missing from the baseline become VerdictNew.
+func Compare(baseline string, base, cur []Metric, bands map[Class]Band) Report {
+	if bands == nil {
+		bands = DefaultBands()
+	}
+	curBy := make(map[string]Metric, len(cur))
+	for _, m := range cur {
+		curBy[m.Key] = m
+	}
+	rep := Report{Baseline: baseline}
+	seen := make(map[string]bool, len(base))
+	for _, b := range base {
+		seen[b.Key] = true
+		band := bands[b.Class]
+		c, ok := curBy[b.Key]
+		if !ok {
+			d := Delta{Key: b.Key, Class: b.Class, Base: b.Value, Cur: math.NaN(),
+				Verdict: VerdictGone, Gating: band.Gate}
+			rep.Deltas = append(rep.Deltas, d)
+			rep.Fails++
+			if band.Gate {
+				rep.GatingFails++
+			}
+			continue
+		}
+		rep.Compared++
+		d := Delta{Key: b.Key, Class: b.Class, Base: b.Value, Cur: c.Value, Delta: c.Value - b.Value}
+		if b.Value != 0 {
+			d.RelPct = 100 * d.Delta / math.Abs(b.Value)
+		}
+		d.Verdict, d.Gating = verdict(b, c.Value, band)
+		switch d.Verdict {
+		case VerdictWarn:
+			rep.Warns++
+		case VerdictFail:
+			rep.Fails++
+			if d.Gating {
+				rep.GatingFails++
+			}
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, m := range cur {
+		if !seen[m.Key] {
+			rep.Deltas = append(rep.Deltas, Delta{Key: m.Key, Class: m.Class,
+				Base: math.NaN(), Cur: m.Value, Verdict: VerdictNew})
+		}
+	}
+	sort.SliceStable(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Key < rep.Deltas[j].Key })
+	return rep
+}
+
+// verdict classifies one metric's movement. The regression direction is
+// taken from the metric's Direction; movements the direction allows (an
+// improvement) never trip, except for Exact metrics where any movement
+// counts.
+func verdict(base Metric, cur float64, band Band) (string, bool) {
+	delta := cur - base.Value
+	regressing := false
+	switch base.Better {
+	case HigherBetter:
+		regressing = delta < 0
+	case LowerBetter:
+		regressing = delta > 0
+	default: // Exact
+		regressing = delta != 0
+	}
+	if !regressing {
+		return VerdictOK, false
+	}
+	mag := math.Abs(delta)
+	if mag <= band.AbsFloor {
+		return VerdictOK, false
+	}
+	// Share bands are absolute percentage points; the rest are relative to
+	// the baseline magnitude.
+	if base.Class != ClassShare {
+		denom := math.Abs(base.Value)
+		if denom == 0 {
+			// A zero baseline with a beyond-floor move: treat as failure —
+			// relative scaling is undefined and the floor already passed.
+			return VerdictFail, band.Gate
+		}
+		mag /= denom
+	}
+	switch {
+	case mag >= band.Fail:
+		return VerdictFail, band.Gate
+	case mag >= band.Warn:
+		return VerdictWarn, false
+	}
+	return VerdictOK, false
+}
+
+// MedianOfRuns folds repeated extractions into one metric set: the
+// per-key median of values. Keys absent from some runs use the median of
+// the runs that produced them. Class/direction come from the first
+// occurrence.
+func MedianOfRuns(runs [][]Metric) []Metric {
+	type acc struct {
+		m    Metric
+		vals []float64
+	}
+	order := []string{}
+	by := map[string]*acc{}
+	for _, run := range runs {
+		for _, m := range run {
+			a, ok := by[m.Key]
+			if !ok {
+				a = &acc{m: m}
+				by[m.Key] = a
+				order = append(order, m.Key)
+			}
+			a.vals = append(a.vals, m.Value)
+		}
+	}
+	out := make([]Metric, 0, len(order))
+	for _, k := range order {
+		a := by[k]
+		sort.Float64s(a.vals)
+		n := len(a.vals)
+		med := a.vals[n/2]
+		if n%2 == 0 {
+			med = (a.vals[n/2-1] + a.vals[n/2]) / 2
+		}
+		m := a.m
+		m.Value = med
+		out = append(out, m)
+	}
+	return out
+}
+
+// Format writes a human-readable comparison. With verbose false only
+// non-ok deltas print (plus a summary line); with verbose true everything
+// does.
+func (r Report) Format(w io.Writer, verbose bool) {
+	fmt.Fprintf(w, "regress %s: %d compared, %d warn, %d fail (%d gating)\n",
+		r.Baseline, r.Compared, r.Warns, r.Fails, r.GatingFails)
+	for _, d := range r.Deltas {
+		if !verbose && d.Verdict == VerdictOK {
+			continue
+		}
+		gate := ""
+		if d.Verdict == VerdictFail && d.Gating {
+			gate = " GATING"
+		} else if d.Verdict == VerdictFail {
+			gate = " (non-gating)"
+		}
+		switch d.Verdict {
+		case VerdictGone:
+			fmt.Fprintf(w, "  %-5s %-7s %-60s base %.4g, missing from current run%s\n",
+				d.Verdict, d.Class, d.Key, d.Base, gate)
+		case VerdictNew:
+			fmt.Fprintf(w, "  %-5s %-7s %-60s %.4g (no baseline)\n", d.Verdict, d.Class, d.Key, d.Cur)
+		default:
+			fmt.Fprintf(w, "  %-5s %-7s %-60s %.4g -> %.4g (%+.1f%%)%s\n",
+				d.Verdict, d.Class, d.Key, d.Base, d.Cur, d.RelPct, gate)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package regress
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nvcaracal/internal/bench"
+)
+
+func TestCompareVerdicts(t *testing.T) {
+	base := []Metric{
+		{Key: "share/persist", Value: 20, Class: ClassShare, Better: Exact},
+		{Key: "ratio/speedup", Value: 1.5, Class: ClassRatio, Better: HigherBetter},
+		{Key: "ratio/write_amp", Value: 2.0, Class: ClassRatio, Better: LowerBetter},
+		{Key: "time/ktps", Value: 100, Class: ClassTime, Better: HigherBetter},
+		{Key: "gone/metric", Value: 7, Class: ClassRatio, Better: HigherBetter},
+	}
+	cur := []Metric{
+		// +25 points: beyond the share Fail band (20) — gating fail.
+		{Key: "share/persist", Value: 45, Class: ClassShare, Better: Exact},
+		// Higher is better: a big improvement never trips.
+		{Key: "ratio/speedup", Value: 3.0, Class: ClassRatio, Better: HigherBetter},
+		// +20% where lower is better: beyond Warn (15%), below Fail (35%).
+		{Key: "ratio/write_amp", Value: 2.4, Class: ClassRatio, Better: LowerBetter},
+		// -70%: beyond the time Fail band, but time never gates.
+		{Key: "time/ktps", Value: 30, Class: ClassTime, Better: HigherBetter},
+		{Key: "new/metric", Value: 1, Class: ClassTime, Better: HigherBetter},
+	}
+	rep := Compare("test", base, cur, nil)
+	if !rep.Failed() {
+		t.Fatalf("expected gating failure, got %+v", rep)
+	}
+	want := map[string]string{
+		"share/persist":   VerdictFail,
+		"ratio/speedup":   VerdictOK,
+		"ratio/write_amp": VerdictWarn,
+		"time/ktps":       VerdictFail,
+		"gone/metric":     VerdictGone,
+		"new/metric":      VerdictNew,
+	}
+	gating := map[string]bool{"share/persist": true, "gone/metric": true}
+	for _, d := range rep.Deltas {
+		if v, ok := want[d.Key]; !ok || d.Verdict != v {
+			t.Errorf("%s: verdict %s, want %s", d.Key, d.Verdict, v)
+		}
+		if d.Gating != gating[d.Key] {
+			t.Errorf("%s: gating %v, want %v", d.Key, d.Gating, gating[d.Key])
+		}
+	}
+	// Exactly the share fail and the gone metric gate; the time fail does not.
+	if rep.GatingFails != 2 || rep.Fails != 3 || rep.Warns != 1 {
+		t.Fatalf("summary gating=%d fails=%d warns=%d, want 2/3/1", rep.GatingFails, rep.Fails, rep.Warns)
+	}
+}
+
+func TestCompareAbsFloor(t *testing.T) {
+	// A 1-point share wiggle and a sub-floor count wiggle stay ok even
+	// though the relative move is huge.
+	base := []Metric{
+		{Key: "s", Value: 0.5, Class: ClassShare, Better: Exact},
+		{Key: "c", Value: 10, Class: ClassCount, Better: Exact},
+	}
+	cur := []Metric{
+		{Key: "s", Value: 1.5, Class: ClassShare, Better: Exact},
+		{Key: "c", Value: 40, Class: ClassCount, Better: Exact},
+	}
+	rep := Compare("floor", base, cur, nil)
+	if rep.Failed() || rep.Fails != 0 || rep.Warns != 0 {
+		t.Fatalf("floor should absorb small absolute moves: %+v", rep)
+	}
+}
+
+func TestMedianOfRuns(t *testing.T) {
+	runs := [][]Metric{
+		{{Key: "a", Value: 10, Class: ClassTime, Better: HigherBetter}},
+		{{Key: "a", Value: 30, Class: ClassTime, Better: HigherBetter}, {Key: "b", Value: 5, Class: ClassRatio, Better: Exact}},
+		{{Key: "a", Value: 20, Class: ClassTime, Better: HigherBetter}},
+	}
+	med := MedianOfRuns(runs)
+	if len(med) != 2 {
+		t.Fatalf("want 2 metrics, got %+v", med)
+	}
+	if med[0].Key != "a" || med[0].Value != 20 {
+		t.Fatalf("median of 10/30/20 should be 20: %+v", med[0])
+	}
+	if med[1].Key != "b" || med[1].Value != 5 {
+		t.Fatalf("singleton key should pass through: %+v", med[1])
+	}
+}
+
+func TestExtractObsAndSelfCompare(t *testing.T) {
+	r := bench.ObsReport{Cells: []bench.ObsCell{{
+		Workload:   "ycsb",
+		Contention: "low",
+		KTPS:       12.5,
+		PhaseSharePct: map[string]float64{
+			"execute": 60, "persist": 25, "init": 10, "log": 5,
+		},
+	}}}
+	ms := FromObsReport(r)
+	keys := map[string]bool{}
+	for _, m := range ms {
+		keys[m.Key] = true
+	}
+	for _, want := range []string{
+		"obs/ycsb/low/ktps",
+		"obs/ycsb/low/epoch_p50_ms",
+		"obs/ycsb/low/share/persist",
+		"obs/ycsb/low/share/execute",
+	} {
+		if !keys[want] {
+			t.Errorf("missing metric %s in %v", want, keys)
+		}
+	}
+	// A report compared against itself is clean.
+	rep := Compare("self", ms, ms, nil)
+	if rep.Failed() || rep.Fails != 0 || rep.Warns != 0 {
+		t.Fatalf("self-compare must be clean: %+v", rep)
+	}
+}
+
+func TestLoadCommittedBaselines(t *testing.T) {
+	// The committed artifacts at the repo root must stay loadable — they are
+	// the CI baselines.
+	root := "../../.."
+	if _, err := os.Stat(filepath.Join(root, "BENCH_obs.json")); err != nil {
+		t.Skip("committed baselines not present")
+	}
+	obsMs, _, err := LoadObsBaseline(filepath.Join(root, "BENCH_obs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obsMs) == 0 {
+		t.Fatal("no metrics from BENCH_obs.json")
+	}
+	attribMs, _, err := LoadAttribBaseline(filepath.Join(root, "BENCH_attrib.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attribMs) == 0 {
+		t.Fatal("no metrics from BENCH_attrib.json")
+	}
+	pipeMs, _, err := LoadPipelineBaseline(filepath.Join(root, "BENCH_pipeline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var speedups int
+	for _, m := range pipeMs {
+		if strings.HasSuffix(m.Key, "speedup_vs_serial") {
+			speedups++
+			if m.Class != ClassRatio {
+				t.Errorf("%s classed %s, want ratio", m.Key, m.Class)
+			}
+		}
+	}
+	if speedups == 0 {
+		t.Fatal("no speedup metrics from BENCH_pipeline.json")
+	}
+	devMs, _, err := LoadDeviceBaseline(filepath.Join(root, "BENCH_device.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range devMs {
+		if m.Class != ClassTime {
+			t.Errorf("device metric %s classed %s, want time (non-gating)", m.Key, m.Class)
+		}
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	e1 := HistoryEntry{Time: "2026-08-08T00:00:00Z", Scale: "quick", Repeats: 3,
+		Metrics: []Metric{{Key: "a", Value: 1, Class: ClassTime, Better: HigherBetter}}}
+	e1.Fold(Report{Baseline: "BENCH_obs.json", Compared: 10, Warns: 1,
+		Deltas: []Delta{{Key: "a", Verdict: VerdictWarn}, {Key: "b", Verdict: VerdictOK}}})
+	if err := AppendHistory(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, HistoryEntry{Time: "2026-08-08T01:00:00Z"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 entries, got %d", len(got))
+	}
+	if got[0].Compared != 10 || got[0].Warns != 1 {
+		t.Fatalf("fold lost summary: %+v", got[0])
+	}
+	// Only the non-ok delta is retained.
+	if len(got[0].Deltas) != 1 || got[0].Deltas[0].Key != "a" {
+		t.Fatalf("history must keep only non-ok deltas: %+v", got[0].Deltas)
+	}
+	// Appends must not rewrite: the file grows by whole lines.
+	data, _ := os.ReadFile(path)
+	if n := strings.Count(string(data), "\n"); n != 2 {
+		t.Fatalf("want 2 lines, got %d", n)
+	}
+}
+
+// TestCommitStallTripsObsGate is the acceptance check in miniature: a tiny
+// observed run with an injected commit-fence stall must shift the persist
+// phase share beyond the gating band relative to the same run unstalled.
+func TestCommitStallTripsObsGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two observed bench cells")
+	}
+	s := bench.QuickScale()
+	// Shrink far below QuickScale: two cells of the smallest usable shape.
+	s.YCSBRows = 2000
+	s.SBCustomers = 2000
+	s.EpochTxns = 400
+	s.Epochs = 3
+	clean, err := bench.RunObsReport(bench.Options{Scale: s, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled, err := bench.RunObsReport(bench.Options{Scale: s, Seed: 7, CommitStall: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare("injected-stall", FromObsReport(clean), FromObsReport(stalled), nil)
+	if !rep.Failed() {
+		rep.Format(os.Stderr, true)
+		t.Fatal("a 30ms commit stall must trip the persist-share gate")
+	}
+}

@@ -170,6 +170,8 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	start := time.Now()
 	epoch := db.epoch.Load() + 1
 	res := AriaResult{Epoch: epoch}
+	ptask := db.opts.Prof.EpochTask(epoch)
+	defer ptask.End()
 	db.abortFlag.Store(false)
 
 	for i, t := range batch {
@@ -180,6 +182,7 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	// Log inputs, tagged with the Aria marker; the single init fence below
 	// makes them durable before any commit-phase write is visible.
 	logStart := time.Now()
+	endPhase := db.opts.Prof.Region(obs.PhaseLog.String())
 	logged := false
 	if db.opts.Mode.logs() && !db.replaying {
 		recs := make([]wal.Record, 0, len(batch)+1)
@@ -188,11 +191,13 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 			recs = append(recs, wal.Record{Type: t.TypeID, Data: t.Input})
 		}
 		if err := db.log.WriteEpochNoFence(epoch, recs); err != nil {
+			endPhase()
 			return res, err
 		}
 		logged = true
 		db.logBytesTotal += db.log.LastPayloadBytes()
 	}
+	endPhase()
 
 	logTime := time.Since(logStart)
 
@@ -200,6 +205,7 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	// epoch's garbage and evict stale cached versions, with the same
 	// coalesced fence between GC phase 1 and phase 2.
 	initStart := time.Now()
+	endPhase = db.opts.Prof.Region(obs.PhaseInit.String())
 	gc := db.majorGCBegin(epoch)
 	// Commit join (see RunEpoch): rows are dual-version, so no row write of
 	// this epoch may land before the previous epoch's record is durable. The
@@ -209,10 +215,14 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	db.initFence(epoch, logged, gc.pending)
 	db.majorGCFinish(epoch, gc)
 	db.evictCache(epoch)
+	endPhase()
 	initTime := time.Since(initStart)
 
-	// Snapshot execution phase.
+	// Snapshot execution phase. The profiling region covers execution,
+	// conflict detection, and the commit applies — the same slice
+	// RecordEpoch below reports as the Aria execute phase.
 	t1 := time.Now()
+	endPhase = db.opts.Prof.Region(obs.PhaseExec.String())
 	ctxs := make([]*AriaCtx, len(batch))
 	db.parallel(func(w int) {
 		for i := w; i < len(batch); i += db.opts.Cores {
@@ -299,13 +309,16 @@ func (db *DB) RunEpochAria(batch []*AriaTxn) (AriaResult, error) {
 	})
 	res.Committed = len(committed)
 	res.CommitTime = time.Since(t2)
+	endPhase()
 
 	persistStart := time.Now()
+	endPhase = db.opts.Prof.Region(obs.PhasePersist.String())
 	// Aria epochs carry no lifecycle spans: transactions enter via
 	// SubmitAria's snapshot path and the breakdown's stage model (seal ->
 	// assign -> execute) does not fit the execute-then-detect flow.
 	db.checkpointEpoch(epoch, nil)
 	db.releaseEpochState(epoch)
+	endPhase()
 	db.met.AddCommitted(int64(res.Committed))
 	db.met.AddAborted(int64(res.UserAborted + res.ConflictAborted))
 	db.epoch.Store(epoch)

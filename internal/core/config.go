@@ -20,6 +20,7 @@ import (
 
 	"nvcaracal/internal/obs"
 	"nvcaracal/internal/pmem"
+	"nvcaracal/internal/prof"
 )
 
 // StorageMode selects where versions live and what is persisted, matching
@@ -151,6 +152,12 @@ type Options struct {
 	// observations and trace spans. Nil (the default) leaves only nil-check
 	// stubs on the hot paths; see internal/obs.
 	Obs *obs.Obs
+	// Prof, when non-nil, attaches the profiling hooks: every epoch phase
+	// runs under a runtime/trace region plus a pprof "phase" goroutine
+	// label, and the profiler's epoch-windowed captures read this engine's
+	// epoch gauge. Nil (the default) costs one pointer check per phase; see
+	// internal/prof.
+	Prof *prof.Profiler
 }
 
 func (o *Options) applyDefaults() {

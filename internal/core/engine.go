@@ -175,6 +175,9 @@ func newDB(dev *nvm.Device, opts Options) *DB {
 		db.idxLog = pmem.NewIndexLog(dev, opts.Layout)
 		db.idxPuts = make([][]pmem.IndexEntry, c)
 	}
+	// Epoch-windowed profile captures ("profile the next N epochs") read the
+	// engine's completed-epoch gauge.
+	opts.Prof.SetEpochSource(db.Epoch)
 	return db
 }
 
@@ -264,6 +267,8 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	}
 	epoch := db.epoch.Load() + 1
 	res := EpochResult{Epoch: epoch}
+	ptask := db.opts.Prof.EpochTask(epoch)
+	defer ptask.End()
 	db.abortFlag.Store(false)
 	db.obs.Flight().Record(obs.EvEpochStart, obs.CoordinatorCore, epoch, int64(len(batch)), 0)
 
@@ -290,6 +295,7 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	// the single initialization fence below, before any execution-phase
 	// write becomes visible (§4.3).
 	t0 := time.Now()
+	endPhase := db.opts.Prof.Region(obs.PhaseLog.String())
 	logged := false
 	if db.opts.Mode.logs() && !db.replaying {
 		recs := make([]wal.Record, len(batch))
@@ -297,17 +303,22 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 			recs[i] = wal.Record{Type: t.TypeID, Data: t.Input}
 		}
 		if err := db.log.WriteEpochNoFence(epoch, recs); err != nil {
+			endPhase()
 			return res, err
 		}
 		logged = true
 		db.logBytesTotal += db.log.LastPayloadBytes()
 	}
+	endPhase()
 	res.LogTime = time.Since(t0)
 
-	// Initialization phase.
+	// Initialization phase. The init workers (insertStep, appendStep) are
+	// spawned from this goroutine and inherit its "init" pprof label.
 	t1 := time.Now()
+	endPhase = db.opts.Prof.Region(obs.PhaseInit.String())
 	work := db.gatherWork(batch)
 	if err := db.insertStep(epoch, work); err != nil {
+		endPhase()
 		return res, err
 	}
 	gc := db.majorGCBegin(epoch)
@@ -323,18 +334,23 @@ func (db *DB) RunEpoch(batch []*Txn) (EpochResult, error) {
 	db.majorGCFinish(epoch, gc)
 	db.evictCache(epoch)
 	db.appendStep(epoch, work)
+	endPhase()
 	res.InitTime = time.Since(t1)
 
 	// Execution phase.
 	t2 := time.Now()
+	endPhase = db.opts.Prof.Region(obs.PhaseExec.String())
 	db.executePhase(epoch, batch)
+	endPhase()
 	res.ExecTime = time.Since(t2)
 
 	// Checkpoint: fence all epoch writes, persist the epoch number, fence
 	// again (inside Store), then release transient state.
 	t3 := time.Now()
+	endPhase = db.opts.Prof.Region(obs.PhasePersist.String())
 	db.checkpointEpoch(epoch, spans)
 	db.finishEpoch(epoch, batch, &res)
+	endPhase()
 	async := db.opts.AsyncPersist && !db.replaying
 	res.CommitTime = time.Duration(db.commitDur.Load())
 	if async {
@@ -446,6 +462,9 @@ func (db *DB) checkpointEpoch(epoch uint64, spans []*obs.TxnSpan) {
 					db.obs.Flight().DumpOnCrash(fmt.Sprintf("async commit of epoch %d: %v", epoch, r))
 				}
 			}()
+			// The goroutine inherited the coordinator's "persist" label;
+			// relabel it as the commit phase it actually is.
+			defer db.opts.Prof.Region(obs.PhaseCommit.String())()
 			commit()
 			db.obs.RecordCommit(epoch, start, time.Duration(db.commitDur.Load()))
 		}()
@@ -534,6 +553,9 @@ func (db *DB) checkpointEpochPipelined(epoch uint64, spans []*obs.TxnSpan) {
 // the next persistBarrier.
 func (db *DB) commitEpoch(epoch uint64, tokens []chan struct{}, counterVals []uint64, idxEntries []pmem.IndexEntry, idxAsync bool, spans []*obs.TxnSpan) {
 	start := time.Now()
+	// Relabel the committer (and, by inheritance, its per-core staging
+	// goroutines) as the commit phase.
+	defer db.opts.Prof.Region(obs.PhaseCommit.String())()
 	defer db.persistWG.Done()
 	defer func() {
 		if r := recover(); r != nil {

@@ -73,6 +73,9 @@ func (db *DB) majorGCBegin(epoch uint64) majorGCState {
 	}
 
 	// Phase 1: append frees as stamped GC entries and flush the ring lines.
+	// The collector runs inside the init phase on the coordinator, so the
+	// profiling region is nested: end restores the "init" label.
+	defer db.opts.Prof.RegionNested(obs.PhaseMajorGC.String(), obs.PhaseInit.String())()
 	db.parallel(func(owner int) {
 		// Under the pipeline the previous epoch's committer may still be
 		// staging this core's pools; frees reopen per core as soon as its
@@ -105,6 +108,7 @@ func (db *DB) majorGCFinish(epoch uint64, st majorGCState) {
 	if !st.pending {
 		return
 	}
+	defer db.opts.Prof.RegionNested(obs.PhaseMajorGC.String(), obs.PhaseInit.String())()
 	db.parallel(func(owner int) {
 		for _, rs := range st.byOwner[owner] {
 			r := db.rowRefTag(rs.nvOff, obs.CauseMajorGC)

@@ -62,6 +62,9 @@ func Recover(dev *nvm.Device, opts Options) (*DB, *RecoveryReport, error) {
 	}
 	db := newDB(dev, opts)
 	rep := &RecoveryReport{}
+	// Every recovery stage (scan, repair, replay) runs under one profiling
+	// region; replay's RunEpoch nests the usual per-phase regions inside it.
+	defer db.opts.Prof.Region(obs.PhaseRecovery.String())()
 
 	ckpt := db.epochRec.Load()
 	rep.CheckpointEpoch = ckpt

@@ -44,7 +44,7 @@ func (o *Obs) Stats() StatsPayload {
 	if o == nil {
 		return p
 	}
-	p.UptimeSeconds = time.Since(o.start).Seconds()
+	p.UptimeSeconds = time.Since(time.Unix(0, o.startNS.Load())).Seconds()
 	p.TxnExec = o.txn.Snapshot().JSON()
 	p.Epoch = o.epoch.Snapshot().JSON()
 	for ph := Phase(0); ph < NumPhases; ph++ {

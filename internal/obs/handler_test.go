@@ -3,6 +3,8 @@ package obs
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -171,4 +173,122 @@ func TestNilObsAccessors(t *testing.T) {
 	if s := o.TxnSnapshot(); s.Count != 0 {
 		t.Fatalf("nil txn snapshot: %+v", s)
 	}
+}
+
+// TestHandlerErrorPaths covers the failure branches the smoke jobs lean on:
+// unknown endpoints must 404 (not fall through to an empty 200), malformed
+// query parameters must 400 with a usable message, and well-formed edge
+// values must not.
+func TestHandlerErrorPaths(t *testing.T) {
+	h := NewHandler(testObs())
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	for _, path := range []string{
+		"/debug/nvcaracal/nosuch",
+		StatsPath + "/extra",
+		"/debug/nvcaracal/",
+		"/",
+	} {
+		if rec := get(path); rec.Code != 404 {
+			t.Fatalf("%s: status %d, want 404", path, rec.Code)
+		}
+	}
+
+	for _, path := range []string{
+		TracePath + "?epochs=abc",
+		TracePath + "?epochs=1.5",
+		TracePath + "?epochs=", // empty value parses as unset? no: "" means absent
+		FlightPath + "?last=abc",
+		FlightPath + "?last=5", // bare number is not a duration
+	} {
+		rec := get(path)
+		want := 400
+		if path == TracePath+"?epochs=" {
+			// An empty parameter means "unfiltered", same as omitting it.
+			want = 200
+		}
+		if rec.Code != want {
+			t.Fatalf("%s: status %d, want %d", path, rec.Code, want)
+		}
+	}
+
+	// Edge values that must parse: zero and negative epochs select "all",
+	// large values are harmlessly clamped by the ring.
+	for _, path := range []string{
+		TracePath + "?epochs=0",
+		TracePath + "?epochs=-1",
+		TracePath + "?epochs=999999",
+		FlightPath + "?last=0s",
+	} {
+		if rec := get(path); rec.Code != 200 {
+			t.Fatalf("%s: status %d, want 200 (%s)", path, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// TestHandlerConcurrentReset scrapes /metrics (and the JSON endpoints) while
+// Reset and the recording paths run concurrently: the handler must stay
+// race-free and keep serving parseable documents. Run under -race in CI.
+func TestHandlerConcurrentReset(t *testing.T) {
+	o := testObs()
+	h := NewHandler(o)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			o.RecordEpoch(uint64(i), time.Now().Add(-time.Millisecond), 1, 1, 1, 1)
+			o.ObserveTxn(i%2, time.Microsecond)
+			if i%7 == 0 {
+				o.Reset()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			o.Reset()
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		for _, path := range []string{MetricsPath, StatsPath, TracePath} {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+			if rec.Code != 200 {
+				t.Fatalf("%s during reset: status %d", path, rec.Code)
+			}
+			if path == MetricsPath {
+				for _, line := range strings.Split(strings.TrimSpace(rec.Body.String()), "\n") {
+					if line == "" || strings.HasPrefix(line, "#") {
+						continue
+					}
+					if len(strings.Fields(line)) != 2 {
+						t.Fatalf("malformed metrics line during reset: %q", line)
+					}
+				}
+			} else {
+				var v any
+				if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+					t.Fatalf("%s during reset: invalid JSON: %v", path, err)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -62,8 +62,11 @@ const MaxDurableLag = 4
 
 // Obs bundles the instruments of one engine instance.
 type Obs struct {
-	start  time.Time
-	txn    *Hist // per-transaction execution latency
+	// startNS is the uptime-clock origin in UnixNano; atomic because Reset
+	// (bench harnesses discarding a load phase) races live /stats and
+	// /metrics scrapes.
+	startNS atomic.Int64
+	txn     *Hist // per-transaction execution latency
 	epoch  *Hist // epoch end-to-end latency
 	phases [NumPhases]*Hist
 	tracer *Tracer
@@ -89,7 +92,8 @@ func New(cfg Config) *Obs {
 	if cfg.Cores <= 0 {
 		cfg.Cores = runtime.GOMAXPROCS(0)
 	}
-	o := &Obs{start: time.Now()}
+	o := &Obs{}
+	o.startNS.Store(time.Now().UnixNano())
 	if cfg.Hists {
 		o.txn = NewHist()
 		o.epoch = NewHist()
@@ -259,7 +263,7 @@ func (o *Obs) Reset() {
 	if o == nil {
 		return
 	}
-	o.start = time.Now()
+	o.startNS.Store(time.Now().UnixNano())
 	o.txn.Reset()
 	o.epoch.Reset()
 	for _, h := range o.phases {

@@ -59,6 +59,18 @@ type WatchConfig struct {
 	// OnIncident, when non-nil, observes every incident (tests; hosts that
 	// want to page instead of writing files).
 	OnIncident func(Incident)
+	// CaptureProfile, when non-nil, is invoked at incident time with
+	// ProfileDuration and its result (a gzipped pprof CPU profile of the
+	// anomaly in progress) is attached to the incident as cpu_profile. The
+	// obs layer stays decoupled from the profiler: hosts wire
+	// prof.Profiler.CaptureCPUBytes here (cmd/nvload does). Capture errors
+	// — including a concurrent capture already holding the CPU profiler —
+	// drop the attachment, never the incident.
+	CaptureProfile func(time.Duration) ([]byte, error)
+	// ProfileDuration bounds the incident profile capture (default 250ms —
+	// long enough for ~25 samples at the default 100Hz, short enough not to
+	// delay the incident file noticeably).
+	ProfileDuration time.Duration
 }
 
 func (c WatchConfig) withDefaults() WatchConfig {
@@ -79,6 +91,9 @@ func (c WatchConfig) withDefaults() WatchConfig {
 	}
 	if c.Cooldown <= 0 {
 		c.Cooldown = 10 * time.Second
+	}
+	if c.ProfileDuration <= 0 {
+		c.ProfileDuration = 250 * time.Millisecond
 	}
 	return c
 }
@@ -104,7 +119,11 @@ type Incident struct {
 	Attrib       *AttribJSON       `json:"attrib,omitempty"`
 	Breakdown    *TxnBreakdownJSON `json:"txn_breakdown,omitempty"`
 	Flight       []FlightEventJSON `json:"flight"`
-	File         string            `json:"-"` // where the incident was written
+	// CPUProfile is a gzipped pprof CPU profile captured while the anomaly
+	// was live (WatchConfig.CaptureProfile; base64 in the JSON encoding).
+	// Feed it to `go tool pprof` or `nvprof top` directly.
+	CPUProfile []byte `json:"cpu_profile,omitempty"`
+	File       string `json:"-"` // where the incident was written
 }
 
 // Watchdog is a running anomaly monitor. Obtain one via Obs.StartWatch.
@@ -314,6 +333,18 @@ func (w *Watchdog) fire(now time.Time, reason string, epoch, durable uint64, det
 
 	w.o.Flight().Record(EvWatchTrigger, CoordinatorCore, epoch, int64(seq), 0)
 
+	// Profile first, evidence second: the capture window samples the anomaly
+	// while it is still in progress, and the flight tail snapshotted after it
+	// then also covers the captured window.
+	var cpuProfile []byte
+	if w.cfg.CaptureProfile != nil {
+		if b, err := w.cfg.CaptureProfile(w.cfg.ProfileDuration); err == nil {
+			cpuProfile = b
+		} else {
+			fmt.Fprintf(os.Stderr, "watchdog: incident profile capture: %v\n", err)
+		}
+	}
+
 	inc := Incident{
 		TSNanos:      now.UnixNano(),
 		Seq:          seq,
@@ -322,6 +353,7 @@ func (w *Watchdog) fire(now time.Time, reason string, epoch, durable uint64, det
 		Epoch:        epoch,
 		DurableEpoch: durable,
 		Flight:       w.o.Flight().JSON(10 * time.Second).Events,
+		CPUProfile:   cpuProfile,
 	}
 	lag := w.o.DurableLagCounts()
 	inc.DurableLag = lag[:]

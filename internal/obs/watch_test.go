@@ -228,3 +228,71 @@ func TestStartWatchGuards(t *testing.T) {
 		t.Fatal("nil watchdog returned incidents")
 	}
 }
+
+// TestWatchdogCaptureProfile pins the incident-profile contract: the hook is
+// called with the configured duration, its bytes land on the incident (and
+// survive the JSON round trip base64-encoded), and a failing hook drops only
+// the attachment.
+func TestWatchdogCaptureProfile(t *testing.T) {
+	o := New(Config{Hists: true})
+	epoch, durable := uint64(10), uint64(2)
+	var gotDur time.Duration
+	fake := []byte{0x1f, 0x8b, 0xde, 0xad}
+	dir := t.TempDir()
+	wd := o.NewWatchdog(WatchConfig{
+		MaxDurableLag:   3,
+		Cooldown:        time.Hour,
+		IncidentDir:     dir,
+		ProfileDuration: 123 * time.Millisecond,
+		CaptureProfile: func(d time.Duration) ([]byte, error) {
+			gotDur = d
+			return fake, nil
+		},
+	}, fakeTargets(&epoch, &durable))
+	wd.Tick(time.Now())
+
+	incs := wd.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("got %d incidents, want 1", len(incs))
+	}
+	if gotDur != 123*time.Millisecond {
+		t.Fatalf("capture duration = %v, want 123ms", gotDur)
+	}
+	if string(incs[0].CPUProfile) != string(fake) {
+		t.Fatalf("incident profile = %x", incs[0].CPUProfile)
+	}
+	// The written file round-trips the profile through base64.
+	files, _ := filepath.Glob(filepath.Join(dir, "incident-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("incident files: %v", files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Incident
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("incident file: %v", err)
+	}
+	if string(back.CPUProfile) != string(fake) {
+		t.Fatalf("round-tripped profile = %x", back.CPUProfile)
+	}
+
+	// A failing hook must not suppress the incident itself.
+	epoch2, durable2 := uint64(10), uint64(2)
+	wd2 := o.NewWatchdog(WatchConfig{
+		MaxDurableLag: 3,
+		Cooldown:      time.Hour,
+		CaptureProfile: func(time.Duration) ([]byte, error) {
+			return nil, os.ErrDeadlineExceeded
+		},
+	}, fakeTargets(&epoch2, &durable2))
+	wd2.Tick(time.Now())
+	incs = wd2.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("failing hook: got %d incidents, want 1", len(incs))
+	}
+	if incs[0].CPUProfile != nil {
+		t.Fatal("failing hook attached a profile")
+	}
+}

@@ -1,0 +1,144 @@
+package prof
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PprofPath is where hosts mount the Handler; it deliberately lives beside
+// the obs endpoints (/debug/nvcaracal/...) rather than at /debug/pprof so a
+// mux can expose both the stock net/http/pprof tree and this one.
+const PprofPath = "/debug/nvcaracal/pprof/"
+
+// maxCaptureSeconds bounds on-demand wall-clock captures; longer windows
+// should use the epoch-bounded form or cmd/nvprof against a local engine.
+const maxCaptureSeconds = 120
+
+// Handler serves capture-on-demand profiles:
+//
+//	GET .../pprof/            — index
+//	GET .../pprof/profile     — CPU profile; ?seconds=F (default 2) or
+//	                            ?epochs=N (window over the next N committed
+//	                            epochs, ?max-wait=D bound)
+//	GET .../pprof/trace       — runtime execution trace, same parameters
+//	GET .../pprof/heap        — and allocs, mutex, block, goroutine,
+//	                            threadcreate: delegated to runtime profiles
+//	GET .../pprof/cmdline     — delegated to net/http/pprof
+//	GET .../pprof/symbol      — delegated to net/http/pprof
+//
+// Epoch-windowed responses carry X-Prof-Epoch-Start/X-Prof-Epoch-End headers
+// reporting the committed-epoch range the capture actually covered.
+type Handler struct {
+	p *Profiler
+}
+
+// NewHandler builds a Handler. A nil Profiler serves the runtime-backed
+// endpoints (heap, goroutine, ...) but rejects CPU/trace captures.
+func NewHandler(p *Profiler) *Handler { return &Handler{p: p} }
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, PprofPath)
+	name = strings.TrimPrefix(name, "/") // tolerate mounting without trailing slash
+	switch name {
+	case "":
+		h.serveIndex(w)
+	case "profile":
+		h.serveCapture(w, r, "profile")
+	case "trace":
+		h.serveCapture(w, r, "trace")
+	case "cmdline":
+		httppprof.Cmdline(w, r)
+	case "symbol":
+		httppprof.Symbol(w, r)
+	default:
+		// heap, allocs, mutex, block, goroutine, threadcreate; unknown
+		// names get net/http/pprof's 404.
+		httppprof.Handler(name).ServeHTTP(w, r)
+	}
+}
+
+func (h *Handler) serveIndex(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "nvcaracal profiling endpoints (under %s):\n\n", PprofPath)
+	fmt.Fprint(w, `profile?seconds=F        CPU profile over a wall-clock window
+profile?epochs=N         CPU profile over the next N committed epochs
+trace?seconds=F|epochs=N runtime execution trace (go tool trace)
+heap, allocs             allocation profiles
+mutex, block             contention profiles (need rates armed at startup)
+goroutine, threadcreate  runtime dumps
+cmdline, symbol          net/http/pprof delegates
+`)
+}
+
+// captureParams parses the shared profile/trace query parameters.
+func captureParams(r *http.Request) (seconds float64, epochs int, maxWait time.Duration, err error) {
+	q := r.URL.Query()
+	seconds = 2
+	if s := q.Get("seconds"); s != "" {
+		seconds, err = strconv.ParseFloat(s, 64)
+		if err != nil || seconds <= 0 || seconds > maxCaptureSeconds {
+			return 0, 0, 0, fmt.Errorf("seconds must be in (0, %d], got %q", maxCaptureSeconds, s)
+		}
+	}
+	if s := q.Get("epochs"); s != "" {
+		epochs, err = strconv.Atoi(s)
+		if err != nil || epochs <= 0 {
+			return 0, 0, 0, fmt.Errorf("epochs must be a positive integer, got %q", s)
+		}
+	}
+	maxWait = 30 * time.Second
+	if s := q.Get("max-wait"); s != "" {
+		maxWait, err = time.ParseDuration(s)
+		if err != nil || maxWait <= 0 {
+			return 0, 0, 0, fmt.Errorf("max-wait must be a positive duration, got %q", s)
+		}
+	}
+	return seconds, epochs, maxWait, nil
+}
+
+func (h *Handler) serveCapture(w http.ResponseWriter, r *http.Request, kind string) {
+	seconds, epochs, maxWait, err := captureParams(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if h.p == nil {
+		http.Error(w, "profiler not configured", http.StatusServiceUnavailable)
+		return
+	}
+	// Capture into memory so the epoch-window headers (known only at the
+	// end) can precede the body. Profiles and short traces are small.
+	var buf bytes.Buffer
+	var win Window
+	d := time.Duration(seconds * float64(time.Second))
+	switch {
+	case kind == "profile" && epochs > 0:
+		win, err = h.p.CaptureCPUEpochs(&buf, epochs, maxWait)
+	case kind == "profile":
+		win, err = h.p.CaptureCPU(&buf, d)
+	case epochs > 0:
+		win, err = h.p.CaptureTraceEpochs(&buf, epochs, maxWait)
+	default:
+		win, err = h.p.CaptureTrace(&buf, d)
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrCaptureBusy) {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf(`attachment; filename="%s"`, kind))
+	w.Header().Set("X-Prof-Epoch-Start", strconv.FormatUint(win.StartEpoch, 10))
+	w.Header().Set("X-Prof-Epoch-End", strconv.FormatUint(win.EndEpoch, 10))
+	w.Header().Set("X-Prof-Elapsed", win.Elapsed.String())
+	w.Write(buf.Bytes())
+}

@@ -1,0 +1,535 @@
+package prof
+
+// A minimal decoder for the pprof profile.proto wire format. The module has
+// no external dependencies by policy, so instead of importing
+// github.com/google/pprof this reads the (stable, documented) protobuf
+// encoding directly: varint / length-delimited wire types, packed repeated
+// scalars, and the string-table indirection. Only the fields the report
+// layer needs are decoded; unknown fields are skipped by wire type, so
+// profiles from future runtimes still parse.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ValueType names one sample-value column, e.g. {Type: "cpu", Unit:
+// "nanoseconds"}.
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Frame is one resolved stack frame. Inline expansions of a single location
+// appear as consecutive frames with Inlined set on all but the outermost.
+type Frame struct {
+	Func    string `json:"func"`
+	File    string `json:"file,omitempty"`
+	Line    int64  `json:"line,omitempty"`
+	Inlined bool   `json:"inlined,omitempty"`
+}
+
+// Sample is one profile sample: a stack (leaf first, per pprof convention),
+// one value per sample-type column, and the pprof labels attached when the
+// sample was taken (the engine sets "phase").
+type Sample struct {
+	Stack     []Frame
+	Values    []int64
+	Labels    map[string][]string
+	NumLabels map[string][]int64
+}
+
+// Profile is a decoded pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	TimeNanos     int64
+	DurationNanos int64
+	PeriodType    ValueType
+	Period        int64
+	Comments      []string
+}
+
+// Label returns the first string label value for key on s, or "".
+func (s *Sample) Label(key string) string {
+	if v := s.Labels[key]; len(v) > 0 {
+		return v[0]
+	}
+	return ""
+}
+
+// SampleIndex resolves a sample-type name ("cpu", "samples", "alloc_space",
+// ...) to its value-column index. An empty name selects the pprof default:
+// the last column.
+func (p *Profile) SampleIndex(name string) (int, error) {
+	if name == "" {
+		if len(p.SampleTypes) == 0 {
+			return 0, errors.New("prof: profile has no sample types")
+		}
+		return len(p.SampleTypes) - 1, nil
+	}
+	for i, st := range p.SampleTypes {
+		if st.Type == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("prof: no sample type %q (have %v)", name, p.SampleTypes)
+}
+
+// Parse decodes a pprof profile, transparently gunzipping (the runtime
+// always emits gzipped profiles; raw protobuf is accepted too).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		data = raw
+	}
+	return parseProfile(data)
+}
+
+// --- wire-format primitives ---
+
+var errTruncated = errors.New("prof: truncated profile")
+
+type wbuf struct {
+	data []byte
+	pos  int
+}
+
+func (b *wbuf) done() bool { return b.pos >= len(b.data) }
+
+func (b *wbuf) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if b.pos >= len(b.data) {
+			return 0, errTruncated
+		}
+		c := b.data[b.pos]
+		b.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, errors.New("prof: varint overflow")
+		}
+	}
+}
+
+// field reads the next tag and returns (fieldNum, wireType).
+func (b *wbuf) field() (int, int, error) {
+	tag, err := b.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(tag >> 3), int(tag & 7), nil
+}
+
+// delimited reads a length-delimited payload.
+func (b *wbuf) delimited() ([]byte, error) {
+	n, err := b.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b.data)-b.pos) {
+		return nil, errTruncated
+	}
+	out := b.data[b.pos : b.pos+int(n)]
+	b.pos += int(n)
+	return out, nil
+}
+
+func (b *wbuf) skip(wireType int) error {
+	switch wireType {
+	case 0:
+		_, err := b.varint()
+		return err
+	case 1:
+		if len(b.data)-b.pos < 8 {
+			return errTruncated
+		}
+		b.pos += 8
+		return nil
+	case 2:
+		_, err := b.delimited()
+		return err
+	case 5:
+		if len(b.data)-b.pos < 4 {
+			return errTruncated
+		}
+		b.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("prof: unsupported wire type %d", wireType)
+	}
+}
+
+// repeatedVarints appends one or more varints for a repeated scalar field:
+// wire type 2 is the packed encoding, wire type 0 a single element.
+func repeatedVarints(b *wbuf, wireType int, dst []uint64) ([]uint64, error) {
+	if wireType == 2 {
+		payload, err := b.delimited()
+		if err != nil {
+			return nil, err
+		}
+		pb := wbuf{data: payload}
+		for !pb.done() {
+			v, err := pb.varint()
+			if err != nil {
+				return nil, err
+			}
+			dst = append(dst, v)
+		}
+		return dst, nil
+	}
+	v, err := b.varint()
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, v), nil
+}
+
+// --- profile.proto messages ---
+
+type rawValueType struct{ typ, unit uint64 } // string-table indexes
+
+type rawLabel struct {
+	key, str uint64
+	num      int64
+	hasNum   bool
+}
+
+type rawSample struct {
+	locationIDs []uint64
+	values      []uint64
+	labels      []rawLabel
+}
+
+type rawLine struct {
+	functionID uint64
+	line       int64
+}
+
+type rawLocation struct {
+	id    uint64
+	lines []rawLine
+}
+
+type rawFunction struct {
+	id, name, file uint64
+}
+
+func parseValueType(data []byte) (rawValueType, error) {
+	b := wbuf{data: data}
+	var vt rawValueType
+	for !b.done() {
+		f, wt, err := b.field()
+		if err != nil {
+			return vt, err
+		}
+		switch f {
+		case 1:
+			vt.typ, err = b.varint()
+		case 2:
+			vt.unit, err = b.varint()
+		default:
+			err = b.skip(wt)
+		}
+		if err != nil {
+			return vt, err
+		}
+	}
+	return vt, nil
+}
+
+func parseLabel(data []byte) (rawLabel, error) {
+	b := wbuf{data: data}
+	var l rawLabel
+	for !b.done() {
+		f, wt, err := b.field()
+		if err != nil {
+			return l, err
+		}
+		switch f {
+		case 1:
+			l.key, err = b.varint()
+		case 2:
+			l.str, err = b.varint()
+		case 3:
+			var v uint64
+			v, err = b.varint()
+			l.num, l.hasNum = int64(v), true
+		default:
+			err = b.skip(wt)
+		}
+		if err != nil {
+			return l, err
+		}
+	}
+	return l, nil
+}
+
+func parseSample(data []byte) (rawSample, error) {
+	b := wbuf{data: data}
+	var s rawSample
+	for !b.done() {
+		f, wt, err := b.field()
+		if err != nil {
+			return s, err
+		}
+		switch f {
+		case 1:
+			s.locationIDs, err = repeatedVarints(&b, wt, s.locationIDs)
+		case 2:
+			s.values, err = repeatedVarints(&b, wt, s.values)
+		case 3:
+			var payload []byte
+			payload, err = b.delimited()
+			if err == nil {
+				var l rawLabel
+				l, err = parseLabel(payload)
+				s.labels = append(s.labels, l)
+			}
+		default:
+			err = b.skip(wt)
+		}
+		if err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func parseLine(data []byte) (rawLine, error) {
+	b := wbuf{data: data}
+	var l rawLine
+	for !b.done() {
+		f, wt, err := b.field()
+		if err != nil {
+			return l, err
+		}
+		switch f {
+		case 1:
+			l.functionID, err = b.varint()
+		case 2:
+			var v uint64
+			v, err = b.varint()
+			l.line = int64(v)
+		default:
+			err = b.skip(wt)
+		}
+		if err != nil {
+			return l, err
+		}
+	}
+	return l, nil
+}
+
+func parseLocation(data []byte) (rawLocation, error) {
+	b := wbuf{data: data}
+	var loc rawLocation
+	for !b.done() {
+		f, wt, err := b.field()
+		if err != nil {
+			return loc, err
+		}
+		switch f {
+		case 1:
+			loc.id, err = b.varint()
+		case 4:
+			var payload []byte
+			payload, err = b.delimited()
+			if err == nil {
+				var l rawLine
+				l, err = parseLine(payload)
+				loc.lines = append(loc.lines, l)
+			}
+		default:
+			err = b.skip(wt)
+		}
+		if err != nil {
+			return loc, err
+		}
+	}
+	return loc, nil
+}
+
+func parseFunction(data []byte) (rawFunction, error) {
+	b := wbuf{data: data}
+	var fn rawFunction
+	for !b.done() {
+		f, wt, err := b.field()
+		if err != nil {
+			return fn, err
+		}
+		switch f {
+		case 1:
+			fn.id, err = b.varint()
+		case 2:
+			fn.name, err = b.varint()
+		case 4:
+			fn.file, err = b.varint()
+		default:
+			err = b.skip(wt)
+		}
+		if err != nil {
+			return fn, err
+		}
+	}
+	return fn, nil
+}
+
+func parseProfile(data []byte) (*Profile, error) {
+	b := wbuf{data: data}
+	var (
+		sampleTypes []rawValueType
+		samples     []rawSample
+		locations   = map[uint64]rawLocation{}
+		functions   = map[uint64]rawFunction{}
+		strtab      []string
+		periodType  rawValueType
+		comments    []uint64
+		p           Profile
+	)
+	for !b.done() {
+		f, wt, err := b.field()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1: // sample_type
+			var payload []byte
+			payload, err = b.delimited()
+			if err == nil {
+				var vt rawValueType
+				vt, err = parseValueType(payload)
+				sampleTypes = append(sampleTypes, vt)
+			}
+		case 2: // sample
+			var payload []byte
+			payload, err = b.delimited()
+			if err == nil {
+				var s rawSample
+				s, err = parseSample(payload)
+				samples = append(samples, s)
+			}
+		case 4: // location
+			var payload []byte
+			payload, err = b.delimited()
+			if err == nil {
+				var loc rawLocation
+				loc, err = parseLocation(payload)
+				if err == nil {
+					locations[loc.id] = loc
+				}
+			}
+		case 5: // function
+			var payload []byte
+			payload, err = b.delimited()
+			if err == nil {
+				var fn rawFunction
+				fn, err = parseFunction(payload)
+				if err == nil {
+					functions[fn.id] = fn
+				}
+			}
+		case 6: // string_table
+			var payload []byte
+			payload, err = b.delimited()
+			if err == nil {
+				strtab = append(strtab, string(payload))
+			}
+		case 9: // time_nanos
+			var v uint64
+			v, err = b.varint()
+			p.TimeNanos = int64(v)
+		case 10: // duration_nanos
+			var v uint64
+			v, err = b.varint()
+			p.DurationNanos = int64(v)
+		case 11: // period_type
+			var payload []byte
+			payload, err = b.delimited()
+			if err == nil {
+				periodType, err = parseValueType(payload)
+			}
+		case 12: // period
+			var v uint64
+			v, err = b.varint()
+			p.Period = int64(v)
+		case 13: // comment
+			comments, err = repeatedVarints(&b, wt, comments)
+		default:
+			err = b.skip(wt)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+	for _, vt := range sampleTypes {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(vt.typ), Unit: str(vt.unit)})
+	}
+	p.PeriodType = ValueType{Type: str(periodType.typ), Unit: str(periodType.unit)}
+	for _, c := range comments {
+		p.Comments = append(p.Comments, str(c))
+	}
+
+	for _, rs := range samples {
+		s := Sample{Values: make([]int64, len(rs.values))}
+		for i, v := range rs.values {
+			s.Values[i] = int64(v)
+		}
+		for _, locID := range rs.locationIDs {
+			loc, ok := locations[locID]
+			if !ok {
+				s.Stack = append(s.Stack, Frame{Func: fmt.Sprintf("location#%d", locID)})
+				continue
+			}
+			// Location lines list inline expansions leaf-first; keep that
+			// order so Stack stays leaf-first end to end.
+			for li, line := range loc.lines {
+				fn := functions[line.functionID]
+				s.Stack = append(s.Stack, Frame{
+					Func:    str(fn.name),
+					File:    str(fn.file),
+					Line:    line.line,
+					Inlined: li < len(loc.lines)-1,
+				})
+			}
+		}
+		for _, l := range rs.labels {
+			key := str(l.key)
+			if l.str != 0 {
+				if s.Labels == nil {
+					s.Labels = map[string][]string{}
+				}
+				s.Labels[key] = append(s.Labels[key], str(l.str))
+			} else if l.hasNum {
+				if s.NumLabels == nil {
+					s.NumLabels = map[string][]int64{}
+				}
+				s.NumLabels[key] = append(s.NumLabels[key], l.num)
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return &p, nil
+}

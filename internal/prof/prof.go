@@ -1,0 +1,367 @@
+// Package prof is the epoch-correlated profiling layer. The obs stack says
+// which phase of an epoch was slow; prof says which code burned the time,
+// using only the runtime's own profilers:
+//
+//   - Phase regions: the engine wraps each epoch phase (log, init, execute,
+//     persist, commit, GC, recovery) in a runtime/trace region plus a pprof
+//     goroutine label ("phase" => name). Because goroutine labels are
+//     inherited by spawned goroutines, the per-phase worker pools the engine
+//     forks inherit the coordinator's label, so CPU samples from worker
+//     goroutines attribute to the right phase with no per-sample bookkeeping.
+//   - Windowed captures: CPU profiles and execution traces bounded either by
+//     wall-clock or by an epoch count ("profile the next 5 epochs"), read off
+//     the engine's epoch gauge.
+//   - A hand-rolled pprof decoder (pprofparse.go) and report layer
+//     (report.go), because the module has no external dependencies.
+//
+// prof deliberately does not import internal/obs: the engine passes phase
+// names as strings and the watchdog receives profile bytes through a
+// host-wired callback, keeping the two observability layers decoupled.
+//
+// All Profiler methods are nil-safe; a nil *Profiler costs one pointer check
+// per phase, benchmarked in prof_bench_test.go under the same <2% budget as
+// the nil obs instruments.
+package prof
+
+import (
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LabelPhase is the pprof label key carrying the engine phase name. It shows
+// up in `go tool pprof -tags` output and drives the phase-attribution report.
+const LabelPhase = "phase"
+
+// Config configures a Profiler.
+type Config struct {
+	// Epoch, when non-nil, is the engine's committed-epoch gauge; it bounds
+	// epoch-windowed captures. Hosts that build the Profiler before the
+	// engine can wire it later with SetEpochSource.
+	Epoch func() uint64
+
+	// MutexFraction, when > 0, is passed to runtime.SetMutexProfileFraction
+	// so /debug/nvcaracal/pprof/mutex has data. Zero leaves the runtime
+	// default (off) untouched.
+	MutexFraction int
+
+	// BlockProfileRate, when > 0, is passed to runtime.SetBlockProfileRate
+	// (nanoseconds per sampled blocking event). Zero leaves it off.
+	BlockProfileRate int
+}
+
+// Profiler is the capture coordinator. The zero of *Profiler (nil) is a
+// valid, disabled profiler: every method no-ops.
+type Profiler struct {
+	epoch atomic.Pointer[func() uint64]
+
+	// cpuMu and traceMu serialize CPU-profile and execution-trace captures
+	// respectively: the runtime allows one of each at a time (they can run
+	// concurrently with each other), and a second caller gets ErrCaptureBusy
+	// instead of a confusing runtime error.
+	cpuMu   sync.Mutex
+	traceMu sync.Mutex
+}
+
+// New builds a Profiler and applies the runtime profiler rates in cfg.
+func New(cfg Config) *Profiler {
+	p := &Profiler{}
+	if cfg.Epoch != nil {
+		p.epoch.Store(&cfg.Epoch)
+	}
+	if cfg.MutexFraction > 0 {
+		runtime.SetMutexProfileFraction(cfg.MutexFraction)
+	}
+	if cfg.BlockProfileRate > 0 {
+		runtime.SetBlockProfileRate(cfg.BlockProfileRate)
+	}
+	return p
+}
+
+// SetEpochSource wires the engine's epoch gauge after construction; hosts
+// build the Profiler first (it is part of the engine's Options) and the
+// engine second.
+func (p *Profiler) SetEpochSource(fn func() uint64) {
+	if p == nil || fn == nil {
+		return
+	}
+	p.epoch.Store(&fn)
+}
+
+func (p *Profiler) epochNow() (uint64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	fn := p.epoch.Load()
+	if fn == nil {
+		return 0, false
+	}
+	return (*fn)(), true
+}
+
+var noopEnd = func() {}
+
+// Region enters an epoch phase on the calling goroutine: it opens a
+// runtime/trace region (visible in `go tool trace`) and sets the pprof
+// "phase" label (inherited by goroutines the phase spawns). The returned
+// func ends the region and clears the label; call it exactly once, on the
+// same goroutine.
+func (p *Profiler) Region(phase string) func() {
+	if p == nil {
+		return noopEnd
+	}
+	return p.region(phase, "")
+}
+
+// RegionNested is Region for a phase that runs inside another phase on the
+// same goroutine (minor GC inside execute on workers, major GC inside init
+// on the coordinator). pprof offers no way to read the current goroutine
+// labels back, so the caller names the parent phase and the end func
+// restores that label instead of clearing it.
+func (p *Profiler) RegionNested(phase, parent string) func() {
+	if p == nil {
+		return noopEnd
+	}
+	return p.region(phase, parent)
+}
+
+func (p *Profiler) region(phase, parent string) func() {
+	var reg *trace.Region
+	if trace.IsEnabled() {
+		reg = trace.StartRegion(context.Background(), phase)
+	}
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels(LabelPhase, phase)))
+	return func() {
+		if reg != nil {
+			reg.End()
+		}
+		if parent == "" {
+			pprof.SetGoroutineLabels(context.Background())
+		} else {
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels(LabelPhase, parent)))
+		}
+	}
+}
+
+// Task groups one epoch's trace regions under a runtime/trace task so
+// `go tool trace` can show per-epoch lanes. A nil *Task (nil profiler or
+// tracing off) is valid and End no-ops.
+type Task struct{ t *trace.Task }
+
+// EpochTask opens the per-epoch trace task. It is a no-op unless a trace is
+// actually being captured, so the steady-state cost is one atomic load.
+func (p *Profiler) EpochTask(epoch uint64) *Task {
+	if p == nil || !trace.IsEnabled() {
+		return nil
+	}
+	ctx, t := trace.NewTask(context.Background(), "epoch")
+	trace.Log(ctx, "epoch", strconv.FormatUint(epoch, 10))
+	return &Task{t: t}
+}
+
+// End closes the epoch task.
+func (t *Task) End() {
+	if t != nil {
+		t.t.End()
+	}
+}
+
+// ErrCaptureBusy reports that another CPU-profile or execution-trace capture
+// is already running; the runtime supports only one at a time.
+var ErrCaptureBusy = errors.New("prof: another capture is in progress")
+
+// errNilProfiler reports a capture attempted through a disabled profiler.
+var errNilProfiler = errors.New("prof: profiler not configured")
+
+// Window describes what an epoch- or time-bounded capture actually covered.
+type Window struct {
+	StartEpoch uint64        // committed epoch when the capture began
+	EndEpoch   uint64        // committed epoch when it ended
+	Elapsed    time.Duration // wall-clock span of the capture
+}
+
+// CaptureCPU profiles CPU for the given wall-clock duration (default 2s when
+// d <= 0) and writes the gzipped pprof protobuf to w.
+func (p *Profiler) CaptureCPU(w io.Writer, d time.Duration) (Window, error) {
+	return p.captureCPU(w, d, 0, 0)
+}
+
+// CaptureCPUEpochs profiles CPU until the engine commits n more epochs,
+// bounded by maxWait (default 30s when <= 0) so a stalled engine cannot hang
+// the capture. The returned Window reports the epoch range actually covered.
+func (p *Profiler) CaptureCPUEpochs(w io.Writer, n int, maxWait time.Duration) (Window, error) {
+	return p.captureCPU(w, 0, n, maxWait)
+}
+
+func (p *Profiler) captureCPU(w io.Writer, d time.Duration, epochs int, maxWait time.Duration) (Window, error) {
+	if p == nil {
+		return Window{}, errNilProfiler
+	}
+	if !p.cpuMu.TryLock() {
+		return Window{}, ErrCaptureBusy
+	}
+	defer p.cpuMu.Unlock()
+
+	var win Window
+	win.StartEpoch, _ = p.epochNow()
+	start := time.Now()
+	if err := pprof.StartCPUProfile(w); err != nil {
+		return win, err
+	}
+	p.waitWindow(d, epochs, maxWait, win.StartEpoch)
+	pprof.StopCPUProfile()
+	win.Elapsed = time.Since(start)
+	win.EndEpoch, _ = p.epochNow()
+	return win, nil
+}
+
+// CaptureCPUBytes is CaptureCPU into memory — the shape the watchdog wants
+// for attaching flame-graph evidence to incident bundles.
+func (p *Profiler) CaptureCPUBytes(d time.Duration) ([]byte, error) {
+	if p == nil {
+		return nil, errNilProfiler
+	}
+	var b writerBuf
+	if _, err := p.CaptureCPU(&b, d); err != nil {
+		return nil, err
+	}
+	return b.data, nil
+}
+
+type writerBuf struct{ data []byte }
+
+func (b *writerBuf) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// CaptureTrace records a runtime execution trace for the given duration
+// (default 1s when d <= 0). View with `go tool trace`; the engine's phase
+// regions and per-epoch tasks appear as user regions/tasks.
+func (p *Profiler) CaptureTrace(w io.Writer, d time.Duration) (Window, error) {
+	return p.captureTrace(w, d, 0, 0)
+}
+
+// CaptureTraceEpochs records a runtime execution trace spanning the next n
+// committed epochs, bounded by maxWait (default 30s when <= 0).
+func (p *Profiler) CaptureTraceEpochs(w io.Writer, n int, maxWait time.Duration) (Window, error) {
+	return p.captureTrace(w, 0, n, maxWait)
+}
+
+func (p *Profiler) captureTrace(w io.Writer, d time.Duration, epochs int, maxWait time.Duration) (Window, error) {
+	if p == nil {
+		return Window{}, errNilProfiler
+	}
+	if !p.traceMu.TryLock() {
+		return Window{}, ErrCaptureBusy
+	}
+	defer p.traceMu.Unlock()
+
+	var win Window
+	win.StartEpoch, _ = p.epochNow()
+	start := time.Now()
+	if d <= 0 && epochs <= 0 {
+		d = time.Second
+	}
+	if err := trace.Start(w); err != nil {
+		return win, err
+	}
+	p.waitWindow(d, epochs, maxWait, win.StartEpoch)
+	trace.Stop()
+	win.Elapsed = time.Since(start)
+	win.EndEpoch, _ = p.epochNow()
+	return win, nil
+}
+
+// StartCPU begins an open-ended CPU capture for hosts that bracket a run
+// phase rather than a window; end it with StopCPU. While it runs, windowed
+// and on-demand CPU captures report ErrCaptureBusy.
+func (p *Profiler) StartCPU(w io.Writer) error {
+	if p == nil {
+		return errNilProfiler
+	}
+	if !p.cpuMu.TryLock() {
+		return ErrCaptureBusy
+	}
+	if err := pprof.StartCPUProfile(w); err != nil {
+		p.cpuMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// StopCPU ends a StartCPU capture. Calling it without a matching StartCPU is
+// a host bug; the mutex makes it deadlock rather than corrupt a concurrent
+// capture.
+func (p *Profiler) StopCPU() {
+	if p == nil {
+		return
+	}
+	pprof.StopCPUProfile()
+	p.cpuMu.Unlock()
+}
+
+// StartTrace begins an open-ended runtime execution trace; end it with
+// StopTrace. CPU capture and execution trace may run concurrently.
+func (p *Profiler) StartTrace(w io.Writer) error {
+	if p == nil {
+		return errNilProfiler
+	}
+	if !p.traceMu.TryLock() {
+		return ErrCaptureBusy
+	}
+	if err := trace.Start(w); err != nil {
+		p.traceMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// StopTrace ends a StartTrace capture.
+func (p *Profiler) StopTrace() {
+	if p == nil {
+		return
+	}
+	trace.Stop()
+	p.traceMu.Unlock()
+}
+
+// waitWindow blocks for the capture window: either a fixed duration, or
+// until the epoch gauge advances by `epochs` (polled at 500µs — far finer
+// than any realistic epoch period and invisible next to profiling overhead).
+func (p *Profiler) waitWindow(d time.Duration, epochs int, maxWait time.Duration, startEpoch uint64) {
+	if epochs <= 0 {
+		if d <= 0 {
+			d = 2 * time.Second
+		}
+		time.Sleep(d)
+		return
+	}
+	if _, ok := p.epochNow(); !ok {
+		// No epoch gauge wired: fall back to a wall-clock window so the
+		// capture still terminates.
+		if maxWait <= 0 {
+			maxWait = 2 * time.Second
+		}
+		time.Sleep(maxWait)
+		return
+	}
+	if maxWait <= 0 {
+		maxWait = 30 * time.Second
+	}
+	deadline := time.Now().Add(maxWait)
+	target := startEpoch + uint64(epochs)
+	for time.Now().Before(deadline) {
+		if now, _ := p.epochNow(); now >= target {
+			return
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}

@@ -1,0 +1,43 @@
+package prof
+
+import "testing"
+
+// The disabled-profiler benchmarks, under the same <2% overhead budget as
+// the nil obs instruments (CI obs-overhead job, NilProf regex). A nil
+// *Profiler must cost a pointer check, nothing more.
+
+func BenchmarkNilProfRegion(b *testing.B) {
+	var p *Profiler
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		end := p.Region("execute")
+		end()
+	}
+}
+
+func BenchmarkNilProfRegionNested(b *testing.B) {
+	var p *Profiler
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		end := p.RegionNested("minor-gc", "execute")
+		end()
+	}
+}
+
+func BenchmarkNilProfEpochTask(b *testing.B) {
+	var p *Profiler
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.EpochTask(uint64(i)).End()
+	}
+}
+
+// BenchmarkNilProfEpochTaskEnabled measures the tracing-off cost for a
+// non-nil profiler: trace.IsEnabled is one atomic load.
+func BenchmarkNilProfEpochTaskEnabled(b *testing.B) {
+	p := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.EpochTask(uint64(i)).End()
+	}
+}

@@ -1,0 +1,393 @@
+package prof
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime/pprof"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilProfilerSafe(t *testing.T) {
+	var p *Profiler
+	end := p.Region("execute")
+	end()
+	end = p.RegionNested("minor-gc", "execute")
+	end()
+	p.EpochTask(7).End()
+	p.SetEpochSource(func() uint64 { return 1 })
+	if _, err := p.CaptureCPU(&bytes.Buffer{}, time.Millisecond); err == nil {
+		t.Fatal("nil profiler CaptureCPU: want error")
+	}
+	if _, err := p.CaptureTrace(&bytes.Buffer{}, time.Millisecond); err == nil {
+		t.Fatal("nil profiler CaptureTrace: want error")
+	}
+	if _, err := p.CaptureCPUBytes(time.Millisecond); err == nil {
+		t.Fatal("nil profiler CaptureCPUBytes: want error")
+	}
+}
+
+// burn spins under a phase label until stop flips, so CPU samples land with
+// predictable attribution.
+func burn(stop *atomic.Bool, phase string) {
+	end := (&Profiler{}).Region(phase)
+	defer end()
+	x := 0
+	for !stop.Load() {
+		x++
+	}
+	_ = x
+}
+
+func TestCaptureCPUParsesWithPhaseLabels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := New(Config{})
+	for attempt := 0; ; attempt++ {
+		var stop atomic.Bool
+		go burn(&stop, "persist")
+		var buf bytes.Buffer
+		win, err := p.CaptureCPU(&buf, 300*time.Millisecond)
+		stop.Store(true)
+		if err != nil {
+			t.Fatalf("CaptureCPU: %v", err)
+		}
+		if win.Elapsed < 250*time.Millisecond {
+			t.Fatalf("window elapsed %v, want >= 250ms", win.Elapsed)
+		}
+		prof, err := Parse(buf.Bytes())
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		if len(prof.SampleTypes) == 0 {
+			t.Fatal("no sample types in CPU profile")
+		}
+		labeled := 0
+		for i := range prof.Samples {
+			if prof.Samples[i].Label(LabelPhase) == "persist" {
+				labeled++
+			}
+		}
+		if labeled > 0 {
+			idx, err := prof.SampleIndex("cpu")
+			if err != nil {
+				t.Fatalf("SampleIndex: %v", err)
+			}
+			rep := Phases(prof, idx, 3)
+			found := false
+			for _, c := range rep.Phases {
+				if c.Phase == "persist" && c.Value > 0 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("phase report missing persist cell: %+v", rep.Phases)
+			}
+			return
+		}
+		if attempt >= 2 {
+			t.Fatal("no phase-labeled samples after 3 attempts")
+		}
+	}
+}
+
+func TestCaptureCPUEpochsWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var epoch atomic.Uint64
+	p := New(Config{Epoch: epoch.Load})
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				epoch.Add(1)
+			}
+		}
+	}()
+	defer close(done)
+
+	var buf bytes.Buffer
+	win, err := p.CaptureCPUEpochs(&buf, 5, 5*time.Second)
+	if err != nil {
+		t.Fatalf("CaptureCPUEpochs: %v", err)
+	}
+	if win.EndEpoch < win.StartEpoch+5 {
+		t.Fatalf("window covered %d..%d, want >= 5 epochs", win.StartEpoch, win.EndEpoch)
+	}
+	if win.Elapsed >= 5*time.Second {
+		t.Fatalf("capture hit max-wait (%v) instead of the epoch bound", win.Elapsed)
+	}
+	if _, err := Parse(buf.Bytes()); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+}
+
+func TestCaptureBusy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := New(Config{})
+	started := make(chan struct{})
+	doneC := make(chan error, 1)
+	go func() {
+		var buf bytes.Buffer
+		close(started)
+		_, err := p.CaptureCPU(&buf, 300*time.Millisecond)
+		doneC <- err
+	}()
+	<-started
+	time.Sleep(50 * time.Millisecond)
+	if _, err := p.CaptureCPU(&bytes.Buffer{}, time.Millisecond); !errors.Is(err, ErrCaptureBusy) {
+		t.Fatalf("concurrent capture: got %v, want ErrCaptureBusy", err)
+	}
+	if err := <-doneC; err != nil {
+		t.Fatalf("first capture: %v", err)
+	}
+}
+
+func TestCaptureTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := New(Config{})
+	var buf bytes.Buffer
+	// Open a region while the trace runs so a user region lands in it.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				end := p.Region("execute")
+				time.Sleep(time.Millisecond)
+				end()
+			}
+		}
+	}()
+	_, err := p.CaptureTrace(&buf, 100*time.Millisecond)
+	close(stop)
+	if err != nil {
+		t.Fatalf("CaptureTrace: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty execution trace")
+	}
+	// The trace format carries its string table verbatim; the region name
+	// must appear somewhere in the raw bytes.
+	if !bytes.Contains(buf.Bytes(), []byte("execute")) {
+		t.Fatal("trace does not mention the execute region")
+	}
+}
+
+// TestParseHeapProfile feeds the parser a real runtime-generated profile
+// (heap, since it needs no wall-clock window) and checks the schema.
+func TestParseHeapProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatalf("heap WriteTo: %v", err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := map[string]bool{"alloc_objects": false, "alloc_space": false, "inuse_objects": false, "inuse_space": false}
+	for _, st := range p.SampleTypes {
+		if _, ok := want[st.Type]; ok {
+			want[st.Type] = true
+		}
+	}
+	for name, ok := range want {
+		if !ok {
+			t.Fatalf("heap profile missing sample type %q (got %v)", name, p.SampleTypes)
+		}
+	}
+	if len(p.Samples) == 0 {
+		t.Fatal("heap profile has no samples")
+	}
+	found := false
+	for i := range p.Samples {
+		for _, fr := range p.Samples[i].Stack {
+			if fr.Func != "" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no symbolized frames in heap profile")
+	}
+}
+
+func synthProfile() *Profile {
+	return &Profile{
+		SampleTypes:   []ValueType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}},
+		DurationNanos: int64(time.Second),
+		Samples: []Sample{
+			{
+				Stack:  []Frame{{Func: "nvcaracal/internal/nvm.(*Device).Fence"}, {Func: "nvcaracal/internal/core.(*DB).checkpointEpoch"}},
+				Values: []int64{8, 80},
+				Labels: map[string][]string{LabelPhase: {"persist"}},
+			},
+			{
+				Stack:  []Frame{{Func: "nvcaracal/internal/core.(*DB).executeTxn"}, {Func: "nvcaracal/internal/core.(*DB).executePhase"}},
+				Values: []int64{6, 60},
+				Labels: map[string][]string{LabelPhase: {"execute"}},
+			},
+			{
+				Stack:  []Frame{{Func: "nvcaracal/internal/core.(*DB).checkpointEpoch"}},
+				Values: []int64{2, 20},
+				Labels: map[string][]string{LabelPhase: {"persist"}},
+			},
+			{
+				Stack:  []Frame{{Func: "runtime.mallocgc"}},
+				Values: []int64{4, 40},
+			},
+		},
+	}
+}
+
+func TestTopAndPhases(t *testing.T) {
+	p := synthProfile()
+	idx, err := p.SampleIndex("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("cpu index = %d, want 1", idx)
+	}
+	top := Top(p, idx, 2, "", "")
+	if len(top) != 2 || top[0].Name != "nvcaracal/internal/nvm.(*Device).Fence" || top[0].Flat != 80 {
+		t.Fatalf("Top: %+v", top)
+	}
+	// checkpointEpoch: flat 20 (leaf sample) + cum 80 from the fence stack.
+	for _, e := range Top(p, idx, 0, "", "") {
+		if e.Name == "nvcaracal/internal/core.(*DB).checkpointEpoch" {
+			if e.Flat != 20 || e.Cum != 100 {
+				t.Fatalf("checkpointEpoch flat/cum = %d/%d, want 20/100", e.Flat, e.Cum)
+			}
+		}
+	}
+
+	rep := Phases(p, idx, 2)
+	if rep.Total != 200 || rep.Unlabeled != 40 {
+		t.Fatalf("total/unlabeled = %d/%d, want 200/40", rep.Total, rep.Unlabeled)
+	}
+	if len(rep.Phases) != 2 || rep.Phases[0].Phase != "persist" {
+		t.Fatalf("phases: %+v", rep.Phases)
+	}
+	persist := rep.Phases[0]
+	if persist.Value != 100 || persist.SharePct != 50 {
+		t.Fatalf("persist cell: %+v", persist)
+	}
+	// 80 of 100 persist ns touch internal/nvm frames.
+	if persist.DeviceSharePct != 80 {
+		t.Fatalf("persist device share = %v, want 80", persist.DeviceSharePct)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := synthProfile()
+	b := synthProfile()
+	b.Samples[1].Values = []int64{6, 160} // execute grew by 100ns
+	ia, _ := a.SampleIndex("cpu")
+	ib, _ := b.SampleIndex("cpu")
+	d := Diff(a, b, ia, ib, 1)
+	if len(d) != 1 || d[0].Name != "nvcaracal/internal/core.(*DB).executeTxn" || d[0].Delta != 100 {
+		t.Fatalf("Diff: %+v", d)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	h := NewHandler(New(Config{}))
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	if rec := get(PprofPath); rec.Code != http.StatusOK {
+		t.Fatalf("index: %d", rec.Code)
+	}
+	for _, bad := range []string{
+		PprofPath + "profile?seconds=abc",
+		PprofPath + "profile?seconds=-1",
+		PprofPath + "profile?seconds=9999",
+		PprofPath + "profile?epochs=abc",
+		PprofPath + "profile?epochs=-3",
+		PprofPath + "trace?epochs=1.5",
+		PprofPath + "profile?epochs=2&max-wait=banana",
+	} {
+		if rec := get(bad); rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: got %d, want 400", bad, rec.Code)
+		}
+	}
+	if rec := get(PprofPath + "nosuchprofile"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown profile: got %d, want 404", rec.Code)
+	}
+	if rec := get(PprofPath + "heap"); rec.Code != http.StatusOK {
+		t.Fatalf("heap: %d", rec.Code)
+	} else if _, err := Parse(rec.Body.Bytes()); err != nil {
+		t.Fatalf("heap parse: %v", err)
+	}
+
+	// A handler with no profiler rejects captures but still serves runtime
+	// profiles.
+	bare := NewHandler(nil)
+	rec := httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest("GET", PprofPath+"profile?seconds=0.1", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("bare profile: got %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	bare.ServeHTTP(rec, httptest.NewRequest("GET", PprofPath+"goroutine", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bare goroutine: %d", rec.Code)
+	}
+}
+
+func TestHandlerWindowedCapture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var epoch atomic.Uint64
+	p := New(Config{Epoch: epoch.Load})
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				epoch.Add(1)
+			}
+		}
+	}()
+	defer close(done)
+
+	h := NewHandler(p)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", PprofPath+"profile?epochs=3&max-wait=5s", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("windowed profile: %d (%s)", rec.Code, rec.Body.String())
+	}
+	start, _ := strconv.ParseUint(rec.Header().Get("X-Prof-Epoch-Start"), 10, 64)
+	end, _ := strconv.ParseUint(rec.Header().Get("X-Prof-Epoch-End"), 10, 64)
+	if end < start+3 {
+		t.Fatalf("window %d..%d, want >= 3 epochs", start, end)
+	}
+	if _, err := Parse(rec.Body.Bytes()); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+}

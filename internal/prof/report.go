@@ -1,0 +1,241 @@
+package prof
+
+// Report layer over parsed profiles: flat/cumulative hotspot tables, profile
+// diffs, and the phase-attribution report that joins CPU samples against the
+// engine's "phase" goroutine labels — the profiling counterpart of the obs
+// layer's phase-share table.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FlatEntry is one function's flat (leaf) and cumulative sample value.
+type FlatEntry struct {
+	Name string `json:"name"`
+	Flat int64  `json:"flat"`
+	Cum  int64  `json:"cum"`
+}
+
+// Top aggregates samples into per-function flat/cum values for one value
+// column and returns the top n by flat value (all when n <= 0). When
+// labelKey is non-empty only samples carrying labelKey=labelVal count, so
+// Top(p, idx, 10, "phase", "persist") is "the persist-phase hotspots".
+func Top(p *Profile, valueIdx, n int, labelKey, labelVal string) []FlatEntry {
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		if labelKey != "" && s.Label(labelKey) != labelVal {
+			continue
+		}
+		v := sampleValue(s, valueIdx)
+		if v == 0 || len(s.Stack) == 0 {
+			continue
+		}
+		flat[s.Stack[0].Func] += v
+		seen := map[string]bool{}
+		for _, fr := range s.Stack {
+			if !seen[fr.Func] {
+				seen[fr.Func] = true
+				cum[fr.Func] += v
+			}
+		}
+	}
+	out := make([]FlatEntry, 0, len(cum))
+	for name, c := range cum {
+		out = append(out, FlatEntry{Name: name, Flat: flat[name], Cum: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		if out[i].Cum != out[j].Cum {
+			return out[i].Cum > out[j].Cum
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func sampleValue(s *Sample, idx int) int64 {
+	if idx < 0 || idx >= len(s.Values) {
+		return 0
+	}
+	return s.Values[idx]
+}
+
+// Total sums one value column over every sample.
+func Total(p *Profile, valueIdx int) int64 {
+	var t int64
+	for i := range p.Samples {
+		t += sampleValue(&p.Samples[i], valueIdx)
+	}
+	return t
+}
+
+// DiffEntry is one function's flat value in two profiles and the delta
+// (B - A; positive means the function grew).
+type DiffEntry struct {
+	Name  string `json:"name"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+	Delta int64  `json:"delta"`
+}
+
+// Diff compares per-function flat values between two profiles (same sample
+// type assumed) and returns the n largest absolute deltas. Wall-clock
+// differences between the two captures are the caller's problem — nvprof
+// prints both totals so shares can be eyeballed.
+func Diff(a, b *Profile, valueIdxA, valueIdxB, n int) []DiffEntry {
+	av := map[string]int64{}
+	for _, e := range Top(a, valueIdxA, 0, "", "") {
+		av[e.Name] = e.Flat
+	}
+	bv := map[string]int64{}
+	for _, e := range Top(b, valueIdxB, 0, "", "") {
+		bv[e.Name] = e.Flat
+	}
+	names := map[string]bool{}
+	for name := range av {
+		names[name] = true
+	}
+	for name := range bv {
+		names[name] = true
+	}
+	out := make([]DiffEntry, 0, len(names))
+	for name := range names {
+		d := DiffEntry{Name: name, A: av[name], B: bv[name]}
+		d.Delta = d.B - d.A
+		if d.Delta != 0 {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := abs64(out[i].Delta), abs64(out[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// DevicePackages are the function-name prefixes counted as "device-model
+// code" in the phase report: the NVMM device emulation and persistence
+// primitives. A sample attributes to the device when any frame in its stack
+// lands in one of these packages.
+var DevicePackages = []string{"nvcaracal/internal/nvm", "nvcaracal/internal/pmem"}
+
+// PhaseCell is one engine phase's slice of a profile.
+type PhaseCell struct {
+	Phase    string  `json:"phase"`
+	Value    int64   `json:"value"`
+	SharePct float64 `json:"share_pct"`
+	// DeviceSharePct is the fraction of this phase's samples whose stack
+	// touches DevicePackages — for the persist phase this is the "time spent
+	// in the NVMM model" number the bench acceptance gates on.
+	DeviceSharePct float64     `json:"device_share_pct"`
+	Top            []FlatEntry `json:"top,omitempty"`
+}
+
+// PhaseReport is the phase-attribution report: profile value split by the
+// engine's "phase" goroutine labels.
+type PhaseReport struct {
+	SampleType    ValueType   `json:"sample_type"`
+	DurationNanos int64       `json:"duration_nanos"`
+	Total         int64       `json:"total"`
+	Unlabeled     int64       `json:"unlabeled"`
+	UnlabeledPct  float64     `json:"unlabeled_pct"`
+	Phases        []PhaseCell `json:"phases"`
+}
+
+// Phases builds the phase-attribution report for one value column, with the
+// top-n hotspot functions per phase (n <= 0 skips the tables).
+func Phases(p *Profile, valueIdx, n int) PhaseReport {
+	rep := PhaseReport{DurationNanos: p.DurationNanos}
+	if valueIdx >= 0 && valueIdx < len(p.SampleTypes) {
+		rep.SampleType = p.SampleTypes[valueIdx]
+	}
+	byPhase := map[string]int64{}
+	devByPhase := map[string]int64{}
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		v := sampleValue(s, valueIdx)
+		if v == 0 {
+			continue
+		}
+		rep.Total += v
+		phase := s.Label(LabelPhase)
+		if phase == "" {
+			rep.Unlabeled += v
+			continue
+		}
+		byPhase[phase] += v
+		if stackTouches(s.Stack, DevicePackages) {
+			devByPhase[phase] += v
+		}
+	}
+	if rep.Total > 0 {
+		rep.UnlabeledPct = 100 * float64(rep.Unlabeled) / float64(rep.Total)
+	}
+	for phase, v := range byPhase {
+		cell := PhaseCell{Phase: phase, Value: v}
+		if rep.Total > 0 {
+			cell.SharePct = 100 * float64(v) / float64(rep.Total)
+		}
+		if v > 0 {
+			cell.DeviceSharePct = 100 * float64(devByPhase[phase]) / float64(v)
+		}
+		if n > 0 {
+			cell.Top = Top(p, valueIdx, n, LabelPhase, phase)
+		}
+		rep.Phases = append(rep.Phases, cell)
+	}
+	sort.Slice(rep.Phases, func(i, j int) bool {
+		if rep.Phases[i].Value != rep.Phases[j].Value {
+			return rep.Phases[i].Value > rep.Phases[j].Value
+		}
+		return rep.Phases[i].Phase < rep.Phases[j].Phase
+	})
+	return rep
+}
+
+// stackTouches reports whether any frame's function lives in one of the
+// named packages (prefix match on the qualified symbol name).
+func stackTouches(stack []Frame, pkgs []string) bool {
+	for _, fr := range stack {
+		for _, pkg := range pkgs {
+			if strings.HasPrefix(fr.Func, pkg+".") || strings.HasPrefix(fr.Func, pkg+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FormatValue renders a sample value with its unit (ns values as
+// milliseconds, everything else raw).
+func FormatValue(v int64, unit string) string {
+	if unit == "nanoseconds" {
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	}
+	if unit == "bytes" {
+		return fmt.Sprintf("%.1fkB", float64(v)/1024)
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -50,6 +50,7 @@ import (
 	"nvcaracal/internal/nvm"
 	"nvcaracal/internal/obs"
 	"nvcaracal/internal/pmem"
+	"nvcaracal/internal/prof"
 )
 
 // Re-exported engine types: the facade adds device management and sizing on
@@ -110,6 +111,18 @@ type (
 	Watchdog = obs.Watchdog
 	// Incident is one watchdog trigger with its evidence snapshot.
 	Incident = obs.Incident
+
+	// Profiler is the epoch-correlated profiling layer: phase-labelled
+	// runtime/trace regions in the engine plus windowed CPU/trace captures.
+	// Build one with NewProfiler, pass it via Config.Prof, serve it with
+	// ProfHandler.
+	Profiler = prof.Profiler
+	// ProfConfig configures a Profiler (epoch gauge, contention-profiler
+	// rates).
+	ProfConfig = prof.Config
+	// ProfHandler serves capture-on-demand profiles at
+	// /debug/nvcaracal/pprof/*.
+	ProfHandler = prof.Handler
 )
 
 // Write-set operation kinds.
@@ -209,6 +222,14 @@ type Config struct {
 	// caller's between-epoch work. RunEpoch drains the previous epoch's
 	// tail before starting, and DB.WaitDurable drains it explicitly
 	// (DB.DurableEpoch reports the last epoch whose record landed).
+	//
+	// The overlap only pays off when epochs leave enough work to hide the
+	// tail under: below ~4 worker cores both AsyncPersist and Pipeline can
+	// run SLOWER than synchronous commits, because the tail is short at
+	// that scale while the background committer's device accesses contend
+	// with the next epoch's workers (see the annotated 1-2 worker cells of
+	// BENCH_pipeline.json and EXPERIMENTS.md's async-at-1-worker anomaly
+	// note). Benchmark both settings at your worker count before enabling.
 	AsyncPersist bool
 	// Pipeline deepens AsyncPersist into a depth-1 epoch pipeline: a
 	// background committer owns the whole checkpoint (parallel per-core
@@ -239,6 +260,11 @@ type Config struct {
 	// was built with Device instrumentation) per-call device latency. Nil
 	// costs a nil check per instrumentation site.
 	Obs *Obs
+	// Prof, when non-nil, attaches the profiling hooks: runtime/trace
+	// regions plus pprof "phase" goroutine labels around every epoch phase,
+	// and the engine's epoch gauge for windowed captures. Nil costs one
+	// pointer check per phase.
+	Prof *Profiler
 }
 
 func (c Config) layout(cores int) (pmem.Layout, error) {
@@ -304,6 +330,7 @@ func (c Config) coreOptions() (core.Options, error) {
 		Registry:         c.Registry,
 		AriaRegistry:     c.AriaRegistry,
 		Obs:              c.Obs,
+		Prof:             c.Prof,
 	}
 	if opts.Registry == nil && c.Mode == ModeNVCaracal {
 		// Logging mode needs a registry for replay; give callers that never
@@ -346,6 +373,14 @@ func NewObs(cfg ObsConfig) *Obs { return obs.New(cfg) }
 // NewObsHandler returns an http.Handler serving o's introspection
 // endpoints: /debug/nvcaracal/stats and /debug/nvcaracal/trace?epochs=N.
 func NewObsHandler(o *Obs) *ObsHandler { return obs.NewHandler(o) }
+
+// NewProfiler builds the profiling layer. Pass it via Config.Prof (Open
+// wires the engine's epoch gauge) and serve captures with NewProfHandler.
+func NewProfiler(cfg ProfConfig) *Profiler { return prof.New(cfg) }
+
+// NewProfHandler returns an http.Handler serving p's capture-on-demand
+// profiles; mount it at prof.PprofPath (/debug/nvcaracal/pprof/).
+func NewProfHandler(p *Profiler) *ProfHandler { return prof.NewHandler(p) }
 
 // Open creates a fresh database on a new simulated NVMM device sized for
 // the configuration.
